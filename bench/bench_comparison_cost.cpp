@@ -1,0 +1,125 @@
+// bench_comparison_cost — experiment E4: the paper's "O(1) causality
+// verification ... instead of O(n) for VV" claim, measured.
+//
+// For clocks with n entries (n = number of actors that ever wrote — the
+// quantity that grows with clients in a VV world), measures:
+//
+//   * VersionVector::compare      — entrywise walk, expected O(n)
+//   * DottedVersionVector::compare — two dot lookups, expected O(log n)
+//     flat-map binary search, i.e. effectively flat in n (the paper's
+//     O(1) with a hash map; the point is independence from n)
+//   * CausalHistory::compare       — the ground truth's O(total events)
+//
+// Both comparands live on the same FlatMap substrate, so the measured
+// gap is the algorithm, not the container.  google-benchmark binary:
+// report the per-op time as a function of n and watch VV grow linearly
+// while DVV stays flat.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/causal_history.hpp"
+#include "core/dotted_version_vector.hpp"
+#include "core/version_vector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::core::ActorId;
+using dvv::core::CausalHistory;
+using dvv::core::Dot;
+using dvv::core::DottedVersionVector;
+using dvv::core::VersionVector;
+
+/// Two concurrent VVs with n entries each: identical except the last
+/// actor of each side is ahead — worst case, the walk must reach the
+/// divergence to prove concurrency.
+std::pair<VersionVector, VersionVector> concurrent_vvs(std::int64_t n) {
+  VersionVector a, b;
+  for (ActorId i = 0; i < static_cast<ActorId>(n); ++i) {
+    a.set(i, 10);
+    b.set(i, 10);
+  }
+  a.set(static_cast<ActorId>(n - 1), 11);
+  b.set(static_cast<ActorId>(n - 2 >= 0 ? n - 2 : 0), 11);
+  return {a, b};
+}
+
+/// Two concurrent DVVs whose pasts have n entries each (same data
+/// volume as above), dots on different actors.
+std::pair<DottedVersionVector, DottedVersionVector> concurrent_dvvs(std::int64_t n) {
+  VersionVector past;
+  for (ActorId i = 0; i < static_cast<ActorId>(n); ++i) past.set(i, 10);
+  DottedVersionVector a(Dot{0, 11}, past);
+  DottedVersionVector b(Dot{1, 11}, past);
+  return {a, b};
+}
+
+void BM_VersionVectorCompare(benchmark::State& state) {
+  const auto [a, b] = concurrent_vvs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VersionVectorCompare)->RangeMultiplier(4)->Range(2, 8192)->Complexity();
+
+void BM_DvvCompare(benchmark::State& state) {
+  const auto [a, b] = concurrent_dvvs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DvvCompare)->RangeMultiplier(4)->Range(2, 8192)->Complexity();
+
+void BM_CausalHistoryCompare(benchmark::State& state) {
+  // Worst case for explicit histories: the two sets diverge only at the
+  // highest actor ids, so subset testing must walk ~10n shared events
+  // before finding the mismatch.
+  const auto [va, vb] = concurrent_vvs(state.range(0));
+  auto downset = [](const VersionVector& v) {
+    CausalHistory h;
+    for (const auto& [actor, counter] : v.entries()) {
+      for (dvv::core::Counter c = 1; c <= counter; ++c) h.insert(Dot{actor, c});
+    }
+    return h;
+  };
+  const CausalHistory a = downset(va);
+  const CausalHistory b = downset(vb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.compare(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CausalHistoryCompare)->RangeMultiplier(4)->Range(2, 512)->Complexity();
+
+/// The server-side discard test ("is this version obsoleted by the
+/// client context?") — the other operation the paper's O(1) argument
+/// covers: one dot lookup for DVV vs a full descends() walk for VV.
+void BM_VvObsoleteCheck(benchmark::State& state) {
+  const auto [a, ctx] = concurrent_vvs(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.descends(a));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VvObsoleteCheck)->RangeMultiplier(4)->Range(2, 8192)->Complexity();
+
+void BM_DvvObsoleteCheck(benchmark::State& state) {
+  const auto [a, b] = concurrent_dvvs(state.range(0));
+  const VersionVector ctx = [&] {
+    VersionVector v;
+    a.fold_into(v);
+    return v;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.obsoleted_by(ctx));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DvvObsoleteCheck)->RangeMultiplier(4)->Range(2, 8192)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// bench_dvvset_ablation — experiment E10 (ablation): what the compact
+// sibling-set representation buys over per-sibling DVVs.
+//
+// Both mechanisms are EXACT (E9); they differ only in how they spell
+// the same causal information.  Two measurements:
+//
+//   1. metadata bytes per stored key as the live sibling count grows
+//      (per-sibling DVVs pay dot+vector per sibling; DVVSet pays one
+//      (actor, counter) pair per coordinating server, total);
+//   2. wall-clock cost of the hot server-side operations (update, sync,
+//      context) at a given sibling load, via a simple timed loop.
+//
+// This quantifies the design choice DESIGN.md S6 calls out and explains
+// why Riak ultimately shipped the set form.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "codec/clock_codec.hpp"
+#include "core/dvv_kernel.hpp"
+#include "core/dvv_set.hpp"
+#include "core/version_vector.hpp"
+#include "util/fmt.hpp"
+
+namespace {
+
+using namespace dvv::core;
+using dvv::util::fixed;
+
+constexpr ActorId kA = 0;
+
+/// Builds a sibling-set with `siblings` live concurrent values through
+/// one server (all writers raced on the same stale read).
+template <typename Kernel>
+Kernel explode(std::size_t siblings) {
+  Kernel k;
+  k.update(kA, VersionVector{}, std::string("seed"));
+  const auto stale = k.context();
+  for (std::size_t i = 0; i < siblings; ++i) {
+    k.update(kA, stale, "w" + std::to_string(i));
+  }
+  return k;
+}
+
+template <typename F>
+double time_us(F&& f, int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) f();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E10 (ablation): per-sibling DVV vs compact DVVSet ====\n\n");
+
+  // ---- size table -----------------------------------------------------
+  dvv::util::TextTable size_table;
+  size_table.header({"live siblings", "dvv meta bytes", "dvvset meta bytes",
+                     "ratio", "dvv entries", "dvvset entries"});
+  for (const std::size_t s : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    const auto dvv_k = explode<DvvSiblings<std::string>>(s);
+    const auto set_k = explode<DvvSet<std::string>>(s);
+    const auto dvv_bytes = dvv::codec::metadata_size(dvv_k);
+    const auto set_bytes = dvv::codec::metadata_size(set_k);
+    size_table.row({std::to_string(s), std::to_string(dvv_bytes),
+                    std::to_string(set_bytes),
+                    fixed(static_cast<double>(dvv_bytes) /
+                              static_cast<double>(set_bytes), 1) + "x",
+                    std::to_string(dvv_k.clock_entries()),
+                    std::to_string(set_k.clock_entries())});
+  }
+  std::printf("%s\n", size_table.to_string().c_str());
+
+  // ---- operation cost table --------------------------------------------
+  dvv::util::TextTable op_table;
+  op_table.header({"live siblings", "op", "dvv us/op", "dvvset us/op"});
+  for (const std::size_t s : {4u, 32u, 128u}) {
+    const auto dvv_base = explode<DvvSiblings<std::string>>(s);
+    const auto set_base = explode<DvvSet<std::string>>(s);
+    constexpr int kIters = 2000;
+
+    const double dvv_ctx = time_us([&] { (void)dvv_base.context(); }, kIters);
+    const double set_ctx = time_us([&] { (void)set_base.context(); }, kIters);
+    op_table.row({std::to_string(s), "context()", fixed(dvv_ctx, 3),
+                  fixed(set_ctx, 3)});
+
+    const double dvv_upd = time_us(
+        [&] {
+          auto copy = dvv_base;
+          copy.update(kA, copy.context(), "x");
+        },
+        kIters);
+    const double set_upd = time_us(
+        [&] {
+          auto copy = set_base;
+          copy.update(kA, copy.context(), "x");
+        },
+        kIters);
+    op_table.row({std::to_string(s), "read+update", fixed(dvv_upd, 3),
+                  fixed(set_upd, 3)});
+
+    const double dvv_sync = time_us(
+        [&] {
+          auto copy = dvv_base;
+          copy.sync(dvv_base);
+        },
+        kIters / 4);
+    const double set_sync = time_us(
+        [&] {
+          auto copy = set_base;
+          copy.sync(set_base);
+        },
+        kIters / 4);
+    op_table.row({std::to_string(s), "sync(self-copy)", fixed(dvv_sync, 3),
+                  fixed(set_sync, 3)});
+  }
+  std::printf("%s\n", op_table.to_string().c_str());
+
+  std::printf("shape check: size ratio grows linearly with the sibling count\n");
+  std::printf("(dvvset amortizes the causal past across the whole set); sync\n");
+  std::printf("cost for per-sibling dvv is quadratic in siblings (pairwise\n");
+  std::printf("dominance checks) vs linear entry merges for dvvset.\n");
+  return 0;
+}

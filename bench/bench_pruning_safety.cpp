@@ -1,0 +1,89 @@
+// bench_pruning_safety — experiment E8: "these systems prune VV
+// optimistically, which is unsafe, possibly leading to lost updates
+// and/or to the introduction of false concurrency".
+//
+// Sweeps the prune cap of the client-VV mechanism on a contentious
+// workload (many anonymous writers — the population that forces pruning
+// in the first place) and reports, against the causal-history oracle:
+//
+//   lost updates    — values the truth retains but the subject discarded
+//   false siblings  — values the subject retains but the truth obsoleted
+//
+// alongside the metadata the cap bought.  DVV is the last row: it needs
+// no cap, keeps the metadata *smaller* than even aggressively pruned
+// client-VV, and commits zero anomalies.
+#include <cstdio>
+#include <string>
+
+#include "kv/mechanism.hpp"
+#include "oracle/audit.hpp"
+#include "util/fmt.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using dvv::kv::ClusterConfig;
+using dvv::oracle::mirrored_run;
+using dvv::util::fixed;
+using dvv::workload::WorkloadSpec;
+
+ClusterConfig config() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.replication = 3;
+  cfg.vnodes = 32;
+  return cfg;
+}
+
+WorkloadSpec spec() {
+  WorkloadSpec s;
+  s.keys = 16;
+  s.zipf_skew = 0.99;
+  s.clients = 24;
+  s.operations = 3000;
+  s.read_before_write = 0.6;  // 40% anonymous one-shot writers
+  s.replicate_probability = 1.0;
+  s.anti_entropy_every = 25;
+  s.seed = 0xE8;
+  return s;
+}
+
+template <typename M>
+void run_row(dvv::util::TextTable& table, const char* name, M mechanism) {
+  const auto run = mirrored_run(spec(), config(), std::move(mechanism));
+  table.row({name, std::to_string(run.report.lost_updates()),
+             std::to_string(run.report.false_siblings()),
+             std::to_string(run.report.values_checked),
+             fixed(run.subject_stats.get_metadata_bytes.mean(), 1),
+             std::to_string(run.subject_stats.final_metadata_bytes),
+             run.report.exact() ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E8: what optimistic VV pruning costs (oracle-audited) ====\n");
+  std::printf("6 servers, R=3, 16 hot keys, 3000 writes, 40%% anonymous blind\n");
+  std::printf("writers, anti-entropy every 25 ops, seed=0xE8; audits run after\n");
+  std::printf("every operation against exact causal histories\n\n");
+
+  dvv::util::TextTable table;
+  table.header({"mechanism", "lost updates", "false siblings", "values checked",
+                "GET meta B (mean)", "final meta bytes", "exact?"});
+  run_row(table, "client-vv cap=2", dvv::kv::pruned_client_vv(2));
+  run_row(table, "client-vv cap=4", dvv::kv::pruned_client_vv(4));
+  run_row(table, "client-vv cap=8", dvv::kv::pruned_client_vv(8));
+  run_row(table, "client-vv cap=16", dvv::kv::pruned_client_vv(16));
+  run_row(table, "client-vv cap=32", dvv::kv::pruned_client_vv(32));
+  run_row(table, "client-vv unpruned", dvv::kv::ClientVvMechanism{});
+  run_row(table, "server-vv", dvv::kv::ServerVvMechanism{});
+  run_row(table, "dvv", dvv::kv::DvvMechanism{});
+  run_row(table, "dvvset", dvv::kv::DvvSetMechanism{});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("shape check: tighter caps -> more anomalies; the unpruned\n");
+  std::printf("client-vv is exact but pays the metadata column for it;\n");
+  std::printf("server-vv loses updates with bounded metadata (the Fig. 1b\n");
+  std::printf("failure); dvv/dvvset are exact AND small — the paper's point.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// quickstart — the smallest useful tour of the library.
+//
+// Creates a 5-server cluster with 3-way replication using dotted version
+// vectors, walks through the paper's GET/PUT cycle (blind write, racing
+// write, sibling resolution), and prints what the clocks look like at
+// every step.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "kv/client.hpp"
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+
+using dvv::kv::ClientSession;
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+using dvv::kv::DvvMechanism;
+
+namespace {
+
+void show(const char* label, const Cluster<DvvMechanism>& cluster,
+          const std::string& key) {
+  const auto coordinator = cluster.default_coordinator(key);
+  const auto* stored = cluster.replica(coordinator).find(key);
+  std::printf("%s\n", label);
+  if (stored == nullptr || stored->sibling_count() == 0) {
+    std::printf("  (no versions)\n\n");
+    return;
+  }
+  for (const auto& version : stored->versions()) {
+    std::printf("  value=%-14s clock=%s\n", version.value.c_str(),
+                version.clock.to_string(dvv::kv::actor_name).c_str());
+  }
+  std::printf("  context handed to readers: %s\n\n",
+              stored->context().to_string(dvv::kv::actor_name).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== dvv quickstart: a Riak-shaped store with dotted version vectors ==\n\n");
+
+  ClusterConfig config;
+  config.servers = 5;
+  config.replication = 3;
+  Cluster<DvvMechanism> cluster(config, DvvMechanism{});
+
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  ClientSession<DvvMechanism> bob(dvv::kv::client_actor(1), cluster);
+
+  const std::string key = "profile:42";
+
+  // 1. Alice writes without having read anything (a blind write).
+  alice.put(key, "alice-v1");
+  show("after Alice's first write:", cluster, key);
+
+  // 2. Alice reads (capturing the causal context) and overwrites.
+  alice.get(key);
+  alice.put(key, "alice-v2");
+  show("after Alice's read-modify-write (v1 is causally overwritten):", cluster, key);
+
+  // 3. Bob writes blind: he never read, so his write must NOT clobber
+  //    Alice's.  The store keeps both as siblings.
+  bob.put(key, "bob-v1");
+  show("after Bob's blind write (true concurrency -> siblings):", cluster, key);
+
+  // 4. Carol reads both siblings and reconciles them.  Her PUT carries
+  //    the context covering both, so both are replaced by her merge.
+  ClientSession<DvvMechanism> carol(dvv::kv::client_actor(2), cluster);
+  carol.rmw(key, [](const std::vector<std::string>& siblings) {
+    std::string merged = "merged{";
+    for (const auto& s : siblings) merged += s + ";";
+    merged += "}";
+    return merged;
+  });
+  show("after Carol reads both siblings and writes the reconciliation:", cluster, key);
+
+  // 5. Metadata stayed bounded by the replication degree the whole time.
+  const auto fp = cluster.footprint();
+  std::printf("cluster footprint: %zu key-copies, %zu siblings, "
+              "%zu clock entries, %zu metadata bytes on disk\n",
+              fp.keys, fp.siblings, fp.clock_entries, fp.metadata_bytes);
+  std::printf("\nNote: every clock above mentions only SERVER ids — never Alice,\n"
+              "Bob or Carol.  That is the paper's point: precise client\n"
+              "concurrency tracking with metadata bounded by the replication\n"
+              "degree, not by the number of clients.\n");
+  return 0;
+}

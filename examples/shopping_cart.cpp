@@ -1,0 +1,131 @@
+// shopping_cart — the canonical Dynamo-style motivating scenario.
+//
+// A shopping cart replicated across servers, updated concurrently from
+// two devices (phone and laptop) that race.  With dotted version
+// vectors no update is ever silently dropped: the racing carts surface
+// as siblings, and the application merges them (set union) on the next
+// read — the classic "add-wins cart".
+//
+// The same scenario is then replayed on the per-server version-vector
+// baseline of the paper's Figure 1b to show the silent loss DVV exists
+// to prevent.
+//
+//   $ ./shopping_cart
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kv/client.hpp"
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+
+namespace {
+
+using dvv::kv::ClientSession;
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+using dvv::kv::DvvMechanism;
+using dvv::kv::ServerVvMechanism;
+
+/// Carts are comma-separated item lists; merge = set union.
+std::string merge_carts(const std::vector<std::string>& siblings) {
+  std::set<std::string> items;
+  for (const auto& cart : siblings) {
+    std::stringstream ss(cart);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) items.insert(item);
+    }
+  }
+  std::string merged;
+  for (const auto& item : items) {
+    if (!merged.empty()) merged += ",";
+    merged += item;
+  }
+  return merged;
+}
+
+std::string add_item(const std::vector<std::string>& siblings,
+                     const std::string& item) {
+  std::string cart = merge_carts(siblings);
+  if (!cart.empty()) cart += ",";
+  cart += item;
+  return cart;
+}
+
+template <typename M>
+std::vector<std::string> read_cart(Cluster<M>& cluster, const std::string& key) {
+  return cluster.get(key, cluster.default_coordinator(key)).values;
+}
+
+template <typename M>
+void print_cart(const char* label, Cluster<M>& cluster, const std::string& key) {
+  const auto values = read_cart(cluster, key);
+  std::printf("%s\n", label);
+  if (values.empty()) {
+    std::printf("  (empty)\n");
+  }
+  for (const auto& v : values) std::printf("  sibling: [%s]\n", v.c_str());
+  std::printf("\n");
+}
+
+/// The racing scenario, identical for both mechanisms: the phone reads
+/// the cart, the laptop reads the cart, then BOTH write their own
+/// additions, each through a coordinator of its choice, then the
+/// replicas synchronize.
+template <typename M>
+void run_scenario(Cluster<M>& cluster, const char* title) {
+  std::printf("---- %s ----\n", title);
+  const std::string key = "cart:alice";
+  ClientSession<M> phone(dvv::kv::client_actor(100), cluster);
+  ClientSession<M> laptop(dvv::kv::client_actor(101), cluster);
+
+  // A first item, fully propagated.
+  phone.get(key);
+  phone.put(key, "book");
+  cluster.anti_entropy();
+
+  // Both devices read the same state...
+  phone.get(key);
+  laptop.get(key);
+  // ...then race their writes through the SAME coordinator (the paper's
+  // Fig. 1 situation: concurrent client updates at one server).
+  const auto coordinator = cluster.default_coordinator(key);
+  const auto pref = cluster.preference_list(key);
+  phone.put_via(key, coordinator, add_item(read_cart(cluster, key), "headphones"),
+                pref);
+  laptop.put_via(key, coordinator, "book,socks", pref);
+
+  cluster.anti_entropy();
+  print_cart("carts after the race + replica sync:", cluster, key);
+
+  // The next reader merges whatever siblings exist.
+  ClientSession<M> merger(dvv::kv::client_actor(102), cluster);
+  merger.rmw(key, merge_carts);
+  print_cart("cart after read-merge-write:", cluster, key);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== shopping cart: racing devices, two causality mechanisms ==\n\n");
+
+  ClusterConfig config;
+  config.servers = 4;
+  config.replication = 3;
+
+  Cluster<DvvMechanism> dvv_cluster(config, DvvMechanism{});
+  run_scenario(dvv_cluster, "dotted version vectors (the paper's mechanism)");
+  std::printf("with DVV both additions survive the race: the merged cart\n"
+              "contains book, headphones AND socks.\n\n");
+
+  Cluster<ServerVvMechanism> vv_cluster(config, ServerVvMechanism{});
+  run_scenario(vv_cluster, "per-server version vectors (Fig. 1b baseline)");
+  std::printf("with per-server VVs the second write's clock falsely dominates\n"
+              "the first's ([2,0] < [3,0] in the paper), so after the replica\n"
+              "sync one device's addition is GONE — the cart above is missing\n"
+              "an item, and nobody was told.\n");
+  return 0;
+}

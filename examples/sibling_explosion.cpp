@@ -1,0 +1,102 @@
+// sibling_explosion — metadata growth under many concurrent writers.
+//
+// One hot key, N short-lived clients that each write once without
+// reading (think: web handlers behind a load balancer, all appending to
+// the same object).  The example prints, for each mechanism, how the
+// causality metadata grows as writers accumulate:
+//
+//   * per-client version vectors gain one entry per writer, forever;
+//   * dotted version vectors keep one entry per REPLICA regardless;
+//   * DVVSets additionally collapse the per-sibling clocks into one.
+//
+// This is the paper's "bounded by the degree of replication, and not by
+// the number of concurrent writers" claim as a runnable demo.
+//
+//   $ ./sibling_explosion [writers]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "kv/client.hpp"
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+#include "util/fmt.hpp"
+
+namespace {
+
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+
+/// Runs `writers` anonymous one-shot writers against one key; afterwards
+/// a reader reconciles.  Returns {peak clock entries, peak metadata
+/// bytes, entries after reconciliation}.
+template <typename M>
+struct ExplosionResult {
+  std::size_t peak_entries = 0;
+  std::size_t peak_metadata = 0;
+  std::size_t entries_after_merge = 0;
+};
+
+template <typename M>
+ExplosionResult<M> run(std::size_t writers) {
+  ClusterConfig config;
+  config.servers = 5;
+  config.replication = 3;
+  Cluster<M> cluster(config, M{});
+  const std::string key = "hot";
+
+  ExplosionResult<M> result;
+  for (std::size_t w = 0; w < writers; ++w) {
+    dvv::kv::ClientSession<M> writer(dvv::kv::client_actor(1000 + w), cluster);
+    writer.put(key, "order-" + std::to_string(w));
+
+    const auto* stored =
+        cluster.replica(cluster.default_coordinator(key)).find(key);
+    const M& mech = cluster.mechanism();
+    result.peak_entries = std::max(result.peak_entries, mech.clock_entries(*stored));
+    result.peak_metadata =
+        std::max(result.peak_metadata, mech.metadata_bytes(*stored));
+  }
+
+  // One reader merges everything.
+  dvv::kv::ClientSession<M> reader(dvv::kv::client_actor(999), cluster);
+  reader.rmw(key, [](const std::vector<std::string>& siblings) {
+    return "merged-" + std::to_string(siblings.size());
+  });
+  const auto* stored = cluster.replica(cluster.default_coordinator(key)).find(key);
+  result.entries_after_merge = cluster.mechanism().clock_entries(*stored);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t writers =
+      argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10)) : 64;
+
+  std::printf("== sibling explosion: %zu one-shot writers on one key "
+              "(5 servers, R=3) ==\n\n", writers);
+
+  const auto cvv = run<dvv::kv::ClientVvMechanism>(writers);
+  const auto dvv_r = run<dvv::kv::DvvMechanism>(writers);
+  const auto dvvset = run<dvv::kv::DvvSetMechanism>(writers);
+
+  dvv::util::TextTable table;
+  table.header({"mechanism", "peak clock entries", "peak metadata bytes",
+                "entries after merge"});
+  table.row({"client-vv (Riak classic)", std::to_string(cvv.peak_entries),
+             std::to_string(cvv.peak_metadata),
+             std::to_string(cvv.entries_after_merge)});
+  table.row({"dvv (this paper)", std::to_string(dvv_r.peak_entries),
+             std::to_string(dvv_r.peak_metadata),
+             std::to_string(dvv_r.entries_after_merge)});
+  table.row({"dvvset (compact ext.)", std::to_string(dvvset.peak_entries),
+             std::to_string(dvvset.peak_metadata),
+             std::to_string(dvvset.entries_after_merge)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("client-vv entries track the writer count; dvv entries track the\n"
+              "sibling count times (dot + R); dvvset stays at one entry per\n"
+              "coordinating replica no matter how many writers pile up.\n");
+  return 0;
+}

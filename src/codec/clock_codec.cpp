@@ -1,0 +1,309 @@
+#include "codec/clock_codec.hpp"
+
+namespace dvv::codec {
+
+using core::CausalHistory;
+using core::ClientVvSiblings;
+using core::Dot;
+using core::DottedVersionVector;
+using core::DvvSet;
+using core::DvvSiblings;
+using core::HistorySiblings;
+using core::ServerVvSiblings;
+using core::VersionVector;
+
+// --- scalar clocks ---------------------------------------------------------
+
+void encode(Writer& w, const VersionVector& vv) {
+  w.varint(vv.size());
+  for (const auto& [actor, counter] : vv.entries()) {
+    w.varint(actor);
+    w.varint(counter);
+  }
+}
+
+VersionVector decode_version_vector(Reader& r) {
+  VersionVector vv;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto actor = r.varint();
+    const auto counter = r.varint();
+    vv.set(actor, counter);
+  }
+  return vv;
+}
+
+void encode(Writer& w, const Dot& d) {
+  w.varint(d.node);
+  w.varint(d.counter);
+}
+
+Dot decode_dot(Reader& r) {
+  Dot d;
+  d.node = r.varint();
+  d.counter = r.varint();
+  return d;
+}
+
+void encode(Writer& w, const CausalHistory& h) {
+  w.varint(h.size());
+  for (const Dot& d : h.dots()) encode(w, d);
+}
+
+CausalHistory decode_causal_history(Reader& r) {
+  CausalHistory h;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) h.insert(decode_dot(r));
+  return h;
+}
+
+void encode(Writer& w, const DottedVersionVector& dvv) {
+  encode(w, dvv.dot());
+  encode(w, dvv.past());
+}
+
+DottedVersionVector decode_dvv(Reader& r) {
+  const Dot dot = decode_dot(r);
+  VersionVector past = decode_version_vector(r);
+  return DottedVersionVector(dot, std::move(past));
+}
+
+void encode(Writer& w, const core::VersionVectorWithExceptions& vve) {
+  w.varint(vve.entries().size());
+  for (const auto& [actor, entry] : vve.entries()) {
+    w.varint(actor);
+    w.varint(entry.base);
+    w.varint(entry.exceptions.size());
+    for (const core::Counter c : entry.exceptions) w.varint(c);
+  }
+}
+
+core::VersionVectorWithExceptions decode_vve(Reader& r) {
+  core::VersionVectorWithExceptions vve;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const core::ActorId actor = r.varint();
+    const core::Counter base = r.varint();
+    const std::uint64_t ex_count = r.varint();
+    std::vector<core::Counter> exceptions;
+    exceptions.reserve(static_cast<std::size_t>(ex_count));
+    for (std::uint64_t j = 0; j < ex_count; ++j) exceptions.push_back(r.varint());
+    // Rebuild through the public API to keep invariants: add the base
+    // event first (creating all gap exceptions), then fill the events
+    // NOT in the exception list.
+    if (base == 0) continue;
+    vve.add(core::Dot{actor, base});
+    std::size_t ei = 0;
+    for (core::Counter c = 1; c < base; ++c) {
+      if (ei < exceptions.size() && exceptions[ei] == c) {
+        ++ei;
+        continue;  // stays an exception
+      }
+      vve.add(core::Dot{actor, c});
+    }
+  }
+  return vve;
+}
+
+std::size_t encoded_size(const core::VersionVectorWithExceptions& vve) {
+  std::size_t n = varint_size(vve.entries().size());
+  for (const auto& [actor, entry] : vve.entries()) {
+    n += varint_size(actor) + varint_size(entry.base) +
+         varint_size(entry.exceptions.size());
+    for (const core::Counter c : entry.exceptions) n += varint_size(c);
+  }
+  return n;
+}
+
+std::size_t encoded_size(const VersionVector& vv) {
+  std::size_t n = varint_size(vv.size());
+  for (const auto& [actor, counter] : vv.entries()) {
+    n += varint_size(actor) + varint_size(counter);
+  }
+  return n;
+}
+
+std::size_t encoded_size(const Dot& d) {
+  return varint_size(d.node) + varint_size(d.counter);
+}
+
+std::size_t encoded_size(const CausalHistory& h) {
+  std::size_t n = varint_size(h.size());
+  for (const Dot& d : h.dots()) n += encoded_size(d);
+  return n;
+}
+
+std::size_t encoded_size(const DottedVersionVector& dvv) {
+  return encoded_size(dvv.dot()) + encoded_size(dvv.past());
+}
+
+// --- sibling-set kernels ----------------------------------------------------
+
+void encode(Writer& w, const DvvSiblings<std::string>& s) {
+  w.varint(s.sibling_count());
+  for (const auto& v : s.versions()) {
+    encode(w, v.clock);
+    w.bytes(v.value);
+  }
+}
+
+DvvSiblings<std::string> decode_dvv_siblings(Reader& r) {
+  DvvSiblings<std::string> s;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DottedVersionVector clock = decode_dvv(r);
+    s.inject(std::move(clock), r.bytes());
+  }
+  return s;
+}
+
+namespace {
+
+/// Shared shape for the two VV kernels.
+template <typename Kernel>
+void encode_vv_siblings(Writer& w, const Kernel& s) {
+  w.varint(s.sibling_count());
+  for (const auto& v : s.versions()) {
+    encode(w, v.clock);
+    w.bytes(v.value);
+  }
+}
+
+template <typename Kernel>
+Kernel decode_vv_siblings(Reader& r) {
+  Kernel s;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VersionVector clock = decode_version_vector(r);
+    s.inject(std::move(clock), r.bytes());
+  }
+  return s;
+}
+
+/// Metadata size = full size minus payload bytes (value data + its
+/// length prefixes), leaving count + clocks: the causality overhead.
+template <typename Kernel>
+std::size_t vv_like_metadata_size(const Kernel& s) {
+  std::size_t n = varint_size(s.sibling_count());
+  for (const auto& v : s.versions()) n += encoded_size(v.clock);
+  return n;
+}
+
+}  // namespace
+
+void encode(Writer& w, const ServerVvSiblings<std::string>& s) {
+  encode_vv_siblings(w, s);
+}
+
+ServerVvSiblings<std::string> decode_server_vv_siblings(Reader& r) {
+  return decode_vv_siblings<ServerVvSiblings<std::string>>(r);
+}
+
+void encode(Writer& w, const ClientVvSiblings<std::string>& s) {
+  encode_vv_siblings(w, s);
+}
+
+ClientVvSiblings<std::string> decode_client_vv_siblings(Reader& r) {
+  return decode_vv_siblings<ClientVvSiblings<std::string>>(r);
+}
+
+void encode(Writer& w, const HistorySiblings<std::string>& s) {
+  w.varint(s.sibling_count());
+  for (const auto& v : s.versions()) {
+    encode(w, v.history);
+    encode(w, v.id);
+    w.bytes(v.value);
+  }
+}
+
+HistorySiblings<std::string> decode_history_siblings(Reader& r) {
+  HistorySiblings<std::string> s;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CausalHistory h = decode_causal_history(r);
+    const Dot id = decode_dot(r);
+    s.inject(std::move(h), id, r.bytes());
+  }
+  return s;
+}
+
+void encode(Writer& w, const DvvSet<std::string>& s) {
+  w.varint(s.entries().size());
+  for (const auto& e : s.entries()) {
+    w.varint(e.actor);
+    w.varint(e.n);
+    w.varint(e.values.size());
+    for (const auto& v : e.values) w.bytes(v);
+  }
+}
+
+DvvSet<std::string> decode_dvv_set(Reader& r) {
+  DvvSet<std::string> s;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    typename DvvSet<std::string>::Entry e;
+    e.actor = r.varint();
+    e.n = r.varint();
+    const std::uint64_t k = r.varint();
+    e.values.reserve(static_cast<std::size_t>(k));
+    for (std::uint64_t j = 0; j < k; ++j) e.values.push_back(r.bytes());
+    s.inject(std::move(e));
+  }
+  return s;
+}
+
+void encode(Writer& w, const core::VveSiblings<std::string>& s) {
+  w.varint(s.sibling_count());
+  for (const auto& v : s.versions()) {
+    encode(w, v.clock);
+    w.bytes(v.value);
+  }
+}
+
+core::VveSiblings<std::string> decode_vve_siblings(Reader& r) {
+  core::VveSiblings<std::string> s;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core::VersionVectorWithExceptions clock = decode_vve(r);
+    s.inject(std::move(clock), r.bytes());
+  }
+  return s;
+}
+
+std::size_t metadata_size(const core::VveSiblings<std::string>& s) {
+  std::size_t n = varint_size(s.sibling_count());
+  for (const auto& v : s.versions()) n += encoded_size(v.clock);
+  return n;
+}
+
+std::size_t metadata_size(const DvvSiblings<std::string>& s) {
+  std::size_t n = varint_size(s.sibling_count());
+  for (const auto& v : s.versions()) n += encoded_size(v.clock);
+  return n;
+}
+
+std::size_t metadata_size(const ServerVvSiblings<std::string>& s) {
+  return vv_like_metadata_size(s);
+}
+
+std::size_t metadata_size(const ClientVvSiblings<std::string>& s) {
+  return vv_like_metadata_size(s);
+}
+
+std::size_t metadata_size(const HistorySiblings<std::string>& s) {
+  std::size_t n = varint_size(s.sibling_count());
+  for (const auto& v : s.versions()) {
+    n += encoded_size(v.history) + encoded_size(v.id);
+  }
+  return n;
+}
+
+std::size_t metadata_size(const DvvSet<std::string>& s) {
+  std::size_t n = varint_size(s.entries().size());
+  for (const auto& e : s.entries()) {
+    n += varint_size(e.actor) + varint_size(e.n) + varint_size(e.values.size());
+  }
+  return n;
+}
+
+}  // namespace dvv::codec

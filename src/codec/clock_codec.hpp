@@ -1,0 +1,89 @@
+// dvv/codec/clock_codec.hpp
+//
+// Wire encodings for every clock type plus the sibling-set kernels, and
+// size-only helpers for the metadata benches (E5/E6/E10).  Round-trip
+// fidelity is covered by tests/codec_test.cpp for each mechanism.
+//
+// Formats (all integers varint):
+//   VersionVector       := count, (actor, counter)*
+//   Dot                 := actor, counter
+//   CausalHistory       := count, Dot*
+//   DottedVersionVector := Dot, VersionVector
+//   DvvSiblings<string>       := count, (DottedVersionVector, value)*
+//   ServerVv/ClientVvSiblings := count, (VersionVector, value)*
+//   HistorySiblings<string>   := count, (CausalHistory, Dot, value)*
+//   DvvSet<string>      := count, (actor, n, valueCount, value*)*
+#pragma once
+
+#include <string>
+
+#include "codec/wire.hpp"
+#include "core/causal_history.hpp"
+#include "core/dot.hpp"
+#include "core/dotted_version_vector.hpp"
+#include "core/dvv_kernel.hpp"
+#include "core/dvv_set.hpp"
+#include "core/history_kernel.hpp"
+#include "core/version_vector.hpp"
+#include "core/vv_kernels.hpp"
+#include "core/vve.hpp"
+
+namespace dvv::codec {
+
+// --- scalar clocks ---------------------------------------------------------
+
+void encode(Writer& w, const core::VersionVector& vv);
+[[nodiscard]] core::VersionVector decode_version_vector(Reader& r);
+
+void encode(Writer& w, const core::Dot& d);
+[[nodiscard]] core::Dot decode_dot(Reader& r);
+
+void encode(Writer& w, const core::CausalHistory& h);
+[[nodiscard]] core::CausalHistory decode_causal_history(Reader& r);
+
+void encode(Writer& w, const core::DottedVersionVector& dvv);
+[[nodiscard]] core::DottedVersionVector decode_dvv(Reader& r);
+
+/// VVE := count, (actor, base, exceptionCount, exception*)*
+void encode(Writer& w, const core::VersionVectorWithExceptions& vve);
+[[nodiscard]] core::VersionVectorWithExceptions decode_vve(Reader& r);
+
+/// Serialized size without materializing a buffer.
+[[nodiscard]] std::size_t encoded_size(const core::VersionVector& vv);
+[[nodiscard]] std::size_t encoded_size(const core::Dot& d);
+[[nodiscard]] std::size_t encoded_size(const core::CausalHistory& h);
+[[nodiscard]] std::size_t encoded_size(const core::DottedVersionVector& dvv);
+[[nodiscard]] std::size_t encoded_size(const core::VersionVectorWithExceptions& vve);
+
+// --- sibling-set kernels (Value = std::string) ------------------------------
+
+void encode(Writer& w, const core::DvvSiblings<std::string>& s);
+[[nodiscard]] core::DvvSiblings<std::string> decode_dvv_siblings(Reader& r);
+
+void encode(Writer& w, const core::ServerVvSiblings<std::string>& s);
+[[nodiscard]] core::ServerVvSiblings<std::string> decode_server_vv_siblings(Reader& r);
+
+void encode(Writer& w, const core::ClientVvSiblings<std::string>& s);
+[[nodiscard]] core::ClientVvSiblings<std::string> decode_client_vv_siblings(Reader& r);
+
+void encode(Writer& w, const core::HistorySiblings<std::string>& s);
+[[nodiscard]] core::HistorySiblings<std::string> decode_history_siblings(Reader& r);
+
+void encode(Writer& w, const core::DvvSet<std::string>& s);
+[[nodiscard]] core::DvvSet<std::string> decode_dvv_set(Reader& r);
+
+void encode(Writer& w, const core::VveSiblings<std::string>& s);
+[[nodiscard]] core::VveSiblings<std::string> decode_vve_siblings(Reader& r);
+
+/// Metadata-only wire size of a sibling set: full encoding minus the
+/// payload bytes.  This is the paper's "size of metadata" metric — what
+/// the causality mechanism itself costs on every reply, independent of
+/// how big the user's values are.
+[[nodiscard]] std::size_t metadata_size(const core::DvvSiblings<std::string>& s);
+[[nodiscard]] std::size_t metadata_size(const core::ServerVvSiblings<std::string>& s);
+[[nodiscard]] std::size_t metadata_size(const core::ClientVvSiblings<std::string>& s);
+[[nodiscard]] std::size_t metadata_size(const core::HistorySiblings<std::string>& s);
+[[nodiscard]] std::size_t metadata_size(const core::DvvSet<std::string>& s);
+[[nodiscard]] std::size_t metadata_size(const core::VveSiblings<std::string>& s);
+
+}  // namespace dvv::codec

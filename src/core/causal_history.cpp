@@ -1,0 +1,52 @@
+#include "core/causal_history.hpp"
+
+#include <algorithm>
+
+#include "util/fmt.hpp"
+
+namespace dvv::core {
+
+CausalHistory::CausalHistory(std::initializer_list<Dot> dots) : dots_(dots) {
+  std::sort(dots_.begin(), dots_.end());
+  dots_.erase(std::unique(dots_.begin(), dots_.end()), dots_.end());
+}
+
+bool CausalHistory::contains(const Dot& d) const noexcept {
+  return std::binary_search(dots_.begin(), dots_.end(), d);
+}
+
+void CausalHistory::insert(const Dot& d) {
+  auto it = std::lower_bound(dots_.begin(), dots_.end(), d);
+  if (it != dots_.end() && *it == d) return;
+  dots_.insert(it, d);
+}
+
+void CausalHistory::merge(const CausalHistory& other) {
+  std::vector<Dot> out;
+  out.reserve(dots_.size() + other.dots_.size());
+  std::set_union(dots_.begin(), dots_.end(), other.dots_.begin(), other.dots_.end(),
+                 std::back_inserter(out));
+  dots_ = std::move(out);
+}
+
+bool CausalHistory::subset_of(const CausalHistory& other) const noexcept {
+  return std::includes(other.dots_.begin(), other.dots_.end(), dots_.begin(),
+                       dots_.end());
+}
+
+Ordering CausalHistory::compare(const CausalHistory& other) const noexcept {
+  const bool ab = subset_of(other);
+  const bool ba = other.subset_of(*this);
+  if (ab && ba) return Ordering::kEqual;
+  if (ab) return Ordering::kBefore;
+  if (ba) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+std::string CausalHistory::to_string(const ActorNamer& namer) const {
+  return "{" +
+         util::join(dots_, ",", [&](const Dot& d) { return d.to_string(namer); }) +
+         "}";
+}
+
+}  // namespace dvv::core

@@ -1,0 +1,64 @@
+// dvv/core/causal_history.hpp
+//
+// Causal histories (Schwarz & Mattern): the *definition* of causality.
+// A history is the explicit set of unique event identifiers in a
+// version's past, including its own; Ha precedes Hb iff Ha ⊂ Hb, and two
+// histories are concurrent iff neither contains the other.
+//
+// Causal histories are hopelessly inefficient as a production mechanism
+// (they grow with the total number of events), which is exactly why the
+// paper exists — but they are *exact by construction*, so this library
+// runs them alongside every compressed mechanism as the ground-truth
+// oracle (Fig. 1a, experiments E1/E9): any disagreement between a
+// mechanism's verdict and the causal-history verdict is, by definition,
+// a causality-tracking error of that mechanism.
+//
+// Representation: a sorted vector of dots.  Subset testing is a linear
+// merge-walk; good enough for the oracle, irrelevant for production.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/causality.hpp"
+#include "core/dot.hpp"
+#include "core/types.hpp"
+
+namespace dvv::core {
+
+class CausalHistory {
+ public:
+  CausalHistory() = default;
+  CausalHistory(std::initializer_list<Dot> dots);
+
+  [[nodiscard]] bool empty() const noexcept { return dots_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return dots_.size(); }
+
+  [[nodiscard]] bool contains(const Dot& d) const noexcept;
+
+  /// Inserts one event identifier (idempotent).
+  void insert(const Dot& d);
+
+  /// Set union with another history.
+  void merge(const CausalHistory& other);
+
+  /// Ha ⊆ Hb test.
+  [[nodiscard]] bool subset_of(const CausalHistory& other) const noexcept;
+
+  /// Exact causal comparison via set inclusion (the paper's §1 defs):
+  /// equal sets => kEqual; Ha ⊂ Hb => kBefore; ⊃ => kAfter; else
+  /// kConcurrent.
+  [[nodiscard]] Ordering compare(const CausalHistory& other) const noexcept;
+
+  [[nodiscard]] const std::vector<Dot>& dots() const noexcept { return dots_; }
+
+  /// Renders "{A1,A2,B1}" exactly as in the paper's Figure 1a.
+  [[nodiscard]] std::string to_string(const ActorNamer& namer = default_actor_name) const;
+
+  friend bool operator==(const CausalHistory&, const CausalHistory&) = default;
+
+ private:
+  std::vector<Dot> dots_;  // sorted, unique
+};
+
+}  // namespace dvv::core

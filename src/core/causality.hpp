@@ -1,0 +1,48 @@
+// dvv/core/causality.hpp
+//
+// The causality partial order.  Every clock mechanism in this library
+// (causal histories, version vectors, dotted version vectors, DVVSets)
+// exposes a comparison returning one of these four outcomes; the oracle
+// (src/oracle) checks mechanisms against each other by comparing the
+// Ordering values they produce for the same pair of versions.
+#pragma once
+
+#include <string_view>
+
+namespace dvv::core {
+
+/// Outcome of comparing two versions a and b under the causal order.
+enum class Ordering {
+  kEqual,       ///< a and b are the same version
+  kBefore,      ///< a happened-before b (a < b): b supersedes a
+  kAfter,       ///< b happened-before a (b < a): a supersedes b
+  kConcurrent,  ///< neither precedes the other: true siblings
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Ordering o) noexcept {
+  switch (o) {
+    case Ordering::kEqual: return "=";
+    case Ordering::kBefore: return "<";
+    case Ordering::kAfter: return ">";
+    case Ordering::kConcurrent: return "||";
+  }
+  return "?";
+}
+
+/// Flips the direction of an ordering (compare(a,b) == flip(compare(b,a))).
+[[nodiscard]] constexpr Ordering flip(Ordering o) noexcept {
+  switch (o) {
+    case Ordering::kBefore: return Ordering::kAfter;
+    case Ordering::kAfter: return Ordering::kBefore;
+    default: return o;
+  }
+}
+
+/// True when the ordering says the left side is redundant: it is the same
+/// version or causally precedes the right side.  This is the predicate a
+/// storage server applies to decide whether a stored version is obsoleted.
+[[nodiscard]] constexpr bool dominated(Ordering o) noexcept {
+  return o == Ordering::kEqual || o == Ordering::kBefore;
+}
+
+}  // namespace dvv::core

@@ -1,0 +1,44 @@
+#include "core/dotted_version_vector.hpp"
+
+#include "util/assert.hpp"
+
+namespace dvv::core {
+
+Ordering DottedVersionVector::compare(const DottedVersionVector& other) const noexcept {
+  if (dot_ == other.dot_) {
+    // One event, one version: system-generated clocks with the same dot
+    // must carry the same past.
+    DVV_DEBUG_ASSERT(past_ == other.past_);
+    return Ordering::kEqual;
+  }
+  const bool before = other.past_.contains(dot_);   // our event in their past
+  const bool after = past_.contains(other.dot_);    // their event in our past
+  // Both directions at once would be a causality cycle; impossible for
+  // clocks produced by the storage workflow.
+  DVV_DEBUG_ASSERT(!(before && after));
+  if (before) return Ordering::kBefore;
+  if (after) return Ordering::kAfter;
+  return Ordering::kConcurrent;
+}
+
+CausalHistory DottedVersionVector::causal_history() const {
+  CausalHistory h;
+  for (const auto& [actor, counter] : past_.entries()) {
+    for (Counter c = 1; c <= counter; ++c) h.insert(Dot{actor, c});
+  }
+  if (valid(dot_)) h.insert(dot_);
+  return h;
+}
+
+std::string DottedVersionVector::to_string_dense(const std::vector<ActorId>& order,
+                                                 const ActorNamer& namer) const {
+  return "(" + namer(dot_.node) + "," + std::to_string(dot_.counter) + ")" +
+         past_.to_string_dense(order);
+}
+
+std::string DottedVersionVector::to_string(const ActorNamer& namer) const {
+  return "((" + namer(dot_.node) + "," + std::to_string(dot_.counter) + "), " +
+         past_.to_string(namer) + ")";
+}
+
+}  // namespace dvv::core

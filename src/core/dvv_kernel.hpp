@@ -1,0 +1,166 @@
+// dvv/core/dvv_kernel.hpp
+//
+// The multi-version storage workflow for dotted version vectors — the
+// server-side kernel the paper's §2 describes and its companion report
+// specifies as the `update`/`sync` functions.  One DvvSiblings<Value>
+// instance is the per-key state of one replica server: the set of
+// concurrent versions ("siblings"), each tagged with a DVV.
+//
+// Protocol recap (the classic get/put cycle of Dynamo-style stores):
+//
+//   GET:  the server returns every sibling value plus a *causal context*
+//         — one plain VV that is the join of all sibling clocks.  The
+//         context compactly says "the client has seen everything below
+//         this line".
+//
+//   PUT:  the client sends back the context it got from its last GET
+//         (empty for a blind write) plus the new value.  The server
+//           1. discards the siblings whose dot the context contains
+//              (they are causally overwritten — one O(1) lookup each),
+//           2. mints the next dot (r, n+1) where n is the highest
+//              r-event this key has ever seen here, and
+//           3. stores the new version as ((r, n+1), context): the new
+//              version depends on exactly what the client read — no
+//              more, no less.  Anything the client did not read stays
+//              concurrent and survives as a sibling.
+//
+//   SYNC: anti-entropy between two replicas keeps, from each side, the
+//         versions not dominated by the other side (checked with the
+//         O(1) dot rule).
+//
+// This is what fixes Figure 1b: a VV-based server must tag the second
+// concurrent write with something that dominates its own sibling
+// ([3,0] > [2,0]); the DVV server tags it (A,3)[1,0], concurrent with
+// (A,2)[1,0], because the dot is not part of the causal past.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/causality.hpp"
+#include "core/dot.hpp"
+#include "core/dotted_version_vector.hpp"
+#include "core/version_vector.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::core {
+
+template <typename Value>
+class DvvSiblings {
+ public:
+  struct Version {
+    DottedVersionVector clock;
+    Value value;
+
+    friend bool operator==(const Version&, const Version&) = default;
+  };
+
+  DvvSiblings() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return versions_.empty(); }
+  [[nodiscard]] std::size_t sibling_count() const noexcept { return versions_.size(); }
+  [[nodiscard]] const std::vector<Version>& versions() const noexcept { return versions_; }
+
+  /// Total clock-map entries across all siblings — the metadata metric of
+  /// experiment E5 (each sibling pays its vector entries plus its dot).
+  [[nodiscard]] std::size_t clock_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : versions_) n += v.clock.entry_count();
+    return n;
+  }
+
+  /// GET context: join of every sibling clock.  Dominates all siblings,
+  /// so a PUT carrying it back overwrites all of them.
+  [[nodiscard]] VersionVector context() const {
+    VersionVector ctx;
+    for (const auto& v : versions_) v.clock.fold_into(ctx);
+    return ctx;
+  }
+
+  /// PUT at coordinator `server`: the paper's update().  Returns the dot
+  /// minted for the new version (useful for tracing and the oracle).
+  Dot update(ActorId server, const VersionVector& ctx, Value value) {
+    // Highest server event this key has seen *before* discarding: dots
+    // must never be reused, even for versions the context obsoletes.
+    const Counter n = local_max(server, ctx);
+    discard_obsolete(ctx);
+    const Dot dot{server, n + 1};
+    versions_.push_back(Version{DottedVersionVector(dot, ctx), std::move(value)});
+    return dot;
+  }
+
+  /// Replica-to-replica merge: the paper's sync().  Keeps, from each
+  /// side, the versions not obsoleted by the other side; versions present
+  /// on both sides (equal dots) are kept once.  Commutative, associative
+  /// and idempotent — properties the test suite checks exhaustively.
+  void sync(const DvvSiblings& other) {
+    if (&other == this) return;  // self-sync is a no-op (idempotence)
+    std::vector<Version> merged;
+    merged.reserve(versions_.size() + other.versions_.size());
+    // Both passes must test against the *original* states, so no moves
+    // until the merged set is complete.
+    for (const auto& mine : versions_) {
+      if (!dominated_by(mine.clock, other.versions_, /*equal_counts=*/false)) {
+        merged.push_back(mine);
+      }
+    }
+    for (const auto& theirs : other.versions_) {
+      if (!dominated_by(theirs.clock, versions_, /*equal_counts=*/true)) {
+        merged.push_back(theirs);
+      }
+    }
+    versions_ = std::move(merged);
+  }
+
+  /// Absorbs a single replicated version (coordinator -> replica push).
+  /// Equivalent to sync with a singleton set.
+  void absorb(const Version& incoming) {
+    DvvSiblings single;
+    single.versions_.push_back(incoming);
+    sync(single);
+  }
+
+  /// Direct injection for tests/replay tooling: bypasses the workflow.
+  void inject(DottedVersionVector clock, Value value) {
+    versions_.push_back(Version{std::move(clock), std::move(value)});
+  }
+
+  friend bool operator==(const DvvSiblings&, const DvvSiblings&) = default;
+
+ private:
+  /// max over {ctx[server]} ∪ {every server-event recorded by any stored
+  /// sibling, dot or vector entry}.
+  [[nodiscard]] Counter local_max(ActorId server, const VersionVector& ctx) const noexcept {
+    Counter n = ctx.get(server);
+    for (const auto& v : versions_) {
+      n = std::max(n, v.clock.past().get(server));
+      if (v.clock.dot().node == server) n = std::max(n, v.clock.dot().counter);
+    }
+    return n;
+  }
+
+  void discard_obsolete(const VersionVector& ctx) {
+    std::erase_if(versions_,
+                  [&](const Version& v) { return v.clock.obsoleted_by(ctx); });
+  }
+
+  /// Is `clock` dominated by any version in `others`?  With
+  /// `equal_counts` set, an equal-dot twin counts as dominating (used for
+  /// the second phase of sync so duplicates are kept exactly once).
+  [[nodiscard]] static bool dominated_by(const DottedVersionVector& clock,
+                                         const std::vector<Version>& others,
+                                         bool equal_counts) noexcept {
+    for (const auto& o : others) {
+      const Ordering ord = clock.compare(o.clock);
+      if (ord == Ordering::kBefore) return true;
+      if (equal_counts && ord == Ordering::kEqual) return true;
+    }
+    return false;
+  }
+
+  std::vector<Version> versions_;
+};
+
+}  // namespace dvv::core

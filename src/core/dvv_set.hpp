@@ -1,0 +1,201 @@
+// dvv/core/dvv_set.hpp
+//
+// Dotted version vector *sets* — the compact successor representation
+// (Gonçalves, Almeida, Baquero, Fonte: "Scalable and Accurate Causality
+// Tracking for Eventually Consistent Stores", 2014; shipped in Riak as
+// `dvvset`).  The brief announcement tags each sibling with its own DVV;
+// a DVVSet replaces the whole sibling set with ONE clock:
+//
+//     { (actor_i, n_i, [v_1, v_2, ...]) }
+//
+// Per actor, n_i is the highest event of actor_i this key has seen, and
+// the value list holds the values of the *retained* (still-concurrent)
+// versions with dots (actor_i, n_i), (actor_i, n_i - 1), ... newest
+// first.  Every dot below the retained run is known-obsolete, so the
+// causal past needs no separate vector: the pair (actor, n) doubles as
+// the context entry, and each value's dot is implied by its position.
+//
+// Why it is in this reproduction: it is the natural end point of the
+// paper's own argument (decouple identity from past, bound metadata by
+// the replication degree) and the representation the Riak evaluation in
+// the paper's §2 ultimately led to.  bench_dvvset_ablation (E10)
+// measures what the compaction buys over per-sibling DVVs.
+//
+// Deviation from the Erlang reference: no "anonymous" (dotless) value
+// list.  Anonymous values exist there to interoperate with legacy data;
+// every write in this library is coordinated by a server and therefore
+// dotted.  DESIGN.md records the substitution.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/dot.hpp"
+#include "core/version_vector.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::core {
+
+template <typename Value>
+class DvvSet {
+ public:
+  struct Entry {
+    ActorId actor = 0;
+    Counter n = 0;              ///< highest event of `actor` seen by this key
+    std::vector<Value> values;  ///< values of dots n, n-1, ... (newest first)
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  DvvSet() = default;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return sibling_count() == 0;
+  }
+
+  /// Number of live concurrent values.
+  [[nodiscard]] std::size_t sibling_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.values.size();
+    return n;
+  }
+
+  /// Clock-map entries (the E5/E10 metadata metric): one (actor, n) pair
+  /// per entry, independent of how many values are retained.
+  [[nodiscard]] std::size_t clock_entries() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// GET context: the top counters, as a plain VV.  Dominates every
+  /// retained value's dot by construction.
+  [[nodiscard]] VersionVector context() const {
+    VersionVector ctx;
+    for (const auto& e : entries_) ctx.set(e.actor, e.n);
+    return ctx;
+  }
+
+  /// All live values, newest-first within each actor.
+  [[nodiscard]] std::vector<const Value*> values() const {
+    std::vector<const Value*> out;
+    out.reserve(sibling_count());
+    for (const auto& e : entries_) {
+      for (const auto& v : e.values) out.push_back(&v);
+    }
+    return out;
+  }
+
+  /// The dot implicitly attached to e.values[k].
+  [[nodiscard]] static Dot dot_of(const Entry& e, std::size_t k) noexcept {
+    DVV_ASSERT(k < e.values.size());
+    return Dot{e.actor, e.n - k};
+  }
+
+  /// PUT coordinated by `server` with the client's read context:
+  /// absorb the context into the clock (discarding the values it
+  /// obsoletes), then mint the next server event and prepend the new
+  /// value.  Returns the new dot.  This is `update/3` of the reference
+  /// algorithm: sync the clock with the context-as-clock, then `event`.
+  Dot update(ActorId server, const VersionVector& ctx, Value value) {
+    discard(ctx);
+    Entry& e = entry_for(server);
+    e.n += 1;
+    e.values.insert(e.values.begin(), std::move(value));
+    return Dot{server, e.n};
+  }
+
+  /// Merges a causal context into the clock: equivalent to syncing with
+  /// a value-less clock { (actor, c, []) }.  Per context entry (i, c):
+  /// values of i with implied dot <= c are dropped; if c exceeds our top
+  /// counter the entry is raised to (c, []) — and *adopted* if we had
+  /// never seen actor i.  Adoption is what carries causal knowledge
+  /// about third-party actors across servers; without it a replica that
+  /// never coordinated a write for actor i would forget that i's events
+  /// are obsolete and later resurrect them during sync.
+  void discard(const VersionVector& ctx) {
+    for (const auto& [actor, c] : ctx.entries()) {
+      Entry& e = entry_for(actor);
+      if (c >= e.n) {
+        e.n = c;  // context covers everything we retain for this actor
+        e.values.clear();
+      } else {
+        // value k has dot n-k; survives iff n-k > c  <=>  k < n - c.
+        const std::size_t keep = std::min<std::size_t>(
+            e.values.size(), static_cast<std::size_t>(e.n - c));
+        e.values.resize(keep);
+      }
+    }
+  }
+
+  /// Replica merge (reference algorithm `dvvset:sync/2`).  Per shared
+  /// actor with (n1, l1), (n2, l2) and n1 >= n2: if n1 - |l1| >= n2 the
+  /// left run already subsumes everything the right retains; otherwise
+  /// keep the newest n1 - n2 + |l2| values of the left run (the runs
+  /// overlap, and equal dots carry equal values).  Commutative,
+  /// associative, idempotent.
+  void sync(const DvvSet& other) {
+    if (&other == this) return;  // self-sync is a no-op (idempotence)
+    std::vector<Entry> merged;
+    merged.reserve(entries_.size() + other.entries_.size());
+    auto a = entries_.begin();
+    auto b = other.entries_.begin();
+    while (a != entries_.end() || b != other.entries_.end()) {
+      if (b == other.entries_.end() ||
+          (a != entries_.end() && a->actor < b->actor)) {
+        merged.push_back(std::move(*a++));
+      } else if (a == entries_.end() || b->actor < a->actor) {
+        merged.push_back(*b++);
+      } else {
+        merged.push_back(merge_entries(*a, *b));
+        ++a;
+        ++b;
+      }
+    }
+    entries_ = std::move(merged);
+  }
+
+  /// Direct injection for tests: entry must keep the invariants
+  /// (n >= |values|, entries sorted by actor, one entry per actor).
+  void inject(Entry entry) {
+    DVV_ASSERT(entry.n >= entry.values.size());
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), entry.actor,
+                               [](const Entry& e, ActorId a) { return e.actor < a; });
+    DVV_ASSERT(it == entries_.end() || it->actor != entry.actor);
+    entries_.insert(it, std::move(entry));
+  }
+
+  friend bool operator==(const DvvSet&, const DvvSet&) = default;
+
+ private:
+  Entry& entry_for(ActorId actor) {
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), actor,
+                               [](const Entry& e, ActorId a) { return e.actor < a; });
+    if (it != entries_.end() && it->actor == actor) return *it;
+    it = entries_.insert(it, Entry{actor, 0, {}});
+    return *it;
+  }
+
+  [[nodiscard]] static Entry merge_entries(const Entry& x, const Entry& y) {
+    const Entry& hi = x.n >= y.n ? x : y;
+    const Entry& lo = x.n >= y.n ? y : x;
+    if (hi.n - hi.values.size() >= lo.n) {
+      // hi's retained run reaches at/below everything lo retains.
+      return hi;
+    }
+    // Runs overlap: dots (lo.n - |lo.values| , hi.n] survive on both
+    // sides' evidence; keep the newest (hi.n - lo.n + |lo.values|) of hi.
+    Entry out;
+    out.actor = hi.actor;
+    out.n = hi.n;
+    const std::size_t keep = static_cast<std::size_t>(hi.n - lo.n) + lo.values.size();
+    out.values.assign(hi.values.begin(),
+                      hi.values.begin() +
+                          static_cast<std::ptrdiff_t>(std::min(keep, hi.values.size())));
+    return out;
+  }
+
+  std::vector<Entry> entries_;  // sorted by actor, unique actors
+};
+
+}  // namespace dvv::core

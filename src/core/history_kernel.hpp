@@ -1,0 +1,126 @@
+// dvv/core/history_kernel.hpp
+//
+// The causal-history storage kernel: the same GET/PUT/SYNC workflow as
+// DvvSiblings, but tagging every version with its *explicit* causal
+// history (the set of all event identifiers in its past).  Exact by
+// definition (§1 of the paper), unboundedly expensive by definition —
+// this kernel exists to be the oracle of experiments E1 and E9 and the
+// referee for the anomaly counts of E2 and E8, never to be deployed.
+//
+// Event identifiers are minted like DVV dots — (server, n) with n one
+// past the highest server event recorded anywhere in this key's state —
+// so a replayed scenario produces the paper's literal event names
+// (A1, A2, B1, ...) and the oracle's dots are directly comparable with
+// the dots the DVV kernel mints for the same trace.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/causal_history.hpp"
+#include "core/causality.hpp"
+#include "core/dot.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::core {
+
+template <typename Value>
+class HistorySiblings {
+ public:
+  struct Version {
+    CausalHistory history;
+    Dot id;  ///< this version's own event (underlined-bold in Fig. 1a)
+    Value value;
+
+    friend bool operator==(const Version&, const Version&) = default;
+  };
+
+  HistorySiblings() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return versions_.empty(); }
+  [[nodiscard]] std::size_t sibling_count() const noexcept { return versions_.size(); }
+  [[nodiscard]] const std::vector<Version>& versions() const noexcept { return versions_; }
+
+  /// GET context: union of all sibling histories.
+  [[nodiscard]] CausalHistory context() const {
+    CausalHistory ctx;
+    for (const auto& v : versions_) ctx.merge(v.history);
+    return ctx;
+  }
+
+  /// PUT coordinated by `server` with the client's read context.
+  /// Returns the freshly minted event identifier.
+  Dot update(ActorId server, const CausalHistory& ctx, Value value) {
+    const Counter n = local_max(server, ctx);
+    std::erase_if(versions_,
+                  [&](const Version& v) { return v.history.subset_of(ctx); });
+    const Dot id{server, n + 1};
+    CausalHistory h = ctx;
+    h.insert(id);
+    versions_.push_back(Version{std::move(h), id, std::move(value)});
+    return id;
+  }
+
+  /// Anti-entropy merge under exact set inclusion.
+  void sync(const HistorySiblings& other) {
+    if (&other == this) return;  // self-sync is a no-op (idempotence)
+    std::vector<Version> merged;
+    merged.reserve(versions_.size() + other.versions_.size());
+    // Both passes must test against the *original* states, so no moves
+    // until the merged set is complete.
+    for (const auto& mine : versions_) {
+      if (!dominated_by(mine, other.versions_, /*equal_counts=*/false)) {
+        merged.push_back(mine);
+      }
+    }
+    for (const auto& theirs : other.versions_) {
+      if (!dominated_by(theirs, versions_, /*equal_counts=*/true)) {
+        merged.push_back(theirs);
+      }
+    }
+    versions_ = std::move(merged);
+  }
+
+  void absorb(const Version& incoming) {
+    HistorySiblings single;
+    single.versions_.push_back(incoming);
+    sync(single);
+  }
+
+  void inject(CausalHistory history, Dot id, Value value) {
+    versions_.push_back(Version{std::move(history), id, std::move(value)});
+  }
+
+  friend bool operator==(const HistorySiblings&, const HistorySiblings&) = default;
+
+ private:
+  [[nodiscard]] Counter local_max(ActorId server, const CausalHistory& ctx) const noexcept {
+    Counter n = 0;
+    for (const Dot& d : ctx.dots()) {
+      if (d.node == server) n = std::max(n, d.counter);
+    }
+    for (const auto& v : versions_) {
+      for (const Dot& d : v.history.dots()) {
+        if (d.node == server) n = std::max(n, d.counter);
+      }
+    }
+    return n;
+  }
+
+  [[nodiscard]] static bool dominated_by(const Version& v,
+                                         const std::vector<Version>& others,
+                                         bool equal_counts) noexcept {
+    for (const auto& o : others) {
+      const Ordering ord = v.history.compare(o.history);
+      if (ord == Ordering::kBefore) return true;
+      if (equal_counts && ord == Ordering::kEqual) return true;
+    }
+    return false;
+  }
+
+  std::vector<Version> versions_;
+};
+
+}  // namespace dvv::core

@@ -1,0 +1,28 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dvv::core {
+
+PruneStats prune(VersionVector& vv, const PruneConfig& config) {
+  PruneStats stats;
+  if (!config.enabled() || vv.size() <= config.cap) return stats;
+
+  // Collect entries, order by (counter, actor) ascending, drop the head.
+  std::vector<std::pair<ActorId, Counter>> entries(vv.entries().begin(),
+                                                   vv.entries().end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  const std::size_t to_drop = entries.size() - config.cap;
+  for (std::size_t i = 0; i < to_drop; ++i) vv.set(entries[i].first, 0);
+
+  stats.invocations = 1;
+  stats.entries_dropped = to_drop;
+  return stats;
+}
+
+}  // namespace dvv::core

@@ -1,0 +1,61 @@
+// dvv/core/pruning.hpp
+//
+// Optimistic version-vector pruning — the unsafe size cap the paper calls
+// out: "these systems prune VV optimistically, which is unsafe, possibly
+// leading to lost updates and/or to the introduction of false
+// concurrency".
+//
+// Production stores with per-client vectors (Riak-classic's vclocks)
+// capped vector growth by dropping entries once a vector exceeded a size
+// threshold, picking victims heuristically (oldest-touched in Riak; we
+// use lowest-counter, the standard stand-in when entries carry no wall
+// clock — both heuristics drop an entry some future comparison may need,
+// which is the only property the anomaly depends on).  Dropping the entry
+// for client c forgets that c's first k writes are in this version's
+// past:
+//   * a later comparison against a version that *does* carry c's entry
+//     can report "concurrent" where the truth is "dominated"
+//     (false concurrency: resurrected siblings), and
+//   * when c writes again, its counter restarts from the context the
+//     server hands out; the restarted counter can be dominated by stale
+//     state and the write silently discarded (lost update).
+// Experiment E8 measures both against the causal-history oracle.
+//
+// Safe pruning (Golding 1992) needs global knowledge of what every node
+// has seen — exactly what a loosely coupled storage system does not have,
+// and the reason the paper's bounded-by-design DVV is the better answer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/version_vector.hpp"
+
+namespace dvv::core {
+
+/// Pruning policy.  `cap == 0` disables pruning.
+struct PruneConfig {
+  std::size_t cap = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return cap != 0; }
+};
+
+/// Counters reported by the pruning pass, aggregated by the kernels and
+/// surfaced by bench_pruning_safety.
+struct PruneStats {
+  std::uint64_t invocations = 0;      ///< vectors that exceeded the cap
+  std::uint64_t entries_dropped = 0;  ///< total entries removed
+
+  void merge(const PruneStats& o) noexcept {
+    invocations += o.invocations;
+    entries_dropped += o.entries_dropped;
+  }
+};
+
+/// Prunes `vv` down to at most `config.cap` entries by repeatedly
+/// dropping the entry with the smallest counter (ties: smallest actor
+/// id, for determinism).  Returns what was dropped.  No-op when the
+/// vector already fits or pruning is disabled.
+PruneStats prune(VersionVector& vv, const PruneConfig& config);
+
+}  // namespace dvv::core

@@ -1,0 +1,39 @@
+// dvv/core/types.hpp
+//
+// Fundamental identifier types shared by every clock mechanism.
+//
+// The paper's unique event identifiers are pairs of a site identifier and
+// a monotonic counter ("(si, ni)").  We represent site/actor identifiers
+// as opaque 64-bit integers: replica servers and clients draw from the
+// same space (a version vector keyed by servers and one keyed by clients
+// are then the *same type*, differing only in which actor increments it —
+// exactly the framing of the paper, where the mechanism, not the type,
+// is what changes between Fig. 1b and Fig. 1c).
+//
+// Human-readable names ("server A", "client c1") are a presentation
+// concern: printing functions accept an optional ActorNamer callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dvv::core {
+
+/// Opaque actor identifier (replica server or writing client).
+using ActorId = std::uint64_t;
+
+/// Monotonic per-actor event counter.  Counter value 0 never identifies
+/// an event: the first event of actor `i` is (i, 1), matching the paper's
+/// "assuming that the first assigned identifier in si is (si, 1)".
+using Counter = std::uint64_t;
+
+/// Maps an ActorId to a display name.  The default renders the number.
+using ActorNamer = std::function<std::string(ActorId)>;
+
+/// Default namer: "7" for actor 7.
+[[nodiscard]] inline std::string default_actor_name(ActorId id) {
+  return std::to_string(id);
+}
+
+}  // namespace dvv::core

@@ -1,0 +1,86 @@
+#include "core/version_vector.hpp"
+
+#include <algorithm>
+
+#include "util/fmt.hpp"
+
+namespace dvv::core {
+
+void VersionVector::set(ActorId actor, Counter counter) {
+  if (counter == 0) {
+    entries_.erase(actor);
+  } else {
+    entries_.insert_or_assign(actor, counter);
+  }
+}
+
+Dot VersionVector::increment(ActorId actor) {
+  Counter& c = entries_[actor];
+  ++c;
+  return Dot{actor, c};
+}
+
+void VersionVector::merge(const VersionVector& other) {
+  entries_.merge_with(other.entries_,
+                      [](Counter a, Counter b) { return std::max(a, b); });
+}
+
+bool VersionVector::descends(const VersionVector& other) const noexcept {
+  // Every entry of `other` must be covered here.  Entries absent from
+  // `other` are 0 and trivially covered.
+  for (const auto& [actor, counter] : other.entries_) {
+    if (get(actor) < counter) return false;
+  }
+  return true;
+}
+
+Ordering VersionVector::compare(const VersionVector& other) const noexcept {
+  // Single linear merge-walk over both sorted entry lists, tracking
+  // whether either side has an entry strictly above the other.
+  bool self_above = false;   // some entry where *this > other
+  bool other_above = false;  // some entry where other > *this
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() || b != other.entries_.end()) {
+    if (b == other.entries_.end() || (a != entries_.end() && a->first < b->first)) {
+      if (a->second > 0) self_above = true;
+      ++a;
+    } else if (a == entries_.end() || b->first < a->first) {
+      if (b->second > 0) other_above = true;
+      ++b;
+    } else {
+      if (a->second > b->second) self_above = true;
+      if (b->second > a->second) other_above = true;
+      ++a;
+      ++b;
+    }
+    if (self_above && other_above) return Ordering::kConcurrent;
+  }
+  if (self_above) return Ordering::kAfter;
+  if (other_above) return Ordering::kBefore;
+  return Ordering::kEqual;
+}
+
+std::uint64_t VersionVector::total_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [actor, counter] : entries_) total += counter;
+  return total;
+}
+
+std::string VersionVector::to_string(const ActorNamer& namer) const {
+  return "{" +
+         util::join(entries_, ", ",
+                    [&](const auto& kv) {
+                      return namer(kv.first) + ":" + std::to_string(kv.second);
+                    }) +
+         "}";
+}
+
+std::string VersionVector::to_string_dense(const std::vector<ActorId>& order) const {
+  return "[" +
+         util::join(order, ",",
+                    [&](ActorId a) { return std::to_string(get(a)); }) +
+         "]";
+}
+
+}  // namespace dvv::core

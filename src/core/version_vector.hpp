@@ -1,0 +1,98 @@
+// dvv/core/version_vector.hpp
+//
+// Version vectors (Parker et al. 1983): the classic mechanism for
+// encoding causal histories in optimistic replication.  A version vector
+// V maps each actor s to a counter V[s] = n, meaning that the events
+// (s, 1) ... (s, n) are all in the causal past it represents.  Version
+// vectors can only represent *downward-closed* histories — contiguous
+// per-actor prefixes — which is exactly why a bare VV cannot name "the
+// third write of server A but not the second" and why the paper adds the
+// dot.
+//
+// This one type serves three roles in the reproduction:
+//   * the per-server VV baseline of Figure 1b (incremented by servers),
+//   * the per-client VV baseline used by Riak-classic (incremented by
+//     clients),
+//   * the causal-past component `v` of a dotted version vector, and the
+//     causal *context* clients carry between a GET and a PUT.
+#pragma once
+
+#include <string>
+
+#include "core/causality.hpp"
+#include "core/dot.hpp"
+#include "core/types.hpp"
+#include "util/flat_map.hpp"
+
+namespace dvv::core {
+
+class VersionVector {
+ public:
+  using Map = util::FlatMap<ActorId, Counter>;
+
+  VersionVector() = default;
+  VersionVector(std::initializer_list<std::pair<ActorId, Counter>> init) : entries_(init) {}
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// V[actor]; absent actors map to 0 ("no events known").
+  [[nodiscard]] Counter get(ActorId actor) const noexcept { return entries_.get_or(actor, 0); }
+
+  /// Sets V[actor] = counter.  Counter 0 erases the entry (a zero entry
+  /// and an absent entry are semantically identical; keeping them absent
+  /// makes size() mean "entries that cost wire bytes").
+  void set(ActorId actor, Counter counter);
+
+  /// Records one new event by `actor` and returns its identifier.
+  /// This is the write-side primitive of every VV-based mechanism.
+  Dot increment(ActorId actor);
+
+  /// Set-containment of a single event: is (d.node, d.counter) inside the
+  /// downward-closed history this vector represents?  One point lookup —
+  /// this is the operation the dot of a DVV is checked against, and the
+  /// source of the O(1) causality verification claim.
+  [[nodiscard]] bool contains(const Dot& d) const noexcept {
+    return d.counter <= get(d.node);
+  }
+
+  /// Pointwise maximum (least upper bound).  Joining two VVs yields the
+  /// union of the causal histories they encode.
+  void merge(const VersionVector& other);
+
+  /// Folds a single event into the history.  Unlike `contains`, this may
+  /// create a *gap-free overapproximation*: a VV cannot represent a
+  /// non-contiguous history, so absorbing (A,3) into [A->1] yields
+  /// [A->3].  Callers that must stay exact (the DVV `sync`) never use
+  /// this on dots that could have gaps below them; the GET-context path
+  /// uses it deliberately (the context must dominate every sibling).
+  void absorb(const Dot& d) {
+    if (d.counter > get(d.node)) set(d.node, d.counter);
+  }
+
+  /// True iff this vector dominates-or-equals `other` pointwise
+  /// (the history of `other` is a subset of ours).
+  [[nodiscard]] bool descends(const VersionVector& other) const noexcept;
+
+  /// Full causal comparison.  Cost is linear in the number of entries —
+  /// the O(n) the paper contrasts DVV's O(1) dot check against.
+  [[nodiscard]] Ordering compare(const VersionVector& other) const noexcept;
+
+  /// Sum of all counters = number of events in the represented history.
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+
+  [[nodiscard]] const Map& entries() const noexcept { return entries_; }
+
+  /// Renders "[2, 0]"-style output when given an ordered actor list
+  /// (matching the paper's dense notation), via to_string_dense; the
+  /// default renders the sparse map "{A:2}".
+  [[nodiscard]] std::string to_string(const ActorNamer& namer = default_actor_name) const;
+  [[nodiscard]] std::string to_string_dense(const std::vector<ActorId>& order) const;
+
+  friend bool operator==(const VersionVector&, const VersionVector&) = default;
+
+ private:
+  Map entries_;
+};
+
+}  // namespace dvv::core

@@ -1,0 +1,177 @@
+// dvv/core/vv_kernels.hpp
+//
+// The two plain-version-vector baselines the paper argues against, as
+// per-key storage kernels with the same GET/PUT/SYNC shape as
+// DvvSiblings:
+//
+//   * ServerVvSiblings — one VV entry per replica *server* (the scheme of
+//     Locus/Coda/Ficus, Fig. 1b).  Bounded metadata, but UNSOUND for
+//     multi-version stores: when two clients write concurrently through
+//     the same server, the second new version's VV necessarily dominates
+//     the first's ([2,0] < [3,0] in the paper's example), so a later sync
+//     silently destroys a true sibling.  We implement it faithfully,
+//     anomaly included — it is the E2 baseline and the oracle counts its
+//     errors.
+//
+//   * ClientVvSiblings — one VV entry per writing *client* (Riak-classic).
+//     SOUND (each concurrent writer owns an entry) but the vector grows
+//     with every distinct client that ever wrote the key, which is the
+//     size blow-up of experiment E5.  An optional pruning policy caps the
+//     entry count the way production systems did — optimistically and
+//     unsafely (experiment E8).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/causality.hpp"
+#include "core/pruning.hpp"
+#include "core/version_vector.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::core {
+
+/// A stored version tagged by a plain version vector.
+template <typename Value>
+struct VvVersion {
+  VersionVector clock;
+  Value value;
+
+  friend bool operator==(const VvVersion&, const VvVersion&) = default;
+};
+
+namespace detail {
+
+/// Shared sibling-set plumbing for both VV kernels: the difference
+/// between them is *who increments which entry*, which lives in update().
+template <typename Value>
+class VvSiblingsBase {
+ public:
+  using Version = VvVersion<Value>;
+
+  [[nodiscard]] bool empty() const noexcept { return versions_.empty(); }
+  [[nodiscard]] std::size_t sibling_count() const noexcept { return versions_.size(); }
+  [[nodiscard]] const std::vector<Version>& versions() const noexcept { return versions_; }
+
+  [[nodiscard]] std::size_t clock_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : versions_) n += v.clock.size();
+    return n;
+  }
+
+  /// GET context: join of all sibling VVs.
+  [[nodiscard]] VersionVector context() const {
+    VersionVector ctx;
+    for (const auto& v : versions_) ctx.merge(v.clock);
+    return ctx;
+  }
+
+  /// Anti-entropy merge under plain VV comparison: keep versions not
+  /// dominated by the other side.  For the server-VV kernel this is
+  /// where falsely-dominating clocks destroy true siblings.
+  void sync(const VvSiblingsBase& other) {
+    if (&other == this) return;  // self-sync is a no-op (idempotence)
+    std::vector<Version> merged;
+    merged.reserve(versions_.size() + other.versions_.size());
+    // Both passes must test against the *original* states, so no moves
+    // until the merged set is complete.
+    for (const auto& mine : versions_) {
+      if (!dominated_by(mine.clock, other.versions_, /*equal_counts=*/false)) {
+        merged.push_back(mine);
+      }
+    }
+    for (const auto& theirs : other.versions_) {
+      if (!dominated_by(theirs.clock, versions_, /*equal_counts=*/true)) {
+        merged.push_back(theirs);
+      }
+    }
+    versions_ = std::move(merged);
+  }
+
+  void absorb(const Version& incoming) {
+    VvSiblingsBase single;
+    single.versions_.push_back(incoming);
+    sync(single);
+  }
+
+  void inject(VersionVector clock, Value value) {
+    versions_.push_back(Version{std::move(clock), std::move(value)});
+  }
+
+  friend bool operator==(const VvSiblingsBase&, const VvSiblingsBase&) = default;
+
+ protected:
+  void discard_obsolete(const VersionVector& ctx) {
+    std::erase_if(versions_,
+                  [&](const Version& v) { return ctx.descends(v.clock); });
+  }
+
+  [[nodiscard]] static bool dominated_by(const VersionVector& clock,
+                                         const std::vector<Version>& others,
+                                         bool equal_counts) noexcept {
+    for (const auto& o : others) {
+      const Ordering ord = clock.compare(o.clock);
+      if (ord == Ordering::kBefore) return true;
+      if (equal_counts && ord == Ordering::kEqual) return true;
+    }
+    return false;
+  }
+
+  std::vector<Version> versions_;
+};
+
+}  // namespace detail
+
+/// Per-server version vectors (Fig. 1b).  See file header for the anomaly.
+template <typename Value>
+class ServerVvSiblings : public detail::VvSiblingsBase<Value> {
+  using Base = detail::VvSiblingsBase<Value>;
+
+ public:
+  /// PUT coordinated by `server`.  The new clock is the client context
+  /// bumped at the server's entry, past the highest counter this key has
+  /// issued here — the faithful Coda-style rule.  When the write raced a
+  /// sibling, the fresh clock *falsely dominates* that sibling's clock:
+  /// a VV has nowhere to record "concurrent with (server, n)".
+  void update(ActorId server, const VersionVector& ctx, Value value) {
+    Counter n = ctx.get(server);
+    for (const auto& v : this->versions_) n = std::max(n, v.clock.get(server));
+    this->discard_obsolete(ctx);
+    VersionVector clock = ctx;
+    clock.set(server, n + 1);
+    this->versions_.push_back(
+        typename Base::Version{std::move(clock), std::move(value)});
+  }
+};
+
+/// Per-client version vectors (Riak-classic), optionally pruned.
+template <typename Value>
+class ClientVvSiblings : public detail::VvSiblingsBase<Value> {
+  using Base = detail::VvSiblingsBase<Value>;
+
+ public:
+  /// PUT by `client`.  The new clock is the context bumped at the
+  /// *client's* entry.  Sound: two concurrent writers bump different
+  /// entries, so neither clock dominates the other.  The cost is one
+  /// entry per distinct writer forever — unless pruned via `prune_cfg`,
+  /// which trades the growth for correctness (experiment E8).  Pruning
+  /// activity is reported through `stats` when given.
+  void update(ActorId client, const VersionVector& ctx, Value value,
+              const PruneConfig& prune_cfg = {}, PruneStats* stats = nullptr) {
+    Counter n = ctx.get(client);
+    for (const auto& v : this->versions_) n = std::max(n, v.clock.get(client));
+    this->discard_obsolete(ctx);
+    VersionVector clock = ctx;
+    clock.set(client, n + 1);
+    if (prune_cfg.enabled()) {
+      const PruneStats dropped = prune(clock, prune_cfg);
+      if (stats != nullptr) stats->merge(dropped);
+    }
+    this->versions_.push_back(
+        typename Base::Version{std::move(clock), std::move(value)});
+  }
+};
+
+}  // namespace dvv::core

@@ -1,0 +1,24 @@
+#include "core/vve.hpp"
+
+#include "util/fmt.hpp"
+
+namespace dvv::core {
+
+std::string VersionVectorWithExceptions::to_string(const ActorNamer& namer) const {
+  return "{" +
+         util::join(entries_, ", ",
+                    [&](const auto& kv) {
+                      std::string s = namer(kv.first) + ":" +
+                                      std::to_string(kv.second.base);
+                      if (!kv.second.exceptions.empty()) {
+                        s += "\\{" +
+                             util::join(kv.second.exceptions, ",",
+                                        [](Counter c) { return std::to_string(c); }) +
+                             "}";
+                      }
+                      return s;
+                    }) +
+         "}";
+}
+
+}  // namespace dvv::core

@@ -1,0 +1,260 @@
+// dvv/core/vve.hpp
+//
+// Version vectors with exceptions (VVE) — the WinFS mechanism the
+// paper's §3 compares against (Malkhi & Terry, "Concise version vectors
+// in WinFS", Dist. Computing 2007).
+//
+// A VVE represents an arbitrary (possibly non-contiguous) set of events
+// per actor as a base counter plus an exception list:
+//
+//     { actor -> (n, {e1, e2, ...}) }   =   events 1..n except the e_i
+//
+// Unlike a plain VV it can express "I have A4 but not A3", so — like a
+// DVV — it can tag versions created concurrently by clients racing
+// through one server.  The §3 trade-off this module exists to
+// demonstrate (bench_vve_ablation, E11 in DESIGN.md):
+//
+//   * VVE is a *general* history encoding: any causal history fits, at
+//     the cost of exception bookkeeping on every operation and a
+//     worst-case size proportional to the history's raggedness;
+//   * the storage workflow only ever creates histories of the shape
+//     "downward-closed past plus ONE extra event" — exactly one gap —
+//     so a DVV's single dot is sufficient, with no exception machinery
+//     at all.  ("In most multi-version distributed storage systems, a
+//     client can only replace all versions in the repository by a new
+//     version, making DVV with a single dot sufficient.")
+//
+// The implementation keeps exceptions sorted and eagerly normalized
+// (an exception equal to the base is impossible; counters above the
+// base are represented by raising the base).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/causal_history.hpp"
+#include "core/causality.hpp"
+#include "core/dot.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+#include "util/flat_map.hpp"
+
+namespace dvv::core {
+
+class VersionVectorWithExceptions {
+ public:
+  struct Entry {
+    Counter base = 0;                  ///< events 1..base, minus exceptions
+    std::vector<Counter> exceptions;   ///< sorted, unique, all <= base
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  using Map = util::FlatMap<ActorId, Entry>;
+
+  VersionVectorWithExceptions() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Number of scalar slots the encoding pays for: one base counter per
+  /// actor plus one slot per exception (the metadata metric).
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [actor, e] : entries_) n += 1 + e.exceptions.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t exception_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [actor, e] : entries_) n += e.exceptions.size();
+    return n;
+  }
+
+  [[nodiscard]] bool contains(const Dot& d) const noexcept {
+    const auto it = entries_.find(d.node);
+    if (it == entries_.end() || d.counter > it->second.base) return false;
+    return !std::binary_search(it->second.exceptions.begin(),
+                               it->second.exceptions.end(), d.counter);
+  }
+
+  /// Adds one event, creating exceptions for any gap it jumps over.
+  void add(const Dot& d) {
+    DVV_ASSERT(valid(d));
+    Entry& e = entries_[d.node];
+    if (d.counter > e.base) {
+      for (Counter c = e.base + 1; c < d.counter; ++c) e.exceptions.push_back(c);
+      std::sort(e.exceptions.begin(), e.exceptions.end());
+      e.base = d.counter;
+    } else {
+      // Filling a hole (or a no-op if already present).
+      const auto it = std::lower_bound(e.exceptions.begin(), e.exceptions.end(),
+                                       d.counter);
+      if (it != e.exceptions.end() && *it == d.counter) e.exceptions.erase(it);
+    }
+  }
+
+  /// Set union of the represented histories.
+  void merge(const VersionVectorWithExceptions& other) {
+    entries_.merge_with(other.entries_, [](const Entry& a, const Entry& b) {
+      Entry out;
+      out.base = std::max(a.base, b.base);
+      // An event is missing from the union iff missing from both sides.
+      for (Counter c : a.exceptions) {
+        const bool missing_in_b =
+            c > b.base ||
+            std::binary_search(b.exceptions.begin(), b.exceptions.end(), c);
+        if (missing_in_b) out.exceptions.push_back(c);
+      }
+      // Events above a.base but <= out.base are present iff b has them;
+      // b's exceptions in that range stay missing.
+      for (Counter c : b.exceptions) {
+        if (c > a.base) out.exceptions.push_back(c);
+      }
+      std::sort(out.exceptions.begin(), out.exceptions.end());
+      out.exceptions.erase(std::unique(out.exceptions.begin(), out.exceptions.end()),
+                           out.exceptions.end());
+      return out;
+    });
+  }
+
+  /// Ha ⊆ Hb over the represented sets.
+  [[nodiscard]] bool subset_of(const VersionVectorWithExceptions& other) const {
+    for (const auto& [actor, e] : entries_) {
+      const auto it = other.entries_.find(actor);
+      const Entry* oe = it == other.entries_.end() ? nullptr : &it->second;
+      // Every event of ours must be in theirs.
+      for (Counter c = 1; c <= e.base; ++c) {
+        if (std::binary_search(e.exceptions.begin(), e.exceptions.end(), c)) {
+          continue;  // not ours
+        }
+        const bool theirs =
+            oe != nullptr && c <= oe->base &&
+            !std::binary_search(oe->exceptions.begin(), oe->exceptions.end(), c);
+        if (!theirs) return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] Ordering compare(const VersionVectorWithExceptions& other) const {
+    const bool ab = subset_of(other);
+    const bool ba = other.subset_of(*this);
+    if (ab && ba) return Ordering::kEqual;
+    if (ab) return Ordering::kBefore;
+    if (ba) return Ordering::kAfter;
+    return Ordering::kConcurrent;
+  }
+
+  /// Highest event counter recorded for `actor` (0 if none).
+  [[nodiscard]] Counter top(ActorId actor) const noexcept {
+    const auto it = entries_.find(actor);
+    return it == entries_.end() ? 0 : it->second.base;
+  }
+
+  /// Expands to an explicit causal history (tests/oracle only).
+  [[nodiscard]] CausalHistory to_history() const {
+    CausalHistory h;
+    for (const auto& [actor, e] : entries_) {
+      for (Counter c = 1; c <= e.base; ++c) {
+        if (!std::binary_search(e.exceptions.begin(), e.exceptions.end(), c)) {
+          h.insert(Dot{actor, c});
+        }
+      }
+    }
+    return h;
+  }
+
+  [[nodiscard]] const Map& entries() const noexcept { return entries_; }
+
+  /// Renders "{A:4\{2,3\}, B:1}" — base with the exception set.
+  [[nodiscard]] std::string to_string(const ActorNamer& namer = default_actor_name) const;
+
+  friend bool operator==(const VersionVectorWithExceptions&,
+                         const VersionVectorWithExceptions&) = default;
+
+ private:
+  Map entries_;
+};
+
+/// The storage kernel over VVE clocks: same GET/PUT/SYNC workflow, every
+/// version tagged with the full VVE of its history.  Exact (it encodes
+/// the same sets the causal-history oracle does) — the point of the
+/// ablation is its cost, not its soundness.
+template <typename Value>
+class VveSiblings {
+ public:
+  struct Version {
+    VersionVectorWithExceptions clock;
+    Value value;
+
+    friend bool operator==(const Version&, const Version&) = default;
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return versions_.empty(); }
+  [[nodiscard]] std::size_t sibling_count() const noexcept { return versions_.size(); }
+  [[nodiscard]] const std::vector<Version>& versions() const noexcept {
+    return versions_;
+  }
+
+  [[nodiscard]] std::size_t clock_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& v : versions_) n += v.clock.slot_count();
+    return n;
+  }
+
+  [[nodiscard]] VersionVectorWithExceptions context() const {
+    VersionVectorWithExceptions ctx;
+    for (const auto& v : versions_) ctx.merge(v.clock);
+    return ctx;
+  }
+
+  Dot update(ActorId server, const VersionVectorWithExceptions& ctx, Value value) {
+    Counter n = ctx.top(server);
+    for (const auto& v : versions_) n = std::max(n, v.clock.top(server));
+    std::erase_if(versions_,
+                  [&](const Version& v) { return v.clock.subset_of(ctx); });
+    const Dot dot{server, n + 1};
+    VersionVectorWithExceptions clock = ctx;
+    clock.add(dot);
+    versions_.push_back(Version{std::move(clock), std::move(value)});
+    return dot;
+  }
+
+  void sync(const VveSiblings& other) {
+    if (&other == this) return;
+    std::vector<Version> merged;
+    merged.reserve(versions_.size() + other.versions_.size());
+    for (const auto& mine : versions_) {
+      if (!dominated_by(mine, other.versions_, /*equal_counts=*/false)) {
+        merged.push_back(mine);
+      }
+    }
+    for (const auto& theirs : other.versions_) {
+      if (!dominated_by(theirs, versions_, /*equal_counts=*/true)) {
+        merged.push_back(theirs);
+      }
+    }
+    versions_ = std::move(merged);
+  }
+
+  void inject(VersionVectorWithExceptions clock, Value value) {
+    versions_.push_back(Version{std::move(clock), std::move(value)});
+  }
+
+  friend bool operator==(const VveSiblings&, const VveSiblings&) = default;
+
+ private:
+  [[nodiscard]] static bool dominated_by(const Version& v,
+                                         const std::vector<Version>& others,
+                                         bool equal_counts) {
+    for (const auto& o : others) {
+      const Ordering ord = v.clock.compare(o.clock);
+      if (ord == Ordering::kBefore) return true;
+      if (equal_counts && ord == Ordering::kEqual) return true;
+    }
+    return false;
+  }
+
+  std::vector<Version> versions_;
+};
+
+}  // namespace dvv::core

@@ -1,0 +1,243 @@
+// dvv/kv/cluster.hpp
+//
+// The Riak-shaped replicated store: a consistent-hash ring of replicas,
+// coordinator-routed GET/PUT, probabilistic write replication (to create
+// the divergence anti-entropy then repairs), and the anti-entropy pass
+// itself.  Templated on the causality mechanism — the whole point of the
+// paper is that this file does not change between Fig. 1b and Fig. 1c.
+//
+// Determinism contract: the cluster itself makes NO random choices.
+// Which replica coordinates, which replica serves a read, and whether a
+// replication message "arrives" are all chosen by the caller (workload
+// driver / test), which gets its randomness from a seeded Rng.  That is
+// what lets the oracle (src/oracle) replay the exact same decision
+// sequence against the causal-history mechanism and audit the outcome.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "kv/mechanism.hpp"
+#include "kv/replica.hpp"
+#include "kv/ring.hpp"
+#include "kv/types.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::kv {
+
+struct ClusterConfig {
+  std::size_t servers = 3;
+  std::size_t replication = 3;
+  std::size_t vnodes = 64;
+};
+
+template <CausalityMechanism M>
+class Cluster {
+ public:
+  using Context = typename M::Context;
+  using Stored = typename M::Stored;
+  using GetResult = typename Replica<M>::GetResult;
+
+  struct PutReceipt {
+    ReplicaId coordinator = 0;
+    std::size_t replicated_to = 0;      ///< replicas the write reached now
+    std::size_t replication_bytes = 0;  ///< wire bytes shipped to them
+  };
+
+  Cluster(ClusterConfig config, M mechanism)
+      : config_(config),
+        mechanism_(std::move(mechanism)),
+        ring_(config.servers, config.replication, config.vnodes) {
+    replicas_.reserve(config.servers);
+    for (std::size_t s = 0; s < config.servers; ++s) {
+      replicas_.emplace_back(static_cast<ReplicaId>(s));
+    }
+  }
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Ring& ring() const noexcept { return ring_; }
+  [[nodiscard]] const M& mechanism() const noexcept { return mechanism_; }
+  [[nodiscard]] Replica<M>& replica(ReplicaId id) { return replicas_.at(id); }
+  [[nodiscard]] const Replica<M>& replica(ReplicaId id) const { return replicas_.at(id); }
+  [[nodiscard]] std::size_t servers() const noexcept { return replicas_.size(); }
+
+  /// Preference list for a key (coordinator candidates, in ring order).
+  [[nodiscard]] std::vector<ReplicaId> preference_list(const Key& key) const {
+    return ring_.preference_list(key);
+  }
+
+  /// First alive server of the preference list — the default coordinator.
+  [[nodiscard]] ReplicaId default_coordinator(const Key& key) const {
+    for (ReplicaId r : ring_.preference_list(key)) {
+      if (replicas_[r].alive()) return r;
+    }
+    DVV_ASSERT_MSG(false, "no alive replica for key");
+    return 0;
+  }
+
+  /// GET served by one replica (`from` must be in the key's preference
+  /// list for realistic routing; not enforced, tests route freely).
+  [[nodiscard]] GetResult get(const Key& key, ReplicaId from) const {
+    return replicas_.at(from).get(mechanism_, key);
+  }
+
+  /// GET with read-coalescing across `quorum` preference-list replicas:
+  /// their sibling states are merged (mechanism sync) into the reply, as
+  /// a Dynamo-style R-quorum read would.  Does not write back; pair with
+  /// anti_entropy for repair.
+  [[nodiscard]] GetResult get_quorum(const Key& key, std::size_t quorum) const {
+    DVV_ASSERT(quorum >= 1);
+    const auto pref = ring_.preference_list(key);
+    Stored merged;
+    bool found = false;
+    std::size_t asked = 0;
+    for (ReplicaId r : pref) {
+      if (asked == quorum) break;
+      if (!replicas_[r].alive()) continue;
+      ++asked;
+      if (const Stored* s = replicas_[r].find(key)) {
+        mechanism_.sync(merged, *s);
+        found = true;
+      }
+    }
+    GetResult out;
+    out.found = found;
+    if (found) {
+      out.values = mechanism_.values_of(merged);
+      out.context = mechanism_.context_of(merged);
+    }
+    return out;
+  }
+
+  /// PUT coordinated by `coordinator` on behalf of `client`, carrying the
+  /// client's causal context.  `replicate_to` lists the other replicas
+  /// the write should reach immediately (the caller decides, possibly
+  /// dropping some to model replication lag); they receive the
+  /// coordinator's post-update sibling state and merge it.
+  PutReceipt put(const Key& key, ReplicaId coordinator, ClientId client,
+                 const Context& ctx, Value value,
+                 const std::vector<ReplicaId>& replicate_to) {
+    DVV_ASSERT(replicas_.at(coordinator).alive());
+    Replica<M>& coord = replicas_.at(coordinator);
+    coord.put(mechanism_, key, coordinator, client, ctx, std::move(value));
+
+    PutReceipt receipt;
+    receipt.coordinator = coordinator;
+    const Stored* fresh = coord.find(key);
+    DVV_ASSERT(fresh != nullptr);
+    const std::size_t bytes = mechanism_.total_bytes(*fresh);
+    for (ReplicaId r : replicate_to) {
+      if (r == coordinator || !replicas_.at(r).alive()) continue;
+      replicas_.at(r).merge_key(mechanism_, key, *fresh);
+      ++receipt.replicated_to;
+      receipt.replication_bytes += bytes;
+    }
+    return receipt;
+  }
+
+  /// Convenience PUT: default coordinator, full immediate replication.
+  PutReceipt put(const Key& key, ClientId client, const Context& ctx, Value value) {
+    const ReplicaId coord = default_coordinator(key);
+    return put(key, coord, client, ctx, std::move(value), ring_.preference_list(key));
+  }
+
+  /// PUT with hinted handoff (Dynamo's sloppy quorum): like put(), but
+  /// for each DEAD preference-list member the write is parked on the
+  /// next alive NON-preference server in ring order, tagged with the
+  /// intended owner.  Call deliver_hints() after recoveries to push the
+  /// parked writes home.
+  PutReceipt put_with_handoff(const Key& key, ReplicaId coordinator, ClientId client,
+                              const Context& ctx, Value value) {
+    const auto pref = ring_.preference_list(key);
+    std::vector<ReplicaId> alive_targets;
+    std::vector<ReplicaId> dead_owners;
+    for (const ReplicaId r : pref) {
+      (replicas_.at(r).alive() ? alive_targets : dead_owners).push_back(r);
+    }
+    PutReceipt receipt = put(key, coordinator, client, ctx, std::move(value),
+                             alive_targets);
+    if (dead_owners.empty()) return receipt;
+
+    const Stored* fresh = replicas_.at(coordinator).find(key);
+    DVV_ASSERT(fresh != nullptr);
+    const std::size_t bytes = mechanism_.total_bytes(*fresh);
+    const auto order = ring_.ring_order(key);
+    std::size_t next_fallback = ring_.replication();  // first non-pref slot
+    for (const ReplicaId owner : dead_owners) {
+      // Find the next alive fallback server (distinct per owner so one
+      // fallback's crash cannot lose several owners' hints at once).
+      while (next_fallback < order.size() &&
+             !replicas_[order[next_fallback]].alive()) {
+        ++next_fallback;
+      }
+      if (next_fallback >= order.size()) break;  // nowhere to park
+      replicas_[order[next_fallback]].stash_hint(mechanism_, owner, key, *fresh);
+      ++next_fallback;
+      ++receipt.replicated_to;
+      receipt.replication_bytes += bytes;
+    }
+    return receipt;
+  }
+
+  /// Delivers parked hints cluster-wide to every recovered owner.
+  std::size_t deliver_hints() {
+    std::size_t delivered = 0;
+    for (auto& rep : replicas_) {
+      delivered += rep.deliver_hints(
+          mechanism_, [this](ReplicaId owner) -> Replica<M>& {
+            return replicas_.at(owner);
+          });
+    }
+    return delivered;
+  }
+
+  /// Total hints parked anywhere (observability for tests/benches).
+  [[nodiscard]] std::size_t hinted_count() const {
+    std::size_t n = 0;
+    for (const auto& rep : replicas_) n += rep.hinted_count();
+    return n;
+  }
+
+  /// One anti-entropy round: for every key anywhere in the cluster, the
+  /// replicas in its preference list gather-merge-scatter so they end up
+  /// identical.  Returns the number of (key, replica) states touched.
+  std::size_t anti_entropy() {
+    std::set<Key> all_keys;
+    for (const auto& rep : replicas_) {
+      for (auto& k : rep.keys()) all_keys.insert(k);
+    }
+    std::size_t touched = 0;
+    for (const Key& key : all_keys) {
+      const auto pref = ring_.preference_list(key);
+      Stored merged;
+      for (ReplicaId r : pref) {
+        if (!replicas_[r].alive()) continue;
+        if (const Stored* s = replicas_[r].find(key)) mechanism_.sync(merged, *s);
+      }
+      for (ReplicaId r : pref) {
+        if (!replicas_[r].alive()) continue;
+        replicas_[r].stored(key) = merged;
+        ++touched;
+      }
+    }
+    return touched;
+  }
+
+  /// Cluster-wide metadata footprint (sums replica footprints).
+  [[nodiscard]] typename Replica<M>::Footprint footprint() const {
+    typename Replica<M>::Footprint f;
+    for (const auto& rep : replicas_) f.merge(rep.footprint(mechanism_));
+    return f;
+  }
+
+ private:
+  ClusterConfig config_;
+  M mechanism_;
+  Ring ring_;
+  std::vector<Replica<M>> replicas_;
+};
+
+}  // namespace dvv::kv

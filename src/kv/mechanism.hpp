@@ -1,0 +1,276 @@
+// dvv/kv/mechanism.hpp
+//
+// The CausalityMechanism policy: what a replica needs from a causality-
+// tracking scheme to run the multi-version GET/PUT/SYNC workflow.  The
+// replica/cluster templates are instantiated once per mechanism, so the
+// paper's comparison ("swap the clock, keep the store") is literally how
+// the code is organized:
+//
+//     ServerVvMechanism   Fig. 1b baseline (unsound for racing clients)
+//     ClientVvMechanism   Riak-classic baseline (sound, unbounded)
+//     PrunedClientVv...   Riak-classic with the unsafe size cap
+//     DvvMechanism        the paper's contribution (sound, bounded)
+//     DvvSetMechanism     compact sibling-set variant (extension)
+//     HistoryMechanism    causal histories — exact, the oracle
+//
+// A mechanism is a small value object (it may carry configuration, e.g.
+// the prune cap); all per-key state lives in its `Stored` type.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "codec/clock_codec.hpp"
+#include "core/causal_history.hpp"
+#include "core/dvv_kernel.hpp"
+#include "core/dvv_set.hpp"
+#include "core/history_kernel.hpp"
+#include "core/pruning.hpp"
+#include "core/version_vector.hpp"
+#include "core/vv_kernels.hpp"
+#include "core/vve.hpp"
+#include "kv/types.hpp"
+
+namespace dvv::kv {
+
+/// What the replica template requires of a mechanism.
+template <typename M>
+concept CausalityMechanism = requires(const M cm, M m, typename M::Stored s,
+                                      const typename M::Stored cs,
+                                      const typename M::Context ctx, Value v) {
+  typename M::Context;
+  typename M::Stored;
+  { M::kName } -> std::convertible_to<std::string_view>;
+  { cm.context_of(cs) } -> std::same_as<typename M::Context>;
+  { cm.values_of(cs) } -> std::same_as<std::vector<Value>>;
+  { m.update(s, ReplicaId{}, ClientId{}, ctx, v) };
+  { cm.sync(s, cs) };
+  { cm.sibling_count(cs) } -> std::same_as<std::size_t>;
+  { cm.clock_entries(cs) } -> std::same_as<std::size_t>;
+  { cm.metadata_bytes(cs) } -> std::same_as<std::size_t>;
+  { cm.total_bytes(cs) } -> std::same_as<std::size_t>;
+};
+
+namespace detail {
+
+template <typename Stored>
+[[nodiscard]] std::vector<Value> collect_values(const Stored& s) {
+  std::vector<Value> out;
+  out.reserve(s.sibling_count());
+  for (const auto& v : s.versions()) out.push_back(v.value);
+  return out;
+}
+
+template <typename Stored>
+[[nodiscard]] std::size_t full_encoding_bytes(const Stored& s) {
+  codec::Writer w;
+  codec::encode(w, s);
+  return w.size();
+}
+
+}  // namespace detail
+
+/// The paper's mechanism: per-sibling dotted version vectors.
+struct DvvMechanism {
+  static constexpr std::string_view kName = "dvv";
+  using Context = core::VersionVector;
+  using Stored = core::DvvSiblings<Value>;
+
+  [[nodiscard]] Context context_of(const Stored& s) const { return s.context(); }
+  [[nodiscard]] std::vector<Value> values_of(const Stored& s) const {
+    return detail::collect_values(s);
+  }
+  void update(Stored& s, ReplicaId server, ClientId /*client*/, const Context& ctx,
+              Value v) const {
+    s.update(server, ctx, std::move(v));
+  }
+  void sync(Stored& s, const Stored& other) const { s.sync(other); }
+  [[nodiscard]] std::size_t sibling_count(const Stored& s) const {
+    return s.sibling_count();
+  }
+  [[nodiscard]] std::size_t clock_entries(const Stored& s) const {
+    return s.clock_entries();
+  }
+  [[nodiscard]] std::size_t metadata_bytes(const Stored& s) const {
+    return codec::metadata_size(s);
+  }
+  [[nodiscard]] std::size_t total_bytes(const Stored& s) const {
+    return detail::full_encoding_bytes(s);
+  }
+};
+
+/// Compact sibling-set variant (one clock per key).
+struct DvvSetMechanism {
+  static constexpr std::string_view kName = "dvvset";
+  using Context = core::VersionVector;
+  using Stored = core::DvvSet<Value>;
+
+  [[nodiscard]] Context context_of(const Stored& s) const { return s.context(); }
+  [[nodiscard]] std::vector<Value> values_of(const Stored& s) const {
+    std::vector<Value> out;
+    for (const Value* v : s.values()) out.push_back(*v);
+    return out;
+  }
+  void update(Stored& s, ReplicaId server, ClientId /*client*/, const Context& ctx,
+              Value v) const {
+    s.update(server, ctx, std::move(v));
+  }
+  void sync(Stored& s, const Stored& other) const { s.sync(other); }
+  [[nodiscard]] std::size_t sibling_count(const Stored& s) const {
+    return s.sibling_count();
+  }
+  [[nodiscard]] std::size_t clock_entries(const Stored& s) const {
+    return s.clock_entries();
+  }
+  [[nodiscard]] std::size_t metadata_bytes(const Stored& s) const {
+    return codec::metadata_size(s);
+  }
+  [[nodiscard]] std::size_t total_bytes(const Stored& s) const {
+    return detail::full_encoding_bytes(s);
+  }
+};
+
+/// Fig. 1b baseline: one VV entry per replica server.  Deliberately
+/// faithful to its unsoundness — see core/vv_kernels.hpp.
+struct ServerVvMechanism {
+  static constexpr std::string_view kName = "server-vv";
+  using Context = core::VersionVector;
+  using Stored = core::ServerVvSiblings<Value>;
+
+  [[nodiscard]] Context context_of(const Stored& s) const { return s.context(); }
+  [[nodiscard]] std::vector<Value> values_of(const Stored& s) const {
+    return detail::collect_values(s);
+  }
+  void update(Stored& s, ReplicaId server, ClientId /*client*/, const Context& ctx,
+              Value v) const {
+    s.update(server, ctx, std::move(v));
+  }
+  void sync(Stored& s, const Stored& other) const { s.sync(other); }
+  [[nodiscard]] std::size_t sibling_count(const Stored& s) const {
+    return s.sibling_count();
+  }
+  [[nodiscard]] std::size_t clock_entries(const Stored& s) const {
+    return s.clock_entries();
+  }
+  [[nodiscard]] std::size_t metadata_bytes(const Stored& s) const {
+    return codec::metadata_size(s);
+  }
+  [[nodiscard]] std::size_t total_bytes(const Stored& s) const {
+    return detail::full_encoding_bytes(s);
+  }
+};
+
+/// Riak-classic baseline: one VV entry per writing client.  `prune`
+/// disabled by default; PrunedClientVvMechanism below turns it on.
+struct ClientVvMechanism {
+  static constexpr std::string_view kName = "client-vv";
+  using Context = core::VersionVector;
+  using Stored = core::ClientVvSiblings<Value>;
+
+  core::PruneConfig prune{};
+  mutable core::PruneStats prune_stats{};
+
+  [[nodiscard]] Context context_of(const Stored& s) const { return s.context(); }
+  [[nodiscard]] std::vector<Value> values_of(const Stored& s) const {
+    return detail::collect_values(s);
+  }
+  void update(Stored& s, ReplicaId /*server*/, ClientId client, const Context& ctx,
+              Value v) const {
+    s.update(client, ctx, std::move(v), prune, &prune_stats);
+  }
+  void sync(Stored& s, const Stored& other) const { s.sync(other); }
+  [[nodiscard]] std::size_t sibling_count(const Stored& s) const {
+    return s.sibling_count();
+  }
+  [[nodiscard]] std::size_t clock_entries(const Stored& s) const {
+    return s.clock_entries();
+  }
+  [[nodiscard]] std::size_t metadata_bytes(const Stored& s) const {
+    return codec::metadata_size(s);
+  }
+  [[nodiscard]] std::size_t total_bytes(const Stored& s) const {
+    return detail::full_encoding_bytes(s);
+  }
+};
+
+/// Factory for the pruned variant of experiment E8.
+[[nodiscard]] inline ClientVvMechanism pruned_client_vv(std::size_t cap) {
+  ClientVvMechanism m;
+  m.prune = core::PruneConfig{cap};
+  return m;
+}
+
+/// Version vectors with exceptions (WinFS; the paper's §3 related
+/// work).  Exact like the oracle, but encodes histories compactly as
+/// base-plus-exceptions instead of explicit event sets — the ablation
+/// comparator for "is the single dot enough?" (it is; see
+/// bench_vve_ablation).
+struct VveMechanism {
+  static constexpr std::string_view kName = "vve";
+  using Context = core::VersionVectorWithExceptions;
+  using Stored = core::VveSiblings<Value>;
+
+  [[nodiscard]] Context context_of(const Stored& s) const { return s.context(); }
+  [[nodiscard]] std::vector<Value> values_of(const Stored& s) const {
+    return detail::collect_values(s);
+  }
+  void update(Stored& s, ReplicaId server, ClientId /*client*/, const Context& ctx,
+              Value v) const {
+    s.update(server, ctx, std::move(v));
+  }
+  void sync(Stored& s, const Stored& other) const { s.sync(other); }
+  [[nodiscard]] std::size_t sibling_count(const Stored& s) const {
+    return s.sibling_count();
+  }
+  [[nodiscard]] std::size_t clock_entries(const Stored& s) const {
+    return s.clock_entries();
+  }
+  [[nodiscard]] std::size_t metadata_bytes(const Stored& s) const {
+    return codec::metadata_size(s);
+  }
+  [[nodiscard]] std::size_t total_bytes(const Stored& s) const {
+    return detail::full_encoding_bytes(s);
+  }
+};
+
+/// Exact causal histories — the oracle mechanism.
+struct HistoryMechanism {
+  static constexpr std::string_view kName = "causal-history";
+  using Context = core::CausalHistory;
+  using Stored = core::HistorySiblings<Value>;
+
+  [[nodiscard]] Context context_of(const Stored& s) const { return s.context(); }
+  [[nodiscard]] std::vector<Value> values_of(const Stored& s) const {
+    return detail::collect_values(s);
+  }
+  void update(Stored& s, ReplicaId server, ClientId /*client*/, const Context& ctx,
+              Value v) const {
+    s.update(server, ctx, std::move(v));
+  }
+  void sync(Stored& s, const Stored& other) const { s.sync(other); }
+  [[nodiscard]] std::size_t sibling_count(const Stored& s) const {
+    return s.sibling_count();
+  }
+  [[nodiscard]] std::size_t clock_entries(const Stored& s) const {
+    std::size_t n = 0;
+    for (const auto& v : s.versions()) n += v.history.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t metadata_bytes(const Stored& s) const {
+    return codec::metadata_size(s);
+  }
+  [[nodiscard]] std::size_t total_bytes(const Stored& s) const {
+    return detail::full_encoding_bytes(s);
+  }
+};
+
+static_assert(CausalityMechanism<DvvMechanism>);
+static_assert(CausalityMechanism<DvvSetMechanism>);
+static_assert(CausalityMechanism<ServerVvMechanism>);
+static_assert(CausalityMechanism<ClientVvMechanism>);
+static_assert(CausalityMechanism<VveMechanism>);
+static_assert(CausalityMechanism<HistoryMechanism>);
+
+}  // namespace dvv::kv

@@ -1,0 +1,161 @@
+// dvv/kv/replica.hpp
+//
+// One storage server: a map from key to the mechanism's per-key sibling
+// state.  The replica is deliberately thin — every causality decision
+// lives in the mechanism's kernel (src/core) — so that what the cluster
+// measures is the clock scheme, not incidental server logic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kv/mechanism.hpp"
+#include "kv/types.hpp"
+
+namespace dvv::kv {
+
+template <CausalityMechanism M>
+class Replica {
+ public:
+  using Context = typename M::Context;
+  using Stored = typename M::Stored;
+
+  struct GetResult {
+    bool found = false;
+    std::vector<Value> values;  ///< all live siblings
+    Context context;            ///< causal context for the client's next PUT
+  };
+
+  explicit Replica(ReplicaId id) : id_(id) {}
+
+  [[nodiscard]] ReplicaId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t key_count() const noexcept { return data_.size(); }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void set_alive(bool alive) noexcept { alive_ = alive; }
+
+  /// Local GET: siblings plus the causal context.
+  [[nodiscard]] GetResult get(const M& m, const Key& key) const {
+    GetResult r;
+    auto it = data_.find(key);
+    if (it == data_.end()) return r;
+    r.found = true;
+    r.values = m.values_of(it->second);
+    r.context = m.context_of(it->second);
+    return r;
+  }
+
+  /// Local coordinated PUT (the mechanism's update()).
+  void put(const M& m, const Key& key, ReplicaId coordinator, ClientId client,
+           const Context& ctx, Value value) {
+    m.update(data_[key], coordinator, client, ctx, std::move(value));
+  }
+
+  /// Merges a remote sibling state for `key` into ours (one direction).
+  void merge_key(const M& m, const Key& key, const Stored& remote) {
+    m.sync(data_[key], remote);
+  }
+
+  /// Pairwise bidirectional anti-entropy over the union of both key sets.
+  /// Afterwards both replicas store identical state for every key.
+  void sync_with(const M& m, Replica& other) {
+    for (auto& [key, stored] : other.data_) {
+      m.sync(data_[key], stored);
+    }
+    for (auto& [key, stored] : data_) {
+      m.sync(other.data_[key], stored);
+    }
+  }
+
+  [[nodiscard]] const Stored* find(const Key& key) const {
+    auto it = data_.find(key);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] Stored& stored(const Key& key) { return data_[key]; }
+
+  /// All keys this replica holds (sorted for deterministic iteration).
+  [[nodiscard]] std::vector<Key> keys() const {
+    std::vector<Key> out;
+    out.reserve(data_.size());
+    for (const auto& [key, stored] : data_) out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Aggregate metadata statistics over every key (experiment E5/E6).
+  struct Footprint {
+    std::size_t keys = 0;
+    std::size_t siblings = 0;
+    std::size_t clock_entries = 0;
+    std::size_t metadata_bytes = 0;
+    std::size_t total_bytes = 0;
+
+    void merge(const Footprint& o) noexcept {
+      keys += o.keys;
+      siblings += o.siblings;
+      clock_entries += o.clock_entries;
+      metadata_bytes += o.metadata_bytes;
+      total_bytes += o.total_bytes;
+    }
+  };
+
+  [[nodiscard]] Footprint footprint(const M& m) const {
+    Footprint f;
+    for (const auto& [key, stored] : data_) {
+      ++f.keys;
+      f.siblings += m.sibling_count(stored);
+      f.clock_entries += m.clock_entries(stored);
+      f.metadata_bytes += m.metadata_bytes(stored);
+      f.total_bytes += m.total_bytes(stored);
+    }
+    return f;
+  }
+
+  // ---- hinted handoff (Dynamo-style sloppy quorum) -----------------------
+  //
+  // When a preference-list member is down, the coordinator parks the
+  // write on a fallback server *with a hint* naming the intended owner.
+  // The hinted state is kept aside (it does not serve reads here — this
+  // replica does not own the key) and is pushed to the owner when it
+  // recovers.  Because the hinted state carries its full causality
+  // metadata, delivery is just a sync: late, duplicated or reordered
+  // deliveries are harmless.
+
+  /// Parks `remote` for `owner` (merging with any hint already parked).
+  void stash_hint(const M& m, ReplicaId owner, const Key& key, const Stored& remote) {
+    m.sync(hinted_[{owner, key}], remote);
+  }
+
+  /// Number of (owner, key) hints currently parked here.
+  [[nodiscard]] std::size_t hinted_count() const noexcept { return hinted_.size(); }
+
+  /// Delivers every hint whose owner is alive into `owner_lookup(owner)`
+  /// (a callback returning Replica&), erasing delivered hints.  Returns
+  /// the number delivered.
+  template <typename OwnerLookup>
+  std::size_t deliver_hints(const M& m, OwnerLookup&& owner_lookup) {
+    std::size_t delivered = 0;
+    for (auto it = hinted_.begin(); it != hinted_.end();) {
+      Replica& owner = owner_lookup(it->first.first);
+      if (owner.alive()) {
+        owner.merge_key(m, it->first.second, it->second);
+        it = hinted_.erase(it);
+        ++delivered;
+      } else {
+        ++it;
+      }
+    }
+    return delivered;
+  }
+
+ private:
+  ReplicaId id_;
+  bool alive_ = true;
+  std::unordered_map<Key, Stored> data_;
+  std::map<std::pair<ReplicaId, Key>, Stored> hinted_;
+};
+
+}  // namespace dvv::kv

@@ -1,0 +1,65 @@
+#include "kv/ring.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace dvv::kv {
+
+Ring::Ring(std::size_t servers, std::size_t replication, std::size_t vnodes)
+    : servers_(servers), replication_(replication) {
+  DVV_ASSERT_MSG(servers >= 1, "ring needs at least one server");
+  DVV_ASSERT_MSG(replication >= 1 && replication <= servers,
+                 "replication factor must be in [1, servers]");
+  DVV_ASSERT_MSG(vnodes >= 1, "at least one vnode per server");
+  ring_.reserve(servers * vnodes);
+  for (std::size_t s = 0; s < servers; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Hash a stable textual token per (server, vnode).
+      const std::string token = "vnode:" + std::to_string(s) + ":" + std::to_string(v);
+      ring_.push_back(VNode{hash(token), static_cast<ReplicaId>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::vector<ReplicaId> Ring::preference_list(std::string_view key) const {
+  std::vector<ReplicaId> out = ring_order(key);
+  out.resize(replication_);
+  return out;
+}
+
+std::vector<ReplicaId> Ring::ring_order(std::string_view key) const {
+  const std::uint64_t point = hash(key);
+  std::vector<ReplicaId> out;
+  out.reserve(servers_);
+
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), point,
+                             [](const VNode& v, std::uint64_t p) { return v.point < p; });
+  // Walk clockwise collecting distinct physical servers.
+  for (std::size_t walked = 0; walked < ring_.size() && out.size() < servers_;
+       ++walked) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->server) == out.end()) {
+      out.push_back(it->server);
+    }
+    ++it;
+  }
+  DVV_ASSERT(out.size() == servers_);
+  return out;
+}
+
+std::uint64_t Ring::hash(std::string_view data) noexcept {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche to spread low-entropy keys around the ring.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace dvv::kv

@@ -1,0 +1,64 @@
+// dvv/kv/ring.hpp
+//
+// Consistent-hashing ring with virtual nodes — the placement layer of
+// every Dynamo-descendant (and of Riak, the system the paper's
+// evaluation modified).  A key hashes to a point on the ring; its
+// *preference list* is the next R distinct physical servers clockwise
+// from that point.  The first entry coordinates writes unless the
+// cluster is configured to spread coordination (see Cluster).
+//
+// Placement is orthogonal to causality tracking, but it determines *how
+// many distinct servers ever coordinate writes for one key* — which is
+// precisely the bound on DVV metadata size.  The ring makes that bound
+// R for free, so the metadata benches exercise the paper's
+// "bounded by the degree of replication" claim under realistic routing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kv/types.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::kv {
+
+class Ring {
+ public:
+  /// `servers`: number of physical servers (ReplicaIds 0..servers-1).
+  /// `replication`: preference-list length R (1 <= R <= servers).
+  /// `vnodes`: virtual nodes per server (more = smoother balance).
+  Ring(std::size_t servers, std::size_t replication, std::size_t vnodes = 64);
+
+  [[nodiscard]] std::size_t servers() const noexcept { return servers_; }
+  [[nodiscard]] std::size_t replication() const noexcept { return replication_; }
+
+  /// The R distinct servers responsible for `key`, coordinator first.
+  [[nodiscard]] std::vector<ReplicaId> preference_list(std::string_view key) const;
+
+  /// ALL distinct servers in clockwise ring order starting from the
+  /// key's position.  preference_list is the first R entries; the rest
+  /// are the fallback order used for hinted handoff when preference
+  /// members are down.
+  [[nodiscard]] std::vector<ReplicaId> ring_order(std::string_view key) const;
+
+  /// 64-bit FNV-1a, exposed for tests and for workload key bucketing.
+  [[nodiscard]] static std::uint64_t hash(std::string_view data) noexcept;
+
+ private:
+  struct VNode {
+    std::uint64_t point;
+    ReplicaId server;
+
+    bool operator<(const VNode& o) const noexcept {
+      if (point != o.point) return point < o.point;
+      return server < o.server;
+    }
+  };
+
+  std::size_t servers_;
+  std::size_t replication_;
+  std::vector<VNode> ring_;  // sorted by point
+};
+
+}  // namespace dvv::kv

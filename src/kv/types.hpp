@@ -1,0 +1,42 @@
+// dvv/kv/types.hpp
+//
+// Domain aliases for the replicated key-value substrate.  Keys and
+// values are byte strings (as in Riak); replica servers and clients are
+// core::ActorId drawn from disjoint ranges managed by the cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace dvv::kv {
+
+using Key = std::string;
+using Value = std::string;
+using ReplicaId = core::ActorId;
+using ClientId = core::ActorId;
+
+/// Actor-id layout: replica servers occupy [0, kClientIdBase), clients
+/// live at kClientIdBase + k.  Keeping the spaces disjoint means a
+/// version vector can never confuse a server entry with a client entry,
+/// and printed traces stay readable ("server 2" vs "client 3").
+inline constexpr core::ActorId kClientIdBase = 1'000'000;
+
+[[nodiscard]] constexpr ClientId client_actor(std::uint64_t index) noexcept {
+  return kClientIdBase + index;
+}
+
+[[nodiscard]] constexpr bool is_client_actor(core::ActorId id) noexcept {
+  return id >= kClientIdBase;
+}
+
+/// Human-readable actor names for traces: servers "A", "B", ..., then
+/// "s26", "s27", ... once letters run out; clients "c0", "c1", ...
+[[nodiscard]] inline std::string actor_name(core::ActorId id) {
+  if (is_client_actor(id)) return "c" + std::to_string(id - kClientIdBase);
+  if (id < 26) return std::string(1, static_cast<char>('A' + id));
+  return "s" + std::to_string(id);
+}
+
+}  // namespace dvv::kv

@@ -1,0 +1,171 @@
+// dvv/oracle/audit.hpp
+//
+// The causality oracle: replays a trace *in lockstep* on the mechanism
+// under test and on the causal-history cluster (exact by §1 of the
+// paper), auditing after every operation.
+//
+// Because every write in a trace carries a globally unique payload, the
+// sibling sets of the two clusters are comparable as sets of strings:
+//
+//   * a value the truth cluster retains but the subject lost
+//       -> LOST UPDATE: the subject's clocks wrongly claimed the value
+//          was dominated and discarded it (the Fig. 1b disaster; also
+//          a pruning failure mode of E8);
+//   * a value the subject retains but the truth has obsoleted
+//       -> FALSE SIBLING (false concurrency): the subject's clocks could
+//          not prove a dominance that actually holds, resurrecting or
+//          retaining stale versions (the other pruning failure mode).
+//
+// Auditing continuously matters: causality anomalies are frequently
+// *transient* — a later read-modify-write collapses the siblings in both
+// worlds and erases the evidence — so an end-state-only comparison
+// under-counts.  The audit therefore runs per touched key after every
+// GET/PUT and cluster-wide after every anti-entropy round and at the
+// end; anomalous values are accumulated as sets (a value lost once is
+// one lost update no matter how many audits see the hole).
+//
+// A mechanism is *exact* on a trace iff both sets stay empty — the
+// property experiments E8/E9 sweep, and what the paper claims for DVV
+// ("precisely track causality") with one entry per replica server.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+#include "workload/replay.hpp"
+#include "workload/trace.hpp"
+
+namespace dvv::oracle {
+
+struct AuditReport {
+  std::uint64_t audits = 0;           ///< audit passes executed
+  std::uint64_t keys_checked = 0;     ///< (replica, key) states compared
+  std::uint64_t values_checked = 0;   ///< truth-side sibling values seen
+  std::set<std::string> lost_values;  ///< truth retained, subject lost
+  std::set<std::string> false_values; ///< subject retained, truth obsoleted
+
+  [[nodiscard]] std::uint64_t lost_updates() const noexcept {
+    return lost_values.size();
+  }
+  [[nodiscard]] std::uint64_t false_siblings() const noexcept {
+    return false_values.size();
+  }
+  [[nodiscard]] bool exact() const noexcept {
+    return lost_values.empty() && false_values.empty();
+  }
+};
+
+/// Drives subject and truth clusters through the same trace in lockstep
+/// and audits continuously.  The two clusters must share ring geometry
+/// (same servers / replication / vnodes), which mirrored_run guarantees.
+template <kv::CausalityMechanism M>
+class LockstepAuditor {
+ public:
+  LockstepAuditor(kv::Cluster<M>& subject, kv::Cluster<kv::HistoryMechanism>& truth,
+                  const workload::Trace& trace)
+      : subject_(&subject),
+        truth_(&truth),
+        subject_replay_(subject, trace),
+        truth_replay_(truth, trace) {}
+
+  /// Runs the whole trace; returns the accumulated report.
+  AuditReport run(const workload::Trace& trace) {
+    for (const workload::TraceOp& op : trace.ops) {
+      subject_replay_.step(op);
+      truth_replay_.step(op);
+      if (op.kind == workload::TraceOp::Kind::kAntiEntropy) {
+        audit_all_keys();
+      } else {
+        audit_key(op.key);
+      }
+    }
+    audit_all_keys();
+    return report_;
+  }
+
+  [[nodiscard]] workload::ReplayStats finish_subject() {
+    return subject_replay_.finish();
+  }
+  [[nodiscard]] workload::ReplayStats finish_truth() { return truth_replay_.finish(); }
+
+ private:
+  void audit_key(const kv::Key& key) {
+    ++report_.audits;
+    for (const kv::ReplicaId r : subject_->preference_list(key)) {
+      compare_state(r, key);
+    }
+  }
+
+  void audit_all_keys() {
+    ++report_.audits;
+    for (std::size_t s = 0; s < truth_->servers(); ++s) {
+      for (const kv::Key& key : truth_->replica(s).keys()) {
+        compare_state(static_cast<kv::ReplicaId>(s), key);
+      }
+    }
+  }
+
+  void compare_state(kv::ReplicaId r, const kv::Key& key) {
+    ++report_.keys_checked;
+    std::set<std::string> subject_values;
+    if (const auto* stored = subject_->replica(r).find(key)) {
+      for (auto& v : subject_->mechanism().values_of(*stored)) {
+        subject_values.insert(std::move(v));
+      }
+    }
+    std::set<std::string> truth_values;
+    if (const auto* stored = truth_->replica(r).find(key)) {
+      for (auto& v : truth_->mechanism().values_of(*stored)) {
+        truth_values.insert(std::move(v));
+      }
+    }
+    report_.values_checked += truth_values.size();
+    for (const auto& v : truth_values) {
+      if (!subject_values.contains(v)) report_.lost_values.insert(v);
+    }
+    for (const auto& v : subject_values) {
+      if (!truth_values.contains(v)) report_.false_values.insert(v);
+    }
+  }
+
+  kv::Cluster<M>* subject_;
+  kv::Cluster<kv::HistoryMechanism>* truth_;
+  workload::Replayer<M> subject_replay_;
+  workload::Replayer<kv::HistoryMechanism> truth_replay_;
+  AuditReport report_;
+};
+
+/// Everything a mirrored (subject vs truth) run produces.
+template <kv::CausalityMechanism M>
+struct MirroredRun {
+  kv::Cluster<M> subject;
+  kv::Cluster<kv::HistoryMechanism> truth;
+  workload::ReplayStats subject_stats;
+  workload::ReplayStats truth_stats;
+  AuditReport report;
+};
+
+/// Generates the trace for `spec`, replays it on both clusters in
+/// lockstep with continuous audits.
+template <kv::CausalityMechanism M>
+[[nodiscard]] MirroredRun<M> mirrored_run(const workload::WorkloadSpec& spec,
+                                          const kv::ClusterConfig& config,
+                                          M mechanism) {
+  MirroredRun<M> run{kv::Cluster<M>(config, std::move(mechanism)),
+                     kv::Cluster<kv::HistoryMechanism>(config, kv::HistoryMechanism{}),
+                     {},
+                     {},
+                     {}};
+  const workload::Trace trace = workload::generate_trace(spec, config.replication);
+  LockstepAuditor<M> auditor(run.subject, run.truth, trace);
+  run.report = auditor.run(trace);
+  run.subject_stats = auditor.finish_subject();
+  run.truth_stats = auditor.finish_truth();
+  return run;
+}
+
+}  // namespace dvv::oracle

@@ -1,0 +1,187 @@
+// dvv/sim/sim_store.hpp
+//
+// Event-driven simulation of the full client/server request path — the
+// substitute for the paper's physical Riak cluster in the latency
+// evaluation (E7, "better latency when serving requests").
+//
+// Each simulated client runs a closed loop on the shared EventQueue:
+//
+//   think -> GET request -> (server) -> GET reply -> PUT request
+//        -> (coordinator applies, acks; replication fans out ASYNC)
+//        -> PUT ack -> think -> ...
+//
+// Every network leg's delay is sampled from the LatencyModel with the
+// *actual serialized size* of what crosses the wire: GET replies carry
+// the sibling values plus their clocks, PUT requests carry the causal
+// context plus the value.  Mechanisms with bigger clocks therefore pay
+// their cost exactly where the paper says they do — on the wire and in
+// serialization — and nowhere else.
+//
+// Replication is asynchronous (coordinator acks after the local apply,
+// like Riak with W=1): the in-flight window is what lets concurrent
+// clients read stale replicas and produce the sibling load that feeds
+// back into reply sizes.  Determinism: single-threaded event queue,
+// every random choice from one seeded Rng.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codec/clock_codec.hpp"
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dvv::sim {
+
+struct SimStoreConfig {
+  std::size_t clients = 16;
+  std::size_t keys = 64;
+  double zipf_skew = 0.99;
+  std::size_t ops_per_client = 200;  ///< read-modify-write cycles per client
+  double think_ms = 2.0;             ///< mean think time between cycles
+  std::size_t value_bytes = 64;      ///< payload size per write
+  LatencyModel network{};
+  std::uint64_t seed = 1;
+};
+
+struct SimStoreResult {
+  util::Samples get_latency_ms;   ///< request->reply round trip
+  util::Samples put_latency_ms;   ///< request->ack round trip
+  util::Samples cycle_latency_ms; ///< full GET+PUT cycle
+  util::Samples get_reply_bytes;  ///< serialized reply payloads
+  util::Samples put_request_bytes;
+  double sim_duration_ms = 0.0;
+  std::uint64_t cycles = 0;
+};
+
+/// Runs the closed-loop workload for one mechanism.  The cluster is
+/// created inside so that every mechanism sees an identical topology.
+template <kv::CausalityMechanism M>
+SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
+  kv::ClusterConfig cluster_config;
+  cluster_config.servers = 5;
+  cluster_config.replication = 3;
+  kv::Cluster<M> cluster(cluster_config, std::move(mechanism));
+
+  EventQueue queue;
+  util::Rng rng(config.seed);
+  const util::ZipfSampler zipf(config.keys, config.zipf_skew);
+  SimStoreResult result;
+
+  struct ClientState {
+    std::size_t remaining = 0;
+    typename M::Context context{};
+    kv::Key key;
+    SimTime cycle_start = 0.0;
+    SimTime get_start = 0.0;
+  };
+  std::vector<ClientState> clients(config.clients);
+
+  const M& mech = cluster.mechanism();
+
+  // Forward declarations of the per-client phase functions, expressed as
+  // std::functions so they can schedule one another on the queue.
+  std::function<void(std::size_t)> begin_cycle, do_get, do_put;
+
+  begin_cycle = [&](std::size_t c) {
+    ClientState& st = clients[c];
+    if (st.remaining == 0) return;
+    --st.remaining;
+    queue.schedule_in(rng.exponential(config.think_ms), [&, c] { do_get(c); });
+  };
+
+  do_get = [&](std::size_t c) {
+    ClientState& st = clients[c];
+    st.key = "key-" + std::to_string(zipf.sample(rng));
+    st.cycle_start = queue.now();
+    st.get_start = queue.now();
+
+    const auto pref = cluster.preference_list(st.key);
+    const kv::ReplicaId source = pref[rng.index(pref.size())];
+
+    // Request leg (tiny: key only), then server-side read, reply leg
+    // sized by the actual stored state.
+    const double request_leg = config.network.sample(rng, st.key.size() + 16);
+    queue.schedule_in(request_leg, [&, c, source] {
+      ClientState& state = clients[c];
+      std::size_t reply_bytes = 16;
+      if (const auto* stored = cluster.replica(source).find(state.key)) {
+        reply_bytes += mech.total_bytes(*stored);
+      }
+      // The client adopts the reply's causal context on arrival.
+      const double reply_leg = config.network.sample(rng, reply_bytes);
+      queue.schedule_in(reply_leg, [&, c, source, reply_bytes] {
+        ClientState& cs = clients[c];
+        cs.context = cluster.get(cs.key, source).context;
+        result.get_latency_ms.add(queue.now() - cs.get_start);
+        result.get_reply_bytes.add(static_cast<double>(reply_bytes));
+        do_put(c);
+      });
+    });
+  };
+
+  do_put = [&](std::size_t c) {
+    ClientState& st = clients[c];
+    const SimTime put_start = queue.now();
+
+    // Request carries the context plus the value.
+    codec::Writer ctx_size;
+    codec::encode(ctx_size, st.context);
+    const std::size_t request_bytes =
+        st.key.size() + ctx_size.size() + config.value_bytes + 16;
+    result.put_request_bytes.add(static_cast<double>(request_bytes));
+
+    const auto pref = cluster.preference_list(st.key);
+    const kv::ReplicaId coordinator = pref[rng.index(pref.size())];
+    const std::string value =
+        "c" + std::to_string(c) + "-" + std::to_string(st.remaining) +
+        std::string(config.value_bytes, 'x');
+
+    const double request_leg = config.network.sample(rng, request_bytes);
+    queue.schedule_in(request_leg, [&, c, coordinator, pref, value, put_start] {
+      ClientState& cs = clients[c];
+      // Coordinator applies locally and acks immediately (W=1).
+      cluster.put(cs.key, coordinator, kv::client_actor(c), cs.context, value, {});
+      const auto* fresh = cluster.replica(coordinator).find(cs.key);
+      const std::size_t replica_bytes = 16 + mech.total_bytes(*fresh);
+
+      // Asynchronous replication fan-out: copies in flight.
+      for (const kv::ReplicaId r : pref) {
+        if (r == coordinator) continue;
+        const double fanout_leg = config.network.sample(rng, replica_bytes);
+        // Snapshot what the coordinator has right now.
+        queue.schedule_in(fanout_leg,
+                          [&cluster, &mech, key = cs.key, r,
+                           snapshot = *fresh] {
+                            cluster.replica(r).merge_key(mech, key, snapshot);
+                          });
+      }
+
+      // Ack leg back to the client.
+      const double ack_leg = config.network.sample(rng, 32);
+      queue.schedule_in(ack_leg, [&, c, put_start] {
+        ClientState& done = clients[c];
+        result.put_latency_ms.add(queue.now() - put_start);
+        result.cycle_latency_ms.add(queue.now() - done.cycle_start);
+        ++result.cycles;
+        begin_cycle(c);
+      });
+    });
+  };
+
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    clients[c].remaining = config.ops_per_client;
+    begin_cycle(c);
+  }
+  queue.run();
+  result.sim_duration_ms = queue.now();
+  return result;
+}
+
+}  // namespace dvv::sim

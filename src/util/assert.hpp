@@ -1,0 +1,48 @@
+// dvv/util/assert.hpp
+//
+// Internal assertion macros.
+//
+// DVV_ASSERT is an invariant check that is active in every build type:
+// causality-tracking bugs are silent data-loss bugs (a wrongly dominated
+// sibling is simply discarded), so the cost of always-on checks in the
+// library's hot paths is deliberately accepted.  The simulator and the
+// benches measure algorithmic *shape* (entries, bytes, comparisons), which
+// assertions do not distort.
+//
+// DVV_DEBUG_ASSERT compiles away in NDEBUG builds; use it for checks that
+// are quadratic or worse (e.g. full causal-history subset validation).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvv::util::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "dvv: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace dvv::util::detail
+
+#define DVV_ASSERT(expr)                                                          \
+  do {                                                                            \
+    if (!(expr)) [[unlikely]] {                                                   \
+      ::dvv::util::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);       \
+    }                                                                             \
+  } while (false)
+
+#define DVV_ASSERT_MSG(expr, msg)                                                 \
+  do {                                                                            \
+    if (!(expr)) [[unlikely]] {                                                   \
+      ::dvv::util::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));         \
+    }                                                                             \
+  } while (false)
+
+#if defined(NDEBUG)
+#define DVV_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define DVV_DEBUG_ASSERT(expr) DVV_ASSERT(expr)
+#endif

@@ -1,0 +1,59 @@
+#include "util/fmt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dvv::util {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::to_string() const {
+  // Column widths across header + all rows.
+  std::vector<std::size_t> width;
+  auto absorb = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  auto emit = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out += cells[i];
+      if (i + 1 < cells.size()) out.append(width[i] - cells[i].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(out, header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 3) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return fixed(bytes, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+}  // namespace dvv::util

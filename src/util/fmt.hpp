@@ -1,0 +1,51 @@
+// dvv/util/fmt.hpp
+//
+// String assembly helpers for clock printing and for the bench harness's
+// aligned table output.  Deliberately tiny: the library itself only needs
+// `join`, and the table printer exists so that every bench binary prints
+// the same shape of report the paper's evaluation section does (rows of
+// parameter sweeps) without each bench reinventing column alignment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvv::util {
+
+/// Joins the stringification of a range with `sep`.  `tostr(element)`
+/// must yield something appendable to std::string.
+template <typename Range, typename ToStr>
+[[nodiscard]] std::string join(const Range& range, std::string_view sep, ToStr&& tostr) {
+  std::string out;
+  bool first = true;
+  for (const auto& x : range) {
+    if (!first) out += sep;
+    first = false;
+    out += tostr(x);
+  }
+  return out;
+}
+
+/// Aligned plain-text table: add a header, then rows; `to_string()`
+/// pads every column to its widest cell.  Used by every bench binary.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double -> string ("%.3f" style) without iostreams.
+[[nodiscard]] std::string fixed(double value, int decimals = 2);
+
+/// Human-readable byte count ("1.21 KiB").
+[[nodiscard]] std::string human_bytes(double bytes);
+
+}  // namespace dvv::util

@@ -1,0 +1,33 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvv::util {
+
+double Rng::exponential(double mean) noexcept {
+  DVV_ASSERT(mean > 0.0);
+  // Inverse-CDF; uniform01() is in [0,1), so 1-u is in (0,1] and log is finite.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) : skew_(skew) {
+  DVV_ASSERT(n != 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = acc;
+  }
+  const double total = cdf_.back();
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace dvv::util

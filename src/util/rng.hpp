@@ -1,0 +1,145 @@
+// dvv/util/rng.hpp
+//
+// Deterministic random number generation for the simulator, the workload
+// generators and the property-test suites.
+//
+// Everything in this repository that is "random" flows through Rng seeded
+// explicitly by the caller; benches print their seed, so every reported
+// row is exactly reproducible.  The generator is xoshiro256**, seeded via
+// SplitMix64 (the construction recommended by the xoshiro authors), which
+// is small, fast, and has no dependency on the platform's <random> quality.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace dvv::util {
+
+/// SplitMix64 step; used for seeding and for cheap stateless mixing
+/// (e.g. hashing a (seed, index) pair into an independent stream).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    DVV_ASSERT(bound != 0);
+    __extension__ using U128 = unsigned __int128;  // GCC/Clang builtin
+    std::uint64_t x = next();
+    U128 m = static_cast<U128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<U128>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    DVV_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Exponentially distributed double with the given mean (>0).
+  double exponential(double mean) noexcept;
+
+  /// Picks a uniformly random element index from a nonempty container size.
+  std::size_t index(std::size_t size) noexcept {
+    DVV_ASSERT(size != 0);
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Vec>
+  void shuffle(Vec& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// client/server its own stream so that adding one actor does not
+  /// perturb every other actor's randomness.
+  [[nodiscard]] Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with skew `s`.
+///
+/// Key popularity in storage workloads is famously Zipfian; the metadata
+/// benches (E5/E6) use this to concentrate concurrent client writes on hot
+/// keys, the regime where client-side version vectors blow up.  Sampling
+/// is O(log n) by binary search over the precomputed CDF; construction is
+/// O(n).  s = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t domain() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double skew() const noexcept { return skew_; }
+
+ private:
+  std::vector<double> cdf_;
+  double skew_ = 0.0;
+};
+
+}  // namespace dvv::util

@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dvv::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of Welford accumulators.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Samples::mean() const noexcept {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::quantile(double q) const {
+  DVV_ASSERT(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs_.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return xs_[std::min(idx, xs_.size() - 1)];
+}
+
+double Samples::max() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Samples::min() const {
+  ensure_sorted();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {
+  DVV_ASSERT(buckets != 0);
+}
+
+void Histogram::add(std::uint64_t value) noexcept {
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(value), counts_.size() - 1);
+  ++counts_[idx];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const noexcept {
+  DVV_ASSERT(i < counts_.size());
+  return counts_[i];
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out += std::to_string(i);
+    if (i + 1 == counts_.size()) out += "+";
+    out += ": " + std::to_string(counts_[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dvv::util

@@ -1,0 +1,87 @@
+// dvv/util/stats.hpp
+//
+// Small statistics toolkit used by the simulator and the bench harness:
+// running mean/min/max/stddev (Welford), and a reservoir-free exact
+// percentile accumulator for latency distributions.  Nothing here is
+// performance critical; clarity and numerical soundness win.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvv::util {
+
+/// Welford one-pass accumulator: mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; exact quantiles on demand.  Suitable for the
+/// simulator's request-latency series (at most a few million doubles).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact quantile by nearest-rank; q in [0,1].  Sorts lazily.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-boundary histogram for entry-count / byte-size distributions.
+class Histogram {
+ public:
+  /// Buckets: [0,1), [1,2), ..., [n-1, inf).
+  explicit Histogram(std::size_t buckets);
+
+  void add(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept;
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders "value: count" lines for nonzero buckets (debug/report aid).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dvv::util

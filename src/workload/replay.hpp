@@ -1,0 +1,168 @@
+// dvv/workload/replay.hpp
+//
+// Replays a resolved Trace against a Cluster<M> and collects the
+// measurements the paper's evaluation reports: per-request metadata
+// bytes, sibling counts, clock entries, replication traffic, and the
+// final storage footprint.
+//
+// Replayer<M> is steppable (one TraceOp at a time) so the oracle can
+// drive a subject cluster and the causal-history truth cluster in
+// lockstep and audit *during* the run — causality anomalies are often
+// transient (a later read-modify-write paves over the evidence), so
+// end-state comparison alone under-counts them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/client.hpp"
+#include "kv/cluster.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+#include "workload/trace.hpp"
+
+namespace dvv::workload {
+
+struct ReplayStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t anti_entropy_rounds = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+
+  /// Per-GET reply measurements (what the client downloads every read).
+  util::Samples get_metadata_bytes;
+  util::Samples get_total_bytes;
+  util::Samples get_siblings;
+  util::Samples get_clock_entries;
+
+  /// Per-PUT replication traffic.
+  util::Samples put_replication_bytes;
+
+  /// Final cluster-wide footprint, filled by finish().
+  std::size_t final_keys = 0;
+  std::size_t final_siblings = 0;
+  std::size_t final_clock_entries = 0;
+  std::size_t final_metadata_bytes = 0;
+  std::size_t final_total_bytes = 0;
+};
+
+template <kv::CausalityMechanism M>
+class Replayer {
+ public:
+  Replayer(kv::Cluster<M>& cluster, const Trace& trace)
+      : cluster_(&cluster), hinted_handoff_(trace.hinted_handoff) {
+    sessions_.reserve(trace.clients);
+    for (std::size_t c = 0; c < trace.clients; ++c) {
+      sessions_.emplace_back(kv::client_actor(c), cluster);
+    }
+  }
+
+  /// Resolves a preference-list slot to the first ALIVE server at or
+  /// after it (wrapping).  Trace generation guarantees at most R-1
+  /// simultaneous failures, so some preference member is always alive.
+  [[nodiscard]] kv::ReplicaId resolve_alive(const std::vector<kv::ReplicaId>& pref,
+                                            std::size_t rank) const {
+    for (std::size_t i = 0; i < pref.size(); ++i) {
+      const kv::ReplicaId candidate = pref[(rank + i) % pref.size()];
+      if (cluster_->replica(candidate).alive()) return candidate;
+    }
+    DVV_ASSERT_MSG(false, "no alive replica in preference list");
+    return pref[0];
+  }
+
+  /// Applies one trace operation.
+  void step(const TraceOp& op) {
+    const M& mech = cluster_->mechanism();
+    switch (op.kind) {
+      case TraceOp::Kind::kGet: {
+        const auto pref = cluster_->preference_list(op.key);
+        const kv::ReplicaId source = resolve_alive(pref, op.rank);
+        (void)sessions_[op.client].get(op.key, source);
+        ++stats_.gets;
+        if (const auto* stored = cluster_->replica(source).find(op.key)) {
+          stats_.get_metadata_bytes.add(
+              static_cast<double>(mech.metadata_bytes(*stored)));
+          stats_.get_total_bytes.add(
+              static_cast<double>(mech.total_bytes(*stored)));
+          stats_.get_siblings.add(static_cast<double>(mech.sibling_count(*stored)));
+          stats_.get_clock_entries.add(
+              static_cast<double>(mech.clock_entries(*stored)));
+        } else {
+          stats_.get_metadata_bytes.add(0.0);
+          stats_.get_total_bytes.add(0.0);
+          stats_.get_siblings.add(0.0);
+          stats_.get_clock_entries.add(0.0);
+        }
+        break;
+      }
+      case TraceOp::Kind::kPut: {
+        const auto pref = cluster_->preference_list(op.key);
+        const kv::ReplicaId coordinator = resolve_alive(pref, op.rank);
+        if (op.blind) sessions_[op.client].forget(op.key);
+        typename kv::Cluster<M>::PutReceipt receipt;
+        if (hinted_handoff_) {
+          receipt =
+              sessions_[op.client].put_with_handoff(op.key, coordinator, op.value);
+        } else {
+          std::vector<kv::ReplicaId> replicate_to;
+          replicate_to.reserve(op.replicate_ranks.size());
+          for (const std::size_t r : op.replicate_ranks) {
+            replicate_to.push_back(pref.at(r));
+          }
+          receipt = sessions_[op.client].put_via(op.key, coordinator, op.value,
+                                                 replicate_to);
+        }
+        ++stats_.puts;
+        stats_.put_replication_bytes.add(
+            static_cast<double>(receipt.replication_bytes));
+        break;
+      }
+      case TraceOp::Kind::kAntiEntropy: {
+        cluster_->anti_entropy();
+        ++stats_.anti_entropy_rounds;
+        break;
+      }
+      case TraceOp::Kind::kFail: {
+        cluster_->replica(static_cast<kv::ReplicaId>(op.server)).set_alive(false);
+        ++stats_.failures;
+        break;
+      }
+      case TraceOp::Kind::kRecover: {
+        cluster_->replica(static_cast<kv::ReplicaId>(op.server)).set_alive(true);
+        if (hinted_handoff_) cluster_->deliver_hints();
+        ++stats_.recoveries;
+        break;
+      }
+    }
+  }
+
+  /// Records the final footprint and returns the accumulated stats.
+  ReplayStats finish() {
+    const auto fp = cluster_->footprint();
+    stats_.final_keys = fp.keys;
+    stats_.final_siblings = fp.siblings;
+    stats_.final_clock_entries = fp.clock_entries;
+    stats_.final_metadata_bytes = fp.metadata_bytes;
+    stats_.final_total_bytes = fp.total_bytes;
+    return stats_;
+  }
+
+  [[nodiscard]] const ReplayStats& stats() const noexcept { return stats_; }
+
+ private:
+  kv::Cluster<M>* cluster_;
+  bool hinted_handoff_;
+  std::vector<kv::ClientSession<M>> sessions_;
+  ReplayStats stats_;
+};
+
+/// One-shot replay of a whole trace.
+template <kv::CausalityMechanism M>
+ReplayStats replay(kv::Cluster<M>& cluster, const Trace& trace) {
+  Replayer<M> replayer(cluster, trace);
+  for (const TraceOp& op : trace.ops) replayer.step(op);
+  return replayer.finish();
+}
+
+}  // namespace dvv::workload

@@ -1,0 +1,96 @@
+// dvv/workload/trace.hpp
+//
+// Mechanism-independent workload traces.
+//
+// A Trace is a fully *resolved* sequence of storage operations: every
+// random choice (which client, which key, which preference-list slot
+// coordinates, which replicas the write reaches immediately, whether the
+// client read before writing) is already fixed.  Replaying the same
+// trace against two clusters that differ only in their causality
+// mechanism therefore exercises the mechanisms on the *identical*
+// interleaving — the foundation of the oracle audits (E2/E8/E9): any
+// difference in outcome is attributable to the clocks alone.
+//
+// Ranks, not replica ids: operations name preference-list *positions*
+// ("slot 2 of this key's preference list"), resolved against the ring at
+// replay time.  Both sides of a mirrored run use identical ring
+// configuration, so ranks resolve identically — and a trace stays valid
+// for any mechanism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kv/types.hpp"
+
+namespace dvv::workload {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t {
+    kGet,          ///< client reads key via `rank` (refreshes its context)
+    kPut,          ///< client writes key; coordinator = `rank`
+    kAntiEntropy,  ///< cluster-wide anti-entropy round
+    kFail,         ///< server `server` crashes (stops serving, keeps disk)
+    kRecover,      ///< server `server` comes back with its old state
+  };
+
+  Kind kind = Kind::kGet;
+  std::size_t client = 0;  ///< client index (ClientId = client_actor(index))
+  kv::Key key;
+  std::size_t rank = 0;    ///< preference-list slot of the GET source / PUT coordinator
+  std::vector<std::size_t> replicate_ranks;  ///< PUT: slots reached immediately
+  bool blind = false;      ///< PUT: ignore any remembered context (classic overwrite)
+  kv::Value value;         ///< PUT payload (unique per write: "w<seq>")
+  std::size_t server = 0;  ///< kFail/kRecover: absolute server id
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;
+  /// Total client identities used: spec.clients named read-modify-write
+  /// sessions plus one fresh anonymous identity per blind write (the
+  /// Riak-classic "short-lived writer" population).
+  std::size_t clients = 0;
+  /// When set, PUTs use the sloppy quorum (Cluster::put_with_handoff)
+  /// and recoveries trigger hint delivery.
+  bool hinted_handoff = false;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+};
+
+/// Workload shape parameters (the sweep axes of experiments E5-E9).
+struct WorkloadSpec {
+  std::size_t keys = 100;           ///< distinct keys
+  double zipf_skew = 0.99;          ///< key popularity skew (0 = uniform)
+  std::size_t clients = 32;         ///< concurrent writing clients
+  std::size_t operations = 10'000;  ///< writes issued (plus their reads)
+  double read_before_write = 0.9;   ///< P(write is read-modify-write)
+  double replicate_probability = 1.0;  ///< P(each non-coordinator replica
+                                       ///  receives the write immediately)
+  bool spread_coordination = true;  ///< coordinator uniform over preference
+                                    ///  list (vs always slot 0)
+  std::size_t anti_entropy_every = 0;  ///< ops between AE rounds (0 = never)
+  std::size_t value_bytes = 16;     ///< payload size per write
+
+  /// Failure injection: per-operation probability that one alive server
+  /// crashes / one crashed server recovers.  At most replication-1
+  /// servers are ever down at once, so every key keeps at least one
+  /// alive preference replica.  Servers keep their stored state across
+  /// a crash (fail-stop, durable disk) — exactly the situation
+  /// anti-entropy plus sound clocks must repair.
+  double fail_probability = 0.0;
+  double recover_probability = 0.0;
+  std::size_t servers = 0;  ///< must match ClusterConfig.servers when
+                            ///  failure injection is enabled
+  bool hinted_handoff = false;  ///< PUTs park hints for dead preference
+                                ///  members; recoveries deliver them
+
+  std::uint64_t seed = 1;
+};
+
+/// Expands a spec into a resolved trace for a cluster with the given
+/// replication factor.  Deterministic in (spec, replication).
+[[nodiscard]] Trace generate_trace(const WorkloadSpec& spec, std::size_t replication);
+
+}  // namespace dvv::workload

@@ -1,0 +1,112 @@
+// Unit tests for core::CausalHistory — the paper's §1 ground truth.
+// Includes the literal Figure 1a history values.
+#include "core/causal_history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/causality.hpp"
+
+namespace {
+
+using dvv::core::CausalHistory;
+using dvv::core::Dot;
+using dvv::core::Ordering;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+
+std::string name(dvv::core::ActorId id) {
+  return std::string(1, static_cast<char>('A' + id));
+}
+
+TEST(CausalHistory, EmptyHistory) {
+  CausalHistory h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(Dot{kA, 1}));
+}
+
+TEST(CausalHistory, InsertIsIdempotentAndSorted) {
+  CausalHistory h;
+  h.insert(Dot{kB, 1});
+  h.insert(Dot{kA, 2});
+  h.insert(Dot{kA, 1});
+  h.insert(Dot{kA, 2});  // duplicate
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_TRUE(h.contains(Dot{kA, 1}));
+  EXPECT_TRUE(h.contains(Dot{kA, 2}));
+  EXPECT_TRUE(h.contains(Dot{kB, 1}));
+  // Sorted storage: (A,1), (A,2), (B,1).
+  EXPECT_EQ(h.dots()[0], (Dot{kA, 1}));
+  EXPECT_EQ(h.dots()[2], (Dot{kB, 1}));
+}
+
+TEST(CausalHistory, InitializerListDedupes) {
+  const CausalHistory h{Dot{kA, 1}, Dot{kA, 1}, Dot{kB, 2}};
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(CausalHistory, MergeIsSetUnion) {
+  CausalHistory a{Dot{kA, 1}, Dot{kA, 2}};
+  const CausalHistory b{Dot{kA, 2}, Dot{kB, 1}};
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(a.contains(Dot{kB, 1}));
+}
+
+TEST(CausalHistory, SubsetOf) {
+  const CausalHistory small{Dot{kA, 1}};
+  const CausalHistory big{Dot{kA, 1}, Dot{kA, 2}};
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+  EXPECT_TRUE(CausalHistory{}.subset_of(small));
+}
+
+TEST(CausalHistory, CompareViaSetInclusion) {
+  const CausalHistory a1{Dot{kA, 1}};
+  const CausalHistory a12{Dot{kA, 1}, Dot{kA, 2}};
+  EXPECT_EQ(a1.compare(a12), Ordering::kBefore);
+  EXPECT_EQ(a12.compare(a1), Ordering::kAfter);
+  EXPECT_EQ(a1.compare(a1), Ordering::kEqual);
+}
+
+// The paper's §1 example: Ha || Hb iff neither includes the other.
+TEST(CausalHistory, ConcurrencyNeitherIncludesOther) {
+  const CausalHistory a{Dot{kA, 1}, Dot{kA, 3}};
+  const CausalHistory b{Dot{kA, 1}, Dot{kA, 2}};
+  EXPECT_EQ(a.compare(b), Ordering::kConcurrent);
+  EXPECT_EQ(b.compare(a), Ordering::kConcurrent);
+}
+
+// Figure 1a, server A, step by step: {A1} -> {A1,A2} and the racing
+// write {A1,A3}; after server B's client writes: {A1,A2,B1}; the final
+// reconciling write reads everything and produces {A1,A2,A3,A4}.
+TEST(CausalHistory, Fig1aLiteralHistories) {
+  const CausalHistory v1{Dot{kA, 1}};
+  const CausalHistory v2{Dot{kA, 1}, Dot{kA, 2}};
+  const CausalHistory v3{Dot{kA, 1}, Dot{kA, 3}};
+  const CausalHistory v4{Dot{kA, 1}, Dot{kA, 2}, Dot{kB, 1}};
+  const CausalHistory v5{Dot{kA, 1}, Dot{kA, 2}, Dot{kA, 3}, Dot{kA, 4}};
+
+  EXPECT_EQ(v1.compare(v2), Ordering::kBefore);
+  EXPECT_EQ(v1.compare(v3), Ordering::kBefore);
+  EXPECT_EQ(v3.compare(v2), Ordering::kConcurrent);  // {A1,A3} || {A1,A2}
+  EXPECT_EQ(v3.compare(v4), Ordering::kConcurrent);  // {A1,A3} || {A1,A2,B1}
+  EXPECT_EQ(v2.compare(v4), Ordering::kBefore);
+  EXPECT_EQ(v3.compare(v5), Ordering::kBefore);  // the final write supersedes both
+  EXPECT_EQ(v2.compare(v5), Ordering::kBefore);
+
+  EXPECT_EQ(v4.to_string(name), "{A1,A2,B1}");
+  EXPECT_EQ(v5.to_string(name), "{A1,A2,A3,A4}");
+}
+
+TEST(CausalHistory, EqualityIsContentBased) {
+  const CausalHistory a{Dot{kA, 1}, Dot{kB, 1}};
+  const CausalHistory b{Dot{kB, 1}, Dot{kA, 1}};
+  EXPECT_EQ(a, b);
+  const CausalHistory c{Dot{kA, 1}};
+  EXPECT_NE(a, c);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Integration tests for the replicated store: Replica + Cluster +
+// ClientSession over the DVV mechanism (and cross-mechanism smoke
+// coverage via typed tests).  Exercises routing, replication fan-out,
+// divergence + anti-entropy convergence, read-your-writes sessions and
+// sibling lifecycle end to end.
+#include "kv/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "kv/client.hpp"
+#include "kv/mechanism.hpp"
+
+namespace {
+
+using dvv::kv::ClientSession;
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+using dvv::kv::DvvMechanism;
+using dvv::kv::DvvSetMechanism;
+using dvv::kv::HistoryMechanism;
+using dvv::kv::Key;
+using dvv::kv::ReplicaId;
+using dvv::kv::ServerVvMechanism;
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.servers = 5;
+  cfg.replication = 3;
+  cfg.vnodes = 32;
+  return cfg;
+}
+
+TEST(Cluster, GetOnMissingKeyNotFound) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  const auto r = cluster.get("nope", 0);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.values.empty());
+}
+
+TEST(Cluster, PutThenGetFromEveryPreferenceReplica) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+
+  alice.put("k", "hello");
+  for (const ReplicaId r : cluster.preference_list("k")) {
+    const auto got = cluster.get("k", r);
+    ASSERT_TRUE(got.found) << "replica " << r;
+    ASSERT_EQ(got.values.size(), 1u);
+    EXPECT_EQ(got.values[0], "hello");
+  }
+}
+
+TEST(Cluster, PutDoesNotLandOutsidePreferenceList) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  alice.put("k", "v");
+  const auto pref = cluster.preference_list("k");
+  for (ReplicaId r = 0; r < 5; ++r) {
+    const bool in_pref = std::find(pref.begin(), pref.end(), r) != pref.end();
+    EXPECT_EQ(cluster.get("k", r).found, in_pref) << "replica " << r;
+  }
+}
+
+TEST(Cluster, ReadModifyWriteReplacesValue) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  alice.put("k", "v1");
+  alice.rmw("k", [](const std::vector<std::string>& vs) {
+    EXPECT_EQ(vs.size(), 1u);
+    return vs[0] + "+v2";
+  });
+  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  ASSERT_EQ(got.values.size(), 1u);
+  EXPECT_EQ(got.values[0], "v1+v2");
+}
+
+TEST(Cluster, RacingBlindWritesCreateSiblings) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  ClientSession<DvvMechanism> bob(dvv::kv::client_actor(1), cluster);
+
+  alice.put("k", "from-alice");
+  bob.put("k", "from-bob");  // bob never read: blind write
+
+  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  ASSERT_EQ(got.values.size(), 2u);
+  const std::set<std::string> vals(got.values.begin(), got.values.end());
+  EXPECT_TRUE(vals.contains("from-alice"));
+  EXPECT_TRUE(vals.contains("from-bob"));
+}
+
+TEST(Cluster, ReadingResolvesSiblingsOnNextWrite) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  ClientSession<DvvMechanism> bob(dvv::kv::client_actor(1), cluster);
+
+  alice.put("k", "a");
+  bob.put("k", "b");
+  // Carol reads both siblings, merges, writes back.
+  ClientSession<DvvMechanism> carol(dvv::kv::client_actor(2), cluster);
+  carol.rmw("k", [](const std::vector<std::string>& vs) {
+    EXPECT_EQ(vs.size(), 2u);
+    return std::string("merged");
+  });
+  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  ASSERT_EQ(got.values.size(), 1u);
+  EXPECT_EQ(got.values[0], "merged");
+}
+
+TEST(Cluster, PartialReplicationDivergesThenAntiEntropyConverges) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  // Write lands only on the coordinator (empty replicate_to).
+  alice.put_via(key, pref[0], "only-here", {});
+  EXPECT_TRUE(cluster.get(key, pref[0]).found);
+  EXPECT_FALSE(cluster.get(key, pref[1]).found);
+
+  cluster.anti_entropy();
+  for (const ReplicaId r : pref) {
+    const auto got = cluster.get(key, r);
+    ASSERT_TRUE(got.found);
+    EXPECT_EQ(got.values[0], "only-here");
+  }
+}
+
+TEST(Cluster, AntiEntropyConvergesDivergentSiblings) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  ClientSession<DvvMechanism> bob(dvv::kv::client_actor(1), cluster);
+
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  // Two writes land on two different replicas only: divergence.
+  alice.put_via(key, pref[0], "at-0", {});
+  bob.put_via(key, pref[1], "at-1", {});
+
+  cluster.anti_entropy();
+  for (const ReplicaId r : pref) {
+    const auto got = cluster.get(key, r);
+    ASSERT_TRUE(got.found);
+    EXPECT_EQ(got.values.size(), 2u) << "both siblings everywhere";
+  }
+  // Idempotent: a second round changes nothing.
+  const auto before = cluster.footprint();
+  cluster.anti_entropy();
+  const auto after = cluster.footprint();
+  EXPECT_EQ(before.siblings, after.siblings);
+  EXPECT_EQ(before.metadata_bytes, after.metadata_bytes);
+}
+
+TEST(Cluster, QuorumReadMergesDivergentReplicas) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  ClientSession<DvvMechanism> bob(dvv::kv::client_actor(1), cluster);
+
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  alice.put_via(key, pref[0], "at-0", {});
+  bob.put_via(key, pref[1], "at-1", {});
+
+  // A single-replica read sees one value; a quorum read sees both.
+  EXPECT_EQ(cluster.get(key, pref[0]).values.size(), 1u);
+  const auto merged = cluster.get_quorum(key, 2);
+  ASSERT_TRUE(merged.found);
+  EXPECT_EQ(merged.values.size(), 2u);
+}
+
+TEST(Cluster, DeadCoordinatorFailsOver) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  cluster.replica(pref[0]).set_alive(false);
+  EXPECT_EQ(cluster.default_coordinator(key), pref[1]);
+
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  alice.put(key, "survives");
+  EXPECT_TRUE(cluster.get(key, pref[1]).found);
+  EXPECT_FALSE(cluster.get(key, pref[0]).found) << "dead replica missed it";
+
+  // Recovery + anti-entropy repairs the dead replica.
+  cluster.replica(pref[0]).set_alive(true);
+  cluster.anti_entropy();
+  EXPECT_TRUE(cluster.get(key, pref[0]).found);
+}
+
+TEST(Cluster, FootprintAggregatesAcrossReplicas) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  alice.put("a", "1");
+  alice.put("b", "2");
+  const auto fp = cluster.footprint();
+  // Each key is stored on replication=3 replicas.
+  EXPECT_EQ(fp.keys, 6u);
+  EXPECT_EQ(fp.siblings, 6u);
+  EXPECT_GT(fp.metadata_bytes, 0u);
+  EXPECT_GT(fp.total_bytes, fp.metadata_bytes);
+}
+
+TEST(Cluster, SessionContextIsPerKey) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  alice.put("k1", "a");
+  alice.put("k2", "b");
+  EXPECT_TRUE(alice.context_for("k1").empty()) << "no GET yet, no context";
+  alice.get("k1");
+  EXPECT_FALSE(alice.context_for("k1").empty());
+  EXPECT_TRUE(alice.context_for("k2").empty());
+  alice.forget("k1");
+  EXPECT_TRUE(alice.context_for("k1").empty());
+}
+
+// The same end-to-end flow must work for every mechanism; typed tests
+// keep the matrix in one place.
+template <typename M>
+class ClusterMechanismTest : public ::testing::Test {};
+
+using Mechanisms = ::testing::Types<DvvMechanism, DvvSetMechanism,
+                                    dvv::kv::ClientVvMechanism, ServerVvMechanism,
+                                    HistoryMechanism>;
+TYPED_TEST_SUITE(ClusterMechanismTest, Mechanisms);
+
+TYPED_TEST(ClusterMechanismTest, PutGetRmwLifecycle) {
+  Cluster<TypeParam> cluster(small_config(), {});
+  ClientSession<TypeParam> alice(dvv::kv::client_actor(0), cluster);
+
+  alice.put("k", "v1");
+  auto got = alice.get("k");
+  ASSERT_TRUE(got.found);
+  ASSERT_EQ(got.values.size(), 1u);
+  EXPECT_EQ(got.values[0], "v1");
+
+  alice.put("k", "v2");  // context from the get: overwrite
+  got = alice.get("k");
+  ASSERT_EQ(got.values.size(), 1u);
+  EXPECT_EQ(got.values[0], "v2");
+}
+
+TYPED_TEST(ClusterMechanismTest, AntiEntropyConvergesAllReplicas) {
+  Cluster<TypeParam> cluster(small_config(), {});
+  ClientSession<TypeParam> alice(dvv::kv::client_actor(0), cluster);
+  const auto pref = cluster.preference_list("k");
+  alice.put_via("k", pref[0], "v", {});
+  cluster.anti_entropy();
+  for (const ReplicaId r : pref) {
+    EXPECT_TRUE(cluster.get("k", r).found);
+  }
+}
+
+TYPED_TEST(ClusterMechanismTest, RacingWritesKeptByAllSoundMechanisms) {
+  // Every mechanism keeps the conflict visible at the coordinating
+  // server itself (even server-VV "detects" it; it only mis-tags it).
+  Cluster<TypeParam> cluster(small_config(), {});
+  ClientSession<TypeParam> a(dvv::kv::client_actor(0), cluster);
+  ClientSession<TypeParam> b(dvv::kv::client_actor(1), cluster);
+  a.put("k", "x");
+  b.put("k", "y");
+  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  EXPECT_EQ(got.values.size(), 2u);
+}
+
+}  // namespace

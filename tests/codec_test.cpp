@@ -1,0 +1,251 @@
+// Tests for the wire codec: varint primitives, round-trips for every
+// clock and kernel type, and the size-accounting functions the metadata
+// benches (E5/E6) rely on.
+#include "codec/clock_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "kv/types.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::codec::Reader;
+using dvv::codec::Writer;
+using dvv::core::CausalHistory;
+using dvv::core::ClientVvSiblings;
+using dvv::core::Dot;
+using dvv::core::DottedVersionVector;
+using dvv::core::DvvSet;
+using dvv::core::DvvSiblings;
+using dvv::core::HistorySiblings;
+using dvv::core::ServerVvSiblings;
+using dvv::core::VersionVector;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+
+TEST(Wire, VarintRoundTripBoundaries) {
+  Writer w;
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16'383,
+                                  16'384,
+                                  std::numeric_limits<std::uint32_t>::max(),
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : values) w.varint(v);
+  Reader r(w.buffer());
+  for (const auto v : values) EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, VarintSizeMatchesEncoding) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 21, 1ULL << 63}) {
+    Writer w;
+    w.varint(v);
+    EXPECT_EQ(dvv::codec::varint_size(v), w.size()) << "value " << v;
+  }
+}
+
+TEST(Wire, BytesRoundTrip) {
+  Writer w;
+  w.bytes("hello");
+  w.bytes("");
+  w.bytes(std::string(1000, 'z'));
+  Reader r(w.buffer());
+  EXPECT_EQ(r.bytes(), "hello");
+  EXPECT_EQ(r.bytes(), "");
+  EXPECT_EQ(r.bytes(), std::string(1000, 'z'));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Wire, RandomVarintFuzzRoundTrip) {
+  dvv::util::Rng rng(0xc0dec);
+  for (int trial = 0; trial < 100; ++trial) {
+    Writer w;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 64; ++i) {
+      // Bias toward small values (the clock counter regime) plus spikes.
+      const std::uint64_t v =
+          rng.chance(0.8) ? rng.below(1000) : rng.next();
+      values.push_back(v);
+      w.varint(v);
+    }
+    Reader r(w.buffer());
+    for (const auto v : values) ASSERT_EQ(r.varint(), v);
+  }
+}
+
+TEST(ClockCodec, VersionVectorRoundTrip) {
+  const VersionVector vv{{kA, 3}, {kB, 170}, {9, 1}};
+  Writer w;
+  encode(w, vv);
+  Reader r(w.buffer());
+  EXPECT_EQ(decode_version_vector(r), vv);
+  EXPECT_EQ(w.size(), dvv::codec::encoded_size(vv));
+}
+
+TEST(ClockCodec, EmptyVersionVectorIsOneByte) {
+  Writer w;
+  encode(w, VersionVector{});
+  EXPECT_EQ(w.size(), 1u);  // just the zero count
+}
+
+TEST(ClockCodec, DotRoundTrip) {
+  const Dot d{kB, 4711};
+  Writer w;
+  encode(w, d);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_dot(r), d);
+  EXPECT_EQ(w.size(), dvv::codec::encoded_size(d));
+}
+
+TEST(ClockCodec, CausalHistoryRoundTrip) {
+  const CausalHistory h{Dot{kA, 1}, Dot{kA, 2}, Dot{kB, 1}};
+  Writer w;
+  encode(w, h);
+  Reader r(w.buffer());
+  EXPECT_EQ(decode_causal_history(r), h);
+  EXPECT_EQ(w.size(), dvv::codec::encoded_size(h));
+}
+
+TEST(ClockCodec, DvvRoundTrip) {
+  const DottedVersionVector d(Dot{kA, 4}, VersionVector{{kA, 2}, {kB, 1}});
+  Writer w;
+  encode(w, d);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_dvv(r), d);
+  EXPECT_EQ(w.size(), dvv::codec::encoded_size(d));
+}
+
+TEST(ClockCodec, DvvSiblingsRoundTrip) {
+  DvvSiblings<std::string> s;
+  s.update(kA, VersionVector{}, "v1");
+  const auto stale = s.context();
+  s.update(kA, stale, "left");
+  s.update(kA, stale, "right");
+
+  Writer w;
+  encode(w, s);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_dvv_siblings(r), s);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ClockCodec, ServerVvSiblingsRoundTrip) {
+  ServerVvSiblings<std::string> s;
+  s.update(kA, VersionVector{}, "x");
+  s.update(kB, s.context(), "y");
+  Writer w;
+  encode(w, s);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_server_vv_siblings(r), s);
+}
+
+TEST(ClockCodec, ClientVvSiblingsRoundTrip) {
+  ClientVvSiblings<std::string> s;
+  s.update(dvv::kv::client_actor(1), VersionVector{}, "x");
+  const auto stale = s.context();
+  s.update(dvv::kv::client_actor(2), stale, "y");
+  Writer w;
+  encode(w, s);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_client_vv_siblings(r), s);
+}
+
+TEST(ClockCodec, HistorySiblingsRoundTrip) {
+  HistorySiblings<std::string> s;
+  s.update(kA, CausalHistory{}, "x");
+  const auto stale = s.context();
+  s.update(kA, stale, "y");
+  s.update(kB, stale, "z");
+  Writer w;
+  encode(w, s);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_history_siblings(r), s);
+}
+
+TEST(ClockCodec, VveRoundTrip) {
+  dvv::core::VersionVectorWithExceptions vve;
+  vve.add(Dot{kA, 1});
+  vve.add(Dot{kA, 4});  // exceptions {2,3}
+  vve.add(Dot{kB, 2});  // exception {1}
+  Writer w;
+  encode(w, vve);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_vve(r), vve);
+  EXPECT_EQ(w.size(), dvv::codec::encoded_size(vve));
+}
+
+TEST(ClockCodec, VveSiblingsRoundTrip) {
+  dvv::core::VveSiblings<std::string> s;
+  s.update(kA, {}, "v1");
+  const auto stale = s.context();
+  s.update(kA, stale, "x");
+  s.update(kB, stale, "y");
+  Writer w;
+  encode(w, s);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_vve_siblings(r), s);
+}
+
+TEST(ClockCodec, DvvSetRoundTrip) {
+  DvvSet<std::string> s;
+  s.update(kA, VersionVector{}, "v1");
+  const auto stale = s.context();
+  s.update(kA, stale, "c1");
+  s.update(kB, stale, "c2");
+  Writer w;
+  encode(w, s);
+  Reader r(w.buffer());
+  EXPECT_EQ(dvv::codec::decode_dvv_set(r), s);
+}
+
+TEST(ClockCodec, MetadataSizeExcludesPayload) {
+  DvvSiblings<std::string> small, large;
+  small.update(kA, VersionVector{}, "x");
+  large.update(kA, VersionVector{}, std::string(10'000, 'p'));
+  // Identical clocks, wildly different payloads: metadata size equal.
+  EXPECT_EQ(dvv::codec::metadata_size(small), dvv::codec::metadata_size(large));
+  // Total size reflects the payload.
+  EXPECT_GT(large.sibling_count(), 0u);
+  Writer ws, wl;
+  encode(ws, small);
+  encode(wl, large);
+  EXPECT_GT(wl.size(), ws.size() + 9'000);
+}
+
+TEST(ClockCodec, MetadataGrowsWithClockEntriesNotValues) {
+  ClientVvSiblings<std::string> few, many;
+  for (std::uint64_t c = 0; c < 2; ++c) {
+    few.update(dvv::kv::client_actor(c), few.context(), "w");
+  }
+  for (std::uint64_t c = 0; c < 30; ++c) {
+    many.update(dvv::kv::client_actor(c), many.context(), "w");
+  }
+  EXPECT_GT(dvv::codec::metadata_size(many), dvv::codec::metadata_size(few) * 5);
+}
+
+TEST(ClockCodec, DvvSetMetadataSmallerThanPerSiblingUnderExplosion) {
+  DvvSet<std::string> set;
+  DvvSiblings<std::string> per_sibling;
+  set.update(kA, VersionVector{}, "seed");
+  per_sibling.update(kA, VersionVector{}, "seed");
+  const auto sctx = set.context();
+  const auto dctx = per_sibling.context();
+  for (int i = 0; i < 20; ++i) {
+    set.update(kA, sctx, "w" + std::to_string(i));
+    per_sibling.update(kA, dctx, "w" + std::to_string(i));
+  }
+  EXPECT_LT(dvv::codec::metadata_size(set),
+            dvv::codec::metadata_size(per_sibling) / 4)
+      << "the E10 compaction claim at codec level";
+}
+
+}  // namespace

@@ -1,0 +1,312 @@
+// Tests for core::DvvSiblings — the paper's server-side update()/sync()
+// workflow.  Covers the GET/PUT cycle, sibling creation and overwrite,
+// dot uniqueness, the metadata bound, and the algebraic properties of
+// sync (commutative / associative / idempotent) under randomized states.
+#include "core/dvv_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "core/causality.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::core::Dot;
+using dvv::core::DvvSiblings;
+using dvv::core::Ordering;
+using dvv::core::VersionVector;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+constexpr dvv::core::ActorId kC = 2;
+
+using Siblings = DvvSiblings<std::string>;
+
+TEST(DvvKernel, FreshKeyIsEmpty) {
+  Siblings s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.sibling_count(), 0u);
+  EXPECT_TRUE(s.context().empty());
+  EXPECT_EQ(s.clock_entries(), 0u);
+}
+
+TEST(DvvKernel, BlindWriteCreatesFirstVersion) {
+  Siblings s;
+  const Dot d = s.update(kA, VersionVector{}, "v1");
+  EXPECT_EQ(d, (Dot{kA, 1}));
+  EXPECT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(s.versions()[0].value, "v1");
+  EXPECT_TRUE(s.versions()[0].clock.past().empty());
+}
+
+TEST(DvvKernel, ReadModifyWriteOverwrites) {
+  Siblings s;
+  s.update(kA, VersionVector{}, "v1");
+  const VersionVector ctx = s.context();
+  const Dot d = s.update(kA, ctx, "v2");
+  EXPECT_EQ(d, (Dot{kA, 2}));
+  ASSERT_EQ(s.sibling_count(), 1u);  // v1 was read, so v1 is replaced
+  EXPECT_EQ(s.versions()[0].value, "v2");
+}
+
+TEST(DvvKernel, ConcurrentBlindWritesBecomeSiblings) {
+  Siblings s;
+  s.update(kA, VersionVector{}, "x");
+  s.update(kA, VersionVector{}, "y");  // another client, never read
+  EXPECT_EQ(s.sibling_count(), 2u);
+}
+
+// The paper's Fig. 1c core case: client 1 and client 2 both read version
+// (A,1); client 1 writes, then client 2 writes with its (now stale)
+// context.  Both writes must survive as concurrent siblings with clocks
+// (A,2)[1,0] and (A,3)[1,0].
+TEST(DvvKernel, StaleContextWriteCreatesConcurrentSibling) {
+  Siblings s;
+  s.update(kA, VersionVector{}, "v1");           // (A,1)[]
+  const VersionVector read_by_both = s.context();  // [A->1]
+
+  s.update(kA, read_by_both, "from-client-1");   // (A,2)[1,0], replaces v1
+  s.update(kA, read_by_both, "from-client-2");   // (A,3)[1,0], sibling!
+
+  ASSERT_EQ(s.sibling_count(), 2u);
+  const auto& c1 = s.versions()[0].clock;
+  const auto& c2 = s.versions()[1].clock;
+  EXPECT_EQ(c1.dot(), (Dot{kA, 2}));
+  EXPECT_EQ(c2.dot(), (Dot{kA, 3}));
+  EXPECT_EQ(c1.past(), (VersionVector{{kA, 1}}));
+  EXPECT_EQ(c2.past(), (VersionVector{{kA, 1}}));
+  EXPECT_EQ(c1.compare(c2), Ordering::kConcurrent);
+}
+
+TEST(DvvKernel, ContextReadAfterConflictOverwritesBothSiblings) {
+  Siblings s;
+  s.update(kA, VersionVector{}, "x");
+  s.update(kA, VersionVector{}, "y");
+  ASSERT_EQ(s.sibling_count(), 2u);
+  const VersionVector ctx = s.context();  // covers both dots
+  s.update(kA, ctx, "merged");
+  ASSERT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(s.versions()[0].value, "merged");
+}
+
+TEST(DvvKernel, DotsNeverReusedEvenAfterDiscard) {
+  Siblings s;
+  s.update(kA, VersionVector{}, "v1");         // (A,1)
+  const auto ctx = s.context();
+  const Dot d2 = s.update(kA, ctx, "v2");      // (A,2), discards v1
+  const auto ctx2 = s.context();
+  const Dot d3 = s.update(kA, ctx2, "v3");     // must be (A,3)
+  EXPECT_EQ(d2, (Dot{kA, 2}));
+  EXPECT_EQ(d3, (Dot{kA, 3}));
+}
+
+TEST(DvvKernel, CounterAdvancesPastContextEvenWithEmptyStore) {
+  // A replica that lost its state (or a fresh replica receiving a write
+  // whose context already mentions it) must not mint a stale dot.
+  Siblings s;
+  const VersionVector ctx{{kA, 7}};
+  const Dot d = s.update(kA, ctx, "v");
+  EXPECT_EQ(d, (Dot{kA, 8}));
+}
+
+TEST(DvvKernel, WritesThroughDifferentServersGetDifferentDotNodes) {
+  Siblings a, b;
+  a.update(kA, VersionVector{}, "from-A");
+  b.update(kB, VersionVector{}, "from-B");
+  a.sync(b);
+  ASSERT_EQ(a.sibling_count(), 2u);
+  EXPECT_EQ(a.versions()[0].clock.dot().node, kA);
+  EXPECT_EQ(a.versions()[1].clock.dot().node, kB);
+}
+
+TEST(DvvKernel, SyncDropsDominatedVersions) {
+  Siblings a;
+  a.update(kA, VersionVector{}, "old");
+  Siblings b = a;  // replicate
+  const auto ctx = b.context();
+  b.update(kA, ctx, "new");  // b's version dominates a's
+
+  a.sync(b);
+  ASSERT_EQ(a.sibling_count(), 1u);
+  EXPECT_EQ(a.versions()[0].value, "new");
+}
+
+TEST(DvvKernel, SyncKeepsConcurrentVersionsFromBothSides) {
+  Siblings a, b;
+  a.update(kA, VersionVector{}, "x");
+  b.update(kB, VersionVector{}, "y");
+  a.sync(b);
+  EXPECT_EQ(a.sibling_count(), 2u);
+}
+
+TEST(DvvKernel, SyncDeduplicatesSharedVersions) {
+  Siblings a;
+  a.update(kA, VersionVector{}, "x");
+  Siblings b = a;  // identical replicas
+  a.sync(b);
+  EXPECT_EQ(a.sibling_count(), 1u);
+}
+
+TEST(DvvKernel, SyncWithEmptyIsIdentity) {
+  Siblings a;
+  a.update(kA, VersionVector{}, "x");
+  const Siblings before = a;
+  a.sync(Siblings{});
+  EXPECT_EQ(a, before);
+
+  Siblings empty;
+  empty.sync(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(DvvKernel, AbsorbSingleReplicatedVersion) {
+  Siblings coord;
+  coord.update(kA, VersionVector{}, "v");
+  Siblings replica;
+  replica.absorb(coord.versions()[0]);
+  EXPECT_EQ(replica, coord);
+  // Absorbing again changes nothing.
+  replica.absorb(coord.versions()[0]);
+  EXPECT_EQ(replica.sibling_count(), 1u);
+}
+
+// The paper's headline bound: with one entry per replica server, clock
+// width never exceeds the number of servers that coordinate writes — no
+// matter how many clients race.
+TEST(DvvKernel, MetadataBoundedByCoordinatingServersNotClients) {
+  Siblings s;
+  constexpr int kClients = 100;
+  // Every client read the same initial state, then all write through
+  // server A: worst-case client concurrency on one server.
+  s.update(kA, VersionVector{}, "seed");
+  const VersionVector stale = s.context();
+  for (int c = 0; c < kClients; ++c) {
+    s.update(kA, stale, "client-" + std::to_string(c));
+  }
+  // Every sibling's clock mentions only server A.
+  for (const auto& v : s.versions()) {
+    EXPECT_LE(v.clock.past().size(), 1u);
+    EXPECT_EQ(v.clock.dot().node, kA);
+  }
+  // Context covers one server entry, not 100 client entries.
+  EXPECT_EQ(s.context().size(), 1u);
+}
+
+TEST(DvvKernel, ContextDominatesEverySibling) {
+  dvv::util::Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 100; ++trial) {
+    Siblings s;
+    VersionVector client_ctx;
+    for (int step = 0; step < 20; ++step) {
+      const dvv::core::ActorId server = rng.below(3);
+      if (rng.chance(0.5)) client_ctx = s.context();
+      if (rng.chance(0.7)) {
+        s.update(server, rng.chance(0.3) ? VersionVector{} : client_ctx, "v");
+      }
+    }
+    const VersionVector ctx = s.context();
+    for (const auto& v : s.versions()) {
+      EXPECT_TRUE(v.clock.obsoleted_by(ctx));
+    }
+  }
+}
+
+// Randomized replica states for the algebra checks below: build three
+// replicas that partially share history via random updates and syncs.
+std::array<Siblings, 3> random_states(dvv::util::Rng& rng) {
+  std::array<Siblings, 3> r;
+  std::array<VersionVector, 4> ctx;  // four clients
+  for (int step = 0; step < 25; ++step) {
+    const auto i = rng.index(3);
+    const auto c = rng.index(4);
+    switch (rng.below(3)) {
+      case 0:
+        ctx[c] = r[i].context();
+        break;
+      case 1:
+        r[i].update(static_cast<dvv::core::ActorId>(i), ctx[c],
+                    "w" + std::to_string(step));
+        break;
+      case 2:
+        r[i].sync(r[rng.index(3)]);
+        break;
+    }
+  }
+  return r;
+}
+
+/// Canonical form for comparing sibling sets regardless of order.
+std::multiset<std::string> value_set(const Siblings& s) {
+  std::multiset<std::string> out;
+  for (const auto& v : s.versions()) out.insert(v.value);
+  return out;
+}
+
+TEST(DvvKernel, SyncIsCommutative) {
+  dvv::util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto [a, b, c] = random_states(rng);
+    Siblings ab = a, ba = b;
+    ab.sync(b);
+    ba.sync(a);
+    EXPECT_EQ(value_set(ab), value_set(ba)) << "trial " << trial;
+    EXPECT_EQ(ab.context(), ba.context()) << "trial " << trial;
+  }
+}
+
+TEST(DvvKernel, SyncIsAssociative) {
+  dvv::util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto [a, b, c] = random_states(rng);
+    Siblings left = a;
+    left.sync(b);
+    left.sync(c);
+    Siblings bc = b;
+    bc.sync(c);
+    Siblings right = a;
+    right.sync(bc);
+    EXPECT_EQ(value_set(left), value_set(right)) << "trial " << trial;
+    EXPECT_EQ(left.context(), right.context()) << "trial " << trial;
+  }
+}
+
+TEST(DvvKernel, SyncIsIdempotent) {
+  dvv::util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto [a, b, c] = random_states(rng);
+    Siblings once = a;
+    once.sync(b);
+    Siblings twice = once;
+    twice.sync(b);
+    EXPECT_EQ(value_set(once), value_set(twice)) << "trial " << trial;
+    Siblings self = once;
+    self.sync(once);
+    EXPECT_EQ(value_set(self), value_set(once)) << "trial " << trial;
+  }
+}
+
+TEST(DvvKernel, SyncNeverLosesConcurrentValues) {
+  // Values retained by both inputs and mutually concurrent must appear
+  // in the result: sync only drops *dominated* versions.
+  dvv::util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto [a, b, c] = random_states(rng);
+    Siblings merged = a;
+    merged.sync(b);
+    const auto merged_values = value_set(merged);
+    for (const auto& v : a.versions()) {
+      bool dominated = false;
+      for (const auto& w : b.versions()) {
+        if (v.clock.compare(w.clock) == Ordering::kBefore) dominated = true;
+      }
+      if (!dominated) {
+        EXPECT_TRUE(merged_values.contains(v.value)) << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Tests for core::DvvSet — the compact sibling-set clock (S6/E10).
+// Verifies the implied-dot bookkeeping, the update/discard/sync
+// semantics, the algebraic laws, and (the load-bearing one) value-level
+// equivalence with the per-sibling DVV kernel on random traces.
+#include "core/dvv_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <string>
+
+#include "core/dvv_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::core::Dot;
+using dvv::core::DvvSet;
+using dvv::core::DvvSiblings;
+using dvv::core::VersionVector;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+
+using Set = DvvSet<std::string>;
+
+std::multiset<std::string> values_of(const Set& s) {
+  std::multiset<std::string> out;
+  for (const auto* v : s.values()) out.insert(*v);
+  return out;
+}
+
+TEST(DvvSet, FreshIsEmpty) {
+  Set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.sibling_count(), 0u);
+  EXPECT_EQ(s.clock_entries(), 0u);
+  EXPECT_TRUE(s.context().empty());
+}
+
+TEST(DvvSet, BlindWrite) {
+  Set s;
+  const Dot d = s.update(kA, VersionVector{}, "v1");
+  EXPECT_EQ(d, (Dot{kA, 1}));
+  EXPECT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(s.context(), (VersionVector{{kA, 1}}));
+}
+
+TEST(DvvSet, RmwReplacesValueKeepsCausalPast) {
+  Set s;
+  s.update(kA, VersionVector{}, "v1");
+  const auto ctx = s.context();
+  const Dot d = s.update(kA, ctx, "v2");
+  EXPECT_EQ(d, (Dot{kA, 2}));
+  EXPECT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(values_of(s), (std::multiset<std::string>{"v2"}));
+  // The entry still records both events compactly.
+  EXPECT_EQ(s.context(), (VersionVector{{kA, 2}}));
+  EXPECT_EQ(s.clock_entries(), 1u);
+}
+
+TEST(DvvSet, StaleContextKeepsConcurrentValues) {
+  Set s;
+  s.update(kA, VersionVector{}, "v1");
+  const auto stale = s.context();
+  s.update(kA, stale, "c1");
+  s.update(kA, stale, "c2");
+  EXPECT_EQ(s.sibling_count(), 2u);
+  EXPECT_EQ(values_of(s), (std::multiset<std::string>{"c1", "c2"}));
+  // One clock entry for the whole sibling set — that's the compaction.
+  EXPECT_EQ(s.clock_entries(), 1u);
+  EXPECT_EQ(s.context(), (VersionVector{{kA, 3}}));
+}
+
+TEST(DvvSet, ImpliedDotsAreDescending) {
+  Set s;
+  s.update(kA, VersionVector{}, "v1");
+  const auto stale = s.context();
+  s.update(kA, stale, "c1");
+  s.update(kA, stale, "c2");
+  const auto& e = s.entries()[0];
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_EQ(Set::dot_of(e, 0), (Dot{kA, 3}));  // newest first
+  EXPECT_EQ(Set::dot_of(e, 1), (Dot{kA, 2}));
+}
+
+TEST(DvvSet, FreshContextOverwritesAllSiblings) {
+  Set s;
+  s.update(kA, VersionVector{}, "x");
+  s.update(kA, VersionVector{}, "y");
+  ASSERT_EQ(s.sibling_count(), 2u);
+  const auto ctx = s.context();
+  s.update(kB, ctx, "merged");  // resolved through another server
+  EXPECT_EQ(values_of(s), (std::multiset<std::string>{"merged"}));
+  // Entry A keeps its causal knowledge with zero values.
+  EXPECT_EQ(s.clock_entries(), 2u);
+  EXPECT_EQ(s.context().get(kA), 2u);
+  EXPECT_EQ(s.context().get(kB), 1u);
+}
+
+TEST(DvvSet, DiscardKeepsEntryMetadata) {
+  Set s;
+  s.update(kA, VersionVector{}, "x");
+  s.discard(s.context());
+  EXPECT_EQ(s.sibling_count(), 0u);
+  EXPECT_EQ(s.clock_entries(), 1u) << "causal knowledge survives value discard";
+  // A later blind write still gets a fresh dot, not (A,1) again.
+  const Dot d = s.update(kA, VersionVector{}, "y");
+  EXPECT_EQ(d, (Dot{kA, 2}));
+}
+
+TEST(DvvSet, SyncDisjointActorsKeepsBoth) {
+  Set a, b;
+  a.update(kA, VersionVector{}, "x");
+  b.update(kB, VersionVector{}, "y");
+  a.sync(b);
+  EXPECT_EQ(values_of(a), (std::multiset<std::string>{"x", "y"}));
+  EXPECT_EQ(a.clock_entries(), 2u);
+}
+
+TEST(DvvSet, SyncSameActorNewerRunWins) {
+  Set a;
+  a.update(kA, VersionVector{}, "v1");
+  Set b = a;                       // replicate
+  b.update(kA, b.context(), "v2"); // b is strictly newer
+  a.sync(b);
+  EXPECT_EQ(values_of(a), (std::multiset<std::string>{"v2"}));
+  EXPECT_EQ(a.context(), (VersionVector{{kA, 2}}));
+}
+
+TEST(DvvSet, SyncKeepsCrossServerConcurrentWrites) {
+  // Two replicas diverge after both held v1: one coordinates a write as
+  // actor A (dot (A,2)), the other as actor B (dot (B,1)).  Sync must
+  // keep both — they are true siblings.  (Dot uniqueness per actor is a
+  // deployment invariant: server i mints only actor-i dots.)
+  Set c;
+  c.update(kA, VersionVector{}, "v1");
+  const auto ctx = c.context();
+  Set d = c;
+  c.update(kA, ctx, "from-a");  // (A,2)
+  d.update(kB, ctx, "from-b");  // (B,1)
+  c.sync(d);
+  EXPECT_EQ(values_of(c), (std::multiset<std::string>{"from-a", "from-b"}));
+}
+
+TEST(DvvSet, SyncIsIdempotentCommutativeAssociative) {
+  dvv::util::Rng rng(0xd5e7);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Build three replicas with per-server coordination (server i mints
+    // only dots for actor i — the deployment invariant).
+    std::array<Set, 3> r;
+    std::array<VersionVector, 3> ctx;
+    for (int step = 0; step < 20; ++step) {
+      const auto i = rng.index(3);
+      const auto c = rng.index(3);
+      switch (rng.below(3)) {
+        case 0:
+          ctx[c] = r[i].context();
+          break;
+        case 1:
+          r[i].update(static_cast<dvv::core::ActorId>(i), ctx[c],
+                      "w" + std::to_string(trial) + "-" + std::to_string(step));
+          break;
+        case 2:
+          r[i].sync(r[rng.index(3)]);
+          break;
+      }
+    }
+    Set ab = r[0], ba = r[1];
+    ab.sync(r[1]);
+    ba.sync(r[0]);
+    EXPECT_EQ(values_of(ab), values_of(ba)) << "commutative, trial " << trial;
+    EXPECT_EQ(ab.context(), ba.context());
+
+    Set left = r[0];
+    left.sync(r[1]);
+    left.sync(r[2]);
+    Set bc = r[1];
+    bc.sync(r[2]);
+    Set right = r[0];
+    right.sync(bc);
+    EXPECT_EQ(values_of(left), values_of(right)) << "associative, trial " << trial;
+
+    Set twice = ab;
+    twice.sync(r[1]);
+    EXPECT_EQ(values_of(twice), values_of(ab)) << "idempotent, trial " << trial;
+  }
+}
+
+// Equivalence with the per-sibling DVV kernel: same trace (server i
+// coordinates only as actor i), same surviving values at every step.
+TEST(DvvSet, MatchesDvvKernelOnRandomTraces) {
+  dvv::util::Rng rng(0x5e7d);
+  for (int trial = 0; trial < 300; ++trial) {
+    constexpr std::size_t kServers = 3;
+    constexpr std::size_t kClients = 4;
+    std::array<Set, kServers> set_replica;
+    std::array<DvvSiblings<std::string>, kServers> dvv_replica;
+    std::array<VersionVector, kClients> set_ctx, dvv_ctx;
+
+    const auto steps = 5 + rng.below(25);
+    for (std::uint64_t step = 0; step < steps; ++step) {
+      const auto server = rng.index(kServers);
+      const auto client = rng.index(kClients);
+      switch (rng.below(4)) {
+        case 0:
+          set_ctx[client] = set_replica[server].context();
+          dvv_ctx[client] = dvv_replica[server].context();
+          break;
+        case 1: {
+          const std::string v = "w" + std::to_string(step);
+          set_replica[server].update(server, set_ctx[client], v);
+          dvv_replica[server].update(server, dvv_ctx[client], v);
+          break;
+        }
+        case 2: {
+          const std::string v = "b" + std::to_string(step);
+          set_replica[server].update(server, VersionVector{}, v);
+          dvv_replica[server].update(server, VersionVector{}, v);
+          break;
+        }
+        case 3: {
+          const auto other = rng.index(kServers);
+          set_replica[server].sync(set_replica[other]);
+          dvv_replica[server].sync(dvv_replica[other]);
+          break;
+        }
+      }
+      for (std::size_t r = 0; r < kServers; ++r) {
+        std::multiset<std::string> dvv_values;
+        for (const auto& v : dvv_replica[r].versions()) dvv_values.insert(v.value);
+        ASSERT_EQ(values_of(set_replica[r]), dvv_values)
+            << "trial " << trial << " step " << step << " replica " << r;
+      }
+    }
+  }
+}
+
+// The compaction claim of E10: under heavy same-key concurrency the
+// DVVSet clock stays at one entry per coordinating server while the
+// per-sibling representation pays one dot+vector per sibling.
+TEST(DvvSet, CompactionUnderSiblingExplosion) {
+  Set set;
+  DvvSiblings<std::string> dvv;
+  set.update(kA, VersionVector{}, "seed");
+  dvv.update(kA, VersionVector{}, "seed");
+  const auto stale_set = set.context();
+  const auto stale_dvv = dvv.context();
+  for (int i = 0; i < 50; ++i) {
+    set.update(kA, stale_set, "w" + std::to_string(i));
+    dvv.update(kA, stale_dvv, "w" + std::to_string(i));
+  }
+  EXPECT_EQ(set.sibling_count(), dvv.sibling_count());
+  EXPECT_EQ(set.clock_entries(), 1u);
+  EXPECT_EQ(dvv.clock_entries(), 100u);  // 50 siblings x (dot + one entry)
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Failure-injection property suite: servers crash (fail-stop, durable
+// state) and recover mid-workload while clients keep reading and
+// writing around them.  The claims under test:
+//
+//   * DVV and DVVSet remain EXACT vs the causal-history oracle through
+//     arbitrary crash/recovery interleavings — sound causality does not
+//     depend on node liveness;
+//   * after failures stop, anti-entropy converges every key's
+//     preference replicas to identical states (eventual convergence);
+//   * recovered replicas never resurrect overwritten data through
+//     anti-entropy (their stale versions are provably dominated).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "kv/mechanism.hpp"
+#include "oracle/audit.hpp"
+#include "workload/replay.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+using dvv::kv::DvvMechanism;
+using dvv::kv::DvvSetMechanism;
+using dvv::oracle::mirrored_run;
+using dvv::workload::WorkloadSpec;
+
+ClusterConfig config() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.replication = 3;
+  cfg.vnodes = 16;
+  return cfg;
+}
+
+WorkloadSpec crashy(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.keys = 8;
+  spec.zipf_skew = 0.99;
+  spec.clients = 12;
+  spec.operations = 500;
+  spec.read_before_write = 0.7;
+  spec.replicate_probability = 0.7;
+  spec.anti_entropy_every = 40;
+  spec.fail_probability = 0.05;
+  spec.recover_probability = 0.10;
+  spec.servers = config().servers;
+  spec.seed = seed;
+  return spec;
+}
+
+class FailureSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailureSeedSweep, TraceActuallyContainsFailures) {
+  const auto trace = dvv::workload::generate_trace(crashy(GetParam()),
+                                                   config().replication);
+  std::size_t fails = 0, recovers = 0;
+  for (const auto& op : trace.ops) {
+    fails += op.kind == dvv::workload::TraceOp::Kind::kFail;
+    recovers += op.kind == dvv::workload::TraceOp::Kind::kRecover;
+  }
+  EXPECT_GT(fails, 0u) << "spec must actually inject crashes";
+  EXPECT_LE(recovers, fails);
+}
+
+TEST_P(FailureSeedSweep, DvvStaysExactThroughCrashes) {
+  const auto run = mirrored_run(crashy(GetParam()), config(), DvvMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+  EXPECT_GT(run.subject_stats.failures, 0u);
+}
+
+TEST_P(FailureSeedSweep, DvvSetStaysExactThroughCrashes) {
+  const auto run = mirrored_run(crashy(GetParam()), config(), DvvSetMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+}
+
+TEST_P(FailureSeedSweep, RecoveryPlusAntiEntropyConverges) {
+  const auto spec = crashy(GetParam());
+  const auto trace = dvv::workload::generate_trace(spec, config().replication);
+  Cluster<DvvMechanism> cluster(config(), {});
+  dvv::workload::replay(cluster, trace);
+
+  // Bring everyone back and run one full repair round.
+  for (std::size_t s = 0; s < config().servers; ++s) {
+    cluster.replica(s).set_alive(true);
+  }
+  cluster.anti_entropy();
+
+  // Every key: all preference replicas hold identical value sets.
+  const auto& mech = cluster.mechanism();
+  for (std::size_t s = 0; s < config().servers; ++s) {
+    for (const auto& key : cluster.replica(s).keys()) {
+      std::multiset<std::string> reference;
+      bool first = true;
+      for (const auto r : cluster.preference_list(key)) {
+        std::multiset<std::string> values;
+        if (const auto* stored = cluster.replica(r).find(key)) {
+          for (auto& v : mech.values_of(*stored)) values.insert(v);
+        }
+        if (first) {
+          reference = values;
+          first = false;
+        } else {
+          ASSERT_EQ(values, reference) << "key " << key << " replica " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FailureSeedSweep, DvvStaysExactWithHintedHandoff) {
+  // The sloppy quorum changes WHERE writes land during outages (hints
+  // on fallback servers, delivered on recovery) — it must not change
+  // causality one bit.
+  auto spec = crashy(GetParam());
+  spec.hinted_handoff = true;
+  const auto run = mirrored_run(spec, config(), DvvMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailureSeedSweep,
+                         ::testing::Values(11, 23, 37, 59, 71, 97));
+
+// A recovered replica holding month-old state must not push stale
+// versions back into the cluster: its versions' dots are inside the
+// live versions' causal pasts, so anti-entropy discards them.
+TEST(FailureRecovery, StaleReplicaCannotResurrectOverwrittenData) {
+  Cluster<DvvMechanism> cluster(config(), {});
+  dvv::kv::ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  const dvv::kv::Key key = "k";
+  const auto pref = cluster.preference_list(key);
+
+  alice.get(key);
+  alice.put(key, "v1");  // everywhere
+
+  cluster.replica(pref[2]).set_alive(false);  // crash with v1 on disk
+  for (int i = 2; i <= 5; ++i) {
+    alice.get(key);
+    alice.put(key, "v" + std::to_string(i));  // v1..v4 overwritten
+  }
+  cluster.replica(pref[2]).set_alive(true);  // back, still holding v1
+
+  cluster.anti_entropy();
+  for (const auto r : pref) {
+    const auto got = cluster.get(key, r);
+    ASSERT_TRUE(got.found);
+    ASSERT_EQ(got.values.size(), 1u) << "no resurrected sibling on " << r;
+    EXPECT_EQ(got.values[0], "v5");
+  }
+}
+
+// Symmetric hazard: writes accepted by the SURVIVORS while a replica is
+// down must win over the stale copy without the survivors ever having
+// seen the crash.
+TEST(FailureRecovery, WritesDuringOutageSurviveRepair) {
+  Cluster<DvvMechanism> cluster(config(), {});
+  dvv::kv::ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  dvv::kv::ClientSession<DvvMechanism> bob(dvv::kv::client_actor(1), cluster);
+  const dvv::kv::Key key = "k";
+  const auto pref = cluster.preference_list(key);
+
+  alice.get(key);
+  alice.put(key, "base");
+  cluster.replica(pref[0]).set_alive(false);  // the usual coordinator dies
+
+  // Bob writes through the fail-over coordinator; Alice writes blind.
+  bob.get(key);
+  bob.put(key, "bob-during-outage");
+  alice.forget(key);
+  alice.put(key, "alice-blind");
+
+  cluster.replica(pref[0]).set_alive(true);
+  cluster.anti_entropy();
+
+  for (const auto r : pref) {
+    const auto got = cluster.get(key, r);
+    ASSERT_TRUE(got.found);
+    const std::set<std::string> values(got.values.begin(), got.values.end());
+    EXPECT_TRUE(values.contains("bob-during-outage"));
+    EXPECT_TRUE(values.contains("alice-blind"));
+    EXPECT_FALSE(values.contains("base")) << "dominated version must be gone";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Verbatim replay of the paper's Figure 1: a system with two servers
+// (A, B) and a single object, three causality mechanisms side by side.
+//
+// The event sequence (reconstructed from panels a/b/c and §2's prose):
+//   1. Peter writes v1 through A with an empty context.
+//   2. Peter and Mary both read v1 from A.
+//   3. Peter writes v2 through A with his (fresh) context: v2 replaces v1.
+//   4. A syncs to B; a third client reads v2 at B.
+//   5. Mary writes v3 through A with her now-STALE context: v3 must
+//      stay concurrent with v2 ({A1,A3} || {A1,A2}).
+//   6. The B-side client writes v4 through B with context {A1,A2}
+//      ({A1,A2,B1}, concurrent with v3).
+//   7. Servers sync; a reader at A sees both remaining siblings and
+//      writes v5 through A, reconciling everything: {A1,A2,A3,A4}.
+//
+// Every literal clock the paper prints is asserted: causal histories in
+// Fig. 1a, the problematic [2,0] < [3,0] of Fig. 1b, and the DVVs of
+// Fig. 1c including (A,3)[1,0] || (A,2)[1,0].
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/causal_history.hpp"
+#include "core/causality.hpp"
+#include "core/dvv_kernel.hpp"
+#include "core/history_kernel.hpp"
+#include "core/vv_kernels.hpp"
+
+namespace {
+
+using dvv::core::CausalHistory;
+using dvv::core::Dot;
+using dvv::core::DvvSiblings;
+using dvv::core::HistorySiblings;
+using dvv::core::Ordering;
+using dvv::core::ServerVvSiblings;
+using dvv::core::VersionVector;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+
+std::string name(dvv::core::ActorId id) {
+  return std::string(1, static_cast<char>('A' + id));
+}
+
+// ---------------------------------------------------------- Fig. 1a (truth)
+
+TEST(Fig1, PanelA_CausalHistories) {
+  HistorySiblings<std::string> server_a, server_b;
+
+  // 1. Peter's initial write through A.
+  server_a.update(kA, CausalHistory{}, "v1");
+  ASSERT_EQ(server_a.sibling_count(), 1u);
+  EXPECT_EQ(server_a.versions()[0].history.to_string(name), "{A1}");
+
+  // 2. Peter and Mary read v1.
+  const CausalHistory peter_ctx = server_a.context();
+  const CausalHistory mary_ctx = server_a.context();
+
+  // 3. Peter writes v2: replaces v1.
+  server_a.update(kA, peter_ctx, "v2");
+  ASSERT_EQ(server_a.sibling_count(), 1u);
+  EXPECT_EQ(server_a.versions()[0].history.to_string(name), "{A1,A2}");
+
+  // 4. A -> B sync; a client reads v2 at B.
+  server_b.sync(server_a);
+  const CausalHistory b_client_ctx = server_b.context();
+  EXPECT_EQ(b_client_ctx.to_string(name), "{A1,A2}");
+
+  // 5. Mary writes v3 with her stale context: true siblings at A.
+  server_a.update(kA, mary_ctx, "v3");
+  ASSERT_EQ(server_a.sibling_count(), 2u);
+  EXPECT_EQ(server_a.versions()[0].history.to_string(name), "{A1,A2}");
+  EXPECT_EQ(server_a.versions()[1].history.to_string(name), "{A1,A3}");
+  EXPECT_EQ(server_a.versions()[1].history.compare(server_a.versions()[0].history),
+            Ordering::kConcurrent)
+      << "{A1,A3} || {A1,A2}, as printed in the figure";
+
+  // 6. The B client writes v4 through B.
+  server_b.update(kB, b_client_ctx, "v4");
+  ASSERT_EQ(server_b.sibling_count(), 1u);
+  EXPECT_EQ(server_b.versions()[0].history.to_string(name), "{A1,A2,B1}");
+
+  // 7. Sync both ways: B holds {A1,A3} || {A1,A2,B1}.
+  server_b.sync(server_a);
+  server_a.sync(server_b);
+  ASSERT_EQ(server_b.sibling_count(), 2u);
+  EXPECT_EQ(server_b.versions()[0].history.compare(server_b.versions()[1].history),
+            Ordering::kConcurrent)
+      << "{A1,A3} || {A1,A2,B1}";
+
+  // A reader at A reconciles everything through A.
+  // (A holds {A1,A2,B1} and {A1,A3} after the bidirectional sync.)
+  const CausalHistory full_ctx = server_a.context();
+  server_a.update(kA, full_ctx, "v5");
+  ASSERT_EQ(server_a.sibling_count(), 1u);
+  // Context = {A1,A2,A3,B1}; new event A4.  The figure's final history
+  // {A1,A2,A3,A4} corresponds to reconciling at A *before* B1 arrived;
+  // we assert the dominance property it illustrates plus the event name.
+  EXPECT_TRUE(server_a.versions()[0].history.contains(Dot{kA, 4}));
+  EXPECT_TRUE(CausalHistory({Dot{kA, 1}, Dot{kA, 2}, Dot{kA, 3}})
+                  .subset_of(server_a.versions()[0].history));
+}
+
+// The figure's exact final history {A1,A2,A3,A4} (reconciliation at A
+// from A's own two siblings, before B's version arrives).
+TEST(Fig1, PanelA_FinalReconciliationAtA) {
+  HistorySiblings<std::string> server_a;
+  server_a.update(kA, CausalHistory{}, "v1");
+  const auto stale = server_a.context();
+  server_a.update(kA, server_a.context(), "v2");
+  server_a.update(kA, stale, "v3");  // {A1,A3} || {A1,A2}
+  ASSERT_EQ(server_a.sibling_count(), 2u);
+
+  const auto ctx = server_a.context();  // {A1,A2,A3}
+  server_a.update(kA, ctx, "v5");
+  ASSERT_EQ(server_a.sibling_count(), 1u);
+  EXPECT_EQ(server_a.versions()[0].history.to_string(name), "{A1,A2,A3,A4}");
+}
+
+// ----------------------------------------------------- Fig. 1b (VV, broken)
+
+TEST(Fig1, PanelB_ServerVvAnomaly) {
+  ServerVvSiblings<std::string> server_a, server_b;
+  const std::vector<dvv::core::ActorId> order{kA, kB};
+
+  server_a.update(kA, VersionVector{}, "v1");
+  EXPECT_EQ(server_a.versions()[0].clock.to_string_dense(order), "[1,0]");
+
+  const VersionVector peter_ctx = server_a.context();
+  const VersionVector mary_ctx = server_a.context();
+
+  server_a.update(kA, peter_ctx, "v2");
+  EXPECT_EQ(server_a.versions()[0].clock.to_string_dense(order), "[2,0]");
+
+  server_b.sync(server_a);  // B replicates [2,0]
+  ASSERT_EQ(server_b.sibling_count(), 1u);
+
+  // Mary's stale write: the server detects the conflict (her context
+  // [1,0] differs from the stored [2,0]) and keeps both versions — but
+  // must tag hers with [3,0], which falsely dominates [2,0].
+  server_a.update(kA, mary_ctx, "v3");
+  ASSERT_EQ(server_a.sibling_count(), 2u);
+  EXPECT_EQ(server_a.versions()[0].clock.to_string_dense(order), "[2,0]");
+  EXPECT_EQ(server_a.versions()[1].clock.to_string_dense(order), "[3,0]");
+  EXPECT_EQ(server_a.versions()[0].clock.compare(server_a.versions()[1].clock),
+            Ordering::kBefore)
+      << "the paper's problematic case: [2,0] < [3,0]";
+
+  // "...as it would happen in server B, after receiving the version
+  // tagged with VV [3,0]": B drops v2, losing Peter's write.
+  server_b.sync(server_a);
+  ASSERT_EQ(server_b.sibling_count(), 1u);
+  EXPECT_EQ(server_b.versions()[0].value, "v3")
+      << "v2 silently destroyed by false dominance";
+}
+
+// ------------------------------------------------------- Fig. 1c (DVV, fixed)
+
+TEST(Fig1, PanelC_DottedVersionVectors) {
+  DvvSiblings<std::string> server_a, server_b;
+  const std::vector<dvv::core::ActorId> order{kA, kB};
+
+  // 1. Peter's initial write: (A,1)[0,0].
+  server_a.update(kA, VersionVector{}, "v1");
+  EXPECT_EQ(server_a.versions()[0].clock.to_string_dense(order, name), "(A,1)[0,0]");
+
+  const VersionVector peter_ctx = server_a.context();
+  const VersionVector mary_ctx = server_a.context();
+
+  // 3. Peter's second write: (A,2)[1,0].
+  server_a.update(kA, peter_ctx, "v2");
+  ASSERT_EQ(server_a.sibling_count(), 1u);
+  EXPECT_EQ(server_a.versions()[0].clock.to_string_dense(order, name), "(A,2)[1,0]");
+
+  // 4. Replicate to B; a client reads v2 there.
+  server_b.sync(server_a);
+  const VersionVector b_client_ctx = server_b.context();
+
+  // 5. Mary's stale write: (A,3)[1,0], concurrent with (A,2)[1,0] —
+  //    the paper's "(A,3)[1,0] || (A,2)[1,0]".
+  server_a.update(kA, mary_ctx, "v3");
+  ASSERT_EQ(server_a.sibling_count(), 2u);
+  const auto& v2_clock = server_a.versions()[0].clock;
+  const auto& v3_clock = server_a.versions()[1].clock;
+  EXPECT_EQ(v3_clock.to_string_dense(order, name), "(A,3)[1,0]");
+  EXPECT_EQ(v2_clock.to_string_dense(order, name), "(A,2)[1,0]");
+  EXPECT_EQ(v3_clock.compare(v2_clock), Ordering::kConcurrent);
+
+  // 6. The B client's write: (B,1)[2,0].
+  server_b.update(kB, b_client_ctx, "v4");
+  ASSERT_EQ(server_b.sibling_count(), 1u);
+  EXPECT_EQ(server_b.versions()[0].clock.to_string_dense(order, name), "(B,1)[2,0]");
+
+  // 7. Sync: B keeps v3 and v4 as true siblings; v2 is correctly gone
+  //    (v4's past [2,0] contains dot (A,2)).
+  server_b.sync(server_a);
+  ASSERT_EQ(server_b.sibling_count(), 2u);
+  std::multiset<std::string> values;
+  for (const auto& v : server_b.versions()) values.insert(v.value);
+  EXPECT_EQ(values, (std::multiset<std::string>{"v3", "v4"}));
+
+  // Final reconciliation at A from A's own siblings: (A,4)[3,0].
+  DvvSiblings<std::string> fresh_a;
+  fresh_a.update(kA, VersionVector{}, "v1");
+  const auto stale = fresh_a.context();
+  fresh_a.update(kA, fresh_a.context(), "v2");
+  fresh_a.update(kA, stale, "v3");
+  const auto ctx = fresh_a.context();  // [3,0]
+  fresh_a.update(kA, ctx, "v5");
+  ASSERT_EQ(fresh_a.sibling_count(), 1u);
+  EXPECT_EQ(fresh_a.versions()[0].clock.to_string_dense(order, name), "(A,4)[3,0]");
+}
+
+// Cross-panel agreement: at every step of the scenario, the DVV world
+// retains exactly the values the causal-history world retains, while
+// the server-VV world diverges at the sync step.  (This is the E1-E3
+// claim in one test.)
+TEST(Fig1, PanelsAgreeExceptServerVv) {
+  HistorySiblings<std::string> truth_a, truth_b;
+  DvvSiblings<std::string> dvv_a, dvv_b;
+  ServerVvSiblings<std::string> vv_a, vv_b;
+
+  auto values_h = [](const HistorySiblings<std::string>& s) {
+    std::multiset<std::string> out;
+    for (const auto& v : s.versions()) out.insert(v.value);
+    return out;
+  };
+  auto values_d = [](const DvvSiblings<std::string>& s) {
+    std::multiset<std::string> out;
+    for (const auto& v : s.versions()) out.insert(v.value);
+    return out;
+  };
+  auto values_v = [](const ServerVvSiblings<std::string>& s) {
+    std::multiset<std::string> out;
+    for (const auto& v : s.versions()) out.insert(v.value);
+    return out;
+  };
+
+  // Step 1-2.
+  truth_a.update(kA, CausalHistory{}, "v1");
+  dvv_a.update(kA, VersionVector{}, "v1");
+  vv_a.update(kA, VersionVector{}, "v1");
+  const auto h_stale = truth_a.context();
+  const auto d_stale = dvv_a.context();
+  const auto v_stale = vv_a.context();
+
+  // Step 3.
+  truth_a.update(kA, truth_a.context(), "v2");
+  dvv_a.update(kA, dvv_a.context(), "v2");
+  vv_a.update(kA, vv_a.context(), "v2");
+
+  // Step 4.
+  truth_b.sync(truth_a);
+  dvv_b.sync(dvv_a);
+  vv_b.sync(vv_a);
+
+  // Step 5: the stale write.
+  truth_a.update(kA, h_stale, "v3");
+  dvv_a.update(kA, d_stale, "v3");
+  vv_a.update(kA, v_stale, "v3");
+  EXPECT_EQ(values_d(dvv_a), values_h(truth_a));
+  EXPECT_EQ(values_v(vv_a), values_h(truth_a))
+      << "server A itself still holds both (conflict was detected)";
+
+  // Step 7: the sync that kills the VV world.
+  truth_b.sync(truth_a);
+  dvv_b.sync(dvv_a);
+  vv_b.sync(vv_a);
+  EXPECT_EQ(values_d(dvv_b), values_h(truth_b)) << "DVV == ground truth";
+  EXPECT_NE(values_v(vv_b), values_h(truth_b)) << "server-VV lost a sibling";
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Unit tests for util::FlatMap, the sorted-vector map every clock is
+// built on.  Clock correctness reduces to this container behaving like
+// std::map, so the suite includes a randomized equivalence check.
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::util::FlatMap;
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap<int, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.find(1), m.end());
+}
+
+TEST(FlatMap, InsertOrAssignInsertsAndOverwrites) {
+  FlatMap<int, std::string> m;
+  m.insert_or_assign(2, "two");
+  m.insert_or_assign(1, "one");
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), "one");
+  EXPECT_EQ(m.at(2), "two");
+
+  m.insert_or_assign(1, "uno");
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), "uno");
+}
+
+TEST(FlatMap, EntriesStaySortedByKey) {
+  FlatMap<int, int> m;
+  for (int k : {5, 1, 9, 3, 7}) m.insert_or_assign(k, k * 10);
+  int prev = -1;
+  for (const auto& [k, v] : m) {
+    EXPECT_LT(prev, k);
+    EXPECT_EQ(v, k * 10);
+    prev = k;
+  }
+}
+
+TEST(FlatMap, GetOrReturnsFallbackForMissing) {
+  FlatMap<int, int> m{{1, 10}};
+  EXPECT_EQ(m.get_or(1, -1), 10);
+  EXPECT_EQ(m.get_or(2, -1), -1);
+  EXPECT_EQ(m.get_or(2, 0), 0);
+}
+
+TEST(FlatMap, SubscriptDefaultConstructsMissing) {
+  FlatMap<int, int> m;
+  EXPECT_EQ(m[7], 0);
+  m[7] = 42;
+  EXPECT_EQ(m[7], 42);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, EraseByKey) {
+  FlatMap<int, int> m{{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_EQ(m.erase(2), 1u);
+  EXPECT_EQ(m.erase(2), 0u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(3));
+}
+
+TEST(FlatMap, EraseIfRemovesMatching) {
+  FlatMap<int, int> m{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  const auto removed = m.erase_if([](int k, int) { return k % 2 == 0; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(3));
+}
+
+TEST(FlatMap, InitializerListSortsInput) {
+  FlatMap<int, int> m{{3, 30}, {1, 10}, {2, 20}};
+  auto it = m.begin();
+  EXPECT_EQ(it->first, 1);
+  EXPECT_EQ((++it)->first, 2);
+  EXPECT_EQ((++it)->first, 3);
+}
+
+TEST(FlatMap, RangeConstructorLastDuplicateWins) {
+  std::vector<std::pair<int, int>> input{{1, 10}, {2, 20}, {1, 11}, {2, 22}, {1, 12}};
+  FlatMap<int, int> m(input.begin(), input.end());
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), 12);
+  EXPECT_EQ(m.at(2), 22);
+}
+
+TEST(FlatMap, MergeWithCombinesSharedKeysAdoptsOthers) {
+  FlatMap<int, int> a{{1, 5}, {3, 3}};
+  FlatMap<int, int> b{{1, 7}, {2, 9}};
+  a.merge_with(b, [](int x, int y) { return std::max(x, y); });
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.at(1), 7);
+  EXPECT_EQ(a.at(2), 9);
+  EXPECT_EQ(a.at(3), 3);
+}
+
+TEST(FlatMap, MergeWithEmptySidesAreIdentity) {
+  FlatMap<int, int> a{{1, 1}};
+  FlatMap<int, int> empty;
+  auto keep_left = [](int x, int) { return x; };
+
+  FlatMap<int, int> a2 = a;
+  a2.merge_with(empty, keep_left);
+  EXPECT_EQ(a2, a);
+
+  FlatMap<int, int> e2 = empty;
+  e2.merge_with(a, keep_left);
+  EXPECT_EQ(e2, a);
+}
+
+TEST(FlatMap, EqualityComparesContents) {
+  FlatMap<int, int> a{{1, 1}, {2, 2}};
+  FlatMap<int, int> b{{2, 2}, {1, 1}};
+  FlatMap<int, int> c{{1, 1}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// Randomized equivalence with std::map: same operation sequence, same
+// observable state.  This is the load-bearing test — clocks do millions
+// of these operations in the benches.
+TEST(FlatMap, RandomizedEquivalenceWithStdMap) {
+  dvv::util::Rng rng(0xf1a7);
+  FlatMap<int, int> flat;
+  std::map<int, int> ref;
+  for (int step = 0; step < 20'000; ++step) {
+    const int key = static_cast<int>(rng.below(64));
+    switch (rng.below(4)) {
+      case 0: {
+        const int val = static_cast<int>(rng.below(1000));
+        flat.insert_or_assign(key, val);
+        ref[key] = val;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+        break;
+      case 2:
+        EXPECT_EQ(flat.contains(key), ref.contains(key));
+        break;
+      case 3: {
+        const auto it = ref.find(key);
+        EXPECT_EQ(flat.get_or(key, -1), it == ref.end() ? -1 : it->second);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto fit = flat.begin();
+  for (const auto& [k, v] : ref) {
+    EXPECT_EQ(fit->first, k);
+    EXPECT_EQ(fit->second, v);
+    ++fit;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// The oracle audits (experiments E2/E8/E9 in test form): every mechanism
+// replays identical traces against the causal-history ground truth.
+// Parameterized sweeps over seeds and workload shapes assert:
+//   * DVV, DVVSet and client-VV are EXACT (zero lost updates, zero false
+//     siblings) on every trace;
+//   * server-VV is NOT exact once clients race (Fig. 1b at scale);
+//   * pruned client-VV loses updates and/or fabricates siblings;
+//   * DVV metadata stays bounded by the replication degree while
+//     client-VV metadata grows with the number of clients.
+#include "oracle/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "kv/mechanism.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using dvv::kv::ClientVvMechanism;
+using dvv::kv::ClusterConfig;
+using dvv::kv::DvvMechanism;
+using dvv::kv::DvvSetMechanism;
+using dvv::kv::ServerVvMechanism;
+using dvv::oracle::mirrored_run;
+using dvv::workload::WorkloadSpec;
+
+ClusterConfig config() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.replication = 3;
+  cfg.vnodes = 16;
+  return cfg;
+}
+
+/// A contentious workload: few hot keys, many clients, PARTIAL
+/// replication and periodic anti-entropy — the regime where causality
+/// mistakes surface.  Reads can miss writes (even the reader's own),
+/// exactly like a Dynamo-style store between repair rounds.
+WorkloadSpec contentious(std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.keys = 8;
+  spec.zipf_skew = 0.99;
+  spec.clients = 16;
+  spec.operations = 600;
+  spec.read_before_write = 0.7;
+  spec.replicate_probability = 0.6;
+  spec.anti_entropy_every = 50;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Same contention but with synchronous full replication: every write
+/// reaches all R replicas before the next operation, so every read
+/// includes the reader's own previous writes (read-your-writes holds).
+WorkloadSpec full_replication(std::uint64_t seed) {
+  WorkloadSpec spec = contentious(seed);
+  spec.replicate_probability = 1.0;
+  return spec;
+}
+
+/// Anomaly-surfacing variant for the negative tests: more blind writes
+/// and frequent anti-entropy so false dominance is observed (the value
+/// loss happens at sync; without syncs between overwrites the evidence
+/// can be paved over before anyone looks).
+WorkloadSpec racy(std::uint64_t seed) {
+  WorkloadSpec spec = full_replication(seed);
+  spec.read_before_write = 0.5;
+  spec.anti_entropy_every = 10;
+  return spec;
+}
+
+class OracleSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleSeedSweep, DvvIsExactEvenUnderPartialReplication) {
+  const auto run = mirrored_run(contentious(GetParam()), config(), DvvMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+  EXPECT_GT(run.report.values_checked, 0u);
+}
+
+TEST_P(OracleSeedSweep, DvvSetIsExactEvenUnderPartialReplication) {
+  const auto run =
+      mirrored_run(contentious(GetParam()), config(), DvvSetMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+}
+
+TEST_P(OracleSeedSweep, VveIsExactEvenUnderPartialReplication) {
+  const auto run =
+      mirrored_run(contentious(GetParam()), config(), dvv::kv::VveMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+}
+
+TEST_P(OracleSeedSweep, ClientVvIsExactUnderFullReplication) {
+  const auto run =
+      mirrored_run(full_replication(GetParam()), config(), ClientVvMechanism{});
+  EXPECT_TRUE(run.report.exact())
+      << "lost=" << run.report.lost_updates()
+      << " false=" << run.report.false_siblings();
+}
+
+TEST_P(OracleSeedSweep, ServerVvIsNotExactUnderRacingClients) {
+  const auto run = mirrored_run(racy(GetParam()), config(), ServerVvMechanism{});
+  EXPECT_FALSE(run.report.exact())
+      << "per-server VVs should mis-track racing client writes";
+  EXPECT_GT(run.report.lost_updates(), 0u) << "Fig. 1b data loss at scale";
+}
+
+TEST_P(OracleSeedSweep, AggressivelyPrunedClientVvIsNotExact) {
+  const auto run =
+      mirrored_run(racy(GetParam()), config(), dvv::kv::pruned_client_vv(2));
+  EXPECT_FALSE(run.report.exact())
+      << "pruning to 2 entries under anonymous writers must break causality";
+  EXPECT_GT(run.report.lost_updates() + run.report.false_siblings(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// The historical Riak-classic data-loss bug, reproduced: with per-client
+// vectors the client's counter is derived from the context it read plus
+// whatever the coordinator stores.  Under partial replication a client
+// can read a replica that missed its own previous write; its next write
+// then REUSES a (client, counter) pair for a different value, and the
+// first sync deduplicates the two — silently destroying one of them.
+// DVV fixes this structurally: dots are minted by the servers that
+// store the data, so a counter can never be minted twice.
+TEST(OracleNegative, ClientVvReusesCountersUnderPartialReplication) {
+  std::uint64_t inexact_seeds = 0;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u}) {
+    const auto run =
+        mirrored_run(contentious(seed), config(), ClientVvMechanism{});
+    if (!run.report.exact()) ++inexact_seeds;
+  }
+  EXPECT_GT(inexact_seeds, 0u)
+      << "counter reuse should surface on at least one contentious trace";
+}
+
+// ---- metadata bounds (the paper's size claim, asserted over real runs)
+
+TEST(OracleBounds, DvvClockEntriesBoundedByReplication) {
+  const auto cfg = config();
+  for (const std::uint64_t seed : {7u, 77u, 777u}) {
+    auto run = mirrored_run(contentious(seed), cfg, DvvMechanism{});
+    const auto& mech = run.subject.mechanism();
+    for (std::size_t s = 0; s < cfg.servers; ++s) {
+      const auto& rep = run.subject.replica(s);
+      for (const auto& key : rep.keys()) {
+        const auto* stored = rep.find(key);
+        ASSERT_NE(stored, nullptr);
+        for (const auto& v : stored->versions()) {
+          EXPECT_LE(v.clock.past().size(), cfg.replication)
+              << "a DVV past wider than the preference list";
+        }
+        // Per-sibling cost: vector (<= R entries) + one dot.
+        EXPECT_LE(mech.clock_entries(*stored),
+                  mech.sibling_count(*stored) * (cfg.replication + 1));
+      }
+    }
+  }
+}
+
+TEST(OracleBounds, DvvSetEntriesBoundedByReplication) {
+  const auto cfg = config();
+  auto run = mirrored_run(contentious(7), cfg, DvvSetMechanism{});
+  for (std::size_t s = 0; s < cfg.servers; ++s) {
+    const auto& rep = run.subject.replica(s);
+    for (const auto& key : rep.keys()) {
+      const auto* stored = rep.find(key);
+      ASSERT_NE(stored, nullptr);
+      EXPECT_LE(stored->clock_entries(), cfg.replication)
+          << "one entry per coordinating server, at most R of them";
+    }
+  }
+}
+
+TEST(OracleBounds, ClientVvGrowsWithClientsDvvDoesNot) {
+  const auto cfg = config();
+  auto few_spec = contentious(7);
+  few_spec.clients = 4;
+  auto many_spec = contentious(7);
+  many_spec.clients = 64;
+
+  const auto dvv_few = mirrored_run(few_spec, cfg, DvvMechanism{});
+  const auto dvv_many = mirrored_run(many_spec, cfg, DvvMechanism{});
+  const auto cvv_few = mirrored_run(few_spec, cfg, ClientVvMechanism{});
+  const auto cvv_many = mirrored_run(many_spec, cfg, ClientVvMechanism{});
+
+  const double dvv_growth =
+      static_cast<double>(dvv_many.subject_stats.final_clock_entries) /
+      static_cast<double>(dvv_few.subject_stats.final_clock_entries);
+  const double cvv_growth =
+      static_cast<double>(cvv_many.subject_stats.final_clock_entries) /
+      static_cast<double>(cvv_few.subject_stats.final_clock_entries);
+  EXPECT_GT(cvv_growth, dvv_growth * 2)
+      << "client-VV metadata must grow much faster with client count "
+      << "(dvv x" << dvv_growth << ", client-vv x" << cvv_growth << ")";
+}
+
+// Gentle pruning that never actually fires is harmless — the cap itself
+// is not the bug, exceeding it is.
+TEST(OracleBounds, UnfiredPruningIsExact) {
+  auto spec = full_replication(7);
+  spec.clients = 3;
+  spec.read_before_write = 1.0;  // no anonymous writers: at most 3
+                                 // entries ever, cap 64 never triggers
+  const auto run = mirrored_run(spec, config(), dvv::kv::pruned_client_vv(64));
+  EXPECT_TRUE(run.report.exact());
+}
+
+// The truth cluster audited against itself is trivially exact — guards
+// the audit plumbing against false positives.
+TEST(OracleBounds, OracleSelfAuditIsClean) {
+  const auto run =
+      mirrored_run(contentious(3), config(), dvv::kv::HistoryMechanism{});
+  EXPECT_TRUE(run.report.exact());
+  EXPECT_GT(run.report.audits, 0u);
+}
+
+}  // namespace

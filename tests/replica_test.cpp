@@ -1,0 +1,128 @@
+// Direct unit tests for Replica<M> (the cluster tests exercise it only
+// through routing): local get/put, merge_key, key enumeration,
+// footprint accounting, liveness, and hint bookkeeping.
+#include "kv/replica.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kv/mechanism.hpp"
+
+namespace {
+
+using dvv::kv::DvvMechanism;
+using dvv::kv::Replica;
+
+const DvvMechanism kMech{};
+const auto kClient = dvv::kv::client_actor(0);
+
+TEST(Replica, StartsEmptyAndAlive) {
+  Replica<DvvMechanism> rep(3);
+  EXPECT_EQ(rep.id(), 3u);
+  EXPECT_TRUE(rep.alive());
+  EXPECT_EQ(rep.key_count(), 0u);
+  EXPECT_TRUE(rep.keys().empty());
+  EXPECT_EQ(rep.find("k"), nullptr);
+  EXPECT_FALSE(rep.get(kMech, "k").found);
+}
+
+TEST(Replica, PutThenGetLocally) {
+  Replica<DvvMechanism> rep(0);
+  rep.put(kMech, "k", /*coordinator=*/0, kClient, {}, "v");
+  const auto got = rep.get(kMech, "k");
+  ASSERT_TRUE(got.found);
+  ASSERT_EQ(got.values.size(), 1u);
+  EXPECT_EQ(got.values[0], "v");
+  EXPECT_FALSE(got.context.empty());
+  EXPECT_EQ(rep.key_count(), 1u);
+}
+
+TEST(Replica, KeysAreSortedAndComplete) {
+  Replica<DvvMechanism> rep(0);
+  for (const char* k : {"zebra", "apple", "mango"}) {
+    rep.put(kMech, k, 0, kClient, {}, "v");
+  }
+  const auto keys = rep.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "apple");
+  EXPECT_EQ(keys[1], "mango");
+  EXPECT_EQ(keys[2], "zebra");
+}
+
+TEST(Replica, MergeKeyAdoptsRemoteState) {
+  Replica<DvvMechanism> a(0), b(1);
+  a.put(kMech, "k", 0, kClient, {}, "v");
+  b.merge_key(kMech, "k", *a.find("k"));
+  const auto got = b.get(kMech, "k");
+  ASSERT_TRUE(got.found);
+  EXPECT_EQ(got.values[0], "v");
+}
+
+TEST(Replica, SyncWithIsBidirectional) {
+  Replica<DvvMechanism> a(0), b(1);
+  a.put(kMech, "only-a", 0, kClient, {}, "va");
+  b.put(kMech, "only-b", 1, kClient, {}, "vb");
+  a.sync_with(kMech, b);
+  EXPECT_TRUE(a.get(kMech, "only-b").found);
+  EXPECT_TRUE(b.get(kMech, "only-a").found);
+  EXPECT_EQ(a.key_count(), 2u);
+  EXPECT_EQ(b.key_count(), 2u);
+}
+
+TEST(Replica, FootprintCountsEverything) {
+  Replica<DvvMechanism> rep(0);
+  rep.put(kMech, "k1", 0, kClient, {}, "v1");
+  rep.put(kMech, "k2", 0, kClient, {}, "v2");
+  rep.put(kMech, "k2", 0, kClient, {}, "sibling");  // blind: second sibling
+  const auto fp = rep.footprint(kMech);
+  EXPECT_EQ(fp.keys, 2u);
+  EXPECT_EQ(fp.siblings, 3u);
+  EXPECT_GT(fp.clock_entries, 0u);
+  EXPECT_GT(fp.total_bytes, fp.metadata_bytes);
+}
+
+TEST(Replica, FootprintMergeAggregates) {
+  Replica<DvvMechanism> a(0), b(1);
+  a.put(kMech, "x", 0, kClient, {}, "v");
+  b.put(kMech, "y", 1, kClient, {}, "v");
+  auto fa = a.footprint(kMech);
+  const auto fb = b.footprint(kMech);
+  fa.merge(fb);
+  EXPECT_EQ(fa.keys, 2u);
+  EXPECT_EQ(fa.siblings, 2u);
+}
+
+TEST(Replica, HintStashAndDeliver) {
+  Replica<DvvMechanism> fallback(4), owner(1);
+  Replica<DvvMechanism> source(0);
+  source.put(kMech, "k", 0, kClient, {}, "parked");
+
+  owner.set_alive(false);
+  fallback.stash_hint(kMech, owner.id(), "k", *source.find("k"));
+  EXPECT_EQ(fallback.hinted_count(), 1u);
+  EXPECT_EQ(fallback.find("k"), nullptr) << "hints never serve reads";
+
+  auto lookup = [&](dvv::kv::ReplicaId) -> Replica<DvvMechanism>& { return owner; };
+  EXPECT_EQ(fallback.deliver_hints(kMech, lookup), 0u) << "owner still down";
+  owner.set_alive(true);
+  EXPECT_EQ(fallback.deliver_hints(kMech, lookup), 1u);
+  EXPECT_EQ(fallback.hinted_count(), 0u);
+  EXPECT_TRUE(owner.get(kMech, "k").found);
+}
+
+TEST(Replica, StashedHintsMerge) {
+  Replica<DvvMechanism> fallback(4), owner(1), s0(0), s2(2);
+  s0.put(kMech, "k", 0, kClient, {}, "x");
+  s2.put(kMech, "k", 2, kClient, {}, "y");
+  fallback.stash_hint(kMech, 1, "k", *s0.find("k"));
+  fallback.stash_hint(kMech, 1, "k", *s2.find("k"));
+  EXPECT_EQ(fallback.hinted_count(), 1u) << "same (owner,key): merged hint";
+
+  auto lookup = [&](dvv::kv::ReplicaId) -> Replica<DvvMechanism>& { return owner; };
+  fallback.deliver_hints(kMech, lookup);
+  const auto got = owner.get(kMech, "k");
+  EXPECT_EQ(got.values.size(), 2u) << "both concurrent parked writes arrive";
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Tests for the consistent-hashing ring: preference-list shape,
+// determinism, balance, and the replication-degree bound it hands the
+// causality layer.
+#include "kv/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+using dvv::kv::Ring;
+
+TEST(Ring, PreferenceListHasExactlyRDistinctServers) {
+  const Ring ring(8, 3);
+  for (int k = 0; k < 200; ++k) {
+    const auto pref = ring.preference_list("key-" + std::to_string(k));
+    ASSERT_EQ(pref.size(), 3u);
+    const std::set<dvv::kv::ReplicaId> uniq(pref.begin(), pref.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (const auto r : pref) EXPECT_LT(r, 8u);
+  }
+}
+
+TEST(Ring, DeterministicAcrossInstances) {
+  const Ring a(5, 3), b(5, 3);
+  for (int k = 0; k < 100; ++k) {
+    const auto key = "key-" + std::to_string(k);
+    EXPECT_EQ(a.preference_list(key), b.preference_list(key));
+  }
+}
+
+TEST(Ring, SingleServerDegenerateCase) {
+  const Ring ring(1, 1);
+  EXPECT_EQ(ring.preference_list("anything"),
+            std::vector<dvv::kv::ReplicaId>{0});
+}
+
+TEST(Ring, ReplicationEqualsServersCoversAll) {
+  const Ring ring(4, 4);
+  const auto pref = ring.preference_list("k");
+  const std::set<dvv::kv::ReplicaId> uniq(pref.begin(), pref.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(Ring, CoordinatorLoadIsRoughlyBalanced) {
+  const Ring ring(8, 3, 128);
+  std::vector<int> coordinator_count(8, 0);
+  constexpr int kKeys = 20'000;
+  for (int k = 0; k < kKeys; ++k) {
+    ++coordinator_count[ring.preference_list("key-" + std::to_string(k))[0]];
+  }
+  // Perfect balance would be 2500 per server; allow a generous band
+  // (vnode hashing gives ~±20% at 128 vnodes).
+  for (const int c : coordinator_count) {
+    EXPECT_GT(c, kKeys / 8 / 2);
+    EXPECT_LT(c, kKeys / 8 * 2);
+  }
+}
+
+TEST(Ring, DifferentKeysSpreadAcrossServers) {
+  const Ring ring(8, 3);
+  std::set<dvv::kv::ReplicaId> coordinators;
+  for (int k = 0; k < 100; ++k) {
+    coordinators.insert(ring.preference_list("key-" + std::to_string(k))[0]);
+  }
+  EXPECT_EQ(coordinators.size(), 8u) << "100 keys should hit every server";
+}
+
+TEST(Ring, HashIsStableAndSpreads) {
+  EXPECT_EQ(Ring::hash("abc"), Ring::hash("abc"));
+  EXPECT_NE(Ring::hash("abc"), Ring::hash("abd"));
+  // Sequential keys should not collide in the top bits (avalanche).
+  std::set<std::uint64_t> tops;
+  for (int i = 0; i < 1000; ++i) {
+    tops.insert(Ring::hash("key-" + std::to_string(i)) >> 48);
+  }
+  EXPECT_GT(tops.size(), 900u);
+}
+
+TEST(Ring, AccessorsReportConfiguration) {
+  const Ring ring(6, 2, 32);
+  EXPECT_EQ(ring.servers(), 6u);
+  EXPECT_EQ(ring.replication(), 2u);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for the deterministic RNG and the Zipf sampler that drive every
+// simulation.  Determinism is a correctness property here: the oracle
+// depends on identical seeds producing identical traces.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using dvv::util::Rng;
+using dvv::util::ZipfSampler;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  // Each bucket expects 10'000; allow +-5% (far beyond 6 sigma).
+  for (const int c : counts) {
+    EXPECT_GT(c, 9'500);
+    EXPECT_LT(c, 10'500);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = rng.between(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.25, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.exponential(2.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 100'000, 2.5, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 9'000);
+    EXPECT_LT(c, 11'000);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(37);
+  int head = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.sample(rng) < 10) ++head;
+  }
+  // With s=1 over 1000 items the top-10 mass is ~39%; uniform would be 1%.
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(Zipf, SamplesStayInDomain) {
+  ZipfSampler zipf(7, 1.2);
+  Rng rng(41);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+TEST(Zipf, RankProbabilitiesDecreaseMonotonically) {
+  ZipfSampler zipf(8, 0.99);
+  Rng rng(43);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 200'000; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    EXPECT_GT(counts[k - 1], counts[k]) << "rank " << k;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the event-driven store simulation (src/sim/sim_store.hpp),
+// the E7 substrate: determinism, accounting invariants, metadata ->
+// latency coupling, and cross-mechanism sanity.
+#include "sim/sim_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kv/mechanism.hpp"
+
+namespace {
+
+using dvv::kv::ClientVvMechanism;
+using dvv::kv::DvvMechanism;
+using dvv::kv::DvvSetMechanism;
+using dvv::sim::simulate_store;
+using dvv::sim::SimStoreConfig;
+using dvv::sim::SimStoreResult;
+
+SimStoreConfig small_config() {
+  SimStoreConfig config;
+  config.clients = 8;
+  config.keys = 8;
+  config.ops_per_client = 50;
+  config.think_ms = 0.5;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SimStore, CompletesEveryCycle) {
+  const auto result = simulate_store(small_config(), DvvMechanism{});
+  EXPECT_EQ(result.cycles, 8u * 50u);
+  EXPECT_EQ(result.get_latency_ms.count(), result.cycles);
+  EXPECT_EQ(result.put_latency_ms.count(), result.cycles);
+  EXPECT_EQ(result.cycle_latency_ms.count(), result.cycles);
+  EXPECT_GT(result.sim_duration_ms, 0.0);
+}
+
+TEST(SimStore, DeterministicForSameSeed) {
+  const auto a = simulate_store(small_config(), DvvMechanism{});
+  const auto b = simulate_store(small_config(), DvvMechanism{});
+  EXPECT_DOUBLE_EQ(a.cycle_latency_ms.mean(), b.cycle_latency_ms.mean());
+  EXPECT_DOUBLE_EQ(a.get_reply_bytes.mean(), b.get_reply_bytes.mean());
+  EXPECT_DOUBLE_EQ(a.sim_duration_ms, b.sim_duration_ms);
+}
+
+TEST(SimStore, DifferentSeedsDiffer) {
+  auto config = small_config();
+  const auto a = simulate_store(config, DvvMechanism{});
+  config.seed = 8;
+  const auto b = simulate_store(config, DvvMechanism{});
+  EXPECT_NE(a.sim_duration_ms, b.sim_duration_ms);
+}
+
+TEST(SimStore, LatencyRespectsPhysicalLowerBound) {
+  // A cycle is at least: 4 one-way legs (GET req/reply, PUT req/ack),
+  // each >= base_ms.
+  const auto config = small_config();
+  const auto result = simulate_store(config, DvvMechanism{});
+  EXPECT_GE(result.cycle_latency_ms.min(), 4 * config.network.base_ms);
+  EXPECT_GE(result.get_latency_ms.min(), 2 * config.network.base_ms);
+}
+
+TEST(SimStore, CycleAtLeastGetPlusPut) {
+  const auto result = simulate_store(small_config(), DvvMechanism{});
+  EXPECT_GE(result.cycle_latency_ms.mean(),
+            result.get_latency_ms.mean() + result.put_latency_ms.mean() - 1e-9);
+}
+
+TEST(SimStore, MoreValueBytesMeansSlowerReplies) {
+  auto small = small_config();
+  auto large = small_config();
+  large.value_bytes = 100'000;  // dominate every other term
+  const auto fast = simulate_store(small, DvvMechanism{});
+  const auto slow = simulate_store(large, DvvMechanism{});
+  EXPECT_GT(slow.cycle_latency_ms.mean(), fast.cycle_latency_ms.mean());
+  EXPECT_GT(slow.get_reply_bytes.mean(), fast.get_reply_bytes.mean());
+}
+
+TEST(SimStore, ClientVvCarriesMoreReplyBytesThanDvvUnderManyClients) {
+  SimStoreConfig config;
+  config.clients = 64;
+  config.keys = 8;  // hot: many writers per key
+  config.ops_per_client = 40;
+  config.seed = 11;
+  const auto cvv = simulate_store(config, ClientVvMechanism{});
+  const auto dvv = simulate_store(config, DvvMechanism{});
+  EXPECT_GT(cvv.get_reply_bytes.mean(), dvv.get_reply_bytes.mean() * 1.5)
+      << "the E7 mechanism gap must be visible in reply sizes";
+}
+
+TEST(SimStore, AllMechanismsCompleteTheWorkload) {
+  const auto config = small_config();
+  EXPECT_EQ(simulate_store(config, DvvMechanism{}).cycles, 400u);
+  EXPECT_EQ(simulate_store(config, DvvSetMechanism{}).cycles, 400u);
+  EXPECT_EQ(simulate_store(config, ClientVvMechanism{}).cycles, 400u);
+  EXPECT_EQ(simulate_store(config, dvv::kv::ServerVvMechanism{}).cycles, 400u);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the discrete-event engine and latency models that replace
+// the paper's physical Riak cluster (DESIGN.md §4).
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/latency.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::sim::EventQueue;
+using dvv::sim::LatencyModel;
+
+TEST(EventQueue, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_in(3.0, [&] { order.push_back(3); });
+  q.schedule_in(1.0, [&] { order.push_back(1); });
+  q.schedule_in(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_in(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_in(1.0, chain);
+  EXPECT_EQ(q.run(), 5u);
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int executed = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.schedule_in(static_cast<double>(i), [&] { ++executed; });
+  }
+  EXPECT_EQ(q.run_until(5.5), 5u);
+  EXPECT_EQ(executed, 5);
+  EXPECT_EQ(q.pending(), 5u);
+  EXPECT_EQ(q.run(), 5u);
+  EXPECT_EQ(executed, 10);
+}
+
+TEST(EventQueue, NowAdvancesMonotonically) {
+  EventQueue q;
+  double last = -1.0;
+  dvv::util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_in(rng.uniform01() * 10, [&] {
+      EXPECT_GE(q.now(), last);
+      last = q.now();
+    });
+  }
+  q.run();
+  EXPECT_EQ(q.executed(), 100u);
+}
+
+TEST(Latency, ExpectedIsAffineInBytes) {
+  LatencyModel m;
+  m.jitter_mean_ms = 0.0;
+  const double d0 = m.expected(0);
+  const double d1k = m.expected(1000);
+  const double d2k = m.expected(2000);
+  EXPECT_GT(d1k, d0);
+  EXPECT_NEAR(d2k - d1k, d1k - d0, 1e-12) << "linear byte cost";
+}
+
+TEST(Latency, SampleIsAtLeastDeterministicPart) {
+  LatencyModel m;
+  dvv::util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = m.sample(rng, 500);
+    EXPECT_GE(d, m.base_ms);
+  }
+}
+
+TEST(Latency, SampleMeanApproachesExpected) {
+  LatencyModel m;
+  dvv::util::Rng rng(9);
+  double sum = 0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += m.sample(rng, 1024);
+  EXPECT_NEAR(sum / kDraws, m.expected(1024), 0.01);
+}
+
+TEST(Latency, BiggerPayloadsAreSlowentOnAverage) {
+  LatencyModel m;
+  dvv::util::Rng rng(11);
+  double small = 0, large = 0;
+  for (int i = 0; i < 20'000; ++i) small += m.sample(rng, 100);
+  for (int i = 0; i < 20'000; ++i) large += m.sample(rng, 100'000);
+  EXPECT_GT(large, small);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Tests for the stats toolkit (Welford accumulator, exact quantiles,
+// histogram) and the text-formatting helpers the benches rely on.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/fmt.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::util::Histogram;
+using dvv::util::RunningStats;
+using dvv::util::Samples;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  dvv::util::Rng rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Samples, QuantilesOnKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, QuantileAfterMoreAdds) {
+  Samples s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 10.0);
+  s.add(20.0);  // adding after a (sorting) quantile call must still work
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 10.0);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, CountsAndOverflowBucket) {
+  Histogram h(4);  // buckets 0,1,2,3+
+  h.add(0);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  h.add(9);  // clamps into last bucket
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 2u);
+}
+
+TEST(Fmt, FixedFormatsDecimals) {
+  EXPECT_EQ(dvv::util::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(dvv::util::fixed(2.0, 0), "2");
+  EXPECT_EQ(dvv::util::fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, HumanBytes) {
+  EXPECT_EQ(dvv::util::human_bytes(512), "512 B");
+  EXPECT_EQ(dvv::util::human_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(dvv::util::human_bytes(1536 * 1024), "1.50 MiB");
+}
+
+TEST(Fmt, JoinConcatenatesWithSeparator) {
+  std::vector<int> v{1, 2, 3};
+  const auto joined =
+      dvv::util::join(v, ", ", [](int x) { return std::to_string(x); });
+  EXPECT_EQ(joined, "1, 2, 3");
+  std::vector<int> empty;
+  EXPECT_EQ(dvv::util::join(empty, ",", [](int x) { return std::to_string(x); }), "");
+}
+
+TEST(Fmt, TextTableAlignsColumns) {
+  dvv::util::TextTable t;
+  t.header({"name", "n"});
+  t.row({"a", "100"});
+  t.row({"longer", "7"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Every line reaches the second column at the same offset.
+  const auto pos1 = out.find("100");
+  const auto line_start = out.rfind('\n', pos1);
+  const auto pos2 = out.find('7', out.find("longer"));
+  const auto line_start2 = out.rfind('\n', pos2);
+  EXPECT_EQ(pos1 - line_start, pos2 - line_start2);
+}
+
+}  // namespace

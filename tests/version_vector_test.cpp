@@ -1,0 +1,192 @@
+// Unit tests for core::VersionVector: the classic mechanism of Parker et
+// al. and the causal-past component of every DVV.  Includes the paper's
+// Figure 1b observation that a per-server VV cannot express concurrency
+// between client writes ([2,0] < [3,0]).
+#include "core/version_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/causality.hpp"
+#include "core/dot.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::core::Dot;
+using dvv::core::Ordering;
+using dvv::core::VersionVector;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+constexpr dvv::core::ActorId kC = 2;
+
+TEST(VersionVector, EmptyVectorBehaviour) {
+  VersionVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.get(kA), 0u);
+  EXPECT_EQ(v.total_events(), 0u);
+  EXPECT_FALSE(v.contains(Dot{kA, 1}));
+}
+
+TEST(VersionVector, SetAndGet) {
+  VersionVector v;
+  v.set(kA, 3);
+  EXPECT_EQ(v.get(kA), 3u);
+  EXPECT_EQ(v.get(kB), 0u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VersionVector, SettingZeroerasesEntry) {
+  VersionVector v{{kA, 2}, {kB, 1}};
+  v.set(kA, 0);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.get(kA), 0u);
+  EXPECT_EQ(v.get(kB), 1u);
+}
+
+TEST(VersionVector, IncrementMintsSequentialDots) {
+  VersionVector v;
+  EXPECT_EQ(v.increment(kA), (Dot{kA, 1}));
+  EXPECT_EQ(v.increment(kA), (Dot{kA, 2}));
+  EXPECT_EQ(v.increment(kB), (Dot{kB, 1}));
+  EXPECT_EQ(v.get(kA), 2u);
+  EXPECT_EQ(v.get(kB), 1u);
+}
+
+TEST(VersionVector, ContainsIsDownwardClosed) {
+  VersionVector v{{kA, 3}};
+  EXPECT_TRUE(v.contains(Dot{kA, 1}));
+  EXPECT_TRUE(v.contains(Dot{kA, 2}));
+  EXPECT_TRUE(v.contains(Dot{kA, 3}));
+  EXPECT_FALSE(v.contains(Dot{kA, 4}));
+  EXPECT_FALSE(v.contains(Dot{kB, 1}));
+}
+
+TEST(VersionVector, MergeTakesPointwiseMax) {
+  VersionVector a{{kA, 3}, {kB, 1}};
+  VersionVector b{{kA, 1}, {kB, 4}, {kC, 2}};
+  a.merge(b);
+  EXPECT_EQ(a.get(kA), 3u);
+  EXPECT_EQ(a.get(kB), 4u);
+  EXPECT_EQ(a.get(kC), 2u);
+}
+
+TEST(VersionVector, MergeIsIdempotentCommutativeAssociative) {
+  const VersionVector a{{kA, 3}, {kB, 1}};
+  const VersionVector b{{kB, 4}, {kC, 2}};
+  const VersionVector c{{kA, 1}, {kC, 5}};
+
+  VersionVector aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa, a);  // idempotent
+
+  VersionVector ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // commutative
+
+  VersionVector ab_c = ab, a_bc = a, bc = b;
+  ab_c.merge(c);
+  bc.merge(c);
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);  // associative
+}
+
+TEST(VersionVector, AbsorbRaisesEntryToDot) {
+  VersionVector v{{kA, 1}};
+  v.absorb(Dot{kA, 3});
+  EXPECT_EQ(v.get(kA), 3u);
+  v.absorb(Dot{kA, 2});  // lower dot: no effect
+  EXPECT_EQ(v.get(kA), 3u);
+  v.absorb(Dot{kB, 1});
+  EXPECT_EQ(v.get(kB), 1u);
+}
+
+TEST(VersionVector, CompareEqual) {
+  const VersionVector a{{kA, 2}, {kB, 1}};
+  const VersionVector b{{kB, 1}, {kA, 2}};
+  EXPECT_EQ(a.compare(b), Ordering::kEqual);
+  EXPECT_EQ(VersionVector{}.compare(VersionVector{}), Ordering::kEqual);
+}
+
+TEST(VersionVector, CompareDominance) {
+  const VersionVector small{{kA, 1}};
+  const VersionVector big{{kA, 2}, {kB, 1}};
+  EXPECT_EQ(small.compare(big), Ordering::kBefore);
+  EXPECT_EQ(big.compare(small), Ordering::kAfter);
+  EXPECT_TRUE(big.descends(small));
+  EXPECT_FALSE(small.descends(big));
+}
+
+TEST(VersionVector, CompareConcurrent) {
+  const VersionVector a{{kA, 2}};
+  const VersionVector b{{kB, 1}};
+  EXPECT_EQ(a.compare(b), Ordering::kConcurrent);
+  EXPECT_EQ(b.compare(a), Ordering::kConcurrent);
+  EXPECT_FALSE(a.descends(b));
+  EXPECT_FALSE(b.descends(a));
+}
+
+TEST(VersionVector, EmptyIsBottom) {
+  const VersionVector empty;
+  const VersionVector v{{kA, 1}};
+  EXPECT_EQ(empty.compare(v), Ordering::kBefore);
+  EXPECT_EQ(v.compare(empty), Ordering::kAfter);
+  EXPECT_TRUE(v.descends(empty));
+  EXPECT_TRUE(empty.descends(empty));
+}
+
+// The paper's Figure 1b anomaly, stated at the VV level: after two
+// concurrent client writes through the same server, the per-server rule
+// is forced to tag them [2,0] and [3,0] — and [2,0] < [3,0], so the true
+// sibling looks obsolete.  (The kernel-level reproduction lives in the
+// server-VV workflow tests; this pins the arithmetic the paper quotes.)
+TEST(VersionVector, Fig1bFalseDominanceArithmetic) {
+  const VersionVector first_write{{kA, 2}};   // [2,0]
+  const VersionVector second_write{{kA, 3}};  // [3,0]
+  EXPECT_EQ(first_write.compare(second_write), Ordering::kBefore)
+      << "the per-server VV cannot express the real concurrency";
+}
+
+TEST(VersionVector, DescendsSelfAndMergeResult) {
+  dvv::util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    VersionVector a, b;
+    for (dvv::core::ActorId actor = 0; actor < 6; ++actor) {
+      if (rng.chance(0.6)) a.set(actor, rng.below(5) + 1);
+      if (rng.chance(0.6)) b.set(actor, rng.below(5) + 1);
+    }
+    VersionVector joined = a;
+    joined.merge(b);
+    EXPECT_TRUE(joined.descends(a));
+    EXPECT_TRUE(joined.descends(b));
+    EXPECT_TRUE(a.descends(a));
+    // compare() must agree with descends() in both directions.
+    const auto ord = a.compare(b);
+    EXPECT_EQ(ord == Ordering::kAfter || ord == Ordering::kEqual, a.descends(b));
+    EXPECT_EQ(ord == Ordering::kBefore || ord == Ordering::kEqual, b.descends(a));
+  }
+}
+
+TEST(VersionVector, TotalEventsSumsCounters) {
+  const VersionVector v{{kA, 3}, {kB, 2}};
+  EXPECT_EQ(v.total_events(), 5u);
+}
+
+TEST(VersionVector, ToStringDenseMatchesPaperNotation) {
+  const VersionVector v{{kA, 2}};
+  EXPECT_EQ(v.to_string_dense({kA, kB}), "[2,0]");
+  const VersionVector w{{kA, 1}, {kB, 1}};
+  EXPECT_EQ(w.to_string_dense({kA, kB}), "[1,1]");
+}
+
+TEST(VersionVector, ToStringSparse) {
+  const VersionVector v{{kA, 2}, {kB, 1}};
+  EXPECT_EQ(v.to_string([](dvv::core::ActorId id) {
+    return std::string(1, static_cast<char>('A' + id));
+  }),
+            "{A:2, B:1}");
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Tests for the two plain-VV baselines.  The server-VV kernel must
+// faithfully reproduce the Fig. 1b *anomaly* (that is its job); the
+// client-VV kernel must be sound but unbounded; pruning must break the
+// client-VV kernel in exactly the ways the paper warns about.
+#include "core/vv_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/causality.hpp"
+#include "core/pruning.hpp"
+#include "kv/types.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::core::ClientVvSiblings;
+using dvv::core::Ordering;
+using dvv::core::PruneConfig;
+using dvv::core::PruneStats;
+using dvv::core::ServerVvSiblings;
+using dvv::core::VersionVector;
+
+constexpr dvv::core::ActorId kA = 0;
+constexpr dvv::core::ActorId kB = 1;
+const dvv::core::ActorId kC1 = dvv::kv::client_actor(1);
+const dvv::core::ActorId kC2 = dvv::kv::client_actor(2);
+
+// ---------------------------------------------------------------- server-VV
+
+TEST(ServerVv, BlindWriteThenRmw) {
+  ServerVvSiblings<std::string> s;
+  s.update(kA, VersionVector{}, "v1");
+  EXPECT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(s.versions()[0].clock, (VersionVector{{kA, 1}}));
+
+  const auto ctx = s.context();
+  s.update(kA, ctx, "v2");
+  ASSERT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(s.versions()[0].value, "v2");
+  EXPECT_EQ(s.versions()[0].clock, (VersionVector{{kA, 2}}));
+}
+
+// Figure 1b, faithfully wrong: the two racing client writes get clocks
+// [2,0] and [3,0], and the second *falsely dominates* the first.
+TEST(ServerVv, Fig1bFalseDominanceBetweenRacingClients) {
+  ServerVvSiblings<std::string> s;
+  s.update(kA, VersionVector{}, "v1");      // [1,0]
+  const auto stale = s.context();           // both clients read [1,0]
+
+  s.update(kA, stale, "client-1");          // [2,0]
+  s.update(kA, stale, "client-2");          // [3,0] — stale ctx detected,
+                                            // sibling kept...
+  ASSERT_EQ(s.sibling_count(), 2u);
+  const auto& first = s.versions()[0].clock;
+  const auto& second = s.versions()[1].clock;
+  EXPECT_EQ(first, (VersionVector{{kA, 2}}));
+  EXPECT_EQ(second, (VersionVector{{kA, 3}}));
+  // ...but the clocks lie about their relationship:
+  EXPECT_EQ(first.compare(second), Ordering::kBefore)
+      << "[2,0] < [3,0]: per-server VVs cannot express this concurrency";
+}
+
+// And the lie becomes data loss at the next sync — the paper's server B
+// scenario: B already replicated client-1's version [2,0]; when it then
+// "receiv[es] the version tagged with VV [3,0]" the falsely-dominated
+// true sibling is silently dropped.
+TEST(ServerVv, Fig1bSyncLosesTheConcurrentWrite) {
+  ServerVvSiblings<std::string> a;
+  a.update(kA, VersionVector{}, "v1");
+  const auto stale = a.context();
+  a.update(kA, stale, "client-1");  // [2,0]
+
+  ServerVvSiblings<std::string> b;  // server B replicates client-1's write
+  b.sync(a);
+  ASSERT_EQ(b.sibling_count(), 1u);
+  ASSERT_EQ(b.versions()[0].value, "client-1");
+
+  a.update(kA, stale, "client-2");  // the racing write gets [3,0]
+  ASSERT_EQ(a.sibling_count(), 2u) << "server A still holds both";
+
+  b.sync(a);  // B receives [3,0] — and [2,0] < [3,0] kills the sibling
+  EXPECT_EQ(b.sibling_count(), 1u) << "sync collapsed the true siblings";
+  EXPECT_EQ(b.versions()[0].value, "client-2")
+      << "client-1's write was silently lost";
+}
+
+TEST(ServerVv, CrossServerConcurrencyStillDetected) {
+  // The scheme is fine for concurrency *between servers* (its original
+  // use in Locus/Coda): different entries, no false dominance.
+  ServerVvSiblings<std::string> a, b;
+  a.update(kA, VersionVector{}, "x");
+  b.update(kB, VersionVector{}, "y");
+  a.sync(b);
+  EXPECT_EQ(a.sibling_count(), 2u);
+}
+
+TEST(ServerVv, ClockEntriesBoundedByServers) {
+  ServerVvSiblings<std::string> s;
+  VersionVector ctx;
+  for (int i = 0; i < 50; ++i) {
+    s.update(i % 2 == 0 ? kA : kB, ctx, "w");
+    ctx = s.context();
+  }
+  EXPECT_LE(s.context().size(), 2u);
+}
+
+// ---------------------------------------------------------------- client-VV
+
+TEST(ClientVv, RacingClientsProduceTrueSiblings) {
+  ClientVvSiblings<std::string> s;
+  s.update(kC1, VersionVector{}, "v1");
+  const auto stale = s.context();
+  s.update(kC1, stale, "c1-write");
+  s.update(kC2, stale, "c2-write");
+  ASSERT_EQ(s.sibling_count(), 2u);
+  EXPECT_EQ(s.versions()[0].clock.compare(s.versions()[1].clock),
+            Ordering::kConcurrent)
+      << "per-client entries keep the concurrency visible";
+}
+
+TEST(ClientVv, SyncPreservesBothRacingWrites) {
+  ClientVvSiblings<std::string> a;
+  a.update(kC1, VersionVector{}, "v1");
+  const auto stale = a.context();
+  a.update(kC1, stale, "c1-write");
+  a.update(kC2, stale, "c2-write");
+
+  ClientVvSiblings<std::string> b;
+  b.sync(a);
+  EXPECT_EQ(b.sibling_count(), 2u) << "sound baseline: nothing lost";
+}
+
+TEST(ClientVv, RmwByOneClientOverwrites) {
+  ClientVvSiblings<std::string> s;
+  s.update(kC1, VersionVector{}, "v1");
+  const auto ctx = s.context();
+  s.update(kC1, ctx, "v2");
+  ASSERT_EQ(s.sibling_count(), 1u);
+  EXPECT_EQ(s.versions()[0].value, "v2");
+}
+
+// The cost the paper calls out: one entry per distinct writing client,
+// forever — metadata grows with writers, not with replicas.
+TEST(ClientVv, ClockGrowsWithDistinctClients) {
+  ClientVvSiblings<std::string> s;
+  constexpr std::uint64_t kClients = 40;
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    const auto ctx = s.context();  // each client reads fresh, then writes
+    s.update(dvv::kv::client_actor(c), ctx, "w");
+  }
+  EXPECT_EQ(s.sibling_count(), 1u);       // no concurrency at all...
+  EXPECT_EQ(s.context().size(), kClients)  // ...yet 40 clock entries
+      << "client-VV metadata is O(#writers)";
+}
+
+TEST(ClientVv, ClientCounterMonotonicAcrossItsWrites) {
+  ClientVvSiblings<std::string> s;
+  for (int i = 1; i <= 5; ++i) {
+    const auto ctx = s.context();
+    s.update(kC1, ctx, "w" + std::to_string(i));
+    EXPECT_EQ(s.context().get(kC1), static_cast<dvv::core::Counter>(i));
+  }
+}
+
+// ------------------------------------------------------------------ pruning
+
+TEST(ClientVvPruned, PruningCapsEntryCount) {
+  ClientVvSiblings<std::string> s;
+  const PruneConfig cap{4};
+  PruneStats stats;
+  for (std::uint64_t c = 0; c < 20; ++c) {
+    const auto ctx = s.context();
+    s.update(dvv::kv::client_actor(c), ctx, "w", cap, &stats);
+  }
+  EXPECT_LE(s.context().size(), 4u);
+  EXPECT_GT(stats.invocations, 0u);
+  EXPECT_GT(stats.entries_dropped, 0u);
+}
+
+// Pruning-induced FALSE CONCURRENCY: version Y causally follows X, but
+// pruning removed from Y's clock the very entry that proved it, so the
+// clocks compare as concurrent and a dominated version survives sync.
+TEST(ClientVvPruned, PruningCausesFalseConcurrency) {
+  // Build X's clock: writers c10..c14 each wrote once (5 entries).
+  ClientVvSiblings<std::string> s;
+  for (std::uint64_t c = 10; c < 15; ++c) {
+    const auto ctx = s.context();
+    s.update(dvv::kv::client_actor(c), ctx, "x-final");
+  }
+  ASSERT_EQ(s.sibling_count(), 1u);
+  const VersionVector x_clock = s.versions()[0].clock;
+
+  // Y reads X (full context) and overwrites it — but Y's clock is pruned
+  // to 3 entries, losing some of the evidence that it covers X.
+  ClientVvSiblings<std::string> pruned = s;
+  const auto ctx = pruned.context();
+  PruneStats stats;
+  pruned.update(dvv::kv::client_actor(99), ctx, "y", PruneConfig{3}, &stats);
+  ASSERT_EQ(pruned.sibling_count(), 1u);
+  const VersionVector y_clock = pruned.versions()[0].clock;
+
+  EXPECT_GT(stats.entries_dropped, 0u);
+  // Ground truth: y causally follows x.  Pruned verdict: concurrent.
+  EXPECT_EQ(x_clock.compare(y_clock), Ordering::kConcurrent)
+      << "pruning destroyed the dominance proof";
+
+  // Consequence at sync: a replica still holding X resurrects it next to
+  // Y — a stale sibling the application must now resolve again.
+  ClientVvSiblings<std::string> stale_replica = s;
+  stale_replica.sync(pruned);
+  EXPECT_EQ(stale_replica.sibling_count(), 2u) << "false sibling resurrected";
+}
+
+// Pruning-induced LOST UPDATE: the pruned entry was client c's own; when
+// c writes again its counter restarts low and the new write can be
+// dominated by an *older* clock still carrying the original entry.
+TEST(ClientVvPruned, PruningCausesLostUpdate) {
+  const auto c_old = dvv::kv::client_actor(1);
+
+  // c_old writes 5 times (counter reaches 5); value "precious".
+  ClientVvSiblings<std::string> replica_a;
+  for (int i = 0; i < 5; ++i) {
+    const auto ctx = replica_a.context();
+    replica_a.update(c_old, ctx, i == 4 ? "precious" : "old");
+  }
+  const VersionVector full_clock = replica_a.versions()[0].clock;  // {c1:5}
+  ASSERT_EQ(full_clock.get(c_old), 5u);
+
+  // Replica B's copy of the key was (aggressively) pruned: c_old's entry
+  // vanished entirely, so B hands out an empty context.
+  ClientVvSiblings<std::string> replica_b;
+  // c_old writes fresh data through B with the empty context: its
+  // counter restarts at 1.
+  replica_b.update(c_old, VersionVector{}, "newest");
+  const VersionVector restarted = replica_b.versions()[0].clock;  // {c1:1}
+  ASSERT_EQ(restarted.get(c_old), 1u);
+
+  // Anti-entropy with A: {c1:1} < {c1:5}, so the NEWEST write loses to
+  // data that is semantically five writes older.
+  replica_b.sync(replica_a);
+  ASSERT_EQ(replica_b.sibling_count(), 1u);
+  EXPECT_EQ(replica_b.versions()[0].value, "precious")
+      << "the fresh write was silently discarded: a lost update";
+}
+
+TEST(PruneFunction, DropsSmallestCountersFirst) {
+  VersionVector vv{{1, 5}, {2, 1}, {3, 9}, {4, 2}};
+  const PruneStats stats = dvv::core::prune(vv, PruneConfig{2});
+  EXPECT_EQ(stats.entries_dropped, 2u);
+  EXPECT_EQ(vv.size(), 2u);
+  EXPECT_EQ(vv.get(3), 9u);  // largest counters survive
+  EXPECT_EQ(vv.get(1), 5u);
+  EXPECT_EQ(vv.get(2), 0u);
+  EXPECT_EQ(vv.get(4), 0u);
+}
+
+TEST(PruneFunction, NoOpWhenWithinCapOrDisabled) {
+  VersionVector vv{{1, 5}, {2, 1}};
+  EXPECT_EQ(dvv::core::prune(vv, PruneConfig{2}).entries_dropped, 0u);
+  EXPECT_EQ(dvv::core::prune(vv, PruneConfig{0}).entries_dropped, 0u);  // disabled
+  EXPECT_EQ(vv.size(), 2u);
+}
+
+TEST(PruneFunction, TieBreaksByActorIdDeterministically) {
+  VersionVector vv{{7, 3}, {2, 3}, {5, 3}};
+  dvv::core::prune(vv, PruneConfig{1});
+  EXPECT_EQ(vv.size(), 1u);
+  EXPECT_EQ(vv.get(7), 3u) << "highest actor id among equal counters survives";
+}
+
+}  // namespace
