@@ -14,6 +14,7 @@
 // sequence against the causal-history mechanism and audit the outcome.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <set>
@@ -24,6 +25,9 @@
 #include "kv/replica.hpp"
 #include "kv/ring.hpp"
 #include "kv/types.hpp"
+#include "sync/anti_entropy.hpp"
+#include "sync/key_digest.hpp"
+#include "sync/merkle.hpp"
 #include "util/assert.hpp"
 
 namespace dvv::kv {
@@ -32,6 +36,7 @@ struct ClusterConfig {
   std::size_t servers = 3;
   std::size_t replication = 3;
   std::size_t vnodes = 64;
+  sync::MerkleConfig aae{};  ///< geometry of the per-replica hash trees
 };
 
 template <CausalityMechanism M>
@@ -50,11 +55,38 @@ class Cluster {
   Cluster(ClusterConfig config, M mechanism)
       : config_(config),
         mechanism_(std::move(mechanism)),
-        ring_(config.servers, config.replication, config.vnodes) {
+        ring_(config.servers, config.replication, config.vnodes),
+        digest_index_(config.servers, config.aae) {
     replicas_.reserve(config.servers);
     for (std::size_t s = 0; s < config.servers; ++s) {
       replicas_.emplace_back(static_cast<ReplicaId>(s));
+      replicas_.back().set_observer(&digest_index_);
     }
+    wire_partitioner();
+  }
+
+  // Replicas hold a pointer to this cluster's digest index, so moves
+  // must re-wire the observers and copies are disallowed.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  Cluster(Cluster&& other) noexcept
+      : config_(std::move(other.config_)),
+        mechanism_(std::move(other.mechanism_)),
+        ring_(std::move(other.ring_)),
+        digest_index_(std::move(other.digest_index_)),
+        replicas_(std::move(other.replicas_)) {
+    for (auto& rep : replicas_) rep.set_observer(&digest_index_);
+    wire_partitioner();
+  }
+  Cluster& operator=(Cluster&& other) noexcept {
+    config_ = std::move(other.config_);
+    mechanism_ = std::move(other.mechanism_);
+    ring_ = std::move(other.ring_);
+    digest_index_ = std::move(other.digest_index_);
+    replicas_ = std::move(other.replicas_);
+    for (auto& rep : replicas_) rep.set_observer(&digest_index_);
+    wire_partitioner();
+    return *this;
   }
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
@@ -203,7 +235,10 @@ class Cluster {
 
   /// One anti-entropy round: for every key anywhere in the cluster, the
   /// replicas in its preference list gather-merge-scatter so they end up
-  /// identical.  Returns the number of (key, replica) states touched.
+  /// identical.  Keys whose alive preference-list states already encode
+  /// identically are skipped (digest pre-check), so `touched` counts
+  /// genuinely divergent (key, replica) states — a divergence metric —
+  /// and converged state is never rewritten.
   std::size_t anti_entropy() {
     std::set<Key> all_keys;
     for (const auto& rep : replicas_) {
@@ -212,18 +247,105 @@ class Cluster {
     std::size_t touched = 0;
     for (const Key& key : all_keys) {
       const auto pref = ring_.preference_list(key);
-      Stored merged;
+      // Digest pre-check: all alive preference replicas hold the same
+      // bytes (kMissing marking absence) -> nothing to repair.
+      std::vector<std::pair<ReplicaId, sync::Digest>> owner_digests;
+      bool divergent = false;
       for (ReplicaId r : pref) {
         if (!replicas_[r].alive()) continue;
+        const Stored* s = replicas_[r].find(key);
+        const sync::Digest d = s ? sync::state_digest(*s) : sync::kMissing;
+        if (!owner_digests.empty() && d != owner_digests.front().second) {
+          divergent = true;
+        }
+        owner_digests.emplace_back(r, d);
+      }
+      if (!divergent) continue;
+
+      Stored merged;
+      for (const auto& [r, d] : owner_digests) {
         if (const Stored* s = replicas_[r].find(key)) mechanism_.sync(merged, *s);
       }
-      for (ReplicaId r : pref) {
-        if (!replicas_[r].alive()) continue;
+      // Scatter only to replicas not already holding the merged bytes,
+      // so converged copies are never rewritten and `touched` counts
+      // exactly the repaired (key, replica) states.
+      const sync::Digest merged_digest = sync::state_digest(merged);
+      for (const auto& [r, d] : owner_digests) {
+        if (d == merged_digest) continue;
         replicas_[r].stored(key) = merged;
         ++touched;
       }
     }
     return touched;
+  }
+
+  // ---- digest-based anti-entropy (src/sync) ------------------------------
+  //
+  // The production-shaped repair path: instead of shipping every key's
+  // state, replicas exchange Merkle tree hashes, descend into differing
+  // subtrees, and ship Stored state only for keys whose digests differ.
+  // The repair fold is canonical (preference-list order), so the fixed
+  // point is byte-identical to the legacy full pass — see
+  // tests/anti_entropy_convergence_test.cpp.
+
+  struct DigestRepairReport {
+    sync::SyncStats stats;
+    std::size_t sessions = 0;  ///< pairwise sessions run
+    std::size_t sweeps = 0;    ///< full pair sweeps until the fixed point
+  };
+
+  /// One pairwise digest session between alive replicas `a` and `b`
+  /// (refreshes both trees first).  Dead endpoints make it a no-op.
+  /// Keys found divergent are repaired read-repair style across their
+  /// whole alive preference list, so a repaired key is immediately at
+  /// the legacy pass's merged bytes on every alive owner.
+  sync::SyncStats anti_entropy_digest_pair(ReplicaId a, ReplicaId b) {
+    if (!replicas_.at(a).alive() || !replicas_.at(b).alive() || a == b) return {};
+    refresh_tree(a);
+    refresh_tree(b);
+    sync::SyncSession session(
+        [this](const Key& key, ReplicaId sa, ReplicaId sb) {
+          return repair_key(key, sa, sb);
+        });
+    sync::SyncStats stats;
+    for (const auto partition : digest_index_.shared_partitions(a, b)) {
+      stats.merge(session.run(a, digest_index_.tree(a, partition), b,
+                              digest_index_.tree(b, partition)));
+    }
+    return stats;
+  }
+
+  /// Full digest-based repair: sweeps every alive replica pair until a
+  /// sweep ships nothing.  Converges to the legacy pass's fixed point
+  /// while shipping state only for divergent keys.
+  DigestRepairReport anti_entropy_digest() {
+    DigestRepairReport report;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      ++report.sweeps;
+      for (ReplicaId a = 0; a < replicas_.size(); ++a) {
+        for (ReplicaId b = a + 1; b < replicas_.size(); ++b) {
+          const sync::SyncStats stats = anti_entropy_digest_pair(a, b);
+          ++report.sessions;
+          if (stats.keys_shipped > 0) progress = true;
+          report.stats.merge(stats);
+        }
+      }
+      // Keys owned by dead replicas can stay divergent across sweeps;
+      // shipping stops once every alive pair agrees, so this bound only
+      // guards against a repair rule that fails to converge.
+      DVV_ASSERT_MSG(report.sweeps <= replicas_.size() + 2,
+                     "anti_entropy_digest: no fixed point");
+    }
+    return report;
+  }
+
+  /// Refreshed Merkle tree view of `key`'s partition at one replica
+  /// (tests/benches).
+  [[nodiscard]] const sync::MerkleTree& merkle_tree_for(ReplicaId r, const Key& key) {
+    refresh_tree(r);
+    return digest_index_.tree(r, digest_index_.partition_of(key));
   }
 
   /// Cluster-wide metadata footprint (sums replica footprints).
@@ -234,9 +356,97 @@ class Cluster {
   }
 
  private:
+  void wire_partitioner() {
+    digest_index_.set_partitioner(
+        [this](const Key& key) { return ring_.preference_list(key); });
+  }
+
+  void refresh_tree(ReplicaId r) {
+    digest_index_.refresh(r, [this, r](const Key& key) {
+      return replicas_.at(r).find(key);
+    });
+  }
+
+  /// Read-repair of one divergent key, initiated by session endpoint
+  /// `a` after disagreeing with `b`: gather every alive owner's state,
+  /// fold in preference-list order (the same deterministic merge the
+  /// legacy pass computes), scatter the merge back.  Wire metering uses
+  /// the per-key digests the owners already maintain: identical gather
+  /// states ship once (the initiator recognizes duplicates by digest),
+  /// the initiator's own copy stays local, and owners whose bytes
+  /// already equal the merge receive nothing.  Keys the session pair
+  /// does not own are left alone: a replica must never adopt keys
+  /// outside its partition.
+  sync::RepairResult repair_key(const Key& key, ReplicaId a, ReplicaId b) {
+    const auto pref = ring_.preference_list(key);
+    const bool a_owns = std::find(pref.begin(), pref.end(), a) != pref.end();
+    const bool b_owns = std::find(pref.begin(), pref.end(), b) != pref.end();
+    if (!a_owns || !b_owns) return {};
+
+    struct OwnerState {
+      ReplicaId replica;
+      const Stored* stored;
+      sync::Digest digest;
+    };
+    std::vector<OwnerState> owners;
+    sync::Digest initiator_digest = sync::kMissing;
+    Stored merged;
+    bool found_any = false;
+    for (const ReplicaId r : pref) {
+      if (!replicas_[r].alive()) continue;
+      const Stored* s = replicas_[r].find(key);
+      const sync::Digest d = s ? sync::state_digest(*s) : sync::kMissing;
+      owners.push_back({r, s, d});
+      if (r == a) initiator_digest = d;
+      if (s != nullptr) {
+        mechanism_.sync(merged, *s);
+        found_any = true;
+      }
+    }
+    if (!found_any) return {};
+
+    sync::RepairResult result;
+    // The dedup/skip decisions below need every owner's per-key digest
+    // at the initiator.  `b`'s digests crossed in the session's leaf
+    // round and the initiator knows its own, but each OTHER owner must
+    // be probed (key out, digest back) — metered here so the bench's
+    // digest-vs-full comparison stays honest.
+    for (const OwnerState& o : owners) {
+      if (o.replica == a || o.replica == b) continue;
+      result.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
+    }
+    // Gather: each distinct divergent state crosses to the initiator once.
+    std::set<sync::Digest> gathered;
+    for (const OwnerState& o : owners) {
+      if (o.stored == nullptr || o.replica == a) continue;
+      if (o.digest == initiator_digest || gathered.contains(o.digest)) continue;
+      gathered.insert(o.digest);
+      result.wire_bytes += key_wire_bytes(key) + mechanism_.total_bytes(*o.stored);
+      ++result.states_shipped;
+    }
+    // Scatter: the merge goes out to every owner not already holding it.
+    const sync::Digest merged_digest = sync::state_digest(merged);
+    const std::size_t merged_bytes =
+        key_wire_bytes(key) + mechanism_.total_bytes(merged);
+    for (const OwnerState& o : owners) {
+      if (o.digest == merged_digest) continue;  // byte-identical already
+      replicas_[o.replica].stored(key) = merged;
+      if (o.replica != a) {
+        result.wire_bytes += merged_bytes;
+        ++result.states_shipped;
+      }
+    }
+    return result;
+  }
+
+  [[nodiscard]] static std::size_t key_wire_bytes(const Key& key) {
+    return codec::varint_size(key.size()) + key.size();
+  }
+
   ClusterConfig config_;
   M mechanism_;
   Ring ring_;
+  sync::DigestIndex digest_index_;
   std::vector<Replica<M>> replicas_;
 };
 

@@ -14,6 +14,7 @@
 
 #include "kv/mechanism.hpp"
 #include "kv/types.hpp"
+#include "sync/key_observer.hpp"
 
 namespace dvv::kv {
 
@@ -36,6 +37,11 @@ class Replica {
   [[nodiscard]] bool alive() const noexcept { return alive_; }
   void set_alive(bool alive) noexcept { alive_ = alive; }
 
+  /// Registers the anti-entropy subsystem's dirty-key hook.  Every
+  /// mutation path reports the touched key so Merkle digests can be
+  /// refreshed incrementally (src/sync).  Null disables reporting.
+  void set_observer(sync::KeyObserver* observer) noexcept { observer_ = observer; }
+
   /// Local GET: siblings plus the causal context.
   [[nodiscard]] GetResult get(const M& m, const Key& key) const {
     GetResult r;
@@ -51,11 +57,13 @@ class Replica {
   void put(const M& m, const Key& key, ReplicaId coordinator, ClientId client,
            const Context& ctx, Value value) {
     m.update(data_[key], coordinator, client, ctx, std::move(value));
+    touched(key);
   }
 
   /// Merges a remote sibling state for `key` into ours (one direction).
   void merge_key(const M& m, const Key& key, const Stored& remote) {
     m.sync(data_[key], remote);
+    touched(key);
   }
 
   /// Pairwise bidirectional anti-entropy over the union of both key sets.
@@ -63,9 +71,11 @@ class Replica {
   void sync_with(const M& m, Replica& other) {
     for (auto& [key, stored] : other.data_) {
       m.sync(data_[key], stored);
+      touched(key);
     }
     for (auto& [key, stored] : data_) {
       m.sync(other.data_[key], stored);
+      other.touched(key);
     }
   }
 
@@ -74,7 +84,10 @@ class Replica {
     return it == data_.end() ? nullptr : &it->second;
   }
 
-  [[nodiscard]] Stored& stored(const Key& key) { return data_[key]; }
+  [[nodiscard]] Stored& stored(const Key& key) {
+    touched(key);  // caller holds a mutable ref: conservatively dirty
+    return data_[key];
+  }
 
   /// All keys this replica holds (sorted for deterministic iteration).
   [[nodiscard]] std::vector<Key> keys() const {
@@ -152,8 +165,13 @@ class Replica {
   }
 
  private:
+  void touched(const Key& key) {
+    if (observer_ != nullptr) observer_->on_key_touched(id_, key);
+  }
+
   ReplicaId id_;
   bool alive_ = true;
+  sync::KeyObserver* observer_ = nullptr;
   std::unordered_map<Key, Stored> data_;
   std::map<std::pair<ReplicaId, Key>, Stored> hinted_;
 };

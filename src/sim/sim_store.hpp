@@ -29,11 +29,14 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "codec/clock_codec.hpp"
 #include "kv/cluster.hpp"
 #include "kv/mechanism.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "sync/anti_entropy.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -48,6 +51,14 @@ struct SimStoreConfig {
   std::size_t value_bytes = 64;      ///< payload size per write
   LatencyModel network{};
   std::uint64_t seed = 1;
+
+  /// Background anti-entropy: every `aae_interval_ms` a random alive
+  /// replica pair runs one digest sync session (src/sync).  The session
+  /// keeps a replica busy for the simulated duration of its wire
+  /// traffic, and foreground requests hitting a busy replica stall for
+  /// the residual — repair traffic competes with request latency.
+  /// 0 disables background AAE.
+  double aae_interval_ms = 0.0;
 };
 
 struct SimStoreResult {
@@ -58,6 +69,12 @@ struct SimStoreResult {
   util::Samples put_request_bytes;
   double sim_duration_ms = 0.0;
   std::uint64_t cycles = 0;
+
+  // Background anti-entropy activity (zero when aae_interval_ms == 0).
+  std::uint64_t aae_sessions = 0;
+  sync::SyncStats aae_stats{};          ///< summed over all sessions
+  util::Samples aae_session_bytes;      ///< wire bytes per session
+  util::Samples aae_stall_ms;           ///< foreground stalls behind repair
 };
 
 /// Runs the closed-loop workload for one mechanism.  The cluster is
@@ -82,6 +99,16 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     SimTime get_start = 0.0;
   };
   std::vector<ClientState> clients(config.clients);
+  std::size_t live_clients = config.clients;
+
+  // While a replica is absorbed in a background repair session its
+  // foreground replies queue behind the repair work.
+  std::vector<SimTime> repair_busy_until(cluster_config.servers, 0.0);
+  auto server_stall = [&](kv::ReplicaId r) {
+    const double stall = std::max(0.0, repair_busy_until[r] - queue.now());
+    if (stall > 0.0) result.aae_stall_ms.add(stall);
+    return stall;
+  };
 
   const M& mech = cluster.mechanism();
 
@@ -91,7 +118,10 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
 
   begin_cycle = [&](std::size_t c) {
     ClientState& st = clients[c];
-    if (st.remaining == 0) return;
+    if (st.remaining == 0) {
+      --live_clients;  // this client's loop is done
+      return;
+    }
     --st.remaining;
     queue.schedule_in(rng.exponential(config.think_ms), [&, c] { do_get(c); });
   };
@@ -114,8 +144,10 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
       if (const auto* stored = cluster.replica(source).find(state.key)) {
         reply_bytes += mech.total_bytes(*stored);
       }
-      // The client adopts the reply's causal context on arrival.
-      const double reply_leg = config.network.sample(rng, reply_bytes);
+      // The client adopts the reply's causal context on arrival.  A
+      // replica busy with background repair serves the read late.
+      const double reply_leg =
+          config.network.sample(rng, reply_bytes) + server_stall(source);
       queue.schedule_in(reply_leg, [&, c, source, reply_bytes] {
         ClientState& cs = clients[c];
         cs.context = cluster.get(cs.key, source).context;
@@ -163,8 +195,10 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
                           });
       }
 
-      // Ack leg back to the client.
-      const double ack_leg = config.network.sample(rng, 32);
+      // Ack leg back to the client (late if the coordinator is busy
+      // with background repair).
+      const double ack_leg =
+          config.network.sample(rng, 32) + server_stall(coordinator);
       queue.schedule_in(ack_leg, [&, c, put_start] {
         ClientState& done = clients[c];
         result.put_latency_ms.add(queue.now() - put_start);
@@ -174,6 +208,36 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
       });
     });
   };
+
+  // Background anti-entropy: periodic digest sync sessions between
+  // random replica pairs, racing the foreground workload.  Stops
+  // rescheduling once every client loop has drained so the queue can
+  // empty.
+  std::function<void()> aae_tick = [&] {
+    if (live_clients == 0) return;
+    const std::size_t n = cluster_config.servers;
+    auto a = static_cast<kv::ReplicaId>(rng.index(n));
+    auto b = static_cast<kv::ReplicaId>(rng.index(n - 1));
+    if (b >= a) ++b;
+    const dvv::sync::SyncStats stats = cluster.anti_entropy_digest_pair(a, b);
+    ++result.aae_sessions;
+    result.aae_stats.merge(stats);
+    result.aae_session_bytes.add(static_cast<double>(stats.wire_bytes));
+    // The endpoints are occupied for as long as the session's messages
+    // and serialization take on this network.
+    const double duration =
+        static_cast<double>(stats.rounds) * config.network.base_ms +
+        static_cast<double>(stats.wire_bytes) *
+            (1.0 / config.network.bandwidth_bytes_per_ms +
+             config.network.cpu_ms_per_byte);
+    const SimTime busy = queue.now() + duration;
+    repair_busy_until[a] = std::max(repair_busy_until[a], busy);
+    repair_busy_until[b] = std::max(repair_busy_until[b], busy);
+    queue.schedule_in(config.aae_interval_ms, aae_tick);
+  };
+  if (config.aae_interval_ms > 0.0) {
+    queue.schedule_in(config.aae_interval_ms, aae_tick);
+  }
 
   for (std::size_t c = 0; c < config.clients; ++c) {
     clients[c].remaining = config.ops_per_client;

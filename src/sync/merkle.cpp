@@ -1,0 +1,76 @@
+#include "sync/merkle.hpp"
+
+#include "util/assert.hpp"
+
+namespace dvv::sync {
+
+namespace {
+
+/// Hash of one (key, digest) bucket entry.
+[[nodiscard]] Digest entry_hash(const std::string& key, Digest digest) noexcept {
+  return combine(hash_string(key), digest);
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(MerkleConfig config) : config_(config) {
+  DVV_ASSERT_MSG(config_.fanout >= 2, "merkle: fanout must be >= 2");
+  DVV_ASSERT_MSG(config_.levels >= 1, "merkle: need at least one level");
+  std::size_t width = 1;
+  nodes_.resize(config_.levels + 1);
+  for (std::size_t l = 0; l <= config_.levels; ++l) {
+    nodes_[l].assign(width, Digest{0});
+    width *= config_.fanout;
+  }
+  buckets_.resize(nodes_[config_.levels].size());
+}
+
+void MerkleTree::set(const std::string& key, Digest digest) {
+  const std::size_t leaf = bucket_of(key);
+  auto [it, inserted] = buckets_[leaf].insert_or_assign(key, digest);
+  (void)it;
+  if (inserted) ++key_count_;
+  rehash_path(leaf);
+}
+
+void MerkleTree::erase(const std::string& key) {
+  const std::size_t leaf = bucket_of(key);
+  if (buckets_[leaf].erase(key) == 0) return;
+  --key_count_;
+  rehash_path(leaf);
+}
+
+Digest MerkleTree::digest_of(const std::string& key) const {
+  const Bucket& b = buckets_[bucket_of(key)];
+  const auto it = b.find(key);
+  return it == b.end() ? kMissing : it->second;
+}
+
+void MerkleTree::rehash_path(std::size_t leaf) {
+  // Leaf hash: chain the sorted bucket entries; empty bucket -> 0 so
+  // mutually absent ranges compare equal for free.
+  const Bucket& b = buckets_[leaf];
+  Digest h = 0;
+  if (!b.empty()) {
+    h = 0x9ae16a3b2f90404fULL;  // nonzero start: {} != {entry hashing to 0}
+    for (const auto& [key, digest] : b) h = combine(h, entry_hash(key, digest));
+  }
+  nodes_[config_.levels][leaf] = h;
+
+  // Interior nodes: chain children; all-empty children -> 0.
+  std::size_t index = leaf;
+  for (std::size_t l = config_.levels; l > 0; --l) {
+    index /= config_.fanout;
+    const std::size_t first_child = index * config_.fanout;
+    Digest acc = 0;
+    bool any = false;
+    for (std::size_t c = 0; c < config_.fanout; ++c) {
+      const Digest child = nodes_[l][first_child + c];
+      if (child != 0) any = true;
+      acc = combine(acc, child);
+    }
+    nodes_[l - 1][index] = any ? acc : Digest{0};
+  }
+}
+
+}  // namespace dvv::sync

@@ -1,0 +1,83 @@
+// dvv/sync/merkle.hpp
+//
+// Fixed-fanout hash tree over one replica's keyspace partition — the
+// Riak-AAE-shaped index that lets two replicas agree on which keys
+// diverge by exchanging O(fanout * log(buckets)) hashes instead of the
+// whole store.
+//
+// Shape: `levels` edge levels of fanout `fanout`, so fanout^levels leaf
+// buckets.  A key maps to a leaf by hashing its bytes; the leaf stores
+// the (key -> state digest) entries of its bucket in sorted order, and
+// the leaf hash chains those entries deterministically.  Interior node
+// hashes chain their children.  An empty subtree hashes to 0, so two
+// replicas that both lack a whole key range agree without descending.
+//
+// Updates are incremental: set()/erase() rehash one bucket and the
+// `levels` nodes above it.  All hashing is content-only — no pointers,
+// no timestamps — so identical stores always produce identical trees,
+// preserving the repository's determinism contract.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sync/key_digest.hpp"
+
+namespace dvv::sync {
+
+struct MerkleConfig {
+  std::size_t fanout = 4;
+  std::size_t levels = 2;  ///< edge levels below the root (4^2 = 16 leaves)
+  // Defaults suit partitions of up to a few hundred keys (a partition
+  // is one preference list's key range, not the whole store).  Deepen
+  // the tree for bigger partitions: hash exchange grows with
+  // fanout * levels, leaf-list exchange shrinks with leaf count.
+};
+
+class MerkleTree {
+ public:
+  using Bucket = std::map<std::string, Digest>;  // sorted: deterministic hashing
+
+  explicit MerkleTree(MerkleConfig config = {});
+
+  [[nodiscard]] std::size_t fanout() const noexcept { return config_.fanout; }
+  [[nodiscard]] std::size_t levels() const noexcept { return config_.levels; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::size_t key_count() const noexcept { return key_count_; }
+
+  /// Inserts or updates the digest for `key`, rehashing its leaf path.
+  void set(const std::string& key, Digest digest);
+
+  /// Removes `key` if present, rehashing its leaf path.
+  void erase(const std::string& key);
+
+  [[nodiscard]] Digest root() const noexcept { return nodes_[0][0]; }
+
+  /// Hash of node `index` at `level` (level 0 = root, level `levels()` =
+  /// leaves).  Node i at level l covers children [i*fanout, (i+1)*fanout)
+  /// at level l+1.
+  [[nodiscard]] Digest node(std::size_t level, std::size_t index) const {
+    return nodes_.at(level).at(index);
+  }
+
+  [[nodiscard]] std::size_t bucket_of(const std::string& key) const noexcept {
+    return static_cast<std::size_t>(hash_string(key) % buckets_.size());
+  }
+
+  [[nodiscard]] const Bucket& bucket(std::size_t leaf) const { return buckets_.at(leaf); }
+
+  /// Digest stored for `key`, or kMissing if absent.
+  [[nodiscard]] Digest digest_of(const std::string& key) const;
+
+ private:
+  void rehash_path(std::size_t leaf);
+
+  MerkleConfig config_;
+  std::vector<Bucket> buckets_;        // one per leaf
+  std::vector<std::vector<Digest>> nodes_;  // nodes_[l]: fanout^l hashes
+  std::size_t key_count_ = 0;
+};
+
+}  // namespace dvv::sync

@@ -1,0 +1,187 @@
+// Convergence property test for digest-based anti-entropy: for every
+// causality mechanism, across seeded random workloads with partial
+// replication, replica crashes/recoveries and hinted handoff, the
+// digest pass (Cluster::anti_entropy_digest) must drive the cluster to
+// a fixed point BYTE-IDENTICAL to the legacy full gather-merge-scatter
+// pass (Cluster::anti_entropy) — while shipping state only for
+// divergent keys.
+//
+// Method: the cluster makes no random choices of its own (determinism
+// contract), so replaying one seeded op sequence into two fresh
+// clusters yields bit-equal stores.  One cluster is repaired with the
+// legacy pass, the other with the digest pass; every replica's every
+// key is then compared by its full codec encoding.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/clock_codec.hpp"
+#include "kv/client.hpp"
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::kv::ClientSession;
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+using dvv::kv::Key;
+using dvv::kv::ReplicaId;
+using dvv::util::Rng;
+
+ClusterConfig test_config() {
+  ClusterConfig cfg;
+  cfg.servers = 5;
+  cfg.replication = 3;
+  cfg.vnodes = 32;
+  return cfg;
+}
+
+constexpr std::size_t kKeys = 40;
+constexpr std::size_t kClients = 6;
+constexpr std::size_t kOps = 300;
+
+/// One deterministic chaotic workload: partial replication, blind
+/// writes, crashes, recoveries, sloppy-quorum handoff, hint delivery.
+/// Identical seeds produce identical cluster states.
+template <typename M>
+void run_workload(Cluster<M>& cluster, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ClientSession<M>> sessions;
+  sessions.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    sessions.emplace_back(dvv::kv::client_actor(c), cluster);
+  }
+
+  const std::size_t servers = cluster.servers();
+  auto alive_count = [&] {
+    std::size_t n = 0;
+    for (ReplicaId r = 0; r < servers; ++r) n += cluster.replica(r).alive();
+    return n;
+  };
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    // Occasionally crash or recover a server (keep a quorum alive).
+    if (rng.chance(0.05)) {
+      const auto r = static_cast<ReplicaId>(rng.index(servers));
+      if (cluster.replica(r).alive()) {
+        if (alive_count() > 3) cluster.replica(r).set_alive(false);
+      } else {
+        cluster.replica(r).set_alive(true);
+      }
+    }
+    if (rng.chance(0.05)) cluster.deliver_hints();
+
+    auto& session = sessions[rng.index(kClients)];
+    const Key key = "key-" + std::to_string(rng.index(kKeys));
+    const auto pref = cluster.preference_list(key);
+    std::vector<ReplicaId> alive_pref;
+    for (const ReplicaId r : pref) {
+      if (cluster.replica(r).alive()) alive_pref.push_back(r);
+    }
+    if (alive_pref.empty()) continue;
+
+    const double kind = rng.uniform01();
+    if (kind < 0.35) {
+      (void)session.get(key, alive_pref[rng.index(alive_pref.size())]);
+    } else if (kind < 0.55) {
+      // Sloppy-quorum write: dead preference members get hints parked.
+      session.put_with_handoff(key, alive_pref[rng.index(alive_pref.size())],
+                               "h" + std::to_string(op));
+    } else {
+      // Partial replication: each non-coordinator alive member has a
+      // 50% chance of receiving the write now — the divergence source.
+      const ReplicaId coord = alive_pref[rng.index(alive_pref.size())];
+      std::vector<ReplicaId> replicate_to;
+      for (const ReplicaId r : alive_pref) {
+        if (r != coord && rng.chance(0.5)) replicate_to.push_back(r);
+      }
+      session.put_via(key, coord, "v" + std::to_string(op), replicate_to);
+    }
+  }
+}
+
+/// Full byte-level snapshot: every replica's every key, codec-encoded.
+template <typename M>
+std::map<std::pair<ReplicaId, Key>, std::string> full_state(Cluster<M>& cluster) {
+  std::map<std::pair<ReplicaId, Key>, std::string> out;
+  for (ReplicaId r = 0; r < cluster.servers(); ++r) {
+    for (const Key& key : cluster.replica(r).keys()) {
+      dvv::codec::Writer w;
+      dvv::codec::encode(w, *cluster.replica(r).find(key));
+      const auto* p = reinterpret_cast<const char*>(w.buffer().data());
+      out.emplace(std::make_pair(r, key), std::string(p, w.size()));
+    }
+  }
+  return out;
+}
+
+template <typename M>
+class AntiEntropyConvergenceTest : public ::testing::Test {};
+
+using AllMechanisms =
+    ::testing::Types<dvv::kv::DvvMechanism, dvv::kv::DvvSetMechanism,
+                     dvv::kv::ServerVvMechanism, dvv::kv::ClientVvMechanism,
+                     dvv::kv::VveMechanism, dvv::kv::HistoryMechanism>;
+TYPED_TEST_SUITE(AntiEntropyConvergenceTest, AllMechanisms);
+
+TYPED_TEST(AntiEntropyConvergenceTest, DigestPassReachesLegacyFixedPoint) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 20120716ULL}) {
+    Cluster<TypeParam> legacy(test_config(), {});
+    Cluster<TypeParam> digest(test_config(), {});
+    run_workload(legacy, seed);
+    run_workload(digest, seed);
+    ASSERT_EQ(full_state(legacy), full_state(digest))
+        << "workload replay must be deterministic (seed " << seed << ")";
+
+    // Phase 1: repair with possibly-dead replicas still down.
+    legacy.anti_entropy();
+    const auto report = digest.anti_entropy_digest();
+    EXPECT_EQ(full_state(legacy), full_state(digest))
+        << "fixed points diverge with dead replicas (seed " << seed << ")";
+
+    // The digest pass must have shipped only per-key repairs, and a
+    // second pass must find nothing left to ship.
+    EXPECT_LE(report.stats.keys_shipped,
+              report.stats.keys_compared * test_config().servers);
+    EXPECT_EQ(digest.anti_entropy_digest().stats.keys_shipped, 0u)
+        << "digest pass is not a fixed point (seed " << seed << ")";
+    EXPECT_EQ(legacy.anti_entropy(), 0u)
+        << "legacy pass is not a fixed point (seed " << seed << ")";
+
+    // Phase 2: everyone recovers, parked hints come home, repair again.
+    for (ReplicaId r = 0; r < legacy.servers(); ++r) {
+      legacy.replica(r).set_alive(true);
+      digest.replica(r).set_alive(true);
+    }
+    legacy.deliver_hints();
+    digest.deliver_hints();
+    legacy.anti_entropy();
+    digest.anti_entropy_digest();
+    EXPECT_EQ(full_state(legacy), full_state(digest))
+        << "fixed points diverge after recovery (seed " << seed << ")";
+
+    // Convergence proper: every preference replica of every key holds
+    // byte-identical state in the digest-repaired cluster.
+    const auto snapshot = full_state(digest);
+    for (const auto& [where, bytes] : snapshot) {
+      const auto& [replica, key] = where;
+      for (const ReplicaId peer : digest.preference_list(key)) {
+        const auto it = snapshot.find(std::make_pair(peer, key));
+        if (it == snapshot.end()) continue;  // non-owner stray
+        const auto self = snapshot.find(std::make_pair(replica, key));
+        ASSERT_NE(self, snapshot.end());
+        EXPECT_EQ(self->second, it->second)
+            << "key " << key << " differs between " << replica << " and "
+            << peer << " (seed " << seed << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
