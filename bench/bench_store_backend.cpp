@@ -1,0 +1,224 @@
+// bench_store_backend — the cost of durability (src/store).
+//
+// Two sweeps over a single replica running a read-modify-write loop
+// through its storage backend:
+//
+//   group commit   write throughput vs WalConfig::flush_every: 1 is
+//                  write-through (every record fsync'd), larger batches
+//                  amortize the barrier — the classic group-commit
+//                  curve — with MemBackend as the no-durability roof.
+//
+//   recovery       crash + WAL replay time vs surviving log size, with
+//                  compaction on and off: compaction bounds the log (and
+//                  therefore recovery) by live state instead of write
+//                  history.
+//
+// The "disk" is the byte-faithful in-process model (see store/backend.hpp),
+// so the numbers isolate the WAL's own work — framing, CRC, flush
+// bookkeeping, replay decode — from device physics, the same way the
+// latency sim isolates serialization cost from real NICs.
+//
+// Output: tables + BENCH_store_backend.json (schema: {bench, seed,
+// config, rows[]}, rows tagged by section).  Structural invariants are
+// asserted (flush counts, replay completeness); wall-clock numbers are
+// reported, not asserted.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/mechanism.hpp"
+#include "kv/replica.hpp"
+#include "store/mem_backend.hpp"
+#include "store/wal_backend.hpp"
+#include "util/fmt.hpp"
+
+namespace {
+
+using dvv::kv::DvvMechanism;
+using dvv::kv::Replica;
+using dvv::store::MemBackend;
+using dvv::store::StorageBackend;
+using dvv::store::WalBackend;
+using dvv::store::WalConfig;
+
+constexpr std::size_t kKeys = 64;
+constexpr std::size_t kValueBytes = 64;
+constexpr std::size_t kCommitOps = 20'000;
+
+std::string key_name(std::size_t i) { return "key-" + std::to_string(i % kKeys); }
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Read-modify-write `ops` times through the replica (realistic write
+/// path: every put carries the current context, so states stay compact
+/// and every append is one key's fresh encoding).
+double run_writes(Replica<DvvMechanism>& replica, std::size_t ops) {
+  const DvvMechanism mech;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::string key = key_name(i);
+    typename DvvMechanism::Context ctx;
+    if (const auto* stored = replica.find(key)) ctx = mech.context_of(*stored);
+    replica.put(mech, key, 0, dvv::kv::client_actor(0), ctx,
+                "v" + std::to_string(i) + std::string(kValueBytes, 'x'));
+  }
+  return ms_since(start);
+}
+
+struct Row {
+  std::string section;
+  std::string backend;
+  std::size_t flush_every = 0;
+  bool compaction = false;
+  std::size_t ops = 0;
+  double wall_ms = 0.0;
+  double kops_per_sec = 0.0;
+  std::size_t flushes = 0;
+  std::size_t log_bytes = 0;
+  std::size_t records_replayed = 0;
+  double recover_ms = 0.0;
+};
+
+Row bench_group_commit(std::size_t flush_every) {
+  WalConfig config;
+  config.flush_every = flush_every;
+  config.segment_bytes = 256 * 1024;
+  Replica<DvvMechanism> replica(0, std::make_unique<WalBackend>(config));
+  Row row;
+  row.section = "group_commit";
+  row.backend = "wal";
+  row.flush_every = flush_every;
+  row.ops = kCommitOps;
+  row.wall_ms = run_writes(replica, kCommitOps);
+  row.kops_per_sec = static_cast<double>(kCommitOps) / row.wall_ms;
+  const auto& wal = dynamic_cast<const WalBackend&>(replica.backend());
+  row.flushes = wal.stats().flushes;
+  row.log_bytes = wal.log_bytes();
+  return row;
+}
+
+Row bench_mem_baseline() {
+  Replica<DvvMechanism> replica(0, std::make_unique<MemBackend>());
+  Row row;
+  row.section = "group_commit";
+  row.backend = "mem";
+  row.ops = kCommitOps;
+  row.wall_ms = run_writes(replica, kCommitOps);
+  row.kops_per_sec = static_cast<double>(kCommitOps) / row.wall_ms;
+  return row;
+}
+
+Row bench_recovery(std::size_t ops, bool compaction) {
+  WalConfig config;
+  config.flush_every = 1;
+  config.segment_bytes = 64 * 1024;
+  if (!compaction) config.compact_min_segments = ~std::size_t{0};
+  Replica<DvvMechanism> replica(0, std::make_unique<WalBackend>(config));
+  run_writes(replica, ops);
+
+  Row row;
+  row.section = "recovery";
+  row.backend = "wal";
+  row.compaction = compaction;
+  row.ops = ops;
+  row.log_bytes = replica.backend().log_bytes();
+  replica.crash();
+  const auto start = std::chrono::steady_clock::now();
+  const auto stats = replica.recover();
+  row.recover_ms = ms_since(start);
+  row.records_replayed = stats.records_replayed;
+
+  DVV_ASSERT_MSG(replica.key_count() == kKeys,
+                 "recovery must restore every live key");
+  // Small logs may never seal enough segments to trigger compaction;
+  // from 10k writes on, the garbage ratio guarantees it fires.
+  DVV_ASSERT_MSG(!compaction || ops < 10'000 || stats.records_replayed < ops,
+                 "compaction must drop overwritten records");
+  return row;
+}
+
+void write_json(const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen("BENCH_store_backend.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_store_backend.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"store_backend\",\n  \"seed\": 0,\n");
+  std::fprintf(f,
+               "  \"config\": {\"keys\": %zu, \"value_bytes\": %zu, "
+               "\"commit_ops\": %zu},\n  \"rows\": [\n",
+               kKeys, kValueBytes, kCommitOps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"section\": \"%s\", \"backend\": \"%s\", \"flush_every\": %zu, "
+        "\"compaction\": %s, \"ops\": %zu, \"wall_ms\": %.3f, "
+        "\"kops_per_sec\": %.1f, \"flushes\": %zu, \"log_bytes\": %zu, "
+        "\"records_replayed\": %zu, \"recover_ms\": %.3f}%s\n",
+        r.section.c_str(), r.backend.c_str(), r.flush_every,
+        r.compaction ? "true" : "false", r.ops, r.wall_ms, r.kops_per_sec,
+        r.flushes, r.log_bytes, r.records_replayed, r.recover_ms,
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== store backend: group-commit throughput ====\n");
+  std::printf("%zu RMW puts over %zu keys, %zu-byte values\n\n", kCommitOps,
+              kKeys, kValueBytes);
+
+  std::vector<Row> rows;
+  std::size_t prev_flushes = ~std::size_t{0};
+  for (const std::size_t flush_every : {1u, 4u, 16u, 64u, 256u}) {
+    rows.push_back(bench_group_commit(flush_every));
+    DVV_ASSERT_MSG(rows.back().flushes < prev_flushes,
+                   "bigger commit batches must mean fewer fsync barriers");
+    prev_flushes = rows.back().flushes;
+  }
+  rows.push_back(bench_mem_baseline());
+
+  dvv::util::TextTable commit_table;
+  commit_table.header({"backend", "flush every", "kops/s", "wall ms", "fsyncs",
+                       "log bytes"});
+  for (const Row& r : rows) {
+    commit_table.row({r.backend, std::to_string(r.flush_every),
+                      dvv::util::fixed(r.kops_per_sec, 1),
+                      dvv::util::fixed(r.wall_ms, 2), std::to_string(r.flushes),
+                      std::to_string(r.log_bytes)});
+  }
+  std::printf("%s\n", commit_table.to_string().c_str());
+
+  std::printf("==== store backend: recovery time vs log size ====\n\n");
+  const std::size_t before = rows.size();
+  for (const bool compaction : {false, true}) {
+    for (const std::size_t ops : {2'000u, 10'000u, 50'000u}) {
+      rows.push_back(bench_recovery(ops, compaction));
+    }
+  }
+  dvv::util::TextTable recovery_table;
+  recovery_table.header({"writes", "compaction", "log bytes", "replayed",
+                         "recover ms"});
+  for (std::size_t i = before; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    recovery_table.row({std::to_string(r.ops), r.compaction ? "on" : "off",
+                        std::to_string(r.log_bytes),
+                        std::to_string(r.records_replayed),
+                        dvv::util::fixed(r.recover_ms, 3)});
+  }
+  std::printf("%s\n", recovery_table.to_string().c_str());
+
+  write_json(rows);
+  std::printf("wrote BENCH_store_backend.json\n");
+  return 0;
+}

@@ -90,7 +90,11 @@ class Shell {
       auto& s = session(client);
       if (cmd == "blind") s.forget(key);
       const auto coordinator = cluster_.default_coordinator(key);
-      const auto receipt = s.put_with_handoff(key, coordinator, value);
+      if (!coordinator.has_value()) {
+        std::printf("unavailable: every replica for %s is down\n", key.c_str());
+        return true;
+      }
+      const auto receipt = s.put_with_handoff(key, *coordinator, value);
       std::printf("stored via server %s (replicated to %zu)\n",
                   dvv::kv::actor_name(receipt.coordinator).c_str(),
                   receipt.replicated_to);

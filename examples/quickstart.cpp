@@ -22,7 +22,7 @@ namespace {
 
 void show(const char* label, const Cluster<DvvMechanism>& cluster,
           const std::string& key) {
-  const auto coordinator = cluster.default_coordinator(key);
+  const auto coordinator = cluster.default_coordinator(key).value();
   const auto* stored = cluster.replica(coordinator).find(key);
   std::printf("%s\n", label);
   if (stored == nullptr || stored->sibling_count() == 0) {

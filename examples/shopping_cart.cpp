@@ -57,7 +57,7 @@ std::string add_item(const std::vector<std::string>& siblings,
 
 template <typename M>
 std::vector<std::string> read_cart(Cluster<M>& cluster, const std::string& key) {
-  return cluster.get(key, cluster.default_coordinator(key)).values;
+  return cluster.get(key, cluster.default_coordinator(key).value()).values;
 }
 
 template <typename M>
@@ -92,7 +92,7 @@ void run_scenario(Cluster<M>& cluster, const char* title) {
   laptop.get(key);
   // ...then race their writes through the SAME coordinator (the paper's
   // Fig. 1 situation: concurrent client updates at one server).
-  const auto coordinator = cluster.default_coordinator(key);
+  const auto coordinator = cluster.default_coordinator(key).value();
   const auto pref = cluster.preference_list(key);
   phone.put_via(key, coordinator, add_item(read_cart(cluster, key), "headphones"),
                 pref);

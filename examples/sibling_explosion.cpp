@@ -51,7 +51,7 @@ ExplosionResult<M> run(std::size_t writers) {
     writer.put(key, "order-" + std::to_string(w));
 
     const auto* stored =
-        cluster.replica(cluster.default_coordinator(key)).find(key);
+        cluster.replica(cluster.default_coordinator(key).value()).find(key);
     const M& mech = cluster.mechanism();
     result.peak_entries = std::max(result.peak_entries, mech.clock_entries(*stored));
     result.peak_metadata =
@@ -63,7 +63,7 @@ ExplosionResult<M> run(std::size_t writers) {
   reader.rmw(key, [](const std::vector<std::string>& siblings) {
     return "merged-" + std::to_string(siblings.size());
   });
-  const auto* stored = cluster.replica(cluster.default_coordinator(key)).find(key);
+  const auto* stored = cluster.replica(cluster.default_coordinator(key).value()).find(key);
   result.entries_after_merge = cluster.mechanism().clock_entries(*stored);
   return result;
 }

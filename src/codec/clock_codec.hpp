@@ -75,6 +75,31 @@ void encode(Writer& w, const core::DvvSet<std::string>& s);
 void encode(Writer& w, const core::VveSiblings<std::string>& s);
 [[nodiscard]] core::VveSiblings<std::string> decode_vve_siblings(Reader& r);
 
+// --- generic decode --------------------------------------------------------
+//
+// Overload set mirroring encode(): lets templated code (Replica<M>'s
+// storage replay, src/store) decode any mechanism's Stored type without
+// naming its decoder.
+
+inline void decode(Reader& r, core::DvvSiblings<std::string>& out) {
+  out = decode_dvv_siblings(r);
+}
+inline void decode(Reader& r, core::ServerVvSiblings<std::string>& out) {
+  out = decode_server_vv_siblings(r);
+}
+inline void decode(Reader& r, core::ClientVvSiblings<std::string>& out) {
+  out = decode_client_vv_siblings(r);
+}
+inline void decode(Reader& r, core::HistorySiblings<std::string>& out) {
+  out = decode_history_siblings(r);
+}
+inline void decode(Reader& r, core::DvvSet<std::string>& out) {
+  out = decode_dvv_set(r);
+}
+inline void decode(Reader& r, core::VveSiblings<std::string>& out) {
+  out = decode_vve_siblings(r);
+}
+
 /// Metadata-only wire size of a sibling set: full encoding minus the
 /// payload bytes.  This is the paper's "size of metadata" metric — what
 /// the causality mechanism itself costs on every reply, independent of

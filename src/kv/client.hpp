@@ -27,11 +27,22 @@ class ClientSession {
   [[nodiscard]] ClientId id() const noexcept { return id_; }
 
   /// GET through `from` (defaults to the key's coordinator); remembers
-  /// the returned context for the next put().
+  /// the returned context for the next put().  When no coordinator is
+  /// alive — or the explicitly-chosen source is down — the result comes
+  /// back `unavailable` and the remembered context is left untouched:
+  /// an error reply, not a crash, and never a context rollback (a
+  /// clobbered context would turn the session's next put into a blind
+  /// write).
   typename Cluster<M>::GetResult get(const Key& key,
                                      std::optional<ReplicaId> from = std::nullopt) {
-    const ReplicaId source = from.value_or(cluster_->default_coordinator(key));
-    auto result = cluster_->get(key, source);
+    const std::optional<ReplicaId> source =
+        from.has_value() ? from : cluster_->default_coordinator(key);
+    if (!source.has_value() || !cluster_->replica(*source).alive()) {
+      typename Cluster<M>::GetResult out;
+      out.unavailable = true;
+      return out;
+    }
+    auto result = cluster_->get(key, *source);
     contexts_[key] = result.context;
     return result;
   }

@@ -12,10 +12,16 @@
 // driver / test), which gets its randomness from a seeded Rng.  That is
 // what lets the oracle (src/oracle) replay the exact same decision
 // sequence against the causal-history mechanism and audit the outcome.
+//
+// Fault model: set_alive(false) pauses a replica with memory intact;
+// crash() is the real thing — volatile state is gone and recover()
+// rebuilds from the replica's storage backend (src/store), after which
+// anti-entropy repairs whatever the durability model lost.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <map>
 #include <optional>
 #include <set>
 #include <utility>
@@ -25,6 +31,7 @@
 #include "kv/replica.hpp"
 #include "kv/ring.hpp"
 #include "kv/types.hpp"
+#include "store/backend.hpp"
 #include "sync/anti_entropy.hpp"
 #include "sync/key_digest.hpp"
 #include "sync/merkle.hpp"
@@ -36,7 +43,8 @@ struct ClusterConfig {
   std::size_t servers = 3;
   std::size_t replication = 3;
   std::size_t vnodes = 64;
-  sync::MerkleConfig aae{};  ///< geometry of the per-replica hash trees
+  sync::MerkleConfig aae{};        ///< geometry of the per-replica hash trees
+  store::BackendConfig storage{};  ///< per-replica durability model
 };
 
 template <CausalityMechanism M>
@@ -48,6 +56,7 @@ class Cluster {
 
   struct PutReceipt {
     ReplicaId coordinator = 0;
+    bool unavailable = false;           ///< no alive replica could coordinate
     std::size_t replicated_to = 0;      ///< replicas the write reached now
     std::size_t replication_bytes = 0;  ///< wire bytes shipped to them
   };
@@ -59,7 +68,8 @@ class Cluster {
         digest_index_(config.servers, config.aae) {
     replicas_.reserve(config.servers);
     for (std::size_t s = 0; s < config.servers; ++s) {
-      replicas_.emplace_back(static_cast<ReplicaId>(s));
+      replicas_.emplace_back(static_cast<ReplicaId>(s),
+                             store::make_backend(config.storage));
       replicas_.back().set_observer(&digest_index_);
     }
     wire_partitioner();
@@ -96,18 +106,30 @@ class Cluster {
   [[nodiscard]] const Replica<M>& replica(ReplicaId id) const { return replicas_.at(id); }
   [[nodiscard]] std::size_t servers() const noexcept { return replicas_.size(); }
 
+  /// Crashes server `r`: volatile state dropped, durable log kept (see
+  /// Replica::crash).  `torn_tail_bytes` injects a torn trailing write.
+  void crash(ReplicaId r, std::size_t torn_tail_bytes = 0) {
+    replicas_.at(r).crash(torn_tail_bytes);
+  }
+
+  /// Recovers server `r` by storage replay; the Merkle trees rebuild
+  /// lazily through the KeyObserver hook.  Pair with deliver_hints()
+  /// and an anti-entropy round to repair what the log lost.
+  store::RecoveryStats recover(ReplicaId r) { return replicas_.at(r).recover(); }
+
   /// Preference list for a key (coordinator candidates, in ring order).
   [[nodiscard]] std::vector<ReplicaId> preference_list(const Key& key) const {
     return ring_.preference_list(key);
   }
 
-  /// First alive server of the preference list — the default coordinator.
-  [[nodiscard]] ReplicaId default_coordinator(const Key& key) const {
+  /// First alive server of the preference list — the default
+  /// coordinator — or nullopt when the whole preference list is down
+  /// (the caller surfaces unavailability; the cluster never aborts).
+  [[nodiscard]] std::optional<ReplicaId> default_coordinator(const Key& key) const {
     for (ReplicaId r : ring_.preference_list(key)) {
       if (replicas_[r].alive()) return r;
     }
-    DVV_ASSERT_MSG(false, "no alive replica for key");
-    return 0;
+    return std::nullopt;
   }
 
   /// GET served by one replica (`from` must be in the key's preference
@@ -136,6 +158,7 @@ class Cluster {
       }
     }
     GetResult out;
+    out.unavailable = asked == 0;
     out.found = found;
     if (found) {
       out.values = mechanism_.values_of(merged);
@@ -171,9 +194,16 @@ class Cluster {
   }
 
   /// Convenience PUT: default coordinator, full immediate replication.
+  /// When the whole preference list is down the receipt comes back
+  /// `unavailable` — an error result, not a crashed process.
   PutReceipt put(const Key& key, ClientId client, const Context& ctx, Value value) {
-    const ReplicaId coord = default_coordinator(key);
-    return put(key, coord, client, ctx, std::move(value), ring_.preference_list(key));
+    const std::optional<ReplicaId> coord = default_coordinator(key);
+    if (!coord.has_value()) {
+      PutReceipt receipt;
+      receipt.unavailable = true;
+      return receipt;
+    }
+    return put(key, *coord, client, ctx, std::move(value), ring_.preference_list(key));
   }
 
   /// PUT with hinted handoff (Dynamo's sloppy quorum): like put(), but
@@ -214,10 +244,14 @@ class Cluster {
     return receipt;
   }
 
-  /// Delivers parked hints cluster-wide to every recovered owner.
+  /// Delivers parked hints cluster-wide to every recovered owner.  Dead
+  /// holders are skipped: a crashed or paused server cannot push its
+  /// parked writes — they wait (and survive in its log) until it is
+  /// back.
   std::size_t deliver_hints() {
     std::size_t delivered = 0;
     for (auto& rep : replicas_) {
+      if (!rep.alive()) continue;
       delivered += rep.deliver_hints(
           mechanism_, [this](ReplicaId owner) -> Replica<M>& {
             return replicas_.at(owner);
@@ -233,22 +267,32 @@ class Cluster {
     return n;
   }
 
-  /// One anti-entropy round: for every key anywhere in the cluster, the
-  /// replicas in its preference list gather-merge-scatter so they end up
-  /// identical.  Keys whose alive preference-list states already encode
-  /// identically are skipped (digest pre-check), so `touched` counts
-  /// genuinely divergent (key, replica) states — a divergence metric —
-  /// and converged state is never rewritten.
+  /// One anti-entropy round: for every key anywhere in the cluster —
+  /// including keys that exist only as parked hints — the replicas in
+  /// its preference list gather-merge-scatter so they end up identical.
+  /// Parked hints on ALIVE holders are folded into the merge as extra
+  /// gather sources (a hint for a long-dead owner must not hide its
+  /// write from the cluster) and are then rewritten to the merged bytes
+  /// so later rounds recognize them as reconciled by digest; the hints
+  /// stay parked until their owner returns.  Keys whose alive
+  /// preference-list states already encode identically are skipped
+  /// (digest pre-check), so `touched` counts genuinely divergent
+  /// (key, replica) states — a divergence metric — and converged state
+  /// is never rewritten.
   std::size_t anti_entropy() {
     std::set<Key> all_keys;
     for (const auto& rep : replicas_) {
       for (auto& k : rep.keys()) all_keys.insert(k);
     }
+    const HintIndex hints = collect_hints();
+    for (const auto& [key, sources] : hints) all_keys.insert(key);
+
     std::size_t touched = 0;
     for (const Key& key : all_keys) {
       const auto pref = ring_.preference_list(key);
       // Digest pre-check: all alive preference replicas hold the same
-      // bytes (kMissing marking absence) -> nothing to repair.
+      // bytes (kMissing marking absence) and no alive holder parks a
+      // differing hint -> nothing to repair.
       std::vector<std::pair<ReplicaId, sync::Digest>> owner_digests;
       bool divergent = false;
       for (ReplicaId r : pref) {
@@ -260,11 +304,29 @@ class Cluster {
         }
         owner_digests.emplace_back(r, d);
       }
+      if (owner_digests.empty()) continue;  // whole preference list down
+
+      const auto hint_it = hints.find(key);
+      const bool has_hints = hint_it != hints.end();
+      if (has_hints && !divergent) {
+        for (const HintSource& h : hint_it->second) {
+          if (sync::state_digest(*h.state) != owner_digests.front().second) {
+            divergent = true;
+            break;
+          }
+        }
+      }
       if (!divergent) continue;
 
+      // Canonical fold: alive owners in preference order, then hints in
+      // (holder, owner) order — the digest pass repairs with the same
+      // fold, which is what keeps the two fixed points byte-identical.
       Stored merged;
       for (const auto& [r, d] : owner_digests) {
         if (const Stored* s = replicas_[r].find(key)) mechanism_.sync(merged, *s);
+      }
+      if (has_hints) {
+        for (const HintSource& h : hint_it->second) mechanism_.sync(merged, *h.state);
       }
       // Scatter only to replicas not already holding the merged bytes,
       // so converged copies are never rewritten and `touched` counts
@@ -272,8 +334,13 @@ class Cluster {
       const sync::Digest merged_digest = sync::state_digest(merged);
       for (const auto& [r, d] : owner_digests) {
         if (d == merged_digest) continue;
-        replicas_[r].stored(key) = merged;
+        replicas_[r].adopt(key, merged);
         ++touched;
+      }
+      if (has_hints) {
+        for (const HintSource& h : hint_it->second) {
+          replicas_[h.holder].replace_hint(h.owner, key, merged);
+        }
       }
     }
     return touched;
@@ -284,8 +351,8 @@ class Cluster {
   // The production-shaped repair path: instead of shipping every key's
   // state, replicas exchange Merkle tree hashes, descend into differing
   // subtrees, and ship Stored state only for keys whose digests differ.
-  // The repair fold is canonical (preference-list order), so the fixed
-  // point is byte-identical to the legacy full pass — see
+  // The repair fold is canonical (preference-list order, then hints), so
+  // the fixed point is byte-identical to the legacy full pass — see
   // tests/anti_entropy_convergence_test.cpp.
 
   struct DigestRepairReport {
@@ -298,7 +365,9 @@ class Cluster {
   /// (refreshes both trees first).  Dead endpoints make it a no-op.
   /// Keys found divergent are repaired read-repair style across their
   /// whole alive preference list, so a repaired key is immediately at
-  /// the legacy pass's merged bytes on every alive owner.
+  /// the legacy pass's merged bytes on every alive owner.  Parked hints
+  /// are handled by the full anti_entropy_digest() sweep — they live
+  /// outside the Merkle trees.
   sync::SyncStats anti_entropy_digest_pair(ReplicaId a, ReplicaId b) {
     if (!replicas_.at(a).alive() || !replicas_.at(b).alive() || a == b) return {};
     refresh_tree(a);
@@ -316,8 +385,12 @@ class Cluster {
   }
 
   /// Full digest-based repair: sweeps every alive replica pair until a
-  /// sweep ships nothing.  Converges to the legacy pass's fixed point
-  /// while shipping state only for divergent keys.
+  /// sweep ships nothing.  Each sweep ends with a hint round — keys that
+  /// exist only under parked hints (or whose hints differ from the
+  /// owners' agreed state) are invisible to the Merkle walk, so the
+  /// alive holders' hints are probed by digest and folded in explicitly.
+  /// Converges to the legacy pass's fixed point while shipping state
+  /// only for divergent keys.
   DigestRepairReport anti_entropy_digest() {
     DigestRepairReport report;
     bool progress = true;
@@ -330,6 +403,53 @@ class Cluster {
           ++report.sessions;
           if (stats.keys_shipped > 0) progress = true;
           report.stats.merge(stats);
+        }
+      }
+      // Hint round: repair every key some alive holder parks a hint
+      // for.  The converged pre-check matters beyond wire cost: a key
+      // must be folded at most once from its pre-repair states (the
+      // unsound mechanisms lose siblings when an already-merged state
+      // is folded again), so a key the pair walk just repaired — whose
+      // owners and hints all sit at the merged digest — is only probed.
+      const HintIndex hints = collect_hints();
+      for (const auto& [key, sources] : hints) {
+        std::optional<ReplicaId> initiator;
+        sync::Digest common = sync::kMissing;
+        bool divergent = false;
+        bool first = true;
+        for (const ReplicaId r : ring_.preference_list(key)) {
+          if (!replicas_[r].alive()) continue;
+          if (!initiator.has_value()) initiator = r;
+          const Stored* s = replicas_[r].find(key);
+          const sync::Digest d = s ? sync::state_digest(*s) : sync::kMissing;
+          if (first) {
+            common = d;
+            first = false;
+          } else if (d != common) {
+            divergent = true;
+          }
+        }
+        if (!initiator.has_value()) continue;  // whole preference list down
+        ++report.stats.keys_compared;
+        for (const HintSource& h : sources) {
+          if (!divergent && sync::state_digest(*h.state) != common) divergent = true;
+        }
+        if (!divergent) {
+          // Converged: the probe (key out, digest back, per hint holder)
+          // is the whole cost.  The divergent path meters its probes
+          // inside repair_key — charging them here too would double-bill.
+          for (const HintSource& h : sources) {
+            if (h.holder != *initiator) {
+              report.stats.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
+            }
+          }
+          continue;
+        }
+        const sync::RepairResult repaired = repair_key(key, *initiator, *initiator);
+        report.stats.wire_bytes += repaired.wire_bytes;
+        if (repaired.states_shipped > 0) {
+          ++report.stats.keys_shipped;
+          progress = true;
         }
       }
       // Keys owned by dead replicas can stay divergent across sweeps;
@@ -348,6 +468,12 @@ class Cluster {
     return digest_index_.tree(r, digest_index_.partition_of(key));
   }
 
+  /// Keys marked dirty (pending Merkle refresh) at replica `r` — lets
+  /// tests pin that converged write-backs do not dirty the trees.
+  [[nodiscard]] std::size_t aae_dirty_count(ReplicaId r) const {
+    return digest_index_.dirty_count(r);
+  }
+
   /// Cluster-wide metadata footprint (sums replica footprints).
   [[nodiscard]] typename Replica<M>::Footprint footprint() const {
     typename Replica<M>::Footprint f;
@@ -356,6 +482,43 @@ class Cluster {
   }
 
  private:
+  /// One parked hint visible to anti-entropy: `state` lives on alive
+  /// holder `holder`, intended for (possibly long-dead) `owner`.
+  struct HintSource {
+    ReplicaId holder;
+    ReplicaId owner;
+    const Stored* state;
+  };
+  /// key -> hint sources in canonical (holder, owner) order.
+  using HintIndex = std::map<Key, std::vector<HintSource>>;
+
+  /// Gathers every parked hint on every ALIVE holder (dead servers
+  /// cannot serve their parked state).  Holder ids ascend and each
+  /// holder's hints iterate in (owner, key) order, so per-key source
+  /// lists come out in canonical (holder, owner) order.
+  [[nodiscard]] HintIndex collect_hints() const {
+    HintIndex index;
+    for (const auto& rep : replicas_) {
+      if (!rep.alive()) continue;
+      rep.for_each_hint([&](ReplicaId owner, const Key& key, const Stored& state) {
+        index[key].push_back({rep.id(), owner, &state});
+      });
+    }
+    return index;
+  }
+
+  /// Hint sources for one key (same canonical order as collect_hints).
+  [[nodiscard]] std::vector<HintSource> collect_hints_for(const Key& key) const {
+    std::vector<HintSource> out;
+    for (const auto& rep : replicas_) {
+      if (!rep.alive()) continue;
+      rep.for_each_hint([&](ReplicaId owner, const Key& hkey, const Stored& state) {
+        if (hkey == key) out.push_back({rep.id(), owner, &state});
+      });
+    }
+    return out;
+  }
+
   void wire_partitioner() {
     digest_index_.set_partitioner(
         [this](const Key& key) { return ring_.preference_list(key); });
@@ -368,15 +531,17 @@ class Cluster {
   }
 
   /// Read-repair of one divergent key, initiated by session endpoint
-  /// `a` after disagreeing with `b`: gather every alive owner's state,
-  /// fold in preference-list order (the same deterministic merge the
-  /// legacy pass computes), scatter the merge back.  Wire metering uses
-  /// the per-key digests the owners already maintain: identical gather
-  /// states ship once (the initiator recognizes duplicates by digest),
-  /// the initiator's own copy stays local, and owners whose bytes
-  /// already equal the merge receive nothing.  Keys the session pair
-  /// does not own are left alone: a replica must never adopt keys
-  /// outside its partition.
+  /// `a` after disagreeing with `b` (or `a == b` for the hint round):
+  /// gather every alive owner's state plus every alive holder's parked
+  /// hint, fold in canonical order (owners by preference list, then
+  /// hints by (holder, owner) — the same deterministic merge the legacy
+  /// pass computes), scatter the merge back, and rewrite differing
+  /// hints to the merged bytes.  Wire metering uses the per-key digests
+  /// the owners already maintain: identical gather states ship once
+  /// (the initiator recognizes duplicates by digest), the initiator's
+  /// own copy stays local, and owners whose bytes already equal the
+  /// merge receive nothing.  Keys the session pair does not own are
+  /// left alone: a replica must never adopt keys outside its partition.
   sync::RepairResult repair_key(const Key& key, ReplicaId a, ReplicaId b) {
     const auto pref = ring_.preference_list(key);
     const bool a_owns = std::find(pref.begin(), pref.end(), a) != pref.end();
@@ -403,16 +568,26 @@ class Cluster {
         found_any = true;
       }
     }
+    const std::vector<HintSource> hints = collect_hints_for(key);
+    for (const HintSource& h : hints) {
+      mechanism_.sync(merged, *h.state);
+      found_any = true;
+    }
     if (!found_any) return {};
 
     sync::RepairResult result;
-    // The dedup/skip decisions below need every owner's per-key digest
-    // at the initiator.  `b`'s digests crossed in the session's leaf
-    // round and the initiator knows its own, but each OTHER owner must
-    // be probed (key out, digest back) — metered here so the bench's
-    // digest-vs-full comparison stays honest.
+    // The dedup/skip decisions below need every owner's and hint
+    // holder's per-key digest at the initiator.  `b`'s digests crossed
+    // in the session's leaf round and the initiator knows its own, but
+    // each OTHER owner and every hint holder must be probed (key out,
+    // digest back) — metered here so the bench's digest-vs-full
+    // comparison stays honest.
     for (const OwnerState& o : owners) {
       if (o.replica == a || o.replica == b) continue;
+      result.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
+    }
+    for (const HintSource& h : hints) {
+      if (h.holder == a) continue;
       result.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
     }
     // Gather: each distinct divergent state crosses to the initiator once.
@@ -424,14 +599,31 @@ class Cluster {
       result.wire_bytes += key_wire_bytes(key) + mechanism_.total_bytes(*o.stored);
       ++result.states_shipped;
     }
+    for (const HintSource& h : hints) {
+      const sync::Digest hd = sync::state_digest(*h.state);
+      if (h.holder == a || hd == initiator_digest || gathered.contains(hd)) continue;
+      gathered.insert(hd);
+      result.wire_bytes += key_wire_bytes(key) + mechanism_.total_bytes(*h.state);
+      ++result.states_shipped;
+    }
     // Scatter: the merge goes out to every owner not already holding it.
     const sync::Digest merged_digest = sync::state_digest(merged);
     const std::size_t merged_bytes =
         key_wire_bytes(key) + mechanism_.total_bytes(merged);
     for (const OwnerState& o : owners) {
       if (o.digest == merged_digest) continue;  // byte-identical already
-      replicas_[o.replica].stored(key) = merged;
+      replicas_[o.replica].adopt(key, merged);
       if (o.replica != a) {
+        result.wire_bytes += merged_bytes;
+        ++result.states_shipped;
+      }
+    }
+    // Hint refresh: parked hints converge to the merged bytes so future
+    // rounds recognize them by digest instead of re-shipping them.
+    for (const HintSource& h : hints) {
+      if (sync::state_digest(*h.state) == merged_digest) continue;
+      replicas_[h.holder].replace_hint(h.owner, key, merged);
+      if (h.holder != a) {
         result.wire_bytes += merged_bytes;
         ++result.states_shipped;
       }

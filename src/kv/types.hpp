@@ -5,6 +5,7 @@
 // core::ActorId drawn from disjoint ranges managed by the cluster.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,22 @@ using ClientId = core::ActorId;
 /// and printed traces stay readable ("server 2" vs "client 3").
 inline constexpr core::ActorId kClientIdBase = 1'000'000;
 
+/// Server clock-actor incarnations.  A replica that recovers from a
+/// LOSSY crash (un-flushed WAL tail gone, or no log at all) has rolled
+/// its clocks back: issuing dots from the recovered counters would
+/// reuse event identifiers its peers already hold for DIFFERENT values
+/// — silent causality corruption.  Like Riak's vnode epochs, the
+/// replica therefore mints new dots under an incarnation-qualified
+/// actor id: base id + incarnation * kIncarnationStride, still inside
+/// the server id space.  Ring routing keeps using the base id; only the
+/// clocks see incarnations.
+inline constexpr core::ActorId kIncarnationStride = 1024;
+
+[[nodiscard]] constexpr core::ActorId incarnation_actor(
+    core::ActorId server, std::uint64_t incarnation) noexcept {
+  return server + incarnation * kIncarnationStride;
+}
+
 [[nodiscard]] constexpr ClientId client_actor(std::uint64_t index) noexcept {
   return kClientIdBase + index;
 }
@@ -32,11 +49,16 @@ inline constexpr core::ActorId kClientIdBase = 1'000'000;
 }
 
 /// Human-readable actor names for traces: servers "A", "B", ..., then
-/// "s26", "s27", ... once letters run out; clients "c0", "c1", ...
+/// "s26", "s27", ... once letters run out; clients "c0", "c1", ...;
+/// later incarnations of a server get a "'" suffix per rebirth ("B''").
 [[nodiscard]] inline std::string actor_name(core::ActorId id) {
   if (is_client_actor(id)) return "c" + std::to_string(id - kClientIdBase);
-  if (id < 26) return std::string(1, static_cast<char>('A' + id));
-  return "s" + std::to_string(id);
+  const core::ActorId base = id % kIncarnationStride;
+  const auto incarnation = static_cast<std::size_t>(id / kIncarnationStride);
+  std::string name = base < 26 ? std::string(1, static_cast<char>('A' + base))
+                               : "s" + std::to_string(base);
+  name.append(incarnation, '\'');
+  return name;
 }
 
 }  // namespace dvv::kv

@@ -36,6 +36,7 @@
 #include "kv/mechanism.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
+#include "store/backend.hpp"
 #include "sync/anti_entropy.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -59,6 +60,23 @@ struct SimStoreConfig {
   /// the residual — repair traffic competes with request latency.
   /// 0 disables background AAE.
   double aae_interval_ms = 0.0;
+
+  /// Per-replica durability model (src/store).  With the default
+  /// MemBackend a crash is total state loss; with WalBackend recovery
+  /// replays the flushed log.
+  store::BackendConfig storage{};
+
+  /// Crash injection: every ~`crash_interval_ms` (exponential) a random
+  /// alive replica truly crashes — volatile state dropped, un-flushed
+  /// log tail lost — and recovers `crash_downtime_ms` later by storage
+  /// replay (which keeps it busy for the replay's simulated duration).
+  /// 0 disables crashes.  Requests routed to a crashed replica count as
+  /// unavailable; replication deliveries to it are dropped.
+  double crash_interval_ms = 0.0;
+  double crash_downtime_ms = 25.0;
+  /// P(a crash tears the trailing un-flushed record mid-write); the
+  /// torn frame is rejected by CRC at recovery.
+  double torn_write_probability = 0.0;
 };
 
 struct SimStoreResult {
@@ -75,6 +93,15 @@ struct SimStoreResult {
   sync::SyncStats aae_stats{};          ///< summed over all sessions
   util::Samples aae_session_bytes;      ///< wire bytes per session
   util::Samples aae_stall_ms;           ///< foreground stalls behind repair
+
+  // Crash/recovery activity (zero when crash_interval_ms == 0).
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t wal_bytes_replayed = 0;
+  std::uint64_t wal_torn_records = 0;      ///< CRC-rejected torn tails
+  std::uint64_t unavailable_requests = 0;  ///< GET/PUT hit no alive replica
+  std::uint64_t replication_drops = 0;     ///< fan-out lost to a dead target
 };
 
 /// Runs the closed-loop workload for one mechanism.  The cluster is
@@ -84,6 +111,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
   kv::ClusterConfig cluster_config;
   cluster_config.servers = 5;
   cluster_config.replication = 3;
+  cluster_config.storage = config.storage;
   kv::Cluster<M> cluster(cluster_config, std::move(mechanism));
 
   EventQueue queue;
@@ -126,20 +154,40 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     queue.schedule_in(rng.exponential(config.think_ms), [&, c] { do_get(c); });
   };
 
+  // Alive members of a preference list (crash injection can empty it).
+  auto alive_of = [&](const std::vector<kv::ReplicaId>& pref) {
+    std::vector<kv::ReplicaId> alive;
+    for (const kv::ReplicaId r : pref) {
+      if (cluster.replica(r).alive()) alive.push_back(r);
+    }
+    return alive;
+  };
+
   do_get = [&](std::size_t c) {
     ClientState& st = clients[c];
     st.key = "key-" + std::to_string(zipf.sample(rng));
     st.cycle_start = queue.now();
     st.get_start = queue.now();
 
-    const auto pref = cluster.preference_list(st.key);
-    const kv::ReplicaId source = pref[rng.index(pref.size())];
+    const auto alive = alive_of(cluster.preference_list(st.key));
+    if (alive.empty()) {
+      ++result.unavailable_requests;
+      begin_cycle(c);
+      return;
+    }
+    const kv::ReplicaId source = alive[rng.index(alive.size())];
 
     // Request leg (tiny: key only), then server-side read, reply leg
     // sized by the actual stored state.
     const double request_leg = config.network.sample(rng, st.key.size() + 16);
     queue.schedule_in(request_leg, [&, c, source] {
       ClientState& state = clients[c];
+      if (!cluster.replica(source).alive()) {
+        // Crashed while the request was in flight: timeout, retry later.
+        ++result.unavailable_requests;
+        begin_cycle(c);
+        return;
+      }
       std::size_t reply_bytes = 16;
       if (const auto* stored = cluster.replica(source).find(state.key)) {
         reply_bytes += mech.total_bytes(*stored);
@@ -150,6 +198,12 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
           config.network.sample(rng, reply_bytes) + server_stall(source);
       queue.schedule_in(reply_leg, [&, c, source, reply_bytes] {
         ClientState& cs = clients[c];
+        if (!cluster.replica(source).alive()) {
+          // Crashed mid-reply: the connection drops, not the context.
+          ++result.unavailable_requests;
+          begin_cycle(c);
+          return;
+        }
         cs.context = cluster.get(cs.key, source).context;
         result.get_latency_ms.add(queue.now() - cs.get_start);
         result.get_reply_bytes.add(static_cast<double>(reply_bytes));
@@ -170,7 +224,13 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     result.put_request_bytes.add(static_cast<double>(request_bytes));
 
     const auto pref = cluster.preference_list(st.key);
-    const kv::ReplicaId coordinator = pref[rng.index(pref.size())];
+    const auto alive = alive_of(pref);
+    if (alive.empty()) {
+      ++result.unavailable_requests;
+      begin_cycle(c);
+      return;
+    }
+    const kv::ReplicaId coordinator = alive[rng.index(alive.size())];
     const std::string value =
         "c" + std::to_string(c) + "-" + std::to_string(st.remaining) +
         std::string(config.value_bytes, 'x');
@@ -178,19 +238,32 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     const double request_leg = config.network.sample(rng, request_bytes);
     queue.schedule_in(request_leg, [&, c, coordinator, pref, value, put_start] {
       ClientState& cs = clients[c];
+      if (!cluster.replica(coordinator).alive()) {
+        // Crashed while the request was in flight: timeout, retry later.
+        ++result.unavailable_requests;
+        begin_cycle(c);
+        return;
+      }
       // Coordinator applies locally and acks immediately (W=1).
       cluster.put(cs.key, coordinator, kv::client_actor(c), cs.context, value, {});
       const auto* fresh = cluster.replica(coordinator).find(cs.key);
       const std::size_t replica_bytes = 16 + mech.total_bytes(*fresh);
 
-      // Asynchronous replication fan-out: copies in flight.
+      // Asynchronous replication fan-out: copies in flight.  A target
+      // that crashed before delivery simply loses the copy (background
+      // AAE repairs it later) — exactly the divergence source the
+      // durability model is supposed to surface.
       for (const kv::ReplicaId r : pref) {
         if (r == coordinator) continue;
         const double fanout_leg = config.network.sample(rng, replica_bytes);
         // Snapshot what the coordinator has right now.
         queue.schedule_in(fanout_leg,
-                          [&cluster, &mech, key = cs.key, r,
+                          [&cluster, &mech, &result, key = cs.key, r,
                            snapshot = *fresh] {
+                            if (!cluster.replica(r).alive()) {
+                              ++result.replication_drops;
+                              return;
+                            }
                             cluster.replica(r).merge_key(mech, key, snapshot);
                           });
       }
@@ -237,6 +310,46 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
   };
   if (config.aae_interval_ms > 0.0) {
     queue.schedule_in(config.aae_interval_ms, aae_tick);
+  }
+
+  // Crash injection: a random alive replica truly crashes (volatile
+  // state and un-flushed log tail gone, possibly with a torn trailing
+  // write) and recovers after the configured downtime by replaying its
+  // log — which keeps it busy the way background repair does.
+  std::function<void()> crash_tick = [&] {
+    if (live_clients == 0) return;
+    std::vector<kv::ReplicaId> alive;
+    for (kv::ReplicaId r = 0; r < cluster_config.servers; ++r) {
+      if (cluster.replica(r).alive()) alive.push_back(r);
+    }
+    // Keep a majority up so most preference lists stay available.
+    if (alive.size() >= cluster_config.replication) {
+      const kv::ReplicaId victim = alive[rng.index(alive.size())];
+      const std::size_t torn = rng.chance(config.torn_write_probability)
+                                   ? 1 + rng.index(32)
+                                   : 0;
+      cluster.crash(victim, torn);
+      ++result.crashes;
+      queue.schedule_in(config.crash_downtime_ms, [&, victim] {
+        const store::RecoveryStats replay = cluster.recover(victim);
+        ++result.recoveries;
+        result.wal_records_replayed += replay.records_replayed;
+        result.wal_bytes_replayed += replay.bytes_replayed;
+        result.wal_torn_records += replay.torn_records_dropped;
+        // Log replay occupies the server like repair traffic does:
+        // sequential read + decode of the surviving records.
+        const double replay_ms =
+            static_cast<double>(replay.bytes_replayed) *
+            (1.0 / config.network.bandwidth_bytes_per_ms +
+             config.network.cpu_ms_per_byte);
+        repair_busy_until[victim] =
+            std::max(repair_busy_until[victim], queue.now() + replay_ms);
+      });
+    }
+    queue.schedule_in(rng.exponential(config.crash_interval_ms), crash_tick);
+  };
+  if (config.crash_interval_ms > 0.0) {
+    queue.schedule_in(rng.exponential(config.crash_interval_ms), crash_tick);
   }
 
   for (std::size_t c = 0; c < config.clients; ++c) {

@@ -1,0 +1,30 @@
+#include "store/backend.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "store/mem_backend.hpp"
+#include "store/wal_backend.hpp"
+
+namespace dvv::store {
+
+BackendKind default_backend_kind() {
+  static const BackendKind kind = [] {
+    const char* v = std::getenv("DVV_STORE_BACKEND");
+    if (v != nullptr && std::string_view(v) == "wal") return BackendKind::kWal;
+    return BackendKind::kMem;
+  }();
+  return kind;
+}
+
+std::unique_ptr<StorageBackend> make_backend(const BackendConfig& config) {
+  switch (config.kind) {
+    case BackendKind::kWal:
+      return std::make_unique<WalBackend>(config.wal);
+    case BackendKind::kMem:
+      break;
+  }
+  return std::make_unique<MemBackend>();
+}
+
+}  // namespace dvv::store

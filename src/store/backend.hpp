@@ -1,0 +1,125 @@
+// dvv/store/backend.hpp
+//
+// Pluggable per-replica storage: the durability model under Replica<M>.
+//
+// A replica's in-memory map is its *volatile* state; the backend is its
+// *disk*.  Every mutation writes through as a logical record carrying
+// the key's full post-write codec encoding (the same bytes that cross
+// the wire on replication), so replay needs no mechanism logic: the
+// last record per key IS the key's state.  Records are mechanism
+// agnostic — the backend stores bytes, the replica encodes/decodes.
+//
+// Two implementations:
+//
+//   MemBackend   memory only (the seed's behaviour): appends are
+//                dropped, a crash loses everything, recovery returns
+//                nothing.  Zero cost — the default.
+//
+//   WalBackend   an append-only write-ahead log with CRC-framed
+//                records, segment rotation, group commit (batched
+//                fsync) and compaction; crash() keeps exactly the
+//                flushed prefix (plus an optionally-injected torn tail)
+//                and recovery replays it.  See wal_backend.hpp.
+//
+// The "disk" is a byte-faithful in-process model, matching how this
+// repository models the network: segments are byte buffers with an
+// explicit durable watermark standing in for fsync.  Everything a real
+// log does to bytes — framing, tearing, CRC rejection, rotation,
+// compaction — happens to these bytes, deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dvv::store {
+
+/// What a log record describes.  kData carries a key's sibling state;
+/// kHint carries the state parked for a dead owner (hinted handoff);
+/// kHintDrop marks a delivered hint so replay does not resurrect it.
+enum class RecordType : std::uint8_t { kData = 0, kHint = 1, kHintDrop = 2 };
+
+/// One logical write-through record.  `state` is the full post-write
+/// codec encoding of the key's stored sibling state (empty for
+/// kHintDrop); `owner` is the intended owner for hint records (0 for
+/// data records — replica ids are small, but 0 is fine because the
+/// type tag disambiguates).
+struct Record {
+  RecordType type = RecordType::kData;
+  std::string key;
+  core::ActorId owner = 0;
+  std::string state;
+};
+
+/// What recovery observed while replaying the log.
+struct RecoveryStats {
+  std::size_t segments_scanned = 0;
+  std::size_t records_replayed = 0;
+  std::size_t bytes_replayed = 0;          ///< payload bytes of valid records
+  std::size_t torn_records_dropped = 0;    ///< truncated / CRC-failed records
+  std::size_t records_lost_unflushed = 0;  ///< complete records dropped by the
+                                           ///  last crash (never made the disk)
+};
+
+struct RecoveryResult {
+  std::vector<Record> records;  ///< valid records, in log order (last wins)
+  RecoveryStats stats;
+};
+
+/// The backend interface Replica<M> writes through.  All calls are
+/// issued by the owning replica on its own single-threaded timeline.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Appends one logical record (called AFTER the in-memory apply).
+  virtual void append(const Record& record) = 0;
+
+  /// Durability barrier: everything appended so far survives a crash.
+  virtual void flush() = 0;
+
+  /// Crash: drops whatever the durability model says is volatile.
+  /// `torn_tail_bytes` > 0 injects a torn write — that many bytes of
+  /// the first un-flushed record made it to disk before power died,
+  /// leaving a partial frame for recovery's CRC check to reject.
+  virtual void drop_volatile(std::size_t torn_tail_bytes) = 0;
+
+  /// Replays the surviving log.  Also resets the backend's write state
+  /// to the valid replayed prefix so subsequent appends continue it.
+  [[nodiscard]] virtual RecoveryResult recover() = 0;
+
+  /// Total bytes currently occupying the log (0 for memory backends).
+  [[nodiscard]] virtual std::size_t log_bytes() const noexcept = 0;
+};
+
+enum class BackendKind : std::uint8_t { kMem = 0, kWal = 1 };
+
+/// Geometry and durability knobs of the write-ahead log.
+struct WalConfig {
+  std::size_t segment_bytes = 64 * 1024;  ///< rotate when active exceeds this
+  /// Group commit: flush after every N appends.  1 = write-through
+  /// (every record durable immediately), 0 = only explicit flush().
+  std::size_t flush_every = 1;
+  std::size_t compact_min_segments = 4;  ///< sealed segments before compacting
+  double compact_min_garbage = 0.5;      ///< obsolete-record fraction trigger
+};
+
+/// Process-wide default backend kind: DVV_STORE_BACKEND=wal flips every
+/// default-configured cluster to the write-ahead log (CI runs the whole
+/// suite in that mode); anything else means MemBackend.
+[[nodiscard]] BackendKind default_backend_kind();
+
+struct BackendConfig {
+  BackendKind kind = default_backend_kind();
+  WalConfig wal{};
+};
+
+[[nodiscard]] std::unique_ptr<StorageBackend> make_backend(const BackendConfig& config);
+
+}  // namespace dvv::store

@@ -1,0 +1,45 @@
+// dvv/store/crc32.hpp
+//
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for framing
+// write-ahead-log records.  Unlike the 64-bit content digests in
+// src/sync (which compare *states* across replicas), this checksum
+// guards *physical* log integrity: a record whose CRC does not match
+// was torn by a crash mid-write and must be discarded at recovery.
+// Table-driven, constexpr-initialized, dependency free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dvv::store {
+
+namespace detail {
+
+[[nodiscard]] constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = detail::kCrc32Table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dvv::store

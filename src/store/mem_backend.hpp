@@ -1,0 +1,47 @@
+// dvv/store/mem_backend.hpp
+//
+// The no-durability backend: the seed's original behaviour, now stated
+// explicitly.  The replica's in-memory map is the only copy, so a
+// crash() is total state loss and recovery finds nothing — every byte
+// the replica serves after recovering must come back from its peers
+// (WAL-less Redis, memcached, or a Riak node whose disk died).  Appends
+// are counted but not stored: the backend costs nothing, which is why
+// it stays the default.
+#pragma once
+
+#include <cstddef>
+
+#include "store/backend.hpp"
+
+namespace dvv::store {
+
+class MemBackend final : public StorageBackend {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "mem"; }
+
+  void append(const Record& /*record*/) override {
+    ++appends_;
+    ++appends_since_recover_;
+  }
+  void flush() override {}
+  void drop_volatile(std::size_t /*torn_tail_bytes*/) override {}
+
+  /// Nothing to replay — but every record appended since the previous
+  /// recovery is reported LOST, so the owning replica knows this was a
+  /// lossy rebirth (and must bump its clock incarnation).
+  [[nodiscard]] RecoveryResult recover() override {
+    RecoveryResult out;
+    out.stats.records_lost_unflushed = appends_since_recover_;
+    appends_since_recover_ = 0;
+    return out;
+  }
+  [[nodiscard]] std::size_t log_bytes() const noexcept override { return 0; }
+
+  [[nodiscard]] std::size_t appends() const noexcept { return appends_; }
+
+ private:
+  std::size_t appends_ = 0;
+  std::size_t appends_since_recover_ = 0;
+};
+
+}  // namespace dvv::store

@@ -1,0 +1,104 @@
+// dvv/store/wal_backend.hpp
+//
+// Append-only write-ahead log over the codec encodings.
+//
+// Physical layout: a list of sealed segments plus one active segment,
+// each an append-only byte buffer of CRC-framed records:
+//
+//   frame   := varint(payload_len) varint(crc32(payload)) payload
+//   payload := varint(seq) varint(type) bytes(key) varint(owner) bytes(state)
+//
+// Durability model: sealed segments are fully durable (rotation implies
+// a flush, like fdatasync-on-close); the active segment is durable up
+// to `active_durable_` — the watermark flush() advances.  Group commit
+// batches appends between flushes (WalConfig::flush_every); a crash
+// truncates the active segment to the watermark, except that torn-write
+// injection may leave a partial frame behind for recovery's CRC check
+// to reject.
+//
+// Recovery scans segments in order, validates every frame (length
+// bounds, then CRC over the payload), stops at the first invalid frame
+// (a torn tail), decodes the surviving records, and resets the write
+// state to the valid prefix.  Because each record carries the key's
+// full post-write state, replay is last-record-wins — no mechanism
+// logic, no merge.
+//
+// Compaction: when enough sealed segments have accumulated and enough
+// of their records have been superseded, the sealed list is rewritten
+// as one segment holding only the latest record per slot — a slot being
+// (data, key) or (hint, owner, key) — in deterministic sorted order.
+// Hint slots whose latest sealed record is a kHintDrop vanish entirely.
+// The active segment is never touched (its records are newer than
+// anything sealed, so last-wins replay ordering is preserved).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "store/backend.hpp"
+
+namespace dvv::store {
+
+/// Lifetime counters (observability for tests and the bench).
+struct WalStats {
+  std::size_t appends = 0;
+  std::size_t flushes = 0;
+  std::size_t segments_sealed = 0;
+  std::size_t compactions = 0;
+  std::size_t compaction_records_dropped = 0;
+};
+
+class WalBackend final : public StorageBackend {
+ public:
+  explicit WalBackend(WalConfig config = {});
+
+  [[nodiscard]] const char* name() const noexcept override { return "wal"; }
+
+  void append(const Record& record) override;
+  void flush() override;
+  void drop_volatile(std::size_t torn_tail_bytes) override;
+  [[nodiscard]] RecoveryResult recover() override;
+  [[nodiscard]] std::size_t log_bytes() const noexcept override;
+
+  [[nodiscard]] const WalConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const WalStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return sealed_.size() + 1;
+  }
+  [[nodiscard]] std::size_t durable_bytes() const noexcept;
+  [[nodiscard]] std::size_t pending_records() const noexcept {
+    return pending_records_;
+  }
+
+ private:
+  using Segment = std::vector<std::byte>;
+  /// (is-hint, owner, key): one live state per slot.
+  using SlotKey = std::tuple<bool, core::ActorId, std::string>;
+
+  void rotate();
+  void maybe_compact();
+  [[nodiscard]] static SlotKey slot_of(const Record& record);
+
+  WalConfig config_;
+  std::vector<Segment> sealed_;
+  Segment active_;
+  std::size_t active_durable_ = 0;   ///< flushed watermark into active_
+  std::size_t pending_records_ = 0;  ///< appends since the last flush
+  std::size_t active_records_ = 0;   ///< complete frames in active_
+  std::size_t last_crash_lost_records_ = 0;  ///< set by drop_volatile()
+  std::uint64_t next_seq_ = 1;
+
+  // Garbage accounting for the compaction trigger: a sealed record is
+  // garbage when a later record for its slot exists anywhere, i.e. when
+  // the slot's latest record is NOT the sealed one.
+  std::map<SlotKey, bool> latest_in_sealed_;  ///< slot -> latest lives sealed
+  std::size_t sealed_records_ = 0;
+
+  WalStats stats_;
+};
+
+}  // namespace dvv::store

@@ -51,7 +51,9 @@ template <kv::CausalityMechanism M>
 class Replayer {
  public:
   Replayer(kv::Cluster<M>& cluster, const Trace& trace)
-      : cluster_(&cluster), hinted_handoff_(trace.hinted_handoff) {
+      : cluster_(&cluster),
+        hinted_handoff_(trace.hinted_handoff),
+        crash_faults_(trace.crash_faults) {
     sessions_.reserve(trace.clients);
     for (std::size_t c = 0; c < trace.clients; ++c) {
       sessions_.emplace_back(kv::client_actor(c), cluster);
@@ -124,12 +126,22 @@ class Replayer {
         break;
       }
       case TraceOp::Kind::kFail: {
-        cluster_->replica(static_cast<kv::ReplicaId>(op.server)).set_alive(false);
+        const auto server = static_cast<kv::ReplicaId>(op.server);
+        if (crash_faults_) {
+          cluster_->crash(server);  // volatile state gone; log survives
+        } else {
+          cluster_->replica(server).set_alive(false);  // pause, memory intact
+        }
         ++stats_.failures;
         break;
       }
       case TraceOp::Kind::kRecover: {
-        cluster_->replica(static_cast<kv::ReplicaId>(op.server)).set_alive(true);
+        const auto server = static_cast<kv::ReplicaId>(op.server);
+        if (crash_faults_) {
+          (void)cluster_->recover(server);  // storage replay
+        } else {
+          cluster_->replica(server).set_alive(true);
+        }
         if (hinted_handoff_) cluster_->deliver_hints();
         ++stats_.recoveries;
         break;
@@ -153,6 +165,7 @@ class Replayer {
  private:
   kv::Cluster<M>* cluster_;
   bool hinted_handoff_;
+  bool crash_faults_;
   std::vector<kv::ClientSession<M>> sessions_;
   ReplayStats stats_;
 };

@@ -18,6 +18,7 @@ Trace generate_trace(const WorkloadSpec& spec, std::size_t replication) {
   Trace trace;
   trace.seed = spec.seed;
   trace.hinted_handoff = spec.hinted_handoff;
+  trace.crash_faults = spec.crash_faults;
   trace.ops.reserve(spec.operations * 2 + spec.operations / 16);
 
   // Blind writes are issued by FRESH anonymous client identities (one

@@ -54,6 +54,10 @@ struct Trace {
   /// When set, PUTs use the sloppy quorum (Cluster::put_with_handoff)
   /// and recoveries trigger hint delivery.
   bool hinted_handoff = false;
+  /// When set, kFail/kRecover are TRUE crashes: volatile state dropped,
+  /// recovery replays the replica's storage backend (src/store) instead
+  /// of waking up with memory intact.
+  bool crash_faults = false;
   std::uint64_t seed = 0;
 
   [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
@@ -85,6 +89,8 @@ struct WorkloadSpec {
                             ///  failure injection is enabled
   bool hinted_handoff = false;  ///< PUTs park hints for dead preference
                                 ///  members; recoveries deliver them
+  bool crash_faults = false;  ///< kFail drops volatile state (true crash);
+                              ///  kRecover replays the storage backend
 
   std::uint64_t seed = 1;
 };

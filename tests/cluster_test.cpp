@@ -73,7 +73,7 @@ TEST(Cluster, ReadModifyWriteReplacesValue) {
     EXPECT_EQ(vs.size(), 1u);
     return vs[0] + "+v2";
   });
-  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  const auto got = cluster.get("k", cluster.default_coordinator("k").value());
   ASSERT_EQ(got.values.size(), 1u);
   EXPECT_EQ(got.values[0], "v1+v2");
 }
@@ -86,7 +86,7 @@ TEST(Cluster, RacingBlindWritesCreateSiblings) {
   alice.put("k", "from-alice");
   bob.put("k", "from-bob");  // bob never read: blind write
 
-  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  const auto got = cluster.get("k", cluster.default_coordinator("k").value());
   ASSERT_EQ(got.values.size(), 2u);
   const std::set<std::string> vals(got.values.begin(), got.values.end());
   EXPECT_TRUE(vals.contains("from-alice"));
@@ -106,7 +106,7 @@ TEST(Cluster, ReadingResolvesSiblingsOnNextWrite) {
     EXPECT_EQ(vs.size(), 2u);
     return std::string("merged");
   });
-  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  const auto got = cluster.get("k", cluster.default_coordinator("k").value());
   ASSERT_EQ(got.values.size(), 1u);
   EXPECT_EQ(got.values[0], "merged");
 }
@@ -190,6 +190,43 @@ TEST(Cluster, DeadCoordinatorFailsOver) {
   EXPECT_TRUE(cluster.get(key, pref[0]).found);
 }
 
+// Regression: a fully-down preference list is an ERROR REPLY, not a
+// process abort — default_coordinator reports nullopt and get/put/
+// get_quorum surface `unavailable`.
+TEST(Cluster, WholePreferenceListDownIsUnavailableNotFatal) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  const Key key = "k";
+  alice.put(key, "before-the-outage");
+
+  const auto pref = cluster.preference_list(key);
+  for (const ReplicaId r : pref) cluster.replica(r).set_alive(false);
+
+  EXPECT_EQ(cluster.default_coordinator(key), std::nullopt);
+
+  const auto got = alice.get(key);
+  EXPECT_TRUE(got.unavailable);
+  EXPECT_FALSE(got.found);
+
+  const auto receipt = alice.put(key, "during-the-outage");
+  EXPECT_TRUE(receipt.unavailable);
+  EXPECT_EQ(receipt.replicated_to, 0u);
+
+  const auto quorum = cluster.get_quorum(key, 2);
+  EXPECT_TRUE(quorum.unavailable);
+
+  // An explicitly-routed GET to a dead replica is unavailable too, and
+  // must not clobber the session's remembered context (which would turn
+  // the next put into a blind write).
+  const auto routed = alice.get(key, pref[0]);
+  EXPECT_TRUE(routed.unavailable);
+
+  // Back up: the rejected write never happened, the old value is intact.
+  for (const ReplicaId r : pref) cluster.replica(r).set_alive(true);
+  EXPECT_EQ(alice.get(key).values, std::vector<std::string>{"before-the-outage"});
+  EXPECT_FALSE(alice.put(key, "after").unavailable);
+}
+
 TEST(Cluster, FootprintAggregatesAcrossReplicas) {
   Cluster<DvvMechanism> cluster(small_config(), {});
   ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
@@ -261,7 +298,7 @@ TYPED_TEST(ClusterMechanismTest, RacingWritesKeptByAllSoundMechanisms) {
   ClientSession<TypeParam> b(dvv::kv::client_actor(1), cluster);
   a.put("k", "x");
   b.put("k", "y");
-  const auto got = cluster.get("k", cluster.default_coordinator("k"));
+  const auto got = cluster.get("k", cluster.default_coordinator("k").value());
   EXPECT_EQ(got.values.size(), 2u);
 }
 

@@ -132,6 +132,114 @@ TEST(HintedHandoff, RepeatedDeliveryIsIdempotent) {
   EXPECT_EQ(before.siblings, after.siblings);
 }
 
+// Regression (a crashed server must not push writes): hints parked on a
+// fallback that is itself down stay parked — delivery happens only once
+// the FALLBACK is back, even if the owner recovered long before.
+TEST(HintedHandoff, DeadFallbackDoesNotPushParkedHints) {
+  Cluster<DvvMechanism> cluster(config(), {});
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  const auto order = cluster.ring().ring_order(key);
+  const ReplicaId fallback = order[3];
+
+  cluster.replica(pref[2]).set_alive(false);
+  cluster.put_with_handoff(key, pref[0], dvv::kv::client_actor(0), {}, "v");
+  ASSERT_EQ(cluster.replica(fallback).hinted_count(), 1u);
+
+  cluster.replica(fallback).set_alive(false);  // the fallback dies too
+  cluster.replica(pref[2]).set_alive(true);    // the owner returns
+
+  EXPECT_EQ(cluster.deliver_hints(), 0u) << "dead holder cannot push";
+  EXPECT_EQ(cluster.hinted_count(), 1u);
+  EXPECT_FALSE(cluster.get(key, pref[2]).found)
+      << "the write must not teleport off a crashed fallback";
+
+  cluster.replica(fallback).set_alive(true);
+  EXPECT_EQ(cluster.deliver_hints(), 1u);
+  EXPECT_EQ(cluster.hinted_count(), 0u);
+  EXPECT_TRUE(cluster.get(key, pref[2]).found);
+}
+
+// Satellite semantics pin: parked hints are VISIBLE to anti-entropy.
+// When every owner that saw a write crashes and loses it, the write
+// survives only inside a fallback's parked hint — an AAE round folds it
+// back into the alive owners, while the hint itself stays parked for
+// its (long-dead) owner until that owner actually returns.
+TEST(HintedHandoff, AaeFoldsParkedHintsIntoAliveOwners) {
+  auto scenario = [] {
+    ClusterConfig cfg = config();
+    // The point is LOSING the owners' copies: pin the no-durability
+    // backend even when the suite runs with DVV_STORE_BACKEND=wal.
+    cfg.storage.kind = dvv::store::BackendKind::kMem;
+    Cluster<DvvMechanism> cluster(cfg, {});
+    const Key key = "k";
+    const auto pref = cluster.preference_list(key);
+    cluster.replica(pref[2]).set_alive(false);  // long-dead owner
+    cluster.put_with_handoff(key, pref[0], dvv::kv::client_actor(0), {}, "v");
+    // Both owners that accepted the write crash with no durable log:
+    // the parked hint is now the only surviving copy.
+    cluster.crash(pref[0]);
+    cluster.crash(pref[1]);
+    (void)cluster.recover(pref[0]);
+    (void)cluster.recover(pref[1]);
+    EXPECT_FALSE(cluster.get(key, pref[0]).found);
+    EXPECT_EQ(cluster.hinted_count(), 1u);
+    return cluster;
+  };
+
+  const Key key = "k";
+  // Legacy pass and digest pass must both find the hint-only key and
+  // reach the same bytes.
+  auto legacy = scenario();
+  auto digest = scenario();
+  const auto pref = legacy.preference_list(key);
+  EXPECT_GT(legacy.anti_entropy(), 0u);
+  EXPECT_GT(digest.anti_entropy_digest().stats.keys_shipped, 0u);
+
+  for (auto* cluster : {&legacy, &digest}) {
+    for (const ReplicaId r : {pref[0], pref[1]}) {
+      const auto got = cluster->get(key, r);
+      ASSERT_TRUE(got.found) << "hint must repair alive owner " << r;
+      EXPECT_EQ(got.values, std::vector<std::string>{"v"});
+    }
+    EXPECT_EQ(cluster->hinted_count(), 1u)
+        << "hint stays parked until its owner returns";
+  }
+  dvv::codec::Writer l, d;
+  dvv::codec::encode(l, *legacy.replica(pref[0]).find(key));
+  dvv::codec::encode(d, *digest.replica(pref[0]).find(key));
+  EXPECT_EQ(l.buffer(), d.buffer()) << "passes agree byte for byte";
+
+  // Fixed point: repeating either pass moves nothing.
+  EXPECT_EQ(legacy.anti_entropy(), 0u);
+  EXPECT_EQ(digest.anti_entropy_digest().stats.keys_shipped, 0u);
+
+  // The owner finally returns: delivery drains the (reconciled) hint.
+  legacy.replica(pref[2]).set_alive(true);
+  legacy.deliver_hints();
+  EXPECT_EQ(legacy.hinted_count(), 0u);
+  EXPECT_EQ(legacy.get(key, pref[2]).values, std::vector<std::string>{"v"});
+  EXPECT_EQ(legacy.anti_entropy(), 0u) << "delivered merge is already canonical";
+}
+
+// Hints survive a full pairwise sync: sync_with treats parked state as
+// replica state, so a fallback handing its keys to a peer hands the
+// hints along too.
+TEST(HintedHandoff, FullSyncCarriesParkedHints) {
+  Cluster<DvvMechanism> cluster(config(), {});
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  const auto order = cluster.ring().ring_order(key);
+  cluster.replica(pref[2]).set_alive(false);
+  cluster.put_with_handoff(key, pref[0], dvv::kv::client_actor(0), {}, "v");
+  ASSERT_EQ(cluster.replica(order[3]).hinted_count(), 1u);
+
+  cluster.replica(order[3]).sync_with(cluster.mechanism(),
+                                      cluster.replica(order[4]));
+  EXPECT_EQ(cluster.replica(order[4]).hinted_count(), 1u)
+      << "full sync must not leave hints behind";
+}
+
 TEST(HintedHandoff, FallbackIsOutsideThePreferenceList) {
   Cluster<DvvMechanism> cluster(config(), {});
   const Key key = "k";

@@ -96,4 +96,55 @@ TEST(SimStore, AllMechanismsCompleteTheWorkload) {
   EXPECT_EQ(simulate_store(config, dvv::kv::ServerVvMechanism{}).cycles, 400u);
 }
 
+// ---- crash injection (src/store) -------------------------------------------
+
+SimStoreConfig crashy_config() {
+  SimStoreConfig config = small_config();
+  config.clients = 12;
+  config.ops_per_client = 80;
+  config.crash_interval_ms = 6.0;
+  config.crash_downtime_ms = 10.0;
+  config.aae_interval_ms = 4.0;  // repair races the crashes
+  return config;
+}
+
+TEST(SimStoreCrash, WalClusterSurvivesCrashStorm) {
+  auto config = crashy_config();
+  config.storage.kind = dvv::store::BackendKind::kWal;
+  config.torn_write_probability = 0.5;
+  const auto result = simulate_store(config, DvvMechanism{});
+  EXPECT_GT(result.crashes, 0u);
+  EXPECT_EQ(result.recoveries, result.crashes) << "every crash recovers";
+  EXPECT_GT(result.wal_records_replayed, 0u) << "recovery replays the log";
+  EXPECT_GT(result.cycles, 0u);
+  // Every issued request either completed a cycle or hit an outage.
+  EXPECT_EQ(result.cycles + result.unavailable_requests,
+            static_cast<std::uint64_t>(config.clients) * config.ops_per_client);
+}
+
+TEST(SimStoreCrash, MemClusterReplaysNothingOnRecovery) {
+  auto config = crashy_config();
+  config.storage.kind = dvv::store::BackendKind::kMem;
+  const auto result = simulate_store(config, DvvMechanism{});
+  EXPECT_GT(result.crashes, 0u);
+  EXPECT_EQ(result.wal_records_replayed, 0u) << "no log, nothing to replay";
+}
+
+TEST(SimStoreCrash, DeterministicForSameSeed) {
+  auto config = crashy_config();
+  config.storage.kind = dvv::store::BackendKind::kWal;
+  const auto a = simulate_store(config, DvvMechanism{});
+  const auto b = simulate_store(config, DvvMechanism{});
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.wal_records_replayed, b.wal_records_replayed);
+  EXPECT_DOUBLE_EQ(a.sim_duration_ms, b.sim_duration_ms);
+}
+
+TEST(SimStoreCrash, DisabledByDefault) {
+  const auto result = simulate_store(small_config(), DvvMechanism{});
+  EXPECT_EQ(result.crashes, 0u);
+  EXPECT_EQ(result.unavailable_requests, 0u);
+  EXPECT_EQ(result.replication_drops, 0u);
+}
+
 }  // namespace

@@ -123,7 +123,7 @@ TEST(Snapshot, StaleSnapshotCannotResurrectOverwrittenData) {
   Cluster<DvvMechanism> cluster(config(), {});
   dvv::kv::ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
   const dvv::kv::Key key = "k";
-  const auto coord = cluster.default_coordinator(key);
+  const auto coord = cluster.default_coordinator(key).value();
 
   alice.get(key);
   alice.put(key, "old");

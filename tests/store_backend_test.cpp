@@ -1,0 +1,239 @@
+// Unit tests for the storage backends (src/store): WAL record framing
+// and round trip, the group-commit durability watermark, torn-write
+// rejection by CRC, segment rotation, compaction, and replica-level
+// crash/recover through both backends.
+#include "store/wal_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "kv/mechanism.hpp"
+#include "kv/replica.hpp"
+#include "store/mem_backend.hpp"
+
+namespace {
+
+using dvv::store::MemBackend;
+using dvv::store::Record;
+using dvv::store::RecordType;
+using dvv::store::RecoveryResult;
+using dvv::store::WalBackend;
+using dvv::store::WalConfig;
+
+Record data_record(const std::string& key, const std::string& state) {
+  return {RecordType::kData, key, 0, state};
+}
+
+TEST(WalBackend, RecoversAppendedRecordsInOrder) {
+  WalBackend wal;  // flush_every = 1: write-through
+  wal.append(data_record("a", "state-a"));
+  wal.append({RecordType::kHint, "b", 7, "hint-b"});
+  wal.append(data_record("a", "state-a2"));
+
+  wal.drop_volatile(0);
+  const RecoveryResult out = wal.recover();
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.records[0].key, "a");
+  EXPECT_EQ(out.records[0].state, "state-a");
+  EXPECT_EQ(out.records[1].type, RecordType::kHint);
+  EXPECT_EQ(out.records[1].owner, 7u);
+  EXPECT_EQ(out.records[2].state, "state-a2");
+  EXPECT_EQ(out.stats.records_replayed, 3u);
+  EXPECT_EQ(out.stats.torn_records_dropped, 0u);
+}
+
+TEST(WalBackend, GroupCommitLosesOnlyTheUnflushedTail) {
+  WalConfig config;
+  config.flush_every = 0;  // manual flush only
+  WalBackend wal(config);
+  wal.append(data_record("durable", "d1"));
+  wal.flush();
+  wal.append(data_record("volatile", "v1"));
+  wal.append(data_record("volatile", "v2"));
+  EXPECT_EQ(wal.pending_records(), 2u);
+
+  wal.drop_volatile(0);  // crash before the next fsync
+  const RecoveryResult out = wal.recover();
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].key, "durable");
+  EXPECT_EQ(out.stats.records_lost_unflushed, 2u);
+  EXPECT_EQ(out.stats.torn_records_dropped, 0u);
+}
+
+TEST(WalBackend, RepeatedCrashesAccumulateRecordedLoss) {
+  WalConfig config;
+  config.flush_every = 0;
+  WalBackend wal(config);
+  wal.append(data_record("a", "1"));
+  wal.drop_volatile(0);  // first crash: one record lost
+  wal.drop_volatile(0);  // crashed again before anyone recovered it
+  EXPECT_EQ(wal.recover().stats.records_lost_unflushed, 1u)
+      << "a second crash must not erase the first crash's recorded loss";
+}
+
+TEST(WalBackend, AutomaticGroupCommitFlushesEveryN) {
+  WalConfig config;
+  config.flush_every = 3;
+  WalBackend wal(config);
+  wal.append(data_record("a", "1"));
+  wal.append(data_record("b", "2"));
+  EXPECT_EQ(wal.pending_records(), 2u) << "batch not full yet";
+  wal.append(data_record("c", "3"));
+  EXPECT_EQ(wal.pending_records(), 0u) << "third append triggers the fsync";
+
+  wal.append(data_record("d", "4"));  // un-flushed
+  wal.drop_volatile(0);
+  EXPECT_EQ(wal.recover().records.size(), 3u);
+}
+
+TEST(WalBackend, TornWriteIsRejectedByCrc) {
+  WalConfig config;
+  config.flush_every = 0;
+  WalBackend wal(config);
+  wal.append(data_record("durable", "d1"));
+  wal.flush();
+  wal.append(data_record("torn", "this-record-never-fully-hit-the-disk"));
+
+  wal.drop_volatile(5);  // 5 bytes of the frame survive: a torn write
+  const RecoveryResult out = wal.recover();
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].key, "durable");
+  EXPECT_EQ(out.stats.torn_records_dropped, 1u);
+
+  // The torn bytes were truncated: appends continue on a clean tail.
+  wal.append(data_record("after", "a1"));
+  wal.flush();
+  wal.drop_volatile(0);
+  const RecoveryResult again = wal.recover();
+  ASSERT_EQ(again.records.size(), 2u);
+  EXPECT_EQ(again.records[1].key, "after");
+  EXPECT_EQ(again.stats.torn_records_dropped, 0u);
+}
+
+TEST(WalBackend, RotationSealsSegmentsAndCompactionDropsObsoleteRecords) {
+  WalConfig config;
+  config.segment_bytes = 256;
+  config.compact_min_segments = 3;
+  config.compact_min_garbage = 0.5;
+  WalBackend wal(config);
+
+  // Overwrite two keys many times: almost everything becomes garbage.
+  for (int i = 0; i < 200; ++i) {
+    wal.append(data_record(i % 2 == 0 ? "x" : "y",
+                           "state-" + std::to_string(i) + std::string(16, '.')));
+  }
+  EXPECT_GT(wal.stats().segments_sealed, 3u);
+  EXPECT_GT(wal.stats().compactions, 0u);
+  EXPECT_GT(wal.stats().compaction_records_dropped, 0u);
+  EXPECT_LT(wal.log_bytes(), 200u * 16u) << "compaction must shrink the log";
+
+  wal.drop_volatile(0);
+  const RecoveryResult out = wal.recover();
+  // Replay is last-record-wins: both keys end at their final state.
+  std::string x, y;
+  for (const Record& r : out.records) (r.key == "x" ? x : y) = r.state;
+  EXPECT_EQ(x.substr(0, 9), "state-198");
+  EXPECT_EQ(y.substr(0, 9), "state-199");
+}
+
+TEST(WalBackend, CompactionDropsDeliveredHints) {
+  WalConfig config;
+  config.segment_bytes = 64;
+  config.compact_min_segments = 2;
+  config.compact_min_garbage = 0.1;
+  WalBackend wal(config);
+  wal.append({RecordType::kHint, "k", 3, std::string(40, 'h')});
+  wal.append({RecordType::kHintDrop, "k", 3, ""});
+  for (int i = 0; i < 20; ++i) {
+    wal.append(data_record("pad", "p" + std::string(40, '.')));
+  }
+  ASSERT_GT(wal.stats().compactions, 0u);
+  wal.drop_volatile(0);
+  for (const Record& r : wal.recover().records) {
+    EXPECT_NE(r.type, RecordType::kHint) << "delivered hint must compact away";
+  }
+}
+
+TEST(MemBackend, CrashIsTotalLoss) {
+  MemBackend mem;
+  mem.append(data_record("k", "v"));
+  mem.flush();
+  mem.drop_volatile(0);
+  EXPECT_TRUE(mem.recover().records.empty());
+  EXPECT_EQ(mem.log_bytes(), 0u);
+  EXPECT_EQ(mem.appends(), 1u);
+}
+
+// ---- replica-level round trip ---------------------------------------------
+
+using dvv::kv::DvvMechanism;
+using dvv::kv::Replica;
+
+std::unique_ptr<WalBackend> wal_backend() {
+  return std::make_unique<WalBackend>(WalConfig{});
+}
+
+TEST(ReplicaStorage, WalCrashRecoverRestoresDataAndHints) {
+  const DvvMechanism mech;
+  Replica<DvvMechanism> replica(0, wal_backend());
+  Replica<DvvMechanism> donor(1);
+
+  replica.put(mech, "k1", 0, dvv::kv::client_actor(0), {}, "v1");
+  replica.put(mech, "k2", 0, dvv::kv::client_actor(0), {}, "v2");
+  donor.put(mech, "h", 1, dvv::kv::client_actor(1), {}, "hinted");
+  replica.stash_hint(mech, /*owner=*/4, "h", *donor.find("h"));
+
+  dvv::codec::Writer before_k1, before_hint;
+  dvv::codec::encode(before_k1, *replica.find("k1"));
+  dvv::codec::encode(before_hint, *replica.find_hint(4, "h"));
+
+  replica.crash();
+  EXPECT_FALSE(replica.alive());
+  EXPECT_EQ(replica.key_count(), 0u);
+  EXPECT_EQ(replica.hinted_count(), 0u);
+
+  const auto stats = replica.recover();
+  EXPECT_TRUE(replica.alive());
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_EQ(replica.key_count(), 2u);
+  ASSERT_NE(replica.find("k1"), nullptr);
+  ASSERT_NE(replica.find_hint(4, "h"), nullptr);
+
+  dvv::codec::Writer after_k1, after_hint;
+  dvv::codec::encode(after_k1, *replica.find("k1"));
+  dvv::codec::encode(after_hint, *replica.find_hint(4, "h"));
+  EXPECT_EQ(before_k1.buffer(), after_k1.buffer()) << "byte-identical replay";
+  EXPECT_EQ(before_hint.buffer(), after_hint.buffer());
+}
+
+TEST(ReplicaStorage, DeliveredHintDoesNotResurrectAcrossCrash) {
+  const DvvMechanism mech;
+  Replica<DvvMechanism> holder(0, wal_backend());
+  Replica<DvvMechanism> owner(4);
+  Replica<DvvMechanism> donor(1);
+  donor.put(mech, "h", 1, dvv::kv::client_actor(1), {}, "hinted");
+  holder.stash_hint(mech, 4, "h", *donor.find("h"));
+
+  auto lookup = [&](dvv::kv::ReplicaId) -> Replica<DvvMechanism>& { return owner; };
+  EXPECT_EQ(holder.deliver_hints(mech, lookup), 1u);
+  EXPECT_EQ(holder.hinted_count(), 0u);
+
+  holder.crash();
+  (void)holder.recover();
+  EXPECT_EQ(holder.hinted_count(), 0u)
+      << "kHintDrop must keep a delivered hint from replaying";
+}
+
+TEST(ReplicaStorage, MemCrashLosesEverything) {
+  const DvvMechanism mech;
+  Replica<DvvMechanism> replica(0, std::make_unique<MemBackend>());
+  replica.put(mech, "k", 0, dvv::kv::client_actor(0), {}, "v");
+  replica.crash();
+  (void)replica.recover();
+  EXPECT_TRUE(replica.alive());
+  EXPECT_EQ(replica.key_count(), 0u);
+}
+
+}  // namespace

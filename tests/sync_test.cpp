@@ -257,8 +257,8 @@ TEST(ClusterDigestSync, OwnershipFilterNeverShipsToNonOwners) {
     if (std::find(pref.begin(), pref.end(), r) == pref.end()) outsider = r;
   }
   DvvMechanism mech;
-  mech.update(cluster.replica(outsider).stored(key), outsider,
-              dvv::kv::client_actor(9), {}, "stray");
+  cluster.replica(outsider).put(mech, key, outsider, dvv::kv::client_actor(9), {},
+                                "stray");
 
   const SyncStats stats = cluster.anti_entropy_digest_pair(outsider, pref[0]);
   // The stray key's partition is owned by pref members only, so the
@@ -304,6 +304,43 @@ TEST(ClusterDigestSync, LegacyAntiEntropySkipsConvergedKeys) {
   const std::size_t touched = cluster.anti_entropy();
   EXPECT_EQ(touched, pref.size() - 1);
   EXPECT_EQ(cluster.anti_entropy(), 0u) << "converged cluster: zero touches";
+}
+
+// Regression (read-repair write-back satellite): duplicate replication
+// deliveries and repair write-backs of byte-identical state must not
+// dirty the Merkle trees or generate anti-entropy traffic.  The skip is
+// byte-exact inside Replica (merge_key / adopt), so a converged cluster
+// stays wire-silent no matter how often state is re-delivered.
+TEST(ClusterDigestSync, ConvergedRedeliveryDoesNotDirtyTreesOrShipRepairs) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  const Key key = "k";
+  alice.put(key, "v");  // fully replicated: converged
+  const auto pref = cluster.preference_list(key);
+
+  cluster.anti_entropy_digest();  // absorb the initial dirty set
+  const auto clean = cluster.anti_entropy_digest().stats;
+  EXPECT_EQ(clean.keys_shipped, 0u);
+
+  // Duplicate deliveries: the exact bytes every replica already holds.
+  const auto& mech = cluster.mechanism();
+  const auto* fresh = cluster.replica(pref[0]).find(key);
+  ASSERT_NE(fresh, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    cluster.replica(pref[1]).merge_key(mech, key, *fresh);
+    cluster.replica(pref[2]).merge_key(mech, key, *fresh);
+  }
+  for (const ReplicaId r : pref) {
+    EXPECT_EQ(cluster.aae_dirty_count(r), 0u)
+        << "identical redelivery dirtied the tree at " << r;
+  }
+
+  // And the wire stays as quiet as a never-touched converged cluster.
+  const auto after = cluster.anti_entropy_digest().stats;
+  EXPECT_EQ(after.keys_shipped, 0u);
+  EXPECT_EQ(after.wire_bytes, clean.wire_bytes)
+      << "AAE wire bytes must not grow after no-op redeliveries";
+  EXPECT_EQ(cluster.anti_entropy(), 0u);
 }
 
 // ---- simulator integration -------------------------------------------------
