@@ -7,23 +7,35 @@
 // paper is that this file does not change between Fig. 1b and Fig. 1c.
 //
 // Determinism contract: the cluster itself makes NO random choices.
-// Which replica coordinates, which replica serves a read, and whether a
-// replication message "arrives" are all chosen by the caller (workload
-// driver / test), which gets its randomness from a seeded Rng.  That is
-// what lets the oracle (src/oracle) replay the exact same decision
-// sequence against the causal-history mechanism and audit the outcome.
+// Which replica coordinates, which replica serves a read, and which
+// messages a faulty transport drops, duplicates or delays are all
+// chosen by the caller (workload driver / test), which gets its
+// randomness from a seeded Rng — the transport's fault Rng is seeded
+// through its config.  That is what lets the oracle (src/oracle)
+// replay the exact same decision sequence against the causal-history
+// mechanism and audit the outcome.
 //
 // Fault model: set_alive(false) pauses a replica with memory intact;
 // crash() is the real thing — volatile state is gone and recover()
 // rebuilds from the replica's storage backend (src/store), after which
-// anti-entropy repairs whatever the durability model lost.
+// anti-entropy repairs whatever the durability model lost.  Network
+// faults are the transport's (src/net): everything that crosses
+// between replicas — put fan-out, hint stash/delivery, anti-entropy
+// session initiation — is a typed message serialized through the codec
+// and handed to a pluggable net::Transport, so partitions, reordering,
+// duplication and in-flight loss are expressible.  The default
+// InlineTransport delivers synchronously in send order — byte-identical
+// to direct calls (tests/transport_equivalence_test.cpp).
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -31,6 +43,8 @@
 #include "kv/replica.hpp"
 #include "kv/ring.hpp"
 #include "kv/types.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
 #include "store/backend.hpp"
 #include "sync/anti_entropy.hpp"
 #include "sync/key_digest.hpp"
@@ -43,8 +57,9 @@ struct ClusterConfig {
   std::size_t servers = 3;
   std::size_t replication = 3;
   std::size_t vnodes = 64;
-  sync::MerkleConfig aae{};        ///< geometry of the per-replica hash trees
-  store::BackendConfig storage{};  ///< per-replica durability model
+  sync::MerkleConfig aae{};          ///< geometry of the per-replica hash trees
+  store::BackendConfig storage{};    ///< per-replica durability model
+  net::TransportConfig transport{};  ///< inter-replica message layer (src/net)
 };
 
 template <CausalityMechanism M>
@@ -56,16 +71,22 @@ class Cluster {
 
   struct PutReceipt {
     ReplicaId coordinator = 0;
-    bool unavailable = false;           ///< no alive replica could coordinate
-    std::size_t replicated_to = 0;      ///< replicas the write reached now
-    std::size_t replication_bytes = 0;  ///< wire bytes shipped to them
+    bool unavailable = false;       ///< no alive replica could coordinate
+    std::size_t replicated_to = 0;  ///< fan-out messages sent to alive replicas
+                                    ///  (delivery is the transport's business)
+    std::size_t hinted = 0;         ///< hints parked for dead preference members
+    std::size_t unparked = 0;       ///< dead members NO fallback could cover —
+                                    ///  the write is below its intended
+                                    ///  durability and only repair can fix it
+    std::size_t replication_bytes = 0;  ///< wire bytes of every message sent
   };
 
   Cluster(ClusterConfig config, M mechanism)
       : config_(config),
         mechanism_(std::move(mechanism)),
         ring_(config.servers, config.replication, config.vnodes),
-        digest_index_(config.servers, config.aae) {
+        digest_index_(config.servers, config.aae),
+        transport_(net::make_transport(config.transport)) {
     replicas_.reserve(config.servers);
     for (std::size_t s = 0; s < config.servers; ++s) {
       replicas_.emplace_back(static_cast<ReplicaId>(s),
@@ -73,10 +94,12 @@ class Cluster {
       replicas_.back().set_observer(&digest_index_);
     }
     wire_partitioner();
+    wire_transport();
   }
 
-  // Replicas hold a pointer to this cluster's digest index, so moves
-  // must re-wire the observers and copies are disallowed.
+  // Replicas hold a pointer to this cluster's digest index and the
+  // transport sink captures `this`, so moves must re-wire both and
+  // copies are disallowed.
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
   Cluster(Cluster&& other) noexcept
@@ -84,18 +107,30 @@ class Cluster {
         mechanism_(std::move(other.mechanism_)),
         ring_(std::move(other.ring_)),
         digest_index_(std::move(other.digest_index_)),
-        replicas_(std::move(other.replicas_)) {
+        transport_(std::move(other.transport_)),
+        replicas_(std::move(other.replicas_)),
+        completed_syncs_(std::move(other.completed_syncs_)),
+        next_sync_nonce_(other.next_sync_nonce_),
+        repairs_shipped_total_(other.repairs_shipped_total_),
+        delivery_drops_(other.delivery_drops_) {
     for (auto& rep : replicas_) rep.set_observer(&digest_index_);
     wire_partitioner();
+    wire_transport();
   }
   Cluster& operator=(Cluster&& other) noexcept {
     config_ = std::move(other.config_);
     mechanism_ = std::move(other.mechanism_);
     ring_ = std::move(other.ring_);
     digest_index_ = std::move(other.digest_index_);
+    transport_ = std::move(other.transport_);
     replicas_ = std::move(other.replicas_);
+    completed_syncs_ = std::move(other.completed_syncs_);
+    next_sync_nonce_ = other.next_sync_nonce_;
+    repairs_shipped_total_ = other.repairs_shipped_total_;
+    delivery_drops_ = other.delivery_drops_;
     for (auto& rep : replicas_) rep.set_observer(&digest_index_);
     wire_partitioner();
+    wire_transport();
     return *this;
   }
 
@@ -105,6 +140,46 @@ class Cluster {
   [[nodiscard]] Replica<M>& replica(ReplicaId id) { return replicas_.at(id); }
   [[nodiscard]] const Replica<M>& replica(ReplicaId id) const { return replicas_.at(id); }
   [[nodiscard]] std::size_t servers() const noexcept { return replicas_.size(); }
+
+  // ---- message layer (src/net) -------------------------------------------
+
+  [[nodiscard]] net::Transport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const net::Transport& transport() const noexcept {
+    return *transport_;
+  }
+
+  /// One transport tick: delivers due queued messages into the
+  /// replicas.  No-op (returns 0) on the inline transport.
+  std::size_t pump() { return transport_->pump(); }
+
+  /// Pumps until nothing is in flight.
+  std::size_t pump_all() { return transport_->drain(); }
+
+  /// Cuts the replica set into isolated groups (net::Transport::
+  /// partition); replication, handoff and sync messages crossing the
+  /// cut are lost.  heal() restores every link.
+  void partition(const std::vector<std::vector<ReplicaId>>& groups,
+                 std::string label = {}) {
+    transport_->partition(groups, std::move(label));
+  }
+  void heal() { transport_->heal(); }
+
+  /// Messages the cluster discarded because their destination replica
+  /// was not alive at delivery time (a dead process receives nothing).
+  struct DeliveryDrops {
+    std::size_t replicate = 0;     ///< put fan-out payloads
+    std::size_t hint_stash = 0;    ///< hints headed for a dead fallback
+    std::size_t hint_deliver = 0;  ///< deliveries to an owner that died again
+    std::size_t hint_ack = 0;      ///< acks to a holder that died
+    std::size_t sync = 0;          ///< anti-entropy session requests
+
+    [[nodiscard]] std::size_t total() const noexcept {
+      return replicate + hint_stash + hint_deliver + hint_ack + sync;
+    }
+  };
+  [[nodiscard]] const DeliveryDrops& delivery_drops() const noexcept {
+    return delivery_drops_;
+  }
 
   /// Crashes server `r`: volatile state dropped, durable log kept (see
   /// Replica::crash).  `torn_tail_bytes` injects a torn trailing write.
@@ -141,7 +216,11 @@ class Cluster {
   /// GET with read-coalescing across `quorum` preference-list replicas:
   /// their sibling states are merged (mechanism sync) into the reply, as
   /// a Dynamo-style R-quorum read would.  Does not write back; pair with
-  /// anti_entropy for repair.
+  /// anti_entropy for repair.  When fewer than `quorum` alive replicas
+  /// could answer, the reply still carries whatever was readable but is
+  /// marked `degraded` with the actual `replies` count — an R-quorum
+  /// read that could not reach R must say so, not masquerade as a full
+  /// quorum (tests/cluster_test.cpp: QuorumReadBelowQuorumReportsDegraded).
   [[nodiscard]] GetResult get_quorum(const Key& key, std::size_t quorum) const {
     DVV_ASSERT(quorum >= 1);
     const auto pref = ring_.preference_list(key);
@@ -158,7 +237,9 @@ class Cluster {
       }
     }
     GetResult out;
+    out.replies = asked;
     out.unavailable = asked == 0;
+    out.degraded = asked < quorum;
     out.found = found;
     if (found) {
       out.values = mechanism_.values_of(merged);
@@ -168,10 +249,13 @@ class Cluster {
   }
 
   /// PUT coordinated by `coordinator` on behalf of `client`, carrying the
-  /// client's causal context.  `replicate_to` lists the other replicas
-  /// the write should reach immediately (the caller decides, possibly
-  /// dropping some to model replication lag); they receive the
-  /// coordinator's post-update sibling state and merge it.
+  /// client's causal context.  The coordinator applies locally, then a
+  /// ReplicateMsg with its post-update encoding is SENT to every alive
+  /// replica in `replicate_to` (the caller decides the fan-out, possibly
+  /// dropping some to model replication lag).  With the inline transport
+  /// the merges happen before this returns, in send order — the direct-
+  /// call semantics; with a queued transport the messages are in flight
+  /// until pump(), and the receipt counts sends, not deliveries.
   PutReceipt put(const Key& key, ReplicaId coordinator, ClientId client,
                  const Context& ctx, Value value,
                  const std::vector<ReplicaId>& replicate_to) {
@@ -183,13 +267,30 @@ class Cluster {
     receipt.coordinator = coordinator;
     const Stored* fresh = coord.find(key);
     DVV_ASSERT(fresh != nullptr);
-    const std::size_t bytes = mechanism_.total_bytes(*fresh);
+    // One message shared by the whole fan-out (the payload is identical
+    // per target).  The decoded fast path aliases the coordinator's
+    // live state WITHOUT owning it: valid for synchronous delivery
+    // only, which is exactly the envelope contract — a queuing
+    // transport serializes at send and drops the alias.
+    std::shared_ptr<const net::Message> msg;
+    std::shared_ptr<const void> decoded(std::shared_ptr<const void>{}, fresh);
+    std::size_t msg_bytes = 0;
     for (ReplicaId r : replicate_to) {
       if (r == coordinator || !replicas_.at(r).alive()) continue;
-      replicas_.at(r).merge_key(mechanism_, key, *fresh);
+      // A target across an active partition is unreachable NOW and the
+      // coordinator knows it (the connection is refused): no message,
+      // and — receipt honesty — no replicated_to count.
+      if (!transport_->link_up(coordinator, r)) continue;
+      if (msg == nullptr) {
+        msg = std::make_shared<const net::Message>(
+            net::ReplicateMsg{key, Replica<M>::encode_state(*fresh)});
+        msg_bytes = net::wire_size(*msg);
+      }
+      receipt.replication_bytes += msg_bytes;
       ++receipt.replicated_to;
-      receipt.replication_bytes += bytes;
+      transport_->send(coordinator, r, msg, decoded);
     }
+    transport_->settle();
     return receipt;
   }
 
@@ -207,10 +308,15 @@ class Cluster {
   }
 
   /// PUT with hinted handoff (Dynamo's sloppy quorum): like put(), but
-  /// for each DEAD preference-list member the write is parked on the
-  /// next alive NON-preference server in ring order, tagged with the
-  /// intended owner.  Call deliver_hints() after recoveries to push the
-  /// parked writes home.
+  /// for each DEAD preference-list member a HintMsg parks the write on
+  /// the next alive NON-preference server in ring order, tagged with
+  /// the intended owner.  Call deliver_hints() after recoveries to push
+  /// the parked writes home.  The receipt separates durability levels:
+  /// `replicated_to` counts real preference-list copies, `hinted`
+  /// counts parked fallback copies, and `unparked` counts dead members
+  /// NO alive fallback could cover — a write with unparked > 0 is below
+  /// its sloppy-quorum durability and the caller deserves to know
+  /// (tests/hinted_handoff_test.cpp: NowhereToParkIsReportedNotSilent).
   PutReceipt put_with_handoff(const Key& key, ReplicaId coordinator, ClientId client,
                               const Context& ctx, Value value) {
     const auto pref = ring_.preference_list(key);
@@ -225,39 +331,73 @@ class Cluster {
 
     const Stored* fresh = replicas_.at(coordinator).find(key);
     DVV_ASSERT(fresh != nullptr);
-    const std::size_t bytes = mechanism_.total_bytes(*fresh);
+    const std::string encoded = Replica<M>::encode_state(*fresh);
+    // Non-owning alias, as in put(): synchronous delivery only.
+    const std::shared_ptr<const void> decoded(std::shared_ptr<const void>{},
+                                              fresh);
     const auto order = ring_.ring_order(key);
     std::size_t next_fallback = ring_.replication();  // first non-pref slot
     for (const ReplicaId owner : dead_owners) {
-      // Find the next alive fallback server (distinct per owner so one
-      // fallback's crash cannot lose several owners' hints at once).
+      // Find the next alive fallback server the coordinator can REACH
+      // (distinct per owner so one fallback's crash cannot lose several
+      // owners' hints at once; a fallback across an active partition
+      // cannot accept the park and counts as unavailable).
       while (next_fallback < order.size() &&
-             !replicas_[order[next_fallback]].alive()) {
+             (!replicas_[order[next_fallback]].alive() ||
+              !transport_->link_up(coordinator, order[next_fallback]))) {
         ++next_fallback;
       }
-      if (next_fallback >= order.size()) break;  // nowhere to park
-      replicas_[order[next_fallback]].stash_hint(mechanism_, owner, key, *fresh);
+      if (next_fallback >= order.size()) {
+        ++receipt.unparked;  // nowhere to park: report, don't hide
+        continue;
+      }
+      auto msg = std::make_shared<const net::Message>(
+          net::HintMsg{owner, key, encoded});
+      receipt.replication_bytes += net::wire_size(*msg);
+      ++receipt.hinted;
+      transport_->send(coordinator, order[next_fallback], std::move(msg),
+                       decoded);
       ++next_fallback;
-      ++receipt.replicated_to;
-      receipt.replication_bytes += bytes;
     }
+    transport_->settle();
     return receipt;
   }
 
-  /// Delivers parked hints cluster-wide to every recovered owner.  Dead
-  /// holders are skipped: a crashed or paused server cannot push its
-  /// parked writes — they wait (and survive in its log) until it is
-  /// back.
+  /// Delivers parked hints cluster-wide to every recovered owner: each
+  /// alive holder sends a HintDeliverMsg home for every hint whose
+  /// owner is alive, and drops the parked copy only when the owner's
+  /// ack comes back — a delivery lost in flight stays parked and is
+  /// retried by the next call.  Dead holders are skipped: a crashed or
+  /// paused server cannot push its parked writes — they wait (and
+  /// survive in its log) until it is back.  Returns the number of hints
+  /// acked away during this call (with a queued transport, deliveries
+  /// complete under pump() and later calls observe the acks).
   std::size_t deliver_hints() {
-    std::size_t delivered = 0;
+    const std::size_t before = hinted_count();
+    struct Pending {
+      ReplicaId holder;
+      ReplicaId owner;
+      Key key;
+      std::string state;
+      std::shared_ptr<const Stored> decoded;
+    };
+    std::vector<Pending> pending;
     for (auto& rep : replicas_) {
       if (!rep.alive()) continue;
-      delivered += rep.deliver_hints(
-          mechanism_, [this](ReplicaId owner) -> Replica<M>& {
-            return replicas_.at(owner);
-          });
+      rep.for_each_hint([&](ReplicaId owner, const Key& key, const Stored& state) {
+        if (!replicas_.at(owner).alive()) return;  // waits for the owner
+        pending.push_back({rep.id(), owner, key, Replica<M>::encode_state(state),
+                           std::make_shared<const Stored>(state)});
+      });
     }
-    return delivered;
+    for (Pending& p : pending) {
+      transport_->send(p.holder, p.owner,
+                       std::make_shared<const net::Message>(net::HintDeliverMsg{
+                           p.owner, p.key, std::move(p.state)}),
+                       std::move(p.decoded));
+    }
+    transport_->settle();
+    return before - hinted_count();
   }
 
   /// Total hints parked anywhere (observability for tests/benches).
@@ -361,27 +501,56 @@ class Cluster {
     std::size_t sweeps = 0;    ///< full pair sweeps until the fixed point
   };
 
-  /// One pairwise digest session between alive replicas `a` and `b`
-  /// (refreshes both trees first).  Dead endpoints make it a no-op.
-  /// Keys found divergent are repaired read-repair style across their
-  /// whole alive preference list, so a repaired key is immediately at
-  /// the legacy pass's merged bytes on every alive owner.  Parked hints
-  /// are handled by the full anti_entropy_digest() sweep — they live
-  /// outside the Merkle trees.
+  /// One pairwise digest session between alive replicas `a` and `b`,
+  /// initiated by a SyncReqMsg from `a` routed through the transport —
+  /// a request lost to a partition or a drop means no session ran and
+  /// empty stats come back.  This call drains the transport (a session
+  /// is a blocking exchange, like a TCP conversation): on delivery the
+  /// responder refreshes both trees, walks them, repairs divergent keys
+  /// across their whole alive preference list, and answers with a
+  /// SyncRespMsg whose stats this call harvests.  Dead endpoints make
+  /// it a no-op.  Parked hints are handled by the full
+  /// anti_entropy_digest() sweep — they live outside the Merkle trees.
+  /// For a fire-and-forget request on a queued transport (the simulator
+  /// wants sessions racing foreground traffic), use request_sync() and
+  /// collect take_completed_syncs() after pumping.
   sync::SyncStats anti_entropy_digest_pair(ReplicaId a, ReplicaId b) {
     if (!replicas_.at(a).alive() || !replicas_.at(b).alive() || a == b) return {};
-    refresh_tree(a);
-    refresh_tree(b);
-    sync::SyncSession session(
-        [this](const Key& key, ReplicaId sa, ReplicaId sb) {
-          return repair_key(key, sa, sb);
-        });
+    const std::uint64_t nonce = request_sync(a, b);
+    transport_->drain();
+    sync::SyncStats out;
+    // A duplicated request runs the session twice and answers twice;
+    // both runs' costs are real, so matching records merge.
+    std::erase_if(completed_syncs_, [&](const CompletedSync& cs) {
+      if (cs.nonce != nonce) return false;
+      out.merge(cs.stats);
+      return true;
+    });
+    return out;
+  }
+
+  /// Enqueues a SyncReqMsg from `a` to `b` and returns its nonce; the
+  /// session runs when the request is delivered (pump on a queued
+  /// transport), and its stats appear in take_completed_syncs() once
+  /// the SyncRespMsg makes it back to the initiator.
+  std::uint64_t request_sync(ReplicaId a, ReplicaId b) {
+    const std::uint64_t nonce = next_sync_nonce_++;
+    send_message(a, b, net::SyncReqMsg{nonce});
+    return nonce;
+  }
+
+  /// One finished digest session as observed by its initiator.
+  struct CompletedSync {
+    ReplicaId initiator = 0;
+    ReplicaId responder = 0;
+    std::uint64_t nonce = 0;
     sync::SyncStats stats;
-    for (const auto partition : digest_index_.shared_partitions(a, b)) {
-      stats.merge(session.run(a, digest_index_.tree(a, partition), b,
-                              digest_index_.tree(b, partition)));
-    }
-    return stats;
+  };
+
+  /// Drains the completed-session records (sessions whose SyncRespMsg
+  /// reached the initiator since the last call).
+  [[nodiscard]] std::vector<CompletedSync> take_completed_syncs() {
+    return std::exchange(completed_syncs_, {});
   }
 
   /// Full digest-based repair: sweeps every alive replica pair until a
@@ -397,6 +566,11 @@ class Cluster {
     while (progress) {
       progress = false;
       ++report.sweeps;
+      // Progress detection must not depend on SyncRespMsg survival: a
+      // faulty transport can deliver the request (repairs run) and lose
+      // the response (stats gone).  The repair counter sees every
+      // shipped state regardless of what made it back to an initiator.
+      const std::uint64_t repairs_mark = repairs_shipped_total_;
       for (ReplicaId a = 0; a < replicas_.size(); ++a) {
         for (ReplicaId b = a + 1; b < replicas_.size(); ++b) {
           const sync::SyncStats stats = anti_entropy_digest_pair(a, b);
@@ -405,6 +579,7 @@ class Cluster {
           report.stats.merge(stats);
         }
       }
+      if (repairs_shipped_total_ != repairs_mark) progress = true;
       // Hint round: repair every key some alive holder parks a hint
       // for.  The converged pre-check matters beyond wire cost: a key
       // must be folded at most once from its pre-repair states (the
@@ -417,9 +592,13 @@ class Cluster {
         sync::Digest common = sync::kMissing;
         bool divergent = false;
         bool first = true;
+        // The first alive owner initiates; it can only compare against
+        // owners and holders on its side of any active partition —
+        // repair_key applies the same reachability filter.
         for (const ReplicaId r : ring_.preference_list(key)) {
           if (!replicas_[r].alive()) continue;
           if (!initiator.has_value()) initiator = r;
+          if (!transport_->link_up(*initiator, r)) continue;
           const Stored* s = replicas_[r].find(key);
           const sync::Digest d = s ? sync::state_digest(*s) : sync::kMissing;
           if (first) {
@@ -432,6 +611,7 @@ class Cluster {
         if (!initiator.has_value()) continue;  // whole preference list down
         ++report.stats.keys_compared;
         for (const HintSource& h : sources) {
+          if (!transport_->link_up(*initiator, h.holder)) continue;
           if (!divergent && sync::state_digest(*h.state) != common) divergent = true;
         }
         if (!divergent) {
@@ -439,7 +619,7 @@ class Cluster {
           // is the whole cost.  The divergent path meters its probes
           // inside repair_key — charging them here too would double-bill.
           for (const HintSource& h : sources) {
-            if (h.holder != *initiator) {
+            if (h.holder != *initiator && transport_->link_up(*initiator, h.holder)) {
               report.stats.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
             }
           }
@@ -524,6 +704,127 @@ class Cluster {
         [this](const Key& key) { return ring_.preference_list(key); });
   }
 
+  void wire_transport() {
+    transport_->set_sink(
+        [this](const net::Envelope& envelope) { on_message(envelope); });
+  }
+
+  void send_message(ReplicaId from, ReplicaId to, net::Message msg) {
+    transport_->send(from, to, std::move(msg));
+  }
+
+  /// Delivery sink: applies one message at its destination replica.  A
+  /// destination that is not alive receives nothing — the message is
+  /// counted in delivery_drops_ and gone (for hint deliveries that is
+  /// precisely why the holder keeps the hint until the ack).  State
+  /// payloads use the envelope's decoded fast path when the transport
+  /// preserved it (inline loopback) and decode the wire bytes when it
+  /// did not (the byte-faithful SimTransport).
+  void on_message(const net::Envelope& envelope) {
+    const net::Message& msg = *envelope.msg;
+    const auto* fast = static_cast<const Stored*>(envelope.decoded.get());
+    Replica<M>& dst = replicas_.at(envelope.to);
+    if (!dst.alive()) {
+      std::visit(
+          [this](const auto& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, net::ReplicateMsg>) {
+              ++delivery_drops_.replicate;
+            } else if constexpr (std::is_same_v<T, net::HintMsg>) {
+              ++delivery_drops_.hint_stash;
+            } else if constexpr (std::is_same_v<T, net::HintDeliverMsg>) {
+              ++delivery_drops_.hint_deliver;
+            } else if constexpr (std::is_same_v<T, net::HintAckMsg>) {
+              ++delivery_drops_.hint_ack;
+            } else {
+              ++delivery_drops_.sync;
+            }
+          },
+          msg);
+      return;
+    }
+    std::visit(
+        [&](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, net::ReplicateMsg>) {
+            if (fast != nullptr) {
+              dst.merge_key(mechanism_, m.key, *fast);
+            } else {
+              dst.merge_encoded(mechanism_, m.key, m.state);
+            }
+          } else if constexpr (std::is_same_v<T, net::HintMsg>) {
+            if (fast != nullptr) {
+              dst.stash_hint(mechanism_, m.owner, m.key, *fast);
+            } else {
+              dst.stash_hint_encoded(mechanism_, m.owner, m.key, m.state);
+            }
+          } else if constexpr (std::is_same_v<T, net::HintDeliverMsg>) {
+            // The owner merges the parked write home and acks with the
+            // payload's digest so the holder can retire exactly this
+            // hint (and not a newer re-stash).
+            if (fast != nullptr) {
+              dst.merge_key(mechanism_, m.key, *fast);
+            } else {
+              dst.merge_encoded(mechanism_, m.key, m.state);
+            }
+            send_message(envelope.to, envelope.from,
+                         net::HintAckMsg{m.owner, m.key,
+                                         sync::encoded_state_digest(m.state)});
+          } else if constexpr (std::is_same_v<T, net::HintAckMsg>) {
+            (void)dst.drop_hint_if(m.owner, m.key, m.digest);
+          } else if constexpr (std::is_same_v<T, net::SyncReqMsg>) {
+            run_sync_session(envelope.from, envelope.to, m.nonce);
+          } else {
+            static_assert(std::is_same_v<T, net::SyncRespMsg>);
+            CompletedSync cs;
+            cs.initiator = envelope.to;
+            cs.responder = envelope.from;
+            cs.nonce = m.nonce;
+            cs.stats.rounds = static_cast<std::size_t>(m.rounds);
+            cs.stats.nodes_exchanged = static_cast<std::size_t>(m.nodes_exchanged);
+            cs.stats.keys_compared = static_cast<std::size_t>(m.keys_compared);
+            cs.stats.keys_shipped = static_cast<std::size_t>(m.keys_shipped);
+            cs.stats.wire_bytes = static_cast<std::size_t>(m.wire_bytes);
+            completed_syncs_.push_back(std::move(cs));
+          }
+        },
+        msg);
+  }
+
+  /// Runs one digest session at the responder after a SyncReqMsg
+  /// arrived (refreshing both trees, walking shared partitions,
+  /// repairing divergent keys) and answers the initiator with the
+  /// stats.  The walk itself is computed in shared memory — its message
+  /// rounds and wire bytes are metered in the stats, as before the
+  /// transport existed — but whether a session happens AT ALL is the
+  /// transport's call: a partitioned or dropped request means no
+  /// repair.  An initiator that died after sending gets no session (a
+  /// one-ended exchange cannot run).
+  void run_sync_session(ReplicaId initiator, ReplicaId responder,
+                        std::uint64_t nonce) {
+    if (initiator == responder || !replicas_.at(initiator).alive()) return;
+    refresh_tree(initiator);
+    refresh_tree(responder);
+    sync::SyncSession session(
+        [this](const Key& key, ReplicaId sa, ReplicaId sb) {
+          return repair_key(key, sa, sb);
+        });
+    sync::SyncStats stats;
+    for (const auto partition : digest_index_.shared_partitions(initiator,
+                                                                responder)) {
+      stats.merge(session.run(initiator, digest_index_.tree(initiator, partition),
+                              responder, digest_index_.tree(responder, partition)));
+    }
+    net::SyncRespMsg resp;
+    resp.nonce = nonce;
+    resp.rounds = stats.rounds;
+    resp.nodes_exchanged = stats.nodes_exchanged;
+    resp.keys_compared = stats.keys_compared;
+    resp.keys_shipped = stats.keys_shipped;
+    resp.wire_bytes = stats.wire_bytes;
+    send_message(responder, initiator, resp);
+  }
+
   void refresh_tree(ReplicaId r) {
     digest_index_.refresh(r, [this, r](const Key& key) {
       return replicas_.at(r).find(key);
@@ -536,7 +837,12 @@ class Cluster {
   /// hint, fold in canonical order (owners by preference list, then
   /// hints by (holder, owner) — the same deterministic merge the legacy
   /// pass computes), scatter the merge back, and rewrite differing
-  /// hints to the merged bytes.  Wire metering uses the per-key digests
+  /// hints to the merged bytes.  The initiator can only gather from and
+  /// scatter to replicas it can REACH: under an active partition,
+  /// owners and hint holders across the cut are invisible to the repair
+  /// (tests/transport_test.cpp: RepairCannotCrossAnActivePartition) —
+  /// each side converges internally and the sides reconcile after
+  /// heal().  Wire metering uses the per-key digests
   /// the owners already maintain: identical gather states ship once
   /// (the initiator recognizes duplicates by digest), the initiator's
   /// own copy stays local, and owners whose bytes already equal the
@@ -558,7 +864,7 @@ class Cluster {
     Stored merged;
     bool found_any = false;
     for (const ReplicaId r : pref) {
-      if (!replicas_[r].alive()) continue;
+      if (!replicas_[r].alive() || !transport_->link_up(a, r)) continue;
       const Stored* s = replicas_[r].find(key);
       const sync::Digest d = s ? sync::state_digest(*s) : sync::kMissing;
       owners.push_back({r, s, d});
@@ -568,7 +874,10 @@ class Cluster {
         found_any = true;
       }
     }
-    const std::vector<HintSource> hints = collect_hints_for(key);
+    std::vector<HintSource> hints = collect_hints_for(key);
+    std::erase_if(hints, [&](const HintSource& h) {
+      return !transport_->link_up(a, h.holder);
+    });
     for (const HintSource& h : hints) {
       mechanism_.sync(merged, *h.state);
       found_any = true;
@@ -628,6 +937,7 @@ class Cluster {
         ++result.states_shipped;
       }
     }
+    repairs_shipped_total_ += result.states_shipped;
     return result;
   }
 
@@ -639,7 +949,12 @@ class Cluster {
   M mechanism_;
   Ring ring_;
   sync::DigestIndex digest_index_;
+  std::unique_ptr<net::Transport> transport_;
   std::vector<Replica<M>> replicas_;
+  std::vector<CompletedSync> completed_syncs_;
+  std::uint64_t next_sync_nonce_ = 0;
+  std::uint64_t repairs_shipped_total_ = 0;  ///< every state repair_key shipped
+  DeliveryDrops delivery_drops_{};
 };
 
 }  // namespace dvv::kv

@@ -27,6 +27,7 @@
 #include "kv/mechanism.hpp"
 #include "kv/types.hpp"
 #include "store/backend.hpp"
+#include "sync/key_digest.hpp"
 #include "sync/key_observer.hpp"
 #include "util/assert.hpp"
 
@@ -41,6 +42,8 @@ class Replica {
   struct GetResult {
     bool found = false;
     bool unavailable = false;   ///< request could not be served at all
+    bool degraded = false;      ///< quorum read: fewer than R replicas answered
+    std::size_t replies = 0;    ///< replicas that actually served the read
     std::vector<Value> values;  ///< all live siblings
     Context context;            ///< causal context for the client's next PUT
   };
@@ -135,6 +138,7 @@ class Replica {
   /// Local GET: siblings plus the causal context.
   [[nodiscard]] GetResult get(const M& m, const Key& key) const {
     GetResult r;
+    r.replies = 1;
     auto it = data_.find(key);
     if (it == data_.end()) return r;
     r.found = true;
@@ -168,6 +172,14 @@ class Replica {
     if (!inserted && after == before) return;
     touched(key);
     backend_->append({store::RecordType::kData, key, 0, after});
+  }
+
+  /// merge_key for a payload that arrived as wire bytes (the transport
+  /// layer ships full codec encodings): decodes and merges.
+  void merge_encoded(const M& m, const Key& key, const std::string& bytes) {
+    Stored remote;
+    decode_into(bytes, remote);
+    merge_key(m, key, remote);
   }
 
   /// Repair write-back: adopts `state` verbatim (the anti-entropy
@@ -261,6 +273,27 @@ class Replica {
     backend_->append({store::RecordType::kHint, key, owner, after});
   }
 
+  /// stash_hint for a payload that arrived as wire bytes (a HintMsg).
+  void stash_hint_encoded(const M& m, ReplicaId owner, const Key& key,
+                          const std::string& bytes) {
+    Stored remote;
+    decode_into(bytes, remote);
+    stash_hint(m, owner, key, remote);
+  }
+
+  /// Drops the parked hint for (owner, key) if its current bytes still
+  /// digest to `digest` — the guard a hint-delivery ack carries, so an
+  /// ack that raced a newer re-stash of the same slot cannot erase the
+  /// newer write.  Returns whether the hint was dropped.
+  bool drop_hint_if(ReplicaId owner, const Key& key, std::uint64_t digest) {
+    auto it = hinted_.find({owner, key});
+    if (it == hinted_.end()) return false;
+    if (sync::state_digest(it->second) != digest) return false;
+    backend_->append({store::RecordType::kHintDrop, key, owner, {}});
+    hinted_.erase(it);
+    return true;
+  }
+
   /// Replaces a parked hint's state wholesale (anti-entropy folds the
   /// hint into the cluster merge and writes the merge back, so future
   /// rounds can recognize the hint as already-reconciled by digest).
@@ -316,13 +349,16 @@ class Replica {
     return delivered;
   }
 
- private:
+  /// Full codec encoding of a Stored — the bytes that cross the wire,
+  /// hit the WAL, and feed the state digests.  Public so the message
+  /// layer builds payloads from the exact same encoding.
   [[nodiscard]] static std::string encode_state(const Stored& s) {
     codec::Writer w;
     codec::encode(w, s);
     return std::string(reinterpret_cast<const char*>(w.buffer().data()), w.size());
   }
 
+ private:
   static void decode_into(const std::string& bytes, Stored& out) {
     codec::Reader r(std::span<const std::byte>(
         reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));

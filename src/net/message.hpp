@@ -1,0 +1,231 @@
+// dvv/net/message.hpp
+//
+// Typed wire messages for the replication data plane.
+//
+// Everything that crosses between replicas — put fan-out, hinted
+// handoff, hint delivery and its ack, anti-entropy session initiation —
+// is one of these message types, serialized through the same codec the
+// clock encodings use (codec/wire.hpp).  The transport layer
+// (net/transport.hpp) carries only the encoded bytes, so wire-byte
+// metering is the size of real encodings, not a modelled estimate, and
+// a fault injector can drop/duplicate/reorder messages without knowing
+// what they mean.
+//
+// Mechanism independence: the sibling-state payloads are carried as the
+// key's full codec encoding (the same bytes Replica persists and ships
+// today), produced and consumed by the kv layer.  The message layer
+// never decodes a clock — which is what keeps one transport serving all
+// six causality mechanisms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "codec/wire.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::net {
+
+using NodeId = core::ActorId;
+
+/// Put replication fan-out: merge `state` (the coordinator's post-write
+/// encoding of `key`) into the destination replica.
+struct ReplicateMsg {
+  std::string key;
+  std::string state;  ///< codec encoding of the coordinator's Stored
+};
+
+/// Hinted handoff stash: park `state` on the destination (a fallback
+/// server outside the preference list) on behalf of dead `owner`.
+struct HintMsg {
+  NodeId owner = 0;
+  std::string key;
+  std::string state;
+};
+
+/// Hint delivery: a fallback holder pushes a parked write home to its
+/// recovered `owner` (the destination).  The holder keeps the hint
+/// parked until the ack comes back — a delivery lost in flight is
+/// retried by the next deliver_hints round, never silently dropped.
+struct HintDeliverMsg {
+  NodeId owner = 0;
+  std::string key;
+  std::string state;
+};
+
+/// Acknowledges a HintDeliverMsg.  `digest` is the state digest the
+/// owner merged; the holder drops its parked hint only if the parked
+/// bytes still match, so an ack that raced a newer re-stash of the same
+/// (owner, key) cannot erase the newer write.
+struct HintAckMsg {
+  NodeId owner = 0;
+  std::string key;
+  std::uint64_t digest = 0;
+};
+
+/// Asks the destination to run one digest-based anti-entropy session
+/// with the sender (sync/anti_entropy.hpp).  `nonce` pairs the eventual
+/// SyncRespMsg with the request at the initiator.
+struct SyncReqMsg {
+  std::uint64_t nonce = 0;
+};
+
+/// Reports a completed session's stats back to the initiator (the
+/// fields of sync::SyncStats, flattened for the wire).
+struct SyncRespMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t nodes_exchanged = 0;
+  std::uint64_t keys_compared = 0;
+  std::uint64_t keys_shipped = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+using Message = std::variant<ReplicateMsg, HintMsg, HintDeliverMsg, HintAckMsg,
+                             SyncReqMsg, SyncRespMsg>;
+
+// ---- codec -----------------------------------------------------------------
+//
+// One-byte type tag (the variant index as a varint), then the fields in
+// declaration order.  Strings are length-prefixed; ids and digests are
+// varints — the exact framing the clock codecs use.
+
+inline void encode(codec::Writer& w, const Message& msg) {
+  w.varint(msg.index());
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ReplicateMsg>) {
+          w.bytes(m.key);
+          w.bytes(m.state);
+        } else if constexpr (std::is_same_v<T, HintMsg> ||
+                             std::is_same_v<T, HintDeliverMsg>) {
+          w.varint(m.owner);
+          w.bytes(m.key);
+          w.bytes(m.state);
+        } else if constexpr (std::is_same_v<T, HintAckMsg>) {
+          w.varint(m.owner);
+          w.bytes(m.key);
+          w.varint(m.digest);
+        } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
+          w.varint(m.nonce);
+        } else {
+          static_assert(std::is_same_v<T, SyncRespMsg>);
+          w.varint(m.nonce);
+          w.varint(m.rounds);
+          w.varint(m.nodes_exchanged);
+          w.varint(m.keys_compared);
+          w.varint(m.keys_shipped);
+          w.varint(m.wire_bytes);
+        }
+      },
+      msg);
+}
+
+[[nodiscard]] inline Message decode_message(codec::Reader& r) {
+  const std::uint64_t tag = r.varint();
+  switch (tag) {
+    case 0: {
+      ReplicateMsg m;
+      m.key = r.bytes();
+      m.state = r.bytes();
+      return m;
+    }
+    case 1: {
+      HintMsg m;
+      m.owner = r.varint();
+      m.key = r.bytes();
+      m.state = r.bytes();
+      return m;
+    }
+    case 2: {
+      HintDeliverMsg m;
+      m.owner = r.varint();
+      m.key = r.bytes();
+      m.state = r.bytes();
+      return m;
+    }
+    case 3: {
+      HintAckMsg m;
+      m.owner = r.varint();
+      m.key = r.bytes();
+      m.digest = r.varint();
+      return m;
+    }
+    case 4: {
+      SyncReqMsg m;
+      m.nonce = r.varint();
+      return m;
+    }
+    case 5: {
+      SyncRespMsg m;
+      m.nonce = r.varint();
+      m.rounds = r.varint();
+      m.nodes_exchanged = r.varint();
+      m.keys_compared = r.varint();
+      m.keys_shipped = r.varint();
+      m.wire_bytes = r.varint();
+      return m;
+    }
+    default:
+      DVV_ASSERT_MSG(false, "net: unknown message tag");
+      return SyncReqMsg{};
+  }
+}
+
+/// Exact size of `msg`'s codec encoding, computed without building the
+/// bytes.  Envelopes are metered with this so the inline transport's
+/// zero-copy fast path charges the same wire bytes the byte-faithful
+/// SimTransport pays for real (it asserts the two agree).
+[[nodiscard]] inline std::size_t wire_size(const Message& msg) {
+  std::size_t n = codec::varint_size(msg.index());
+  std::visit(
+      [&n](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        const auto bytes_size = [](const std::string& s) {
+          return codec::varint_size(s.size()) + s.size();
+        };
+        if constexpr (std::is_same_v<T, ReplicateMsg>) {
+          n += bytes_size(m.key) + bytes_size(m.state);
+        } else if constexpr (std::is_same_v<T, HintMsg> ||
+                             std::is_same_v<T, HintDeliverMsg>) {
+          n += codec::varint_size(m.owner) + bytes_size(m.key) +
+               bytes_size(m.state);
+        } else if constexpr (std::is_same_v<T, HintAckMsg>) {
+          n += codec::varint_size(m.owner) + bytes_size(m.key) +
+               codec::varint_size(m.digest);
+        } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
+          n += codec::varint_size(m.nonce);
+        } else {
+          static_assert(std::is_same_v<T, SyncRespMsg>);
+          n += codec::varint_size(m.nonce) + codec::varint_size(m.rounds) +
+               codec::varint_size(m.nodes_exchanged) +
+               codec::varint_size(m.keys_compared) +
+               codec::varint_size(m.keys_shipped) +
+               codec::varint_size(m.wire_bytes);
+        }
+      },
+      msg);
+  return n;
+}
+
+/// Encodes `msg` to the byte string a Transport carries.
+[[nodiscard]] inline std::string encode_to_bytes(const Message& msg) {
+  codec::Writer w;
+  encode(w, msg);
+  return std::string(reinterpret_cast<const char*>(w.buffer().data()), w.size());
+}
+
+/// Decodes a Transport payload (asserts the buffer is fully consumed —
+/// inside this repository the transport only carries bytes it framed).
+[[nodiscard]] inline Message decode_from_bytes(const std::string& bytes) {
+  codec::Reader r(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));
+  Message msg = decode_message(r);
+  DVV_ASSERT_MSG(r.exhausted(), "net: trailing bytes in message");
+  return msg;
+}
+
+}  // namespace dvv::net

@@ -1,0 +1,97 @@
+#include "net/sim_transport.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace dvv::net {
+
+void SimTransport::send(NodeId from, NodeId to,
+                        std::shared_ptr<const Message> msg,
+                        std::shared_ptr<const void> decoded) {
+  // This transport is byte-faithful: the message crosses as its real
+  // codec encoding and the sender's decoded fast-path payload is
+  // dropped on the floor.
+  decoded.reset();
+  std::string bytes = encode_to_bytes(*msg);
+  DVV_ASSERT_MSG(bytes.size() == wire_size(*msg),
+                 "net: wire_size disagrees with the real encoding");
+  ++stats_.sent;
+  stats_.wire_bytes += bytes.size();
+  // Fault decisions are drawn unconditionally and in a fixed order so
+  // the consumed Rng stream depends only on the send sequence — never
+  // on payload bytes or on the current partition.
+  const bool dropped = rng_.chance(config_.drop_probability);
+  const bool duplicated = rng_.chance(config_.duplicate_probability);
+  const std::size_t window = config_.reorder_window;
+  const std::uint64_t extra1 = window == 0 ? 0 : rng_.below(window + 1);
+  const std::uint64_t extra2 = window == 0 ? 0 : rng_.below(window + 1);
+
+  if (!link_up(from, to)) {
+    ++stats_.partition_dropped;
+    return;
+  }
+  if (dropped) {
+    ++stats_.dropped;
+    return;
+  }
+  Queued queued{next_seq_++, from, to, std::move(bytes)};
+  if (duplicated) {
+    ++stats_.duplicated;
+    Queued copy = queued;
+    copy.seq = next_seq_++;
+    queue_.emplace(std::make_pair(tick_ + 1 + extra2, copy.seq), std::move(copy));
+  }
+  queue_.emplace(std::make_pair(tick_ + 1 + extra1, queued.seq),
+                 std::move(queued));
+}
+
+std::size_t SimTransport::pump() {
+  ++tick_;
+  std::size_t delivered = 0;
+  // Deliver everything due at or before the new tick, in (due, seq)
+  // order.  The sink may send (e.g. a hint delivery triggers an ack);
+  // those go to tick_ + 1 at the earliest, so this loop terminates.
+  while (!queue_.empty() && queue_.begin()->first.first <= tick_) {
+    Queued queued = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    if (!link_up(queued.from, queued.to)) {
+      ++stats_.partition_dropped;  // the partition cut it mid-flight
+      continue;
+    }
+    Envelope envelope;
+    envelope.seq = queued.seq;
+    envelope.from = queued.from;
+    envelope.to = queued.to;
+    envelope.wire_bytes = queued.bytes.size();
+    envelope.msg =
+        std::make_shared<const Message>(decode_from_bytes(queued.bytes));
+    deliver(envelope);
+    ++delivered;
+  }
+  return delivered;
+}
+
+TransportKind default_transport_kind() {
+  static const TransportKind kind = [] {
+    const char* v = std::getenv("DVV_TRANSPORT");
+    if (v != nullptr && std::string_view(v) == "chaos") return TransportKind::kSim;
+    return TransportKind::kInline;
+  }();
+  return kind;
+}
+
+TransportConfig::TransportConfig() : kind(default_transport_kind()) {
+  if (kind == TransportKind::kSim) sim = SimTransportConfig::chaos_defaults();
+}
+
+std::unique_ptr<Transport> make_transport(const TransportConfig& config) {
+  switch (config.kind) {
+    case TransportKind::kSim:
+      return std::make_unique<SimTransport>(config.sim);
+    case TransportKind::kInline:
+      break;
+  }
+  return std::make_unique<InlineTransport>();
+}
+
+}  // namespace dvv::net

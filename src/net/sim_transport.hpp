@@ -1,0 +1,101 @@
+// dvv/net/sim_transport.hpp
+//
+// Deterministic faulty network: delayed-delivery queues with seeded
+// per-message drop, duplication and reorder, plus the named partitions
+// every Transport supports.
+//
+// Time is a tick counter advanced by pump(); a message sent at tick T
+// becomes due at T + 1 + extra, with extra drawn uniformly from
+// [0, reorder_window].  pump() advances one tick and delivers every due
+// message in (due, seq) order — so a message with a larger extra delay
+// is overtaken by later sends, which is exactly a reordered network.
+// Duplication enqueues a second, independently delayed copy of the same
+// envelope; drop discards at send time (the bytes still count as sent:
+// the sender paid for them).
+//
+// Partition semantics: a cut link loses messages at BOTH ends of their
+// flight — send() refuses them (connection refused) and pump() discards
+// queued ones whose link is cut at delivery time (in-flight loss when
+// the partition forms) — so heal() never resurrects a message that was
+// in flight across the cut.
+//
+// Fault decisions are drawn from the config's seeded Rng at send time,
+// in send order, independent of payload bytes.  Two transports with the
+// same config seeing the same *sequence* of sends therefore make
+// identical decisions even when the payload encodings differ — the
+// property the lockstep oracle depends on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace dvv::net {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(SimTransportConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "sim"; }
+
+  /// Serializes the message to real codec bytes (asserting they match
+  /// the metered wire size) and drops any sender-attached decoded
+  /// payload: whatever survives this transport's faults is decoded from
+  /// the wire at delivery, like on a real network.
+  void send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
+            std::shared_ptr<const void> decoded = nullptr) override;
+  using Transport::send;
+
+  /// Advances one tick and delivers every due message in (due, seq)
+  /// order.  Messages whose link is cut by the active partition are
+  /// discarded here — in-flight loss.
+  std::size_t pump() override;
+
+  void settle() override {
+    if (config_.auto_settle) drain();
+  }
+
+  [[nodiscard]] bool idle() const noexcept override { return queue_.empty(); }
+  [[nodiscard]] std::size_t in_flight() const noexcept override {
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
+
+  /// Rewrites the fault rates in place (the queue and partition state
+  /// are untouched).  Chaos tests quiesce with this — zero rates, heal,
+  /// drain — before asserting about fixed points.
+  void set_fault_rates(double drop_probability, double duplicate_probability,
+                       std::size_t reorder_window) {
+    config_.drop_probability = drop_probability;
+    config_.duplicate_probability = duplicate_probability;
+    config_.reorder_window = reorder_window;
+  }
+
+  [[nodiscard]] const SimTransportConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// A message on the wire: owned encoded bytes only.
+  struct Queued {
+    std::uint64_t seq = 0;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::string bytes;
+  };
+
+  SimTransportConfig config_;
+  util::Rng rng_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// (due tick, seq) -> message; seq makes ties FIFO and keys unique.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Queued> queue_;
+};
+
+}  // namespace dvv::net

@@ -1,0 +1,290 @@
+// dvv/net/transport.hpp
+//
+// The pluggable message-passing layer between replicas.
+//
+// A Transport carries opaque encoded messages (net/message.hpp) from
+// one replica to another and hands them to a delivery sink installed by
+// the owning cluster.  Two implementations:
+//
+//   InlineTransport  synchronous immediate delivery — provably
+//                    byte-identical to the pre-transport direct-call
+//                    semantics (tests/transport_equivalence_test.cpp);
+//                    the default, and the zero-overhead baseline
+//                    bench_transport measures against.
+//
+//   SimTransport     deterministic seeded fault injection: per-message
+//                    drop probability, duplication, reordering via
+//                    delayed-delivery queues, and named partitions that
+//                    cut the node set into isolated groups.  Delivery
+//                    happens in pump() ticks, so "in flight" is real
+//                    queued state a crash or partition can destroy.
+//
+// Serialization is LAZY, the way a production stack treats loopback: an
+// Envelope carries the typed message plus its exact codec size
+// (net::wire_size), and the sender may attach the already-decoded state
+// payload.  InlineTransport hands both straight through — zero copies,
+// so the message layer costs nothing on the hot path — while
+// SimTransport serializes every message to real bytes at send and
+// decodes at delivery (asserting the metered size matches), so the
+// fault plane exercises the true wire encoding everywhere it matters.
+// Either way wire accounting is the same bytes-on-the-wire number.
+//
+// Partitions live in the base class: they are a topology fact, not a
+// timing artifact, so both transports honor them — an InlineTransport
+// under partition({A},{B}) drops cross-group sends on the spot (a
+// refused connection), while SimTransport also kills queued messages
+// whose link is cut before delivery (in-flight loss).
+//
+// Determinism contract: a transport makes no random choice of its own
+// beyond the seeded Rng its config provides.  Identical configs and
+// identical send sequences produce identical delivery schedules, drops
+// and duplicates — fault decisions are drawn at send time in send
+// order, independent of payload bytes, which is what lets a mirrored
+// oracle run replay the exact same network weather against two
+// mechanisms whose encodings differ.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace dvv::net {
+
+/// Uniformly random two-way split of {0, 1, ..., n-1} with both groups
+/// nonempty — the partition-storm shape the simulator, the trace
+/// generator and the chaos tests all inject (one draw sequence:
+/// shuffle, then cut point).  `Id` is the caller's node-id type.
+template <typename Id>
+[[nodiscard]] std::vector<std::vector<Id>> random_split(util::Rng& rng,
+                                                        std::size_t n) {
+  DVV_ASSERT(n >= 2);
+  std::vector<Id> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i] = static_cast<Id>(i);
+  rng.shuffle(nodes);
+  const std::size_t cut = 1 + rng.index(n - 1);
+  std::vector<std::vector<Id>> groups(2);
+  groups[0].assign(nodes.begin(), nodes.begin() + cut);
+  groups[1].assign(nodes.begin() + cut, nodes.end());
+  return groups;
+}
+
+/// One message in the transport's custody.
+struct Envelope {
+  std::uint64_t seq = 0;  ///< global send order (assigned by the transport)
+  NodeId from = 0;
+  NodeId to = 0;
+  std::shared_ptr<const Message> msg;  ///< typed form; never null at delivery
+  /// Sender-attached fast-path payload (the decoded sibling state a
+  /// ReplicateMsg/HintMsg/HintDeliverMsg carries), valid only when the
+  /// transport delivered the sender's envelope unserialized.  It may be
+  /// a NON-OWNING alias of live sender state, so it is only safe to use
+  /// during a synchronous delivery inside send(); any transport that
+  /// queues messages must drop it at send time and let the receiver
+  /// decode the message's state field like a real peer would (the
+  /// byte-faithful SimTransport does exactly that).
+  std::shared_ptr<const void> decoded;
+  std::size_t wire_bytes = 0;  ///< exact codec size of the encoded message
+};
+
+/// Cumulative transport accounting (observability for tests/benches).
+struct TransportStats {
+  std::size_t sent = 0;             ///< messages handed to send()
+  std::size_t delivered = 0;        ///< sink invocations (duplicates included)
+  std::size_t dropped = 0;          ///< lost to the drop probability
+  std::size_t duplicated = 0;       ///< extra copies enqueued
+  std::size_t partition_dropped = 0;  ///< lost to a cut link (send or delivery)
+  std::size_t wire_bytes = 0;       ///< payload bytes of every send
+};
+
+class Transport {
+ public:
+  using Sink = std::function<void(const Envelope&)>;
+
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Installs the delivery callback (the owning cluster's apply path).
+  /// Must be set before the first send; re-set after moving the owner.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Hands one message to the wire.  `decoded` optionally carries the
+  /// sender's already-decoded state payload for zero-copy local
+  /// delivery (see Envelope::decoded).
+  virtual void send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
+                    std::shared_ptr<const void> decoded = nullptr) = 0;
+
+  /// Convenience: wraps a by-value message.
+  void send(NodeId from, NodeId to, Message msg) {
+    send(from, to, std::make_shared<const Message>(std::move(msg)), nullptr);
+  }
+
+  /// Delivers due messages (one tick of simulated network time).
+  /// Returns the number of sink invocations.  Inline transports have
+  /// nothing queued and return 0.
+  virtual std::size_t pump() = 0;
+
+  /// Pumps until nothing remains in flight.  Queued messages whose
+  /// links are cut by an active partition are dropped, not kept.
+  std::size_t drain() {
+    std::size_t n = 0;
+    while (!idle()) n += pump();
+    return n;
+  }
+
+  /// Cluster synchronization point (end of a top-level operation).
+  /// Inline: no-op.  SimTransport: drains when auto_settle is set, so
+  /// the chaos-default transport reorders and duplicates *within* an
+  /// operation but never leaks messages across operation boundaries.
+  virtual void settle() {}
+
+  [[nodiscard]] virtual bool idle() const noexcept { return true; }
+  [[nodiscard]] virtual std::size_t in_flight() const noexcept { return 0; }
+
+  // ---- named partitions ---------------------------------------------------
+
+  /// Cuts the node set into isolated groups: a message may cross only
+  /// between nodes of the same group.  Nodes named in no group form one
+  /// implicit remainder group (so partition({{0}}, "iso") isolates node
+  /// 0 from everyone else).  Replaces any previous partition.
+  void partition(const std::vector<std::vector<NodeId>>& groups,
+                 std::string label = {}) {
+    group_of_.clear();
+    std::size_t id = 1;  // 0 is the implicit remainder group
+    for (const auto& group : groups) {
+      for (const NodeId node : group) {
+        DVV_ASSERT_MSG(!group_of_.contains(node),
+                       "net: node named in two partition groups");
+        group_of_[node] = id;
+      }
+      ++id;
+    }
+    partitioned_ = true;
+    partition_label_ = std::move(label);
+  }
+
+  /// Removes the partition: every link carries again.  Messages already
+  /// lost to the cut stay lost (healing is not retroactive).
+  void heal() {
+    partitioned_ = false;
+    group_of_.clear();
+    partition_label_.clear();
+  }
+
+  [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
+  [[nodiscard]] const std::string& partition_label() const noexcept {
+    return partition_label_;
+  }
+
+  /// True when `from` -> `to` can carry under the current partition.
+  [[nodiscard]] bool link_up(NodeId from, NodeId to) const {
+    if (!partitioned_) return true;
+    const auto ga = group_of_.find(from);
+    const auto gb = group_of_.find(to);
+    const std::size_t a = ga == group_of_.end() ? 0 : ga->second;
+    const std::size_t b = gb == group_of_.end() ? 0 : gb->second;
+    return a == b;
+  }
+
+  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+
+ protected:
+  void deliver(const Envelope& envelope) {
+    DVV_ASSERT_MSG(sink_ != nullptr, "net: transport has no delivery sink");
+    ++stats_.delivered;
+    sink_(envelope);
+  }
+
+  Sink sink_;
+  TransportStats stats_;
+
+ private:
+  bool partitioned_ = false;
+  std::string partition_label_;
+  std::map<NodeId, std::size_t> group_of_;
+};
+
+/// Synchronous immediate delivery: send() invokes the sink before it
+/// returns, in send order — the pre-transport direct-call semantics,
+/// byte for byte.  Partitions still apply (a cut link refuses the send).
+/// The typed message and the sender's decoded payload pass straight
+/// through (loopback skips serialization); wire accounting still meters
+/// the exact encoded size.
+class InlineTransport final : public Transport {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "inline"; }
+
+  void send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
+            std::shared_ptr<const void> decoded = nullptr) override {
+    ++stats_.sent;
+    const std::size_t size = wire_size(*msg);
+    stats_.wire_bytes += size;
+    if (!link_up(from, to)) {
+      ++stats_.partition_dropped;
+      return;
+    }
+    Envelope envelope{next_seq_++, from, to, std::move(msg), std::move(decoded),
+                      size};
+    deliver(envelope);
+  }
+  using Transport::send;
+
+  std::size_t pump() override { return 0; }
+
+ private:
+  std::uint64_t next_seq_ = 0;
+};
+
+enum class TransportKind : std::uint8_t { kInline = 0, kSim = 1 };
+
+/// Fault model of the simulated transport.  All probabilities are per
+/// message (per copy, for duplicates); delays are in pump() ticks.
+struct SimTransportConfig {
+  std::uint64_t seed = 0x7ea7005ULL;
+  double drop_probability = 0.0;       ///< P(message silently lost)
+  double duplicate_probability = 0.0;  ///< P(a second copy is enqueued)
+  std::size_t reorder_window = 0;      ///< max extra delivery delay (ticks)
+  /// Drain at cluster sync points (end of put / deliver_hints / ...).
+  /// On: faults stay within one operation — the chaos CI default, safe
+  /// for code that never pumps.  Off: messages stay queued until the
+  /// caller pumps — the mode for real in-flight windows (sim_store,
+  /// the partition property tests).
+  bool auto_settle = true;
+
+  /// The DVV_TRANSPORT=chaos defaults: every test operation's fan-out
+  /// is duplicated and reordered (delivery-order chaos that idempotent,
+  /// commutative merges must absorb), with no silent loss — drops and
+  /// partitions change *outcomes*, so they are injected by scenarios
+  /// that assert about them, not blanket-applied to every suite.
+  [[nodiscard]] static SimTransportConfig chaos_defaults() {
+    SimTransportConfig config;
+    config.duplicate_probability = 0.10;
+    config.reorder_window = 3;
+    config.auto_settle = true;
+    return config;
+  }
+};
+
+struct TransportConfig {
+  TransportKind kind;  // default set by default_transport_kind()
+  SimTransportConfig sim{};
+
+  TransportConfig();
+};
+
+/// Process-wide default transport kind: DVV_TRANSPORT=chaos flips every
+/// default-configured cluster to SimTransport with chaos_defaults()
+/// (CI runs the whole suite that way); anything else means inline.
+[[nodiscard]] TransportKind default_transport_kind();
+
+[[nodiscard]] std::unique_ptr<Transport> make_transport(const TransportConfig& config);
+
+}  // namespace dvv::net

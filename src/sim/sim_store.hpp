@@ -18,10 +18,12 @@
 // serialization — and nowhere else.
 //
 // Replication is asynchronous (coordinator acks after the local apply,
-// like Riak with W=1): the in-flight window is what lets concurrent
-// clients read stale replicas and produce the sibling load that feeds
-// back into reply sizes.  Determinism: single-threaded event queue,
-// every random choice from one seeded Rng.
+// like Riak with W=1): the fan-out is REAL queued messages in the
+// cluster's SimTransport (src/net) — each sampled network leg schedules
+// a transport pump, so "in flight" is state a reader cannot see yet and
+// a crash or partition can destroy.  Determinism: single-threaded event
+// queue, every random choice from one seeded Rng (the transport's fault
+// stream is forked from the same seed).
 #pragma once
 
 #include <cstddef>
@@ -34,6 +36,8 @@
 #include "codec/clock_codec.hpp"
 #include "kv/cluster.hpp"
 #include "kv/mechanism.hpp"
+#include "net/sim_transport.hpp"
+#include "net/transport.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/latency.hpp"
 #include "store/backend.hpp"
@@ -52,6 +56,28 @@ struct SimStoreConfig {
   std::size_t value_bytes = 64;      ///< payload size per write
   LatencyModel network{};
   std::uint64_t seed = 1;
+
+  /// Cluster topology (was hardcoded 5/3: partition scenarios need to
+  /// vary the shape — a 2-server ring cannot even express a split, a
+  /// 9-server one can lose a minority group and keep serving).
+  std::size_t servers = 5;
+  std::size_t replication = 3;
+  std::size_t vnodes = 64;
+
+  /// Transport fault injection on the replication/sync message layer
+  /// (net::SimTransport): per-message drop/duplicate probability and
+  /// reorder window (in pump ticks).
+  double msg_drop_probability = 0.0;
+  double msg_duplicate_probability = 0.0;
+  std::size_t msg_reorder_window = 0;
+
+  /// Partition storms: every ~`partition_interval_ms` (exponential) the
+  /// ring is cut into two random groups for `partition_duration_ms`,
+  /// then healed.  Messages crossing the cut — including in-flight ones
+  /// — are lost; anti-entropy repairs the divergence after heal.
+  /// 0 disables partitions.
+  double partition_interval_ms = 0.0;
+  double partition_duration_ms = 20.0;
 
   /// Background anti-entropy: every `aae_interval_ms` a random alive
   /// replica pair runs one digest sync session (src/sync).  The session
@@ -102,6 +128,15 @@ struct SimStoreResult {
   std::uint64_t wal_torn_records = 0;      ///< CRC-rejected torn tails
   std::uint64_t unavailable_requests = 0;  ///< GET/PUT hit no alive replica
   std::uint64_t replication_drops = 0;     ///< fan-out lost to a dead target
+
+  // Message-layer activity (net::SimTransport + cluster delivery).
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;      ///< seeded drop probability
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t partition_drops = 0;       ///< lost to a cut link
+  std::uint64_t partitions = 0;            ///< partition events injected
+  std::uint64_t heals = 0;
 };
 
 /// Runs the closed-loop workload for one mechanism.  The cluster is
@@ -109,9 +144,20 @@ struct SimStoreResult {
 template <kv::CausalityMechanism M>
 SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
   kv::ClusterConfig cluster_config;
-  cluster_config.servers = 5;
-  cluster_config.replication = 3;
+  cluster_config.servers = config.servers;
+  cluster_config.replication = config.replication;
+  cluster_config.vnodes = config.vnodes;
   cluster_config.storage = config.storage;
+  // Manual-pump SimTransport: fan-out and sync requests sit in real
+  // queues until a scheduled pump delivers them — the in-flight window.
+  cluster_config.transport.kind = net::TransportKind::kSim;
+  std::uint64_t transport_seed = config.seed + 0x7ea7005ULL;
+  cluster_config.transport.sim.seed = util::splitmix64(transport_seed);
+  cluster_config.transport.sim.drop_probability = config.msg_drop_probability;
+  cluster_config.transport.sim.duplicate_probability =
+      config.msg_duplicate_probability;
+  cluster_config.transport.sim.reorder_window = config.msg_reorder_window;
+  cluster_config.transport.sim.auto_settle = false;
   kv::Cluster<M> cluster(cluster_config, std::move(mechanism));
 
   EventQueue queue;
@@ -131,7 +177,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
 
   // While a replica is absorbed in a background repair session its
   // foreground replies queue behind the repair work.
-  std::vector<SimTime> repair_busy_until(cluster_config.servers, 0.0);
+  std::vector<SimTime> repair_busy_until(config.servers, 0.0);
   auto server_stall = [&](kv::ReplicaId r) {
     const double stall = std::max(0.0, repair_busy_until[r] - queue.now());
     if (stall > 0.0) result.aae_stall_ms.add(stall);
@@ -139,6 +185,29 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
   };
 
   const M& mech = cluster.mechanism();
+
+  // One transport pump: delivers due queued messages (replication
+  // fan-out, hint flows, sync requests) and accounts any digest
+  // sessions that completed — their wire traffic occupies both
+  // endpoints, stalling foreground replies, exactly as before.
+  auto pump_transport = [&] {
+    cluster.pump();
+    for (const auto& done : cluster.take_completed_syncs()) {
+      ++result.aae_sessions;
+      result.aae_stats.merge(done.stats);
+      result.aae_session_bytes.add(static_cast<double>(done.stats.wire_bytes));
+      const double duration =
+          static_cast<double>(done.stats.rounds) * config.network.base_ms +
+          static_cast<double>(done.stats.wire_bytes) *
+              (1.0 / config.network.bandwidth_bytes_per_ms +
+               config.network.cpu_ms_per_byte);
+      const SimTime busy = queue.now() + duration;
+      repair_busy_until[done.initiator] =
+          std::max(repair_busy_until[done.initiator], busy);
+      repair_busy_until[done.responder] =
+          std::max(repair_busy_until[done.responder], busy);
+    }
+  };
 
   // Forward declarations of the per-client phase functions, expressed as
   // std::functions so they can schedule one another on the queue.
@@ -244,28 +313,22 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
         begin_cycle(c);
         return;
       }
-      // Coordinator applies locally and acks immediately (W=1).
-      cluster.put(cs.key, coordinator, kv::client_actor(c), cs.context, value, {});
-      const auto* fresh = cluster.replica(coordinator).find(cs.key);
-      const std::size_t replica_bytes = 16 + mech.total_bytes(*fresh);
-
-      // Asynchronous replication fan-out: copies in flight.  A target
-      // that crashed before delivery simply loses the copy (background
-      // AAE repairs it later) — exactly the divergence source the
-      // durability model is supposed to surface.
-      for (const kv::ReplicaId r : pref) {
-        if (r == coordinator) continue;
+      // Coordinator applies locally and acks immediately (W=1); the
+      // fan-out is enqueued on the cluster's SimTransport — real
+      // messages in flight that readers cannot see yet and that a
+      // crash of the target (or a partition) destroys.  Each sampled
+      // network leg schedules a pump that delivers what is due.
+      const auto receipt = cluster.put(cs.key, coordinator, kv::client_actor(c),
+                                       cs.context, value, pref);
+      // Targets already dead at send time never even get a message.
+      result.replication_drops += (pref.size() - 1) - receipt.replicated_to;
+      const std::size_t replica_bytes =
+          receipt.replicated_to == 0
+              ? 0
+              : receipt.replication_bytes / receipt.replicated_to;
+      for (std::size_t i = 0; i < receipt.replicated_to; ++i) {
         const double fanout_leg = config.network.sample(rng, replica_bytes);
-        // Snapshot what the coordinator has right now.
-        queue.schedule_in(fanout_leg,
-                          [&cluster, &mech, &result, key = cs.key, r,
-                           snapshot = *fresh] {
-                            if (!cluster.replica(r).alive()) {
-                              ++result.replication_drops;
-                              return;
-                            }
-                            cluster.replica(r).merge_key(mech, key, snapshot);
-                          });
+        queue.schedule_in(fanout_leg, pump_transport);
       }
 
       // Ack leg back to the client (late if the coordinator is busy
@@ -282,34 +345,49 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     });
   };
 
-  // Background anti-entropy: periodic digest sync sessions between
-  // random replica pairs, racing the foreground workload.  Stops
-  // rescheduling once every client loop has drained so the queue can
-  // empty.
+  // Background anti-entropy: periodic digest sync requests between
+  // random replica pairs, racing the foreground workload through the
+  // same message queues (a partition that cuts the pair kills the
+  // request like any other message).  The session runs when the
+  // request is pumped; completion accounting lives in pump_transport.
+  // Stops rescheduling once every client loop has drained so the queue
+  // can empty.
   std::function<void()> aae_tick = [&] {
     if (live_clients == 0) return;
-    const std::size_t n = cluster_config.servers;
+    const std::size_t n = config.servers;
     auto a = static_cast<kv::ReplicaId>(rng.index(n));
     auto b = static_cast<kv::ReplicaId>(rng.index(n - 1));
     if (b >= a) ++b;
-    const dvv::sync::SyncStats stats = cluster.anti_entropy_digest_pair(a, b);
-    ++result.aae_sessions;
-    result.aae_stats.merge(stats);
-    result.aae_session_bytes.add(static_cast<double>(stats.wire_bytes));
-    // The endpoints are occupied for as long as the session's messages
-    // and serialization take on this network.
-    const double duration =
-        static_cast<double>(stats.rounds) * config.network.base_ms +
-        static_cast<double>(stats.wire_bytes) *
-            (1.0 / config.network.bandwidth_bytes_per_ms +
-             config.network.cpu_ms_per_byte);
-    const SimTime busy = queue.now() + duration;
-    repair_busy_until[a] = std::max(repair_busy_until[a], busy);
-    repair_busy_until[b] = std::max(repair_busy_until[b], busy);
+    if (cluster.replica(a).alive() && cluster.replica(b).alive()) {
+      (void)cluster.request_sync(a, b);
+      queue.schedule_in(config.network.sample(rng, 32), pump_transport);
+    }
     queue.schedule_in(config.aae_interval_ms, aae_tick);
   };
   if (config.aae_interval_ms > 0.0) {
     queue.schedule_in(config.aae_interval_ms, aae_tick);
+  }
+
+  // Partition storms: cut the ring into two random groups, heal after
+  // the configured duration.  In-flight messages crossing the cut are
+  // lost at delivery time; divergence repairs through background AAE.
+  std::function<void()> partition_tick = [&] {
+    if (live_clients == 0) return;
+    if (!cluster.transport().partitioned() && config.servers >= 2) {
+      cluster.partition(net::random_split<kv::ReplicaId>(rng, config.servers),
+                        "storm");
+      ++result.partitions;
+      queue.schedule_in(config.partition_duration_ms, [&] {
+        cluster.heal();
+        ++result.heals;
+      });
+    }
+    queue.schedule_in(rng.exponential(config.partition_interval_ms),
+                      partition_tick);
+  };
+  if (config.partition_interval_ms > 0.0) {
+    queue.schedule_in(rng.exponential(config.partition_interval_ms),
+                      partition_tick);
   }
 
   // Crash injection: a random alive replica truly crashes (volatile
@@ -319,11 +397,11 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
   std::function<void()> crash_tick = [&] {
     if (live_clients == 0) return;
     std::vector<kv::ReplicaId> alive;
-    for (kv::ReplicaId r = 0; r < cluster_config.servers; ++r) {
+    for (kv::ReplicaId r = 0; r < config.servers; ++r) {
       if (cluster.replica(r).alive()) alive.push_back(r);
     }
     // Keep a majority up so most preference lists stay available.
-    if (alive.size() >= cluster_config.replication) {
+    if (alive.size() >= config.replication) {
       const kv::ReplicaId victim = alive[rng.index(alive.size())];
       const std::size_t torn = rng.chance(config.torn_write_probability)
                                    ? 1 + rng.index(32)
@@ -357,7 +435,18 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     begin_cycle(c);
   }
   queue.run();
+  // Drain whatever is still in flight (fan-out whose pump landed before
+  // its due tick, duplicate copies, unanswered sync requests).
+  while (!cluster.transport().idle()) pump_transport();
+
   result.sim_duration_ms = queue.now();
+  result.replication_drops += cluster.delivery_drops().replicate;
+  const net::TransportStats& net_stats = cluster.transport().stats();
+  result.messages_sent = net_stats.sent;
+  result.messages_delivered = net_stats.delivered;
+  result.messages_dropped = net_stats.dropped;
+  result.messages_duplicated = net_stats.duplicated;
+  result.partition_drops = net_stats.partition_dropped;
   return result;
 }
 

@@ -62,6 +62,14 @@ inline constexpr Digest kMissing = 0;
   return mix64(acc ^ (next + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2)));
 }
 
+/// Digest of an already-encoded sibling state (a wire payload).  Same
+/// value as state_digest of the state it encodes, including the
+/// kMissing-sentinel avoidance.
+[[nodiscard]] inline Digest encoded_state_digest(std::string_view bytes) noexcept {
+  const Digest d = hash_string(bytes);
+  return d == kMissing ? Digest{1} : d;
+}
+
 /// Mechanism-aware per-key digest: hash of the stored sibling state's
 /// full codec encoding (clocks + values).  `Stored` is any sibling-set
 /// kernel with a codec::encode overload — i.e. every mechanism's Stored.

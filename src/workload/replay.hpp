@@ -29,6 +29,8 @@ struct ReplayStats {
   std::uint64_t anti_entropy_rounds = 0;
   std::uint64_t failures = 0;
   std::uint64_t recoveries = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
 
   /// Per-GET reply measurements (what the client downloads every read).
   util::Samples get_metadata_bytes;
@@ -146,11 +148,29 @@ class Replayer {
         ++stats_.recoveries;
         break;
       }
+      case TraceOp::Kind::kPartition: {
+        std::vector<std::vector<kv::ReplicaId>> groups;
+        groups.reserve(op.groups.size());
+        for (const auto& group : op.groups) {
+          groups.emplace_back(group.begin(), group.end());
+        }
+        cluster_->partition(groups, "trace");
+        ++stats_.partitions;
+        break;
+      }
+      case TraceOp::Kind::kHeal: {
+        cluster_->heal();
+        ++stats_.heals;
+        break;
+      }
     }
   }
 
   /// Records the final footprint and returns the accumulated stats.
+  /// Drains the cluster's transport first, so a queued (manually
+  /// pumped) transport cannot leave replicated state unaccounted.
   ReplayStats finish() {
+    (void)cluster_->pump_all();
     const auto fp = cluster_->footprint();
     stats_.final_keys = fp.keys;
     stats_.final_siblings = fp.siblings;

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "net/transport.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -38,6 +39,12 @@ Trace generate_trace(const WorkloadSpec& spec, std::size_t replication) {
   std::vector<bool> down(inject_failures ? spec.servers : 0, false);
   std::size_t down_count = 0;
 
+  // Partition-injection state: at most one split active at a time.
+  const bool inject_partitions = spec.partition_probability > 0.0;
+  DVV_ASSERT_MSG(!inject_partitions || spec.servers >= 2,
+                 "partition injection needs spec.servers >= 2");
+  bool partitioned = false;
+
   std::uint64_t write_seq = 0;
   for (std::size_t op = 0; op < spec.operations; ++op) {
     if (spec.anti_entropy_every != 0 && op != 0 &&
@@ -69,6 +76,23 @@ Trace generate_trace(const WorkloadSpec& spec, std::size_t replication) {
         recover.kind = TraceOp::Kind::kRecover;
         recover.server = lucky;
         trace.ops.push_back(std::move(recover));
+      }
+    }
+
+    if (inject_partitions) {
+      // Cut the cluster into two random groups, or heal the active cut.
+      // Decided before the op so a write can land inside either side.
+      if (!partitioned && rng.chance(spec.partition_probability)) {
+        TraceOp split;
+        split.kind = TraceOp::Kind::kPartition;
+        split.groups = net::random_split<std::size_t>(rng, spec.servers);
+        trace.ops.push_back(std::move(split));
+        partitioned = true;
+      } else if (partitioned && rng.chance(spec.heal_probability)) {
+        TraceOp heal;
+        heal.kind = TraceOp::Kind::kHeal;
+        trace.ops.push_back(std::move(heal));
+        partitioned = false;
       }
     }
 
@@ -104,6 +128,13 @@ Trace generate_trace(const WorkloadSpec& spec, std::size_t replication) {
       put.value.append(spec.value_bytes - put.value.size(), 'x');
     }
     trace.ops.push_back(std::move(put));
+  }
+  if (partitioned) {
+    // Leave no split behind: replays (and the oracle's convergence
+    // phase) expect the final anti-entropy rounds to reach everyone.
+    TraceOp heal;
+    heal.kind = TraceOp::Kind::kHeal;
+    trace.ops.push_back(std::move(heal));
   }
   trace.clients = next_anonymous;  // named sessions + anonymous writers
   return trace;

@@ -33,6 +33,8 @@ struct TraceOp {
     kAntiEntropy,  ///< cluster-wide anti-entropy round
     kFail,         ///< server `server` crashes (stops serving, keeps disk)
     kRecover,      ///< server `server` comes back with its old state
+    kPartition,    ///< network splits into `groups` (messages crossing are lost)
+    kHeal,         ///< the partition heals; every link carries again
   };
 
   Kind kind = Kind::kGet;
@@ -43,6 +45,7 @@ struct TraceOp {
   bool blind = false;      ///< PUT: ignore any remembered context (classic overwrite)
   kv::Value value;         ///< PUT payload (unique per write: "w<seq>")
   std::size_t server = 0;  ///< kFail/kRecover: absolute server id
+  std::vector<std::vector<std::size_t>> groups;  ///< kPartition: isolated server groups
 };
 
 struct Trace {
@@ -86,11 +89,19 @@ struct WorkloadSpec {
   double fail_probability = 0.0;
   double recover_probability = 0.0;
   std::size_t servers = 0;  ///< must match ClusterConfig.servers when
-                            ///  failure injection is enabled
+                            ///  failure or partition injection is enabled
   bool hinted_handoff = false;  ///< PUTs park hints for dead preference
                                 ///  members; recoveries deliver them
   bool crash_faults = false;  ///< kFail drops volatile state (true crash);
                               ///  kRecover replays the storage backend
+
+  /// Network partition injection: per-operation probability that the
+  /// cluster splits into two random groups (kPartition) / that an
+  /// active split heals (kHeal).  At most one partition is active at a
+  /// time; an active split at trace end is healed by a final kHeal so
+  /// replays can converge.  Requires spec.servers >= 2.
+  double partition_probability = 0.0;
+  double heal_probability = 0.0;
 
   std::uint64_t seed = 1;
 };

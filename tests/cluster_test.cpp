@@ -227,6 +227,42 @@ TEST(Cluster, WholePreferenceListDownIsUnavailableNotFatal) {
   EXPECT_FALSE(alice.put(key, "after").unavailable);
 }
 
+// Regression: an R-quorum read that could not actually reach R alive
+// replicas used to report plain success (only asked == 0 was flagged).
+// It must say how many replicas answered and mark itself degraded.
+TEST(Cluster, QuorumReadBelowQuorumReportsDegraded) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  const Key key = "k";
+  alice.put(key, "v");
+  const auto pref = cluster.preference_list(key);
+
+  // Full quorum: R replies, not degraded.
+  const auto full = cluster.get_quorum(key, 3);
+  EXPECT_TRUE(full.found);
+  EXPECT_FALSE(full.degraded);
+  EXPECT_FALSE(full.unavailable);
+  EXPECT_EQ(full.replies, 3u);
+
+  // Two of three preference members down: a quorum-3 read gets one
+  // reply — it still returns data but must admit the quorum failed.
+  cluster.replica(pref[1]).set_alive(false);
+  cluster.replica(pref[2]).set_alive(false);
+  const auto degraded = cluster.get_quorum(key, 3);
+  EXPECT_TRUE(degraded.found);
+  EXPECT_TRUE(degraded.degraded) << "1 < 3 replies must be flagged";
+  EXPECT_FALSE(degraded.unavailable);
+  EXPECT_EQ(degraded.replies, 1u);
+
+  // All down: unavailable AND degraded, zero replies.
+  cluster.replica(pref[0]).set_alive(false);
+  const auto dead = cluster.get_quorum(key, 3);
+  EXPECT_TRUE(dead.unavailable);
+  EXPECT_TRUE(dead.degraded);
+  EXPECT_EQ(dead.replies, 0u);
+  EXPECT_FALSE(dead.found);
+}
+
 TEST(Cluster, FootprintAggregatesAcrossReplicas) {
   Cluster<DvvMechanism> cluster(small_config(), {});
   ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);

@@ -240,6 +240,56 @@ TEST(HintedHandoff, FullSyncCarriesParkedHints) {
       << "full sync must not leave hints behind";
 }
 
+// Satellite regression: the receipt used to count hint stashes in
+// `replicated_to` (conflating a parked fallback copy with a real
+// preference-list copy) and silently `break` when no fallback was
+// alive.  The durability levels are now separated.
+TEST(HintedHandoff, ReceiptSeparatesReplicasFromHints) {
+  Cluster<DvvMechanism> cluster(config(), {});
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  cluster.replica(pref[2]).set_alive(false);
+
+  const auto receipt =
+      cluster.put_with_handoff(key, pref[0], dvv::kv::client_actor(0), {}, "v");
+  EXPECT_EQ(receipt.replicated_to, 1u) << "one alive non-coordinator member";
+  EXPECT_EQ(receipt.hinted, 1u) << "one dead member covered by a hint";
+  EXPECT_EQ(receipt.unparked, 0u);
+  EXPECT_GT(receipt.replication_bytes, 0u);
+}
+
+// Satellite regression: when every fallback candidate is dead too, the
+// uncovered owners must be REPORTED (`unparked`), not silently skipped
+// — the write is below its sloppy-quorum durability and only the
+// receipt can tell the caller.
+TEST(HintedHandoff, NowhereToParkIsReportedNotSilent) {
+  Cluster<DvvMechanism> cluster(config(), {});
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+  const auto order = cluster.ring().ring_order(key);
+
+  // Kill one preference member AND every non-preference fallback.
+  cluster.replica(pref[2]).set_alive(false);
+  for (std::size_t slot = cluster.ring().replication(); slot < order.size();
+       ++slot) {
+    cluster.replica(order[slot]).set_alive(false);
+  }
+
+  const auto receipt =
+      cluster.put_with_handoff(key, pref[0], dvv::kv::client_actor(0), {}, "v");
+  EXPECT_EQ(receipt.replicated_to, 1u);
+  EXPECT_EQ(receipt.hinted, 0u) << "no alive fallback to park on";
+  EXPECT_EQ(receipt.unparked, 1u) << "the uncovered owner must be counted";
+  EXPECT_EQ(cluster.hinted_count(), 0u);
+
+  // Two dead owners, zero fallbacks: both are reported.
+  cluster.replica(pref[1]).set_alive(false);
+  const auto receipt2 =
+      cluster.put_with_handoff(key, pref[0], dvv::kv::client_actor(0), {}, "w");
+  EXPECT_EQ(receipt2.replicated_to, 0u);
+  EXPECT_EQ(receipt2.unparked, 2u);
+}
+
 TEST(HintedHandoff, FallbackIsOutsideThePreferenceList) {
   Cluster<DvvMechanism> cluster(config(), {});
   const Key key = "k";

@@ -147,4 +147,62 @@ TEST(SimStoreCrash, DisabledByDefault) {
   EXPECT_EQ(result.replication_drops, 0u);
 }
 
+// ---- message-layer faults (src/net) ----------------------------------------
+
+TEST(SimStoreNet, TopologyIsConfigurable) {
+  // Satellite regression: servers/replication were hardcoded 5/3.
+  auto config = small_config();
+  config.servers = 9;
+  config.replication = 5;
+  const auto result = simulate_store(config, DvvMechanism{});
+  EXPECT_EQ(result.cycles, 8u * 50u);
+  // A 5-way fan-out sends 4 copies per put: more messages than the
+  // 3-way default ships in the same workload.
+  auto narrow = small_config();
+  const auto three = simulate_store(narrow, DvvMechanism{});
+  EXPECT_GT(result.messages_sent, three.messages_sent);
+}
+
+TEST(SimStoreNet, ReplicationRidesRealMessages) {
+  const auto result = simulate_store(small_config(), DvvMechanism{});
+  EXPECT_GT(result.messages_sent, 0u);
+  EXPECT_EQ(result.messages_dropped, 0u);
+  EXPECT_EQ(result.messages_delivered, result.messages_sent)
+      << "no faults: every queued message eventually lands";
+}
+
+TEST(SimStoreNet, PartitionStormsLoseMessagesAndAaeRepairs) {
+  auto config = small_config();
+  config.clients = 12;
+  config.ops_per_client = 80;
+  config.aae_interval_ms = 4.0;
+  config.partition_interval_ms = 8.0;
+  config.partition_duration_ms = 6.0;
+  config.msg_duplicate_probability = 0.05;
+  config.msg_reorder_window = 2;
+  const auto result = simulate_store(config, DvvMechanism{});
+  EXPECT_GT(result.partitions, 0u);
+  EXPECT_EQ(result.partitions, result.heals) << "every storm passes";
+  EXPECT_GT(result.partition_drops, 0u) << "some fan-out died on the cut";
+  EXPECT_GT(result.messages_duplicated, 0u);
+  EXPECT_EQ(result.cycles,
+            static_cast<std::uint64_t>(config.clients) * config.ops_per_client)
+      << "partitions break links, not clients";
+}
+
+TEST(SimStoreNet, FaultyTransportIsDeterministic) {
+  auto config = small_config();
+  config.partition_interval_ms = 10.0;
+  config.msg_drop_probability = 0.05;
+  config.msg_duplicate_probability = 0.05;
+  config.msg_reorder_window = 3;
+  config.aae_interval_ms = 5.0;
+  const auto a = simulate_store(config, DvvMechanism{});
+  const auto b = simulate_store(config, DvvMechanism{});
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.partition_drops, b.partition_drops);
+  EXPECT_DOUBLE_EQ(a.sim_duration_ms, b.sim_duration_ms);
+}
+
 }  // namespace

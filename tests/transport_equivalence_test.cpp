@@ -1,0 +1,301 @@
+// InlineTransport equivalence proof: for every causality mechanism,
+// driving the cluster through the message-routed public API (put
+// fan-out, hinted handoff, ack-guarded hint delivery — all enqueued as
+// typed net messages on the inline transport) produces state
+// BYTE-IDENTICAL to the pre-refactor direct-call semantics, which this
+// test re-implements against the raw Replica methods exactly as
+// Cluster::put / put_with_handoff / deliver_hints used to: coordinator
+// apply, then merge_key on each alive target in order; stash_hint on
+// ring-order fallbacks; Replica::deliver_hints into alive owners.
+//
+// Both drivers run the same seeded chaotic script (pauses, partial
+// replication, sloppy-quorum writes, hint deliveries); state is
+// compared byte for byte after the workload AND after the digest
+// anti-entropy fixed point — the acceptance bar for extracting the
+// transport without changing semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/clock_codec.hpp"
+#include "kv/cluster.hpp"
+#include "kv/mechanism.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dvv::kv::Cluster;
+using dvv::kv::ClusterConfig;
+using dvv::kv::Key;
+using dvv::kv::ReplicaId;
+using dvv::util::Rng;
+
+ClusterConfig inline_config() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.replication = 3;
+  cfg.vnodes = 32;
+  // Pin the inline transport even when the suite runs under
+  // DVV_TRANSPORT=chaos: this test is ABOUT inline equivalence.
+  cfg.transport.kind = dvv::net::TransportKind::kInline;
+  cfg.transport.sim = dvv::net::SimTransportConfig{};
+  return cfg;
+}
+
+constexpr std::size_t kKeys = 32;
+constexpr std::size_t kClients = 6;
+constexpr std::size_t kOps = 400;
+
+/// One resolved script step, so both drivers make identical choices.
+struct Step {
+  enum class Kind { kPause, kUnpause, kDeliver, kPut, kHandoffPut } kind;
+  ReplicaId server = 0;
+  Key key;
+  ReplicaId coordinator = 0;
+  std::uint64_t client = 0;
+  std::string value;
+  std::vector<ReplicaId> replicate_to;
+};
+
+/// Expands a seed into a concrete step list against a given topology.
+/// Choices depend only on (seed, aliveness), and aliveness evolves
+/// identically under both drivers, so the scripts match.
+template <typename M>
+std::vector<Step> make_script(Cluster<M>& cluster, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Step> script;
+  const std::size_t servers = cluster.servers();
+  std::vector<bool> alive(servers, true);
+  auto alive_count = [&] {
+    std::size_t n = 0;
+    for (bool a : alive) n += a;
+    return n;
+  };
+
+  for (std::size_t op = 0; op < kOps; ++op) {
+    if (rng.chance(0.06)) {
+      const auto r = static_cast<ReplicaId>(rng.index(servers));
+      if (alive[r]) {
+        if (alive_count() > 3) {
+          alive[r] = false;
+          script.push_back({Step::Kind::kPause, r, {}, 0, 0, {}, {}});
+        }
+      } else {
+        alive[r] = true;
+        script.push_back({Step::Kind::kUnpause, r, {}, 0, 0, {}, {}});
+      }
+    }
+    if (rng.chance(0.05)) {
+      script.push_back({Step::Kind::kDeliver, 0, {}, 0, 0, {}, {}});
+    }
+
+    Step put;
+    put.key = "key-" + std::to_string(rng.index(kKeys));
+    const auto pref = cluster.preference_list(put.key);
+    std::vector<ReplicaId> alive_pref;
+    for (const ReplicaId r : pref) {
+      if (alive[r]) alive_pref.push_back(r);
+    }
+    if (alive_pref.empty()) continue;
+    put.coordinator = alive_pref[rng.index(alive_pref.size())];
+    put.client = rng.index(kClients);
+    put.value = "v" + std::to_string(op);
+    if (rng.chance(0.4)) {
+      put.kind = Step::Kind::kHandoffPut;
+    } else {
+      put.kind = Step::Kind::kPut;
+      for (const ReplicaId r : alive_pref) {
+        if (r != put.coordinator && rng.chance(0.5)) {
+          put.replicate_to.push_back(r);
+        }
+      }
+    }
+    script.push_back(std::move(put));
+  }
+  return script;
+}
+
+/// Pre-refactor direct-call semantics, verbatim from the old Cluster
+/// methods: no transport involved anywhere.
+template <typename M>
+void run_direct(Cluster<M>& cluster, const std::vector<Step>& script) {
+  const M& mech = cluster.mechanism();
+  for (const Step& step : script) {
+    switch (step.kind) {
+      case Step::Kind::kPause:
+        cluster.replica(step.server).set_alive(false);
+        break;
+      case Step::Kind::kUnpause:
+        cluster.replica(step.server).set_alive(true);
+        break;
+      case Step::Kind::kDeliver:
+        // Old Cluster::deliver_hints: every alive holder pushes into
+        // alive owners directly, erasing as it goes.
+        for (ReplicaId r = 0; r < cluster.servers(); ++r) {
+          if (!cluster.replica(r).alive()) continue;
+          cluster.replica(r).deliver_hints(
+              mech, [&](ReplicaId owner) -> dvv::kv::Replica<M>& {
+                return cluster.replica(owner);
+              });
+        }
+        break;
+      case Step::Kind::kPut: {
+        // Old Cluster::put: coordinator applies, targets merge in order.
+        auto& coord = cluster.replica(step.coordinator);
+        coord.put(mech, step.key, step.coordinator,
+                  dvv::kv::client_actor(step.client), {}, step.value);
+        const auto* fresh = coord.find(step.key);
+        ASSERT_NE(fresh, nullptr);
+        for (const ReplicaId r : step.replicate_to) {
+          if (r == step.coordinator || !cluster.replica(r).alive()) continue;
+          cluster.replica(r).merge_key(mech, step.key, *fresh);
+        }
+        break;
+      }
+      case Step::Kind::kHandoffPut: {
+        // Old Cluster::put_with_handoff: alive members merge, dead
+        // members' writes park on distinct ring-order fallbacks.
+        const auto pref = cluster.preference_list(step.key);
+        std::vector<ReplicaId> alive_targets;
+        std::vector<ReplicaId> dead_owners;
+        for (const ReplicaId r : pref) {
+          (cluster.replica(r).alive() ? alive_targets : dead_owners).push_back(r);
+        }
+        auto& coord = cluster.replica(step.coordinator);
+        coord.put(mech, step.key, step.coordinator,
+                  dvv::kv::client_actor(step.client), {}, step.value);
+        const auto* fresh = coord.find(step.key);
+        ASSERT_NE(fresh, nullptr);
+        for (const ReplicaId r : alive_targets) {
+          if (r == step.coordinator) continue;
+          cluster.replica(r).merge_key(mech, step.key, *fresh);
+        }
+        const auto order = cluster.ring().ring_order(step.key);
+        std::size_t next_fallback = cluster.ring().replication();
+        for (const ReplicaId owner : dead_owners) {
+          while (next_fallback < order.size() &&
+                 !cluster.replica(order[next_fallback]).alive()) {
+            ++next_fallback;
+          }
+          if (next_fallback >= order.size()) continue;
+          cluster.replica(order[next_fallback])
+              .stash_hint(mech, owner, step.key, *fresh);
+          ++next_fallback;
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// The same script through the message-routed public API.
+template <typename M>
+void run_routed(Cluster<M>& cluster, const std::vector<Step>& script) {
+  for (const Step& step : script) {
+    switch (step.kind) {
+      case Step::Kind::kPause:
+        cluster.replica(step.server).set_alive(false);
+        break;
+      case Step::Kind::kUnpause:
+        cluster.replica(step.server).set_alive(true);
+        break;
+      case Step::Kind::kDeliver:
+        cluster.deliver_hints();
+        break;
+      case Step::Kind::kPut:
+        cluster.put(step.key, step.coordinator,
+                    dvv::kv::client_actor(step.client), {}, step.value,
+                    step.replicate_to);
+        break;
+      case Step::Kind::kHandoffPut:
+        cluster.put_with_handoff(step.key, step.coordinator,
+                                 dvv::kv::client_actor(step.client), {},
+                                 step.value);
+        break;
+    }
+  }
+}
+
+/// Every replica's every key AND every parked hint, codec-encoded.
+template <typename M>
+std::map<std::string, std::string> full_state(Cluster<M>& cluster) {
+  std::map<std::string, std::string> out;
+  for (ReplicaId r = 0; r < cluster.servers(); ++r) {
+    for (const Key& key : cluster.replica(r).keys()) {
+      dvv::codec::Writer w;
+      dvv::codec::encode(w, *cluster.replica(r).find(key));
+      const auto* p = reinterpret_cast<const char*>(w.buffer().data());
+      out.emplace("data/" + std::to_string(r) + "/" + key,
+                  std::string(p, w.size()));
+    }
+    cluster.replica(r).for_each_hint(
+        [&](ReplicaId owner, const Key& key, const auto& state) {
+          dvv::codec::Writer w;
+          dvv::codec::encode(w, state);
+          const auto* p = reinterpret_cast<const char*>(w.buffer().data());
+          out.emplace("hint/" + std::to_string(r) + "/" +
+                          std::to_string(owner) + "/" + key,
+                      std::string(p, w.size()));
+        });
+  }
+  return out;
+}
+
+template <typename M>
+class TransportEquivalenceTest : public ::testing::Test {};
+
+using AllMechanisms =
+    ::testing::Types<dvv::kv::DvvMechanism, dvv::kv::DvvSetMechanism,
+                     dvv::kv::ServerVvMechanism, dvv::kv::ClientVvMechanism,
+                     dvv::kv::VveMechanism, dvv::kv::HistoryMechanism>;
+TYPED_TEST_SUITE(TransportEquivalenceTest, AllMechanisms);
+
+TYPED_TEST(TransportEquivalenceTest, InlineRoutingMatchesDirectCallsByteForByte) {
+  for (const std::uint64_t seed : {1ULL, 99ULL, 20120716ULL}) {
+    Cluster<TypeParam> direct(inline_config(), {});
+    Cluster<TypeParam> routed(inline_config(), {});
+    const auto script = make_script(direct, seed);
+    ASSERT_FALSE(script.empty());
+    run_direct(direct, script);
+    run_routed(routed, script);
+
+    // 1. Raw equivalence: data AND parked hints, before any repair.
+    ASSERT_EQ(full_state(direct), full_state(routed))
+        << "inline routing must be byte-identical to direct calls (seed "
+        << seed << ")";
+    EXPECT_GT(routed.transport().stats().sent, 0u)
+        << "the routed run must actually have used the transport";
+    EXPECT_EQ(routed.transport().stats().dropped, 0u);
+
+    // 2. Digest fixed points coincide byte for byte.
+    direct.anti_entropy_digest();
+    routed.anti_entropy_digest();
+    ASSERT_EQ(full_state(direct), full_state(routed))
+        << "digest fixed points diverge (seed " << seed << ")";
+
+    // 3. And stay coincident through recovery + hint drain.
+    for (ReplicaId r = 0; r < direct.servers(); ++r) {
+      direct.replica(r).set_alive(true);
+      routed.replica(r).set_alive(true);
+    }
+    for (ReplicaId r = 0; r < direct.servers(); ++r) {
+      direct.replica(r).deliver_hints(
+          direct.mechanism(), [&](ReplicaId owner) -> dvv::kv::Replica<TypeParam>& {
+            return direct.replica(owner);
+          });
+    }
+    routed.deliver_hints();
+    direct.anti_entropy_digest();
+    routed.anti_entropy_digest();
+    ASSERT_EQ(full_state(direct), full_state(routed))
+        << "post-recovery fixed points diverge (seed " << seed << ")";
+    EXPECT_EQ(direct.hinted_count(), 0u);
+    EXPECT_EQ(routed.hinted_count(), 0u);
+  }
+}
+
+}  // namespace
