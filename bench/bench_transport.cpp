@@ -8,10 +8,15 @@
 //                write workload: direct replica calls (the old
 //                Cluster::put body), the inline transport (encode +
 //                decode per message, synchronous), and the queued
-//                SimTransport (plus queue churn and pumping).  Target:
-//                inline within measurement noise of direct — the
-//                refactor must not tax the hot path.  Final states are
-//                asserted byte-identical across all three.
+//                SimTransport (plus queue churn and pumping).  Since
+//                the quorum-coordination engine (kv/coordinator.hpp),
+//                the transported variants do strictly MORE protocol
+//                than the direct baseline: every fan-out target answers
+//                with a CoordWriteRespMsg ack and the engine tracks the
+//                request — so "overhead" here is the price of the real
+//                ack round-trip and receipt, not waste to eliminate.
+//                Final states are asserted byte-identical across all
+//                three.
 //
 //   partition    what does a partition COST after it heals?  A chaos
 //                workload runs with the ring cut for a sweep of

@@ -26,6 +26,21 @@
 // duplication and in-flight loss are expressible.  The default
 // InlineTransport delivers synchronously in send order — byte-identical
 // to direct calls (tests/transport_equivalence_test.cpp).
+//
+// Client path: GET/PUT coordination is a per-request state machine
+// (src/kv/coordinator.hpp) driven through the same transport — quorum
+// reads scatter CoordReadReqMsg and merge the first R distinct replies,
+// writes fan out CoordWriteReqMsg and count distinct acks toward W,
+// with tick deadlines and late/duplicate/stale reply hygiene.  The
+// synchronous get_quorum/put/put_with_handoff calls are thin shims:
+// start a request, settle the transport, force-complete whatever has
+// not answered, harvest the receipt.  begin_read/begin_write expose the
+// asynchronous form, so many client operations can be IN FLIGHT at once
+// across partitions, reorderings and crashes (sim/sim_store.hpp,
+// workload/replay.hpp).  Cluster::get stays the raw single-replica
+// read: tests and the repair paths use it to inspect any replica's
+// memory directly — dead ones included — which a coordinated request
+// by design cannot do.
 #pragma once
 
 #include <algorithm>
@@ -39,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "kv/coordinator.hpp"
 #include "kv/mechanism.hpp"
 #include "kv/replica.hpp"
 #include "kv/ring.hpp"
@@ -68,18 +84,11 @@ class Cluster {
   using Context = typename M::Context;
   using Stored = typename M::Stored;
   using GetResult = typename Replica<M>::GetResult;
-
-  struct PutReceipt {
-    ReplicaId coordinator = 0;
-    bool unavailable = false;       ///< no alive replica could coordinate
-    std::size_t replicated_to = 0;  ///< fan-out messages sent to alive replicas
-                                    ///  (delivery is the transport's business)
-    std::size_t hinted = 0;         ///< hints parked for dead preference members
-    std::size_t unparked = 0;       ///< dead members NO fallback could cover —
-                                    ///  the write is below its intended
-                                    ///  durability and only repair can fix it
-    std::size_t replication_bytes = 0;  ///< wire bytes of every message sent
-  };
+  // The coordinated-PUT receipt now lives with the request engine
+  // (kv/coordinator.hpp); the alias keeps Cluster<M>::PutReceipt naming
+  // working for every existing caller.
+  using PutReceipt = ::dvv::kv::PutReceipt;
+  using ReadReceipt = typename QuorumCoordinator<M>::ReadReceipt;
 
   Cluster(ClusterConfig config, M mechanism)
       : config_(config),
@@ -109,6 +118,7 @@ class Cluster {
         digest_index_(std::move(other.digest_index_)),
         transport_(std::move(other.transport_)),
         replicas_(std::move(other.replicas_)),
+        coordinator_(std::move(other.coordinator_)),
         completed_syncs_(std::move(other.completed_syncs_)),
         next_sync_nonce_(other.next_sync_nonce_),
         repairs_shipped_total_(other.repairs_shipped_total_),
@@ -124,6 +134,7 @@ class Cluster {
     digest_index_ = std::move(other.digest_index_);
     transport_ = std::move(other.transport_);
     replicas_ = std::move(other.replicas_);
+    coordinator_ = std::move(other.coordinator_);
     completed_syncs_ = std::move(other.completed_syncs_);
     next_sync_nonce_ = other.next_sync_nonce_;
     repairs_shipped_total_ = other.repairs_shipped_total_;
@@ -149,11 +160,21 @@ class Cluster {
   }
 
   /// One transport tick: delivers due queued messages into the
-  /// replicas.  No-op (returns 0) on the inline transport.
-  std::size_t pump() { return transport_->pump(); }
+  /// replicas AND advances one coordination tick, expiring client
+  /// requests whose deadline passed.  No-op (returns 0 deliveries) on
+  /// the inline transport.
+  std::size_t pump() {
+    const std::size_t delivered = transport_->pump();
+    for (const std::uint64_t id : coordinator_.tick()) maybe_read_repair(id);
+    return delivered;
+  }
 
   /// Pumps until nothing is in flight.
-  std::size_t pump_all() { return transport_->drain(); }
+  std::size_t pump_all() {
+    std::size_t delivered = 0;
+    while (!transport_->idle()) delivered += pump();
+    return delivered;
+  }
 
   /// Cuts the replica set into isolated groups (net::Transport::
   /// partition); replication, handoff and sync messages crossing the
@@ -167,14 +188,20 @@ class Cluster {
   /// Messages the cluster discarded because their destination replica
   /// was not alive at delivery time (a dead process receives nothing).
   struct DeliveryDrops {
-    std::size_t replicate = 0;     ///< put fan-out payloads
+    std::size_t replicate = 0;     ///< put fan-out payloads (state-bearing
+                                   ///  CoordWriteReqMsg included: a dead
+                                   ///  target lost a replica copy)
     std::size_t hint_stash = 0;    ///< hints headed for a dead fallback
     std::size_t hint_deliver = 0;  ///< deliveries to an owner that died again
     std::size_t hint_ack = 0;      ///< acks to a holder that died
     std::size_t sync = 0;          ///< anti-entropy session requests
+    std::size_t coord = 0;         ///< coordination control traffic (read
+                                   ///  requests/replies, write acks) to a
+                                   ///  dead endpoint — the request machine
+                                   ///  absorbs these as missing replies
 
     [[nodiscard]] std::size_t total() const noexcept {
-      return replicate + hint_stash + hint_deliver + hint_ack + sync;
+      return replicate + hint_stash + hint_deliver + hint_ack + sync + coord;
     }
   };
   [[nodiscard]] const DeliveryDrops& delivery_drops() const noexcept {
@@ -209,89 +236,49 @@ class Cluster {
 
   /// GET served by one replica (`from` must be in the key's preference
   /// list for realistic routing; not enforced, tests route freely).
+  /// This is the RAW local read — it inspects `from`'s memory directly,
+  /// dead replicas included, which tests and repair assertions rely on.
+  /// The coordinated read path (quorums, deadlines, receipts) is
+  /// get_quorum / begin_read.
   [[nodiscard]] GetResult get(const Key& key, ReplicaId from) const {
     return replicas_.at(from).get(mechanism_, key);
   }
 
-  /// GET with read-coalescing across `quorum` preference-list replicas:
-  /// their sibling states are merged (mechanism sync) into the reply, as
-  /// a Dynamo-style R-quorum read would.  Does not write back; pair with
-  /// anti_entropy for repair.  When fewer than `quorum` alive replicas
-  /// could answer, the reply still carries whatever was readable but is
-  /// marked `degraded` with the actual `replies` count — an R-quorum
-  /// read that could not reach R must say so, not masquerade as a full
-  /// quorum (tests/cluster_test.cpp: QuorumReadBelowQuorumReportsDegraded).
-  [[nodiscard]] GetResult get_quorum(const Key& key, std::size_t quorum) const {
+  /// GET with read-coalescing across `quorum` preference-list replicas,
+  /// as a Dynamo-style R-quorum read: a coordinated read request
+  /// (begin_read) scatters CoordReadReqMsg through the transport and
+  /// merges (mechanism sync) the first `quorum` distinct replies — this
+  /// synchronous shim settles the transport and harvests the receipt
+  /// before returning.  Does not write back by default; pair with
+  /// anti_entropy for repair (or opt into ReadOptions::read_repair via
+  /// begin_read).  When fewer than `quorum` replicas could answer —
+  /// dead, partitioned away, or their replies lost in flight — the
+  /// reply still carries whatever was readable but is marked `degraded`
+  /// with the actual `replies` count — an R-quorum read that could not
+  /// reach R must say so, not masquerade as a full quorum
+  /// (tests/cluster_test.cpp: QuorumReadBelowQuorumReportsDegraded).
+  [[nodiscard]] GetResult get_quorum(const Key& key, std::size_t quorum) {
     DVV_ASSERT(quorum >= 1);
-    const auto pref = ring_.preference_list(key);
-    Stored merged;
-    bool found = false;
-    std::size_t asked = 0;
-    for (ReplicaId r : pref) {
-      if (asked == quorum) break;
-      if (!replicas_[r].alive()) continue;
-      ++asked;
-      if (const Stored* s = replicas_[r].find(key)) {
-        mechanism_.sync(merged, *s);
-        found = true;
-      }
-    }
-    GetResult out;
-    out.replies = asked;
-    out.unavailable = asked == 0;
-    out.degraded = asked < quorum;
-    out.found = found;
-    if (found) {
-      out.values = mechanism_.values_of(merged);
-      out.context = mechanism_.context_of(merged);
-    }
-    return out;
+    return harvest_read(begin_read(key, quorum));
   }
 
   /// PUT coordinated by `coordinator` on behalf of `client`, carrying the
-  /// client's causal context.  The coordinator applies locally, then a
-  /// ReplicateMsg with its post-update encoding is SENT to every alive
-  /// replica in `replicate_to` (the caller decides the fan-out, possibly
-  /// dropping some to model replication lag).  With the inline transport
-  /// the merges happen before this returns, in send order — the direct-
-  /// call semantics; with a queued transport the messages are in flight
-  /// until pump(), and the receipt counts sends, not deliveries.
+  /// client's causal context: the synchronous shim over begin_write.
+  /// The coordinator applies locally, the CoordWriteReqMsg fan-out is
+  /// SENT to every alive replica in `replicate_to` (the caller decides
+  /// the fan-out, possibly dropping some to model replication lag), the
+  /// transport settles, and whatever has not acked by then is finalized
+  /// out of the receipt.  With the inline transport the merges AND acks
+  /// happen before this returns, in send order — the direct-call
+  /// semantics, byte for byte; with a queued transport the messages are
+  /// in flight until pump(), and the receipt counts sends, not
+  /// deliveries (acks land as late replies and are dropped by the
+  /// engine's hygiene).
   PutReceipt put(const Key& key, ReplicaId coordinator, ClientId client,
                  const Context& ctx, Value value,
                  const std::vector<ReplicaId>& replicate_to) {
-    DVV_ASSERT(replicas_.at(coordinator).alive());
-    Replica<M>& coord = replicas_.at(coordinator);
-    coord.put(mechanism_, key, coordinator, client, ctx, std::move(value));
-
-    PutReceipt receipt;
-    receipt.coordinator = coordinator;
-    const Stored* fresh = coord.find(key);
-    DVV_ASSERT(fresh != nullptr);
-    // One message shared by the whole fan-out (the payload is identical
-    // per target).  The decoded fast path aliases the coordinator's
-    // live state WITHOUT owning it: valid for synchronous delivery
-    // only, which is exactly the envelope contract — a queuing
-    // transport serializes at send and drops the alias.
-    std::shared_ptr<const net::Message> msg;
-    std::shared_ptr<const void> decoded(std::shared_ptr<const void>{}, fresh);
-    std::size_t msg_bytes = 0;
-    for (ReplicaId r : replicate_to) {
-      if (r == coordinator || !replicas_.at(r).alive()) continue;
-      // A target across an active partition is unreachable NOW and the
-      // coordinator knows it (the connection is refused): no message,
-      // and — receipt honesty — no replicated_to count.
-      if (!transport_->link_up(coordinator, r)) continue;
-      if (msg == nullptr) {
-        msg = std::make_shared<const net::Message>(
-            net::ReplicateMsg{key, Replica<M>::encode_state(*fresh)});
-        msg_bytes = net::wire_size(*msg);
-      }
-      receipt.replication_bytes += msg_bytes;
-      ++receipt.replicated_to;
-      transport_->send(coordinator, r, msg, decoded);
-    }
-    transport_->settle();
-    return receipt;
+    return harvest_write(
+        begin_write(key, coordinator, client, ctx, std::move(value), replicate_to));
   }
 
   /// Convenience PUT: default coordinator, full immediate replication.
@@ -302,6 +289,7 @@ class Cluster {
     if (!coord.has_value()) {
       PutReceipt receipt;
       receipt.unavailable = true;
+      receipt.outcome = CoordOutcome::kUnavailable;
       return receipt;
     }
     return put(key, *coord, client, ctx, std::move(value), ring_.preference_list(key));
@@ -325,14 +313,24 @@ class Cluster {
     for (const ReplicaId r : pref) {
       (replicas_.at(r).alive() ? alive_targets : dead_owners).push_back(r);
     }
-    PutReceipt receipt = put(key, coordinator, client, ctx, std::move(value),
-                             alive_targets);
-    if (dead_owners.empty()) return receipt;
+    const std::uint64_t id =
+        begin_write(key, coordinator, client, ctx, std::move(value), alive_targets);
+    {
+      // A handoff put intends to cover the WHOLE preference list: dead
+      // members count as targets (a hint stands in for each), so the
+      // receipt's degraded verdict reflects sloppy-quorum durability.
+      PutReceipt& receipt = coordinator_.write_receipt(id);
+      receipt.targets = 0;
+      for (const ReplicaId r : pref) {
+        if (r != coordinator) ++receipt.targets;
+      }
+    }
+    if (dead_owners.empty()) return harvest_write(id);
 
     const Stored* fresh = replicas_.at(coordinator).find(key);
     DVV_ASSERT(fresh != nullptr);
     const std::string encoded = Replica<M>::encode_state(*fresh);
-    // Non-owning alias, as in put(): synchronous delivery only.
+    // Non-owning alias, as in begin_write(): synchronous delivery only.
     const std::shared_ptr<const void> decoded(std::shared_ptr<const void>{},
                                               fresh);
     const auto order = ring_.ring_order(key);
@@ -347,6 +345,7 @@ class Cluster {
               !transport_->link_up(coordinator, order[next_fallback]))) {
         ++next_fallback;
       }
+      PutReceipt& receipt = coordinator_.write_receipt(id);
       if (next_fallback >= order.size()) {
         ++receipt.unparked;  // nowhere to park: report, don't hide
         continue;
@@ -359,8 +358,210 @@ class Cluster {
                        decoded);
       ++next_fallback;
     }
-    transport_->settle();
+    return harvest_write(id);
+  }
+
+  // ---- asynchronous quorum coordination (src/kv/coordinator.hpp) ---------
+  //
+  // The engine underneath get_quorum/put/put_with_handoff, exposed so
+  // callers can keep MANY client operations in flight at once: start
+  // requests, pump() the transport (each pump is one coordination tick,
+  // expiring deadlines), poll take_completed_requests(), harvest.
+
+  /// Starts a coordinated read at the key's first alive preference
+  /// member.  When the whole preference list is down the request
+  /// completes immediately as kUnavailable (harvest still works).
+  [[nodiscard]] std::uint64_t begin_read(const Key& key, std::size_t quorum,
+                                         const ReadOptions& opts = {}) {
+    for (const ReplicaId r : ring_.preference_list(key)) {
+      if (replicas_[r].alive()) return begin_read_at(key, r, quorum, opts);
+    }
+    const std::uint64_t id = coordinator_.start_read(key, 0, quorum, opts);
+    (void)coordinator_.finalize(id);  // nobody to ask: kUnavailable now
+    return id;
+  }
+
+  /// Starts a coordinated read with an explicit (alive) coordinator:
+  /// the coordinator's own local read is the first reply, then
+  /// CoordReadReqMsg scatters to further alive, reachable preference
+  /// members until quorum + extra_scatter replicas have been asked —
+  /// stopping early if inline replies already completed the request,
+  /// which is exactly what keeps the shim byte-identical to the
+  /// pre-engine loop (tests/transport_equivalence_test.cpp).
+  [[nodiscard]] std::uint64_t begin_read_at(const Key& key, ReplicaId coordinator,
+                                            std::size_t quorum,
+                                            const ReadOptions& opts = {}) {
+    DVV_ASSERT(replicas_.at(coordinator).alive());
+    const std::uint64_t id = coordinator_.start_read(key, coordinator, quorum, opts);
+    coordinator_.note_read_asked(id);
+    if (coordinator_.on_read_reply(id, coordinator,
+                                   replicas_.at(coordinator).find(key),
+                                   mechanism_)) {
+      maybe_read_repair(id);
+      return id;
+    }
+    const std::size_t ask_limit = quorum + opts.extra_scatter;
+    std::size_t asked = 1;
+    for (const ReplicaId r : ring_.preference_list(key)) {
+      if (asked >= ask_limit || coordinator_.is_terminal(id)) break;
+      if (r == coordinator || !replicas_[r].alive()) continue;
+      if (!transport_->link_up(coordinator, r)) continue;
+      ++asked;
+      coordinator_.note_read_asked(id);
+      transport_->send(coordinator, r,
+                       net::Message(net::CoordReadReqMsg{id, key}));
+    }
+    return id;
+  }
+
+  /// Starts a coordinated write: the coordinator applies locally (the
+  /// first ack), then one shared CoordWriteReqMsg fans out to every
+  /// alive, reachable non-coordinator target.  Completion bar: W =
+  /// opts.write_quorum distinct acks (0 = all of coordinator + sends).
+  [[nodiscard]] std::uint64_t begin_write(const Key& key, ReplicaId coordinator,
+                                          ClientId client, const Context& ctx,
+                                          Value value,
+                                          const std::vector<ReplicaId>& replicate_to,
+                                          const WriteOptions& opts = {}) {
+    DVV_ASSERT(replicas_.at(coordinator).alive());
+    Replica<M>& coord = replicas_.at(coordinator);
+    coord.put(mechanism_, key, coordinator, client, ctx, std::move(value));
+
+    PutReceipt base;
+    base.coordinator = coordinator;
+    for (const ReplicaId r : replicate_to) {
+      if (r != coordinator) ++base.targets;
+    }
+    const std::uint64_t id = coordinator_.start_write(std::move(base), opts);
+    // The local apply is the first ack (it cannot complete the request:
+    // the quorum bar is sealed only after the scatter width is known).
+    (void)coordinator_.on_write_ack(id, coordinator);
+
+    const Stored* fresh = coord.find(key);
+    DVV_ASSERT(fresh != nullptr);
+    // One message shared by the whole fan-out (the payload is identical
+    // per target).  The decoded fast path aliases the coordinator's
+    // live state WITHOUT owning it: valid for synchronous delivery
+    // only, which is exactly the envelope contract — a queuing
+    // transport serializes at send and drops the alias.
+    std::shared_ptr<const net::Message> msg;
+    std::shared_ptr<const void> decoded(std::shared_ptr<const void>{}, fresh);
+    std::size_t msg_bytes = 0;
+    for (const ReplicaId r : replicate_to) {
+      if (r == coordinator || !replicas_.at(r).alive()) continue;
+      // A target across an active partition is unreachable NOW and the
+      // coordinator knows it (the connection is refused): no message,
+      // and — receipt honesty — no replicated_to count.
+      if (!transport_->link_up(coordinator, r)) continue;
+      if (msg == nullptr) {
+        msg = std::make_shared<const net::Message>(net::CoordWriteReqMsg{
+            id, key, Replica<M>::encode_state(*fresh)});
+        msg_bytes = net::wire_size(*msg);
+      }
+      PutReceipt& receipt = coordinator_.write_receipt(id);
+      receipt.replication_bytes += msg_bytes;
+      ++receipt.replicated_to;
+      transport_->send(coordinator, r, msg, decoded);
+    }
+    (void)coordinator_.seal_write_quorum(id);
+    return id;
+  }
+
+  /// True while `id` names a live request (pending or terminal but not
+  /// yet harvested).
+  [[nodiscard]] bool request_open(std::uint64_t id) const {
+    return coordinator_.is_open(id);
+  }
+
+  /// True once `id` reached a terminal outcome (harvest will not block).
+  [[nodiscard]] bool request_terminal(std::uint64_t id) const {
+    return coordinator_.is_terminal(id);
+  }
+
+  /// Requests that reached a terminal outcome since the last call, in
+  /// completion order (quorum met, deadline expired, or finalized).
+  [[nodiscard]] std::vector<std::uint64_t> take_completed_requests() {
+    return coordinator_.take_completed();
+  }
+
+  /// Force-completes a still-pending request now (kTimeout with partial
+  /// replies, kUnavailable with none).  Returns whether it acted.
+  bool finalize_request(std::uint64_t id) {
+    if (!coordinator_.finalize(id)) return false;
+    maybe_read_repair(id);
+    return true;
+  }
+
+  /// Everything a harvested read reports: the client-visible GetResult
+  /// plus the coordination trace (who answered, what it cost) — the
+  /// simulator and the replayer meter reply sizes from here.
+  struct ReadHarvest {
+    GetResult result;
+    Key key;
+    ReplicaId coordinator = 0;
+    CoordOutcome outcome = CoordOutcome::kPending;
+    std::size_t quorum = 0;
+    std::size_t asked = 0;                ///< replicas asked (local included)
+    std::vector<ReplicaId> responders;    ///< exactly who answered, in order
+    std::size_t state_bytes = 0;          ///< total_bytes of the merged reply
+    std::size_t metadata_bytes = 0;
+    std::size_t siblings = 0;
+    std::size_t clock_entries = 0;
+  };
+
+  /// Harvests a terminal read request and retires its id.
+  [[nodiscard]] ReadHarvest take_read_result(std::uint64_t id) {
+    ReadReceipt receipt = coordinator_.take_read(id);
+    ReadHarvest h;
+    h.key = std::move(receipt.key);
+    h.coordinator = receipt.coordinator;
+    h.outcome = receipt.outcome;
+    h.quorum = receipt.quorum;
+    h.asked = receipt.asked;
+    h.result.replies = receipt.responders.size();
+    h.result.unavailable = receipt.responders.empty();
+    h.result.degraded = receipt.responders.size() < receipt.quorum;
+    h.result.found = receipt.found;
+    if (receipt.found) {
+      h.result.values = mechanism_.values_of(receipt.merged);
+      h.result.context = mechanism_.context_of(receipt.merged);
+      h.state_bytes = mechanism_.total_bytes(receipt.merged);
+      h.metadata_bytes = mechanism_.metadata_bytes(receipt.merged);
+      h.siblings = mechanism_.sibling_count(receipt.merged);
+      h.clock_entries = mechanism_.clock_entries(receipt.merged);
+    }
+    h.responders = std::move(receipt.responders);
+    return h;
+  }
+
+  /// Live write receipt (send-time fields) without harvesting: lets a
+  /// caller meter the fan-out it just enqueued while acks are still in
+  /// flight.
+  [[nodiscard]] const PutReceipt& peek_write_receipt(std::uint64_t id) const {
+    return coordinator_.peek_write(id);
+  }
+
+  /// Harvests a terminal write request and retires its id.  The
+  /// degraded verdict is computed here so every harvest path agrees:
+  /// the fan-out is partial when neither a direct copy nor a parked
+  /// hint covered some intended target.
+  [[nodiscard]] PutReceipt take_write_receipt(std::uint64_t id) {
+    PutReceipt receipt = coordinator_.take_write(id);
+    if (receipt.replicated_to + receipt.hinted < receipt.targets) {
+      receipt.degraded = true;
+    }
     return receipt;
+  }
+
+  /// Engine accounting: requests started/completed and the reply
+  /// hygiene counters (late/duplicate/stale drops).
+  [[nodiscard]] const CoordStats& coord_stats() const noexcept {
+    return coordinator_.stats();
+  }
+
+  /// Client requests currently open (pending or unharvested).
+  [[nodiscard]] std::size_t requests_in_flight() const noexcept {
+    return coordinator_.open_requests();
   }
 
   /// Delivers parked hints cluster-wide to every recovered owner: each
@@ -713,6 +914,60 @@ class Cluster {
     transport_->send(from, to, std::move(msg));
   }
 
+  /// Synchronous-shim boundary for reads: settle the transport (drains
+  /// an auto-settling queue; no-op inline), force-complete whatever has
+  /// not answered, harvest.
+  GetResult harvest_read(std::uint64_t id) {
+    transport_->settle();
+    (void)finalize_request(id);
+    return take_read_result(id).result;
+  }
+
+  /// Synchronous-shim boundary for writes (see harvest_read).
+  PutReceipt harvest_write(std::uint64_t id) {
+    transport_->settle();
+    (void)finalize_request(id);
+    return take_write_receipt(id);
+  }
+
+  /// After a read request reaches a terminal state: if it asked for
+  /// read repair and found anything, scatter the merged state back to
+  /// every responder whose reply digest differs — the coordinator
+  /// adopts locally, remote responders get a ReplicateMsg through the
+  /// transport (so a partition or drop can lose the repair like any
+  /// other message).  The default shims never request this; it is the
+  /// Dynamo-style opt-in for the async path.
+  void maybe_read_repair(std::uint64_t id) {
+    if (!coordinator_.is_terminal(id) || !coordinator_.read_repair_requested(id)) {
+      return;
+    }
+    const ReadReceipt& receipt = coordinator_.peek_read(id);
+    if (!receipt.found) return;
+    // A coordinator that died between collecting replies and completion
+    // cannot repair anybody — not even itself: a dead process neither
+    // writes its own store nor sends (the delivery sink enforces the
+    // same rule for inbound traffic).
+    if (!replicas_.at(receipt.coordinator).alive()) return;
+    const sync::Digest merged_digest = sync::state_digest(receipt.merged);
+    std::shared_ptr<const net::Message> msg;
+    for (const auto& [r, digest] : coordinator_.reply_digests(id)) {
+      if (digest == merged_digest) continue;
+      if (r == receipt.coordinator) {
+        replicas_.at(r).adopt(receipt.key, receipt.merged);
+        continue;
+      }
+      if (!replicas_.at(r).alive() ||
+          !transport_->link_up(receipt.coordinator, r)) {
+        continue;
+      }
+      if (msg == nullptr) {
+        msg = std::make_shared<const net::Message>(net::ReplicateMsg{
+            receipt.key, Replica<M>::encode_state(receipt.merged)});
+      }
+      transport_->send(receipt.coordinator, r, msg);
+    }
+  }
+
   /// Delivery sink: applies one message at its destination replica.  A
   /// destination that is not alive receives nothing — the message is
   /// counted in delivery_drops_ and gone (for hint deliveries that is
@@ -728,14 +983,19 @@ class Cluster {
       std::visit(
           [this](const auto& m) {
             using T = std::decay_t<decltype(m)>;
-            if constexpr (std::is_same_v<T, net::ReplicateMsg>) {
-              ++delivery_drops_.replicate;
+            if constexpr (std::is_same_v<T, net::ReplicateMsg> ||
+                          std::is_same_v<T, net::CoordWriteReqMsg>) {
+              ++delivery_drops_.replicate;  // a replica copy died with it
             } else if constexpr (std::is_same_v<T, net::HintMsg>) {
               ++delivery_drops_.hint_stash;
             } else if constexpr (std::is_same_v<T, net::HintDeliverMsg>) {
               ++delivery_drops_.hint_deliver;
             } else if constexpr (std::is_same_v<T, net::HintAckMsg>) {
               ++delivery_drops_.hint_ack;
+            } else if constexpr (std::is_same_v<T, net::CoordReadReqMsg> ||
+                                 std::is_same_v<T, net::CoordReadRespMsg> ||
+                                 std::is_same_v<T, net::CoordWriteRespMsg>) {
+              ++delivery_drops_.coord;  // the request machine rides it out
             } else {
               ++delivery_drops_.sync;
             }
@@ -772,6 +1032,49 @@ class Cluster {
                                          sync::encoded_state_digest(m.state)});
           } else if constexpr (std::is_same_v<T, net::HintAckMsg>) {
             (void)dst.drop_hint_if(m.owner, m.key, m.digest);
+          } else if constexpr (std::is_same_v<T, net::CoordReadReqMsg>) {
+            // Serve the quorum read: answer with the local encoding of
+            // the key (found=false when this replica holds nothing).
+            // The decoded alias rides along for zero-copy loopback —
+            // valid only for synchronous delivery, exactly the
+            // envelope contract.
+            const Stored* local = dst.find(m.key);
+            auto resp = std::make_shared<const net::Message>(net::CoordReadRespMsg{
+                m.req, local != nullptr,
+                local != nullptr ? Replica<M>::encode_state(*local)
+                                 : std::string{}});
+            transport_->send(envelope.to, envelope.from, std::move(resp),
+                             std::shared_ptr<const void>(
+                                 std::shared_ptr<const void>{}, local));
+          } else if constexpr (std::is_same_v<T, net::CoordReadRespMsg>) {
+            // A quorum-read reply lands at its coordinator: the engine
+            // counts it toward the quorum (or drops it as late,
+            // duplicate or stale — reply hygiene lives there).
+            bool done;
+            if (!m.found) {
+              done = coordinator_.on_read_reply(m.req, envelope.from, nullptr,
+                                                mechanism_);
+            } else if (fast != nullptr) {
+              done = coordinator_.on_read_reply(m.req, envelope.from, fast,
+                                                mechanism_);
+            } else {
+              const Stored remote = Replica<M>::decode_state(m.state);
+              done = coordinator_.on_read_reply(m.req, envelope.from, &remote,
+                                                mechanism_);
+            }
+            if (done) maybe_read_repair(m.req);
+          } else if constexpr (std::is_same_v<T, net::CoordWriteReqMsg>) {
+            // Replicate-with-ack: merge exactly as a ReplicateMsg
+            // would, then acknowledge so the coordinator can count this
+            // replica toward the write quorum.
+            if (fast != nullptr) {
+              dst.merge_key(mechanism_, m.key, *fast);
+            } else {
+              dst.merge_encoded(mechanism_, m.key, m.state);
+            }
+            send_message(envelope.to, envelope.from, net::CoordWriteRespMsg{m.req});
+          } else if constexpr (std::is_same_v<T, net::CoordWriteRespMsg>) {
+            (void)coordinator_.on_write_ack(m.req, envelope.from);
           } else if constexpr (std::is_same_v<T, net::SyncReqMsg>) {
             run_sync_session(envelope.from, envelope.to, m.nonce);
           } else {
@@ -951,6 +1254,7 @@ class Cluster {
   sync::DigestIndex digest_index_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<Replica<M>> replicas_;
+  QuorumCoordinator<M> coordinator_;  ///< per-request client state machines
   std::vector<CompletedSync> completed_syncs_;
   std::uint64_t next_sync_nonce_ = 0;
   std::uint64_t repairs_shipped_total_ = 0;  ///< every state repair_key shipped

@@ -1,0 +1,45 @@
+#include "kv/coordinator.hpp"
+
+namespace dvv::kv {
+
+std::uint64_t RequestTable::acquire() {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    DVV_ASSERT_MSG(slots_.size() < (kSlotMask + 1),
+                   "coord: request slot space exhausted");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  DVV_ASSERT(!s.open);
+  s.open = true;
+  ++open_;
+  return (s.generation << kSlotBits) | slot;
+}
+
+bool RequestTable::is_current(std::uint64_t id) const noexcept {
+  const std::size_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.open && s.generation == generation_of(id);
+}
+
+bool RequestTable::is_stale(std::uint64_t id) const noexcept {
+  const std::size_t slot = slot_of(id);
+  if (slot >= slots_.size()) return false;
+  return slots_[slot].generation > generation_of(id);
+}
+
+void RequestTable::retire(std::uint64_t id) {
+  DVV_ASSERT_MSG(is_current(id), "coord: retiring a dead request id");
+  Slot& s = slots_[slot_of(id)];
+  s.open = false;
+  ++s.generation;  // the slot's next tenant gets a fresh id space
+  --open_;
+  free_.push_back(static_cast<std::uint32_t>(slot_of(id)));
+}
+
+}  // namespace dvv::kv

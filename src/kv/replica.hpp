@@ -358,6 +358,14 @@ class Replica {
     return std::string(reinterpret_cast<const char*>(w.buffer().data()), w.size());
   }
 
+  /// Inverse of encode_state: decodes a wire payload (a quorum-read
+  /// reply the coordination engine merges, tests) back into a Stored.
+  [[nodiscard]] static Stored decode_state(const std::string& bytes) {
+    Stored out;
+    decode_into(bytes, out);
+    return out;
+  }
+
  private:
   static void decode_into(const std::string& bytes, Stored& out) {
     codec::Reader r(std::span<const std::byte>(

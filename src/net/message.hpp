@@ -83,8 +83,47 @@ struct SyncRespMsg {
   std::uint64_t wire_bytes = 0;
 };
 
+// ---- quorum coordination (kv/coordinator.hpp) ------------------------------
+//
+// The client read/write path as request state machines: a coordinator
+// replica scatters read/write requests to its peers and counts distinct
+// replies toward an R/W quorum.  `req` is the coordinator-side request
+// id (slot | generation); the engine drops late, duplicate and
+// stale-generation replies, so these messages are safe to duplicate,
+// reorder and delay arbitrarily.
+
+/// Quorum-read scatter: asks the destination for its local state of
+/// `key` (answered with a CoordReadRespMsg carrying the same `req`).
+struct CoordReadReqMsg {
+  std::uint64_t req = 0;
+  std::string key;
+};
+
+/// Quorum-read reply: the responder's full codec encoding of the key's
+/// state (`found` false and empty `state` when it holds nothing).
+struct CoordReadRespMsg {
+  std::uint64_t req = 0;
+  bool found = false;
+  std::string state;
+};
+
+/// Quorum-write fan-out: merge `state` (the coordinator's post-write
+/// encoding of `key`) into the destination — a ReplicateMsg that asks
+/// for an ack.
+struct CoordWriteReqMsg {
+  std::uint64_t req = 0;
+  std::string key;
+  std::string state;
+};
+
+/// Acknowledges a CoordWriteReqMsg: the destination applied the merge.
+struct CoordWriteRespMsg {
+  std::uint64_t req = 0;
+};
+
 using Message = std::variant<ReplicateMsg, HintMsg, HintDeliverMsg, HintAckMsg,
-                             SyncReqMsg, SyncRespMsg>;
+                             SyncReqMsg, SyncRespMsg, CoordReadReqMsg,
+                             CoordReadRespMsg, CoordWriteReqMsg, CoordWriteRespMsg>;
 
 // ---- codec -----------------------------------------------------------------
 //
@@ -111,14 +150,27 @@ inline void encode(codec::Writer& w, const Message& msg) {
           w.varint(m.digest);
         } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
           w.varint(m.nonce);
-        } else {
-          static_assert(std::is_same_v<T, SyncRespMsg>);
+        } else if constexpr (std::is_same_v<T, SyncRespMsg>) {
           w.varint(m.nonce);
           w.varint(m.rounds);
           w.varint(m.nodes_exchanged);
           w.varint(m.keys_compared);
           w.varint(m.keys_shipped);
           w.varint(m.wire_bytes);
+        } else if constexpr (std::is_same_v<T, CoordReadReqMsg>) {
+          w.varint(m.req);
+          w.bytes(m.key);
+        } else if constexpr (std::is_same_v<T, CoordReadRespMsg>) {
+          w.varint(m.req);
+          w.varint(m.found ? 1 : 0);
+          w.bytes(m.state);
+        } else if constexpr (std::is_same_v<T, CoordWriteReqMsg>) {
+          w.varint(m.req);
+          w.bytes(m.key);
+          w.bytes(m.state);
+        } else {
+          static_assert(std::is_same_v<T, CoordWriteRespMsg>);
+          w.varint(m.req);
         }
       },
       msg);
@@ -169,6 +221,31 @@ inline void encode(codec::Writer& w, const Message& msg) {
       m.wire_bytes = r.varint();
       return m;
     }
+    case 6: {
+      CoordReadReqMsg m;
+      m.req = r.varint();
+      m.key = r.bytes();
+      return m;
+    }
+    case 7: {
+      CoordReadRespMsg m;
+      m.req = r.varint();
+      m.found = r.varint() != 0;
+      m.state = r.bytes();
+      return m;
+    }
+    case 8: {
+      CoordWriteReqMsg m;
+      m.req = r.varint();
+      m.key = r.bytes();
+      m.state = r.bytes();
+      return m;
+    }
+    case 9: {
+      CoordWriteRespMsg m;
+      m.req = r.varint();
+      return m;
+    }
     default:
       DVV_ASSERT_MSG(false, "net: unknown message tag");
       return SyncReqMsg{};
@@ -198,13 +275,23 @@ inline void encode(codec::Writer& w, const Message& msg) {
                codec::varint_size(m.digest);
         } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
           n += codec::varint_size(m.nonce);
-        } else {
-          static_assert(std::is_same_v<T, SyncRespMsg>);
+        } else if constexpr (std::is_same_v<T, SyncRespMsg>) {
           n += codec::varint_size(m.nonce) + codec::varint_size(m.rounds) +
                codec::varint_size(m.nodes_exchanged) +
                codec::varint_size(m.keys_compared) +
                codec::varint_size(m.keys_shipped) +
                codec::varint_size(m.wire_bytes);
+        } else if constexpr (std::is_same_v<T, CoordReadReqMsg>) {
+          n += codec::varint_size(m.req) + bytes_size(m.key);
+        } else if constexpr (std::is_same_v<T, CoordReadRespMsg>) {
+          n += codec::varint_size(m.req) + codec::varint_size(m.found ? 1 : 0) +
+               bytes_size(m.state);
+        } else if constexpr (std::is_same_v<T, CoordWriteReqMsg>) {
+          n += codec::varint_size(m.req) + bytes_size(m.key) +
+               bytes_size(m.state);
+        } else {
+          static_assert(std::is_same_v<T, CoordWriteRespMsg>);
+          n += codec::varint_size(m.req);
         }
       },
       msg);

@@ -17,17 +17,25 @@
 // their cost exactly where the paper says they do — on the wire and in
 // serialization — and nowhere else.
 //
-// Replication is asynchronous (coordinator acks after the local apply,
-// like Riak with W=1): the fan-out is REAL queued messages in the
-// cluster's SimTransport (src/net) — each sampled network leg schedules
-// a transport pump, so "in flight" is state a reader cannot see yet and
-// a crash or partition can destroy.  Determinism: single-threaded event
-// queue, every random choice from one seeded Rng (the transport's fault
-// stream is forked from the same seed).
+// Client operations are REAL coordinator requests (src/kv/coordinator):
+// a GET is begin_read_at (R distinct replies complete it), a PUT is
+// begin_write (W distinct acks complete it; the coordinator's local
+// apply is the first, so R = W = 1 reproduces the historical
+// coordinator-local behavior).  Scatter, replies and acks are queued
+// messages in the cluster's SimTransport (src/net) — each sampled
+// network leg schedules a transport pump, so "in flight" is state a
+// reader cannot see yet and a crash or partition can destroy — and with
+// R/W > 1 MANY client operations are concurrently in flight across
+// partition storms and crash storms, completing (or timing out at
+// `op_deadline_ms`) whenever their quorum of replies lands.
+// Determinism: single-threaded event queue, every random choice from
+// one seeded Rng (the transport's fault stream is forked from the same
+// seed; the coordination engine makes no random choices at all).
 #pragma once
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -46,6 +54,13 @@
 #include "util/stats.hpp"
 
 namespace dvv::sim {
+
+/// The simulator times out operations in simulated MILLISECONDS (the
+/// op_deadline_ms watchdog events), so the engine's tick deadline is
+/// pushed out of the way: coordination ticks advance once per pump,
+/// i.e. once per network leg of ANY client, and a tick-based deadline
+/// would make one op's patience depend on everyone else's traffic.
+inline constexpr std::uint64_t kNoTickDeadline = 1ULL << 62;
 
 struct SimStoreConfig {
   std::size_t clients = 16;
@@ -103,6 +118,19 @@ struct SimStoreConfig {
   /// P(a crash tears the trailing un-flushed record mid-write); the
   /// torn frame is rejected by CRC at recovery.
   double torn_write_probability = 0.0;
+
+  /// Quorum coordination (src/kv/coordinator.hpp): a GET completes at
+  /// `read_quorum` distinct replies, a PUT at `write_quorum` distinct
+  /// acks (the coordinator's local apply/read is the first of each).
+  /// R = W = 1 — the default — completes at the coordinator alone, the
+  /// historical behavior; higher values put real scatter/reply traffic
+  /// in flight, so concurrent client operations ride the same faulty
+  /// queues as replication.  An operation still pending after
+  /// `op_deadline_ms` of simulated time is finalized with whatever
+  /// replies arrived (a timeout, reported degraded when below quorum).
+  std::size_t read_quorum = 1;
+  std::size_t write_quorum = 1;
+  double op_deadline_ms = 50.0;
 };
 
 struct SimStoreResult {
@@ -137,6 +165,15 @@ struct SimStoreResult {
   std::uint64_t partition_drops = 0;       ///< lost to a cut link
   std::uint64_t partitions = 0;            ///< partition events injected
   std::uint64_t heals = 0;
+
+  // Quorum-coordination activity (src/kv/coordinator.hpp).
+  std::uint64_t reads_degraded = 0;        ///< completed below read_quorum
+  std::uint64_t writes_degraded = 0;       ///< completed below intended fan-out
+  std::uint64_t op_timeouts = 0;           ///< finalized at a deadline
+  std::uint64_t late_replies_dropped = 0;  ///< reply after completion
+  std::uint64_t duplicate_replies_dropped = 0;  ///< same responder twice
+  std::uint64_t stale_replies_dropped = 0;      ///< reply to a reused slot
+  std::uint64_t max_requests_in_flight = 0;     ///< concurrent client ops peak
 };
 
 /// Runs the closed-loop workload for one mechanism.  The cluster is
@@ -186,12 +223,36 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
 
   const M& mech = cluster.mechanism();
 
+  // Client operations currently in flight: request id -> continuation
+  // state.  Drained by drain_completed() after every pump (and by the
+  // per-op deadline watchdogs).
+  struct PendingGet {
+    std::size_t client = 0;
+    kv::ReplicaId source = 0;
+  };
+  struct PendingPut {
+    std::size_t client = 0;
+    kv::ReplicaId coordinator = 0;
+    SimTime put_start = 0.0;
+  };
+  std::map<std::uint64_t, PendingGet> pending_gets;
+  std::map<std::uint64_t, PendingPut> pending_puts;
+  // Quorum-request completion handlers (the GET/PUT halves of the cycle
+  // that resume once the coordination engine reports a terminal
+  // outcome) and the completion drain, declared up front so the pump
+  // hook below can call them.
+  std::function<void(std::size_t, std::uint64_t, kv::ReplicaId)> finish_get;
+  std::function<void(std::size_t, std::uint64_t, kv::ReplicaId, SimTime)> finish_put;
+  std::function<void()> drain_completed;
+
   // One transport pump: delivers due queued messages (replication
-  // fan-out, hint flows, sync requests) and accounts any digest
-  // sessions that completed — their wire traffic occupies both
+  // fan-out, coordination scatter/replies, hint flows, sync requests),
+  // resumes client operations whose quorum completed, and accounts any
+  // digest sessions that finished — their wire traffic occupies both
   // endpoints, stalling foreground replies, exactly as before.
   auto pump_transport = [&] {
     cluster.pump();
+    drain_completed();
     for (const auto& done : cluster.take_completed_syncs()) {
       ++result.aae_sessions;
       result.aae_stats.merge(done.stats);
@@ -232,6 +293,12 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     return alive;
   };
 
+  // GET: request leg to the chosen source replica, which then
+  // COORDINATES a quorum read (begin_read_at, R = config.read_quorum).
+  // R = 1 completes at the source's local read on the spot; R > 1 puts
+  // CoordReadReqMsg scatter and replies in flight on the same faulty
+  // queues as replication — finish_get resumes the cycle whenever the
+  // quorum (or the deadline) lands.
   do_get = [&](std::size_t c) {
     ClientState& st = clients[c];
     st.key = "key-" + std::to_string(zipf.sample(rng));
@@ -246,8 +313,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
     }
     const kv::ReplicaId source = alive[rng.index(alive.size())];
 
-    // Request leg (tiny: key only), then server-side read, reply leg
-    // sized by the actual stored state.
+    // Request leg (tiny: key only), then the coordinated read.
     const double request_leg = config.network.sample(rng, st.key.size() + 16);
     queue.schedule_in(request_leg, [&, c, source] {
       ClientState& state = clients[c];
@@ -257,27 +323,69 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
         begin_cycle(c);
         return;
       }
-      std::size_t reply_bytes = 16;
-      if (const auto* stored = cluster.replica(source).find(state.key)) {
-        reply_bytes += mech.total_bytes(*stored);
+      kv::ReadOptions ropts;
+      ropts.deadline_ticks = kNoTickDeadline;
+      const std::uint64_t id =
+          cluster.begin_read_at(state.key, source, config.read_quorum, ropts);
+      result.max_requests_in_flight = std::max(
+          result.max_requests_in_flight,
+          static_cast<std::uint64_t>(cluster.requests_in_flight()));
+      if (cluster.request_terminal(id)) {  // R=1: the local read sufficed
+        finish_get(c, id, source);
+        return;
       }
-      // The client adopts the reply's causal context on arrival.  A
-      // replica busy with background repair serves the read late.
-      const double reply_leg =
-          config.network.sample(rng, reply_bytes) + server_stall(source);
-      queue.schedule_in(reply_leg, [&, c, source, reply_bytes] {
-        ClientState& cs = clients[c];
-        if (!cluster.replica(source).alive()) {
-          // Crashed mid-reply: the connection drops, not the context.
-          ++result.unavailable_requests;
-          begin_cycle(c);
-          return;
-        }
-        cs.context = cluster.get(cs.key, source).context;
-        result.get_latency_ms.add(queue.now() - cs.get_start);
-        result.get_reply_bytes.add(static_cast<double>(reply_bytes));
-        do_put(c);
+      pending_gets[id] = {c, source};
+      // Scatter and reply legs for the asked peers: each schedules a
+      // pump that delivers whatever is due by then.
+      for (std::size_t peer = 1; peer < config.read_quorum; ++peer) {
+        const double scatter_leg =
+            config.network.sample(rng, state.key.size() + 24);
+        const double reply_leg = config.network.sample(rng, 64);
+        queue.schedule_in(scatter_leg, pump_transport);
+        queue.schedule_in(scatter_leg + reply_leg, pump_transport);
+      }
+      // Deadline watchdog: an op still pending by now is finalized with
+      // whatever replies arrived.
+      queue.schedule_in(config.op_deadline_ms, [&, id] {
+        if (!pending_gets.contains(id)) return;  // already resumed
+        (void)cluster.finalize_request(id);
+        drain_completed();
       });
+    });
+  };
+
+  // Second half of a GET, once its request is terminal: harvest, adopt
+  // the merged context, account the reply leg back to the client.
+  finish_get = [&](std::size_t c, std::uint64_t id, kv::ReplicaId source) {
+    const auto harvest = cluster.take_read_result(id);
+    if (harvest.outcome == kv::CoordOutcome::kTimeout ||
+        harvest.outcome == kv::CoordOutcome::kUnavailable) {
+      ++result.op_timeouts;
+    }
+    if (harvest.result.unavailable) {
+      ++result.unavailable_requests;
+      begin_cycle(c);
+      return;
+    }
+    if (harvest.result.degraded) ++result.reads_degraded;
+    const std::size_t reply_bytes = 16 + harvest.state_bytes;
+    // The client adopts the reply's merged causal context on arrival.
+    // A replica busy with background repair serves the read late.
+    const double reply_leg =
+        config.network.sample(rng, reply_bytes) + server_stall(source);
+    queue.schedule_in(reply_leg, [&, c, source, reply_bytes,
+                                  ctx = harvest.result.context] {
+      ClientState& cs = clients[c];
+      if (!cluster.replica(source).alive()) {
+        // Crashed mid-reply: the connection drops, not the context.
+        ++result.unavailable_requests;
+        begin_cycle(c);
+        return;
+      }
+      cs.context = ctx;
+      result.get_latency_ms.add(queue.now() - cs.get_start);
+      result.get_reply_bytes.add(static_cast<double>(reply_bytes));
+      do_put(c);
     });
   };
 
@@ -313,13 +421,23 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
         begin_cycle(c);
         return;
       }
-      // Coordinator applies locally and acks immediately (W=1); the
-      // fan-out is enqueued on the cluster's SimTransport — real
-      // messages in flight that readers cannot see yet and that a
-      // crash of the target (or a partition) destroys.  Each sampled
-      // network leg schedules a pump that delivers what is due.
-      const auto receipt = cluster.put(cs.key, coordinator, kv::client_actor(c),
-                                       cs.context, value, pref);
+      // The coordinator applies locally (the first ack) and the fan-out
+      // is enqueued on the cluster's SimTransport — real messages in
+      // flight that readers cannot see yet and that a crash of the
+      // target (or a partition) destroys.  W=1 acks the client right
+      // away; W>1 keeps the operation pending until enough
+      // CoordWriteRespMsg acks ride back through the same queues.  Each
+      // sampled network leg schedules a pump that delivers what is due.
+      kv::WriteOptions opts;
+      opts.write_quorum = config.write_quorum;
+      opts.deadline_ticks = kNoTickDeadline;
+      const std::uint64_t id =
+          cluster.begin_write(cs.key, coordinator, kv::client_actor(c),
+                              cs.context, value, pref, opts);
+      result.max_requests_in_flight = std::max(
+          result.max_requests_in_flight,
+          static_cast<std::uint64_t>(cluster.requests_in_flight()));
+      const auto& receipt = cluster.peek_write_receipt(id);
       // Targets already dead at send time never even get a message.
       result.replication_drops += (pref.size() - 1) - receipt.replicated_to;
       const std::size_t replica_bytes =
@@ -329,20 +447,63 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
       for (std::size_t i = 0; i < receipt.replicated_to; ++i) {
         const double fanout_leg = config.network.sample(rng, replica_bytes);
         queue.schedule_in(fanout_leg, pump_transport);
+        if (config.write_quorum > 1) {
+          // The ack leg back to the coordinator needs its own pump.
+          queue.schedule_in(fanout_leg + config.network.sample(rng, 24),
+                            pump_transport);
+        }
       }
-
-      // Ack leg back to the client (late if the coordinator is busy
-      // with background repair).
-      const double ack_leg =
-          config.network.sample(rng, 32) + server_stall(coordinator);
-      queue.schedule_in(ack_leg, [&, c, put_start] {
-        ClientState& done = clients[c];
-        result.put_latency_ms.add(queue.now() - put_start);
-        result.cycle_latency_ms.add(queue.now() - done.cycle_start);
-        ++result.cycles;
-        begin_cycle(c);
+      if (cluster.request_terminal(id)) {  // W=1: the local apply sufficed
+        finish_put(c, id, coordinator, put_start);
+        return;
+      }
+      pending_puts[id] = {c, coordinator, put_start};
+      queue.schedule_in(config.op_deadline_ms, [&, id] {
+        if (!pending_puts.contains(id)) return;  // already resumed
+        (void)cluster.finalize_request(id);
+        drain_completed();
       });
     });
+  };
+
+  // Second half of a PUT, once its request is terminal: harvest the
+  // receipt and account the ack leg back to the client (late if the
+  // coordinator is busy with background repair).
+  finish_put = [&](std::size_t c, std::uint64_t id, kv::ReplicaId coordinator,
+                   SimTime put_start) {
+    const auto receipt = cluster.take_write_receipt(id);
+    if (receipt.outcome == kv::CoordOutcome::kTimeout ||
+        receipt.outcome == kv::CoordOutcome::kUnavailable) {
+      ++result.op_timeouts;
+    }
+    if (receipt.degraded) ++result.writes_degraded;
+    const double ack_leg =
+        config.network.sample(rng, 32) + server_stall(coordinator);
+    queue.schedule_in(ack_leg, [&, c, put_start] {
+      ClientState& done = clients[c];
+      result.put_latency_ms.add(queue.now() - put_start);
+      result.cycle_latency_ms.add(queue.now() - done.cycle_start);
+      ++result.cycles;
+      begin_cycle(c);
+    });
+  };
+
+  // Resumes every client operation whose request reached a terminal
+  // outcome (quorum met, deadline expired, or finalized).
+  drain_completed = [&] {
+    for (const std::uint64_t id : cluster.take_completed_requests()) {
+      if (const auto it = pending_gets.find(id); it != pending_gets.end()) {
+        const PendingGet p = it->second;
+        pending_gets.erase(it);
+        finish_get(p.client, id, p.source);
+      } else if (const auto it2 = pending_puts.find(id);
+                 it2 != pending_puts.end()) {
+        const PendingPut p = it2->second;
+        pending_puts.erase(it2);
+        finish_put(p.client, id, p.coordinator, p.put_start);
+      }
+      // Ids in neither map were issued and harvested synchronously.
+    }
   };
 
   // Background anti-entropy: periodic digest sync requests between
@@ -447,6 +608,10 @@ SimStoreResult simulate_store(const SimStoreConfig& config, M mechanism) {
   result.messages_dropped = net_stats.dropped;
   result.messages_duplicated = net_stats.duplicated;
   result.partition_drops = net_stats.partition_dropped;
+  const kv::CoordStats& coord_stats = cluster.coord_stats();
+  result.late_replies_dropped = coord_stats.late_replies_dropped;
+  result.duplicate_replies_dropped = coord_stats.duplicate_replies_dropped;
+  result.stale_replies_dropped = coord_stats.stale_replies_dropped;
   return result;
 }
 

@@ -12,7 +12,9 @@
 // end-state comparison alone under-counts them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "kv/client.hpp"
@@ -31,6 +33,9 @@ struct ReplayStats {
   std::uint64_t recoveries = 0;
   std::uint64_t partitions = 0;
   std::uint64_t heals = 0;
+  std::uint64_t ticks = 0;           ///< async replay: transport pumps
+  std::uint64_t op_timeouts = 0;     ///< async ops that missed their deadline
+  std::uint64_t max_in_flight = 0;   ///< concurrent client ops peak
 
   /// Per-GET reply measurements (what the client downloads every read).
   util::Samples get_metadata_bytes;
@@ -55,7 +60,11 @@ class Replayer {
   Replayer(kv::Cluster<M>& cluster, const Trace& trace)
       : cluster_(&cluster),
         hinted_handoff_(trace.hinted_handoff),
-        crash_faults_(trace.crash_faults) {
+        crash_faults_(trace.crash_faults),
+        async_(trace.async_quorum),
+        read_quorum_(trace.read_quorum),
+        write_quorum_(trace.write_quorum),
+        deadline_ticks_(trace.deadline_ticks) {
     sessions_.reserve(trace.clients);
     for (std::size_t c = 0; c < trace.clients; ++c) {
       sessions_.emplace_back(kv::client_actor(c), cluster);
@@ -82,8 +91,20 @@ class Replayer {
       case TraceOp::Kind::kGet: {
         const auto pref = cluster_->preference_list(op.key);
         const kv::ReplicaId source = resolve_alive(pref, op.rank);
-        (void)sessions_[op.client].get(op.key, source);
         ++stats_.gets;
+        if (async_) {
+          // In-flight coordinated read: the session's context refreshes
+          // when the quorum completes (harvest_completions), not now —
+          // a put issued meanwhile genuinely races this read.
+          kv::ReadOptions opts;
+          opts.deadline_ticks = deadline_ticks_;
+          const std::uint64_t id =
+              cluster_->begin_read_at(op.key, source, read_quorum_, opts);
+          pending_reads_[id] = op.client;
+          note_in_flight();
+          break;
+        }
+        (void)sessions_[op.client].get(op.key, source);
         if (const auto* stored = cluster_->replica(source).find(op.key)) {
           stats_.get_metadata_bytes.add(
               static_cast<double>(mech.metadata_bytes(*stored)));
@@ -104,6 +125,28 @@ class Replayer {
         const auto pref = cluster_->preference_list(op.key);
         const kv::ReplicaId coordinator = resolve_alive(pref, op.rank);
         if (op.blind) sessions_[op.client].forget(op.key);
+        ++stats_.puts;
+        // Sloppy-quorum puts stay synchronous even in async replays:
+        // hint parking is coordinator-side scatter, not a client wait.
+        if (async_ && !hinted_handoff_) {
+          std::vector<kv::ReplicaId> replicate_to;
+          replicate_to.reserve(op.replicate_ranks.size());
+          for (const std::size_t r : op.replicate_ranks) {
+            replicate_to.push_back(pref.at(r));
+          }
+          kv::WriteOptions opts;
+          opts.write_quorum = write_quorum_;
+          opts.deadline_ticks = deadline_ticks_;
+          const std::uint64_t id = cluster_->begin_write(
+              op.key, coordinator, kv::client_actor(op.client),
+              sessions_[op.client].context_for(op.key), op.value, replicate_to,
+              opts);
+          stats_.put_replication_bytes.add(static_cast<double>(
+              cluster_->peek_write_receipt(id).replication_bytes));
+          pending_writes_.push_back(id);
+          note_in_flight();
+          break;
+        }
         typename kv::Cluster<M>::PutReceipt receipt;
         if (hinted_handoff_) {
           receipt =
@@ -117,7 +160,6 @@ class Replayer {
           receipt = sessions_[op.client].put_via(op.key, coordinator, op.value,
                                                  replicate_to);
         }
-        ++stats_.puts;
         stats_.put_replication_bytes.add(
             static_cast<double>(receipt.replication_bytes));
         break;
@@ -163,14 +205,35 @@ class Replayer {
         ++stats_.heals;
         break;
       }
+      case TraceOp::Kind::kTick: {
+        // One pump of network time: queued scatter/replies/fan-out land,
+        // deadlines advance — in-flight ops complete (or expire) HERE,
+        // interleaved with later operations.
+        cluster_->pump();
+        ++stats_.ticks;
+        break;
+      }
     }
+    if (async_) harvest_completions();
   }
 
   /// Records the final footprint and returns the accumulated stats.
   /// Drains the cluster's transport first, so a queued (manually
-  /// pumped) transport cannot leave replicated state unaccounted.
+  /// pumped) transport cannot leave replicated state unaccounted, and
+  /// force-completes any still-pending async operation (a trace may end
+  /// with ops in flight; their late replies are the engine's problem).
   ReplayStats finish() {
     (void)cluster_->pump_all();
+    if (async_) {
+      for (const auto& [id, client] : pending_reads_) {
+        (void)cluster_->finalize_request(id);
+      }
+      for (const std::uint64_t id : pending_writes_) {
+        (void)cluster_->finalize_request(id);
+      }
+      harvest_completions();
+      DVV_ASSERT(pending_reads_.empty() && pending_writes_.empty());
+    }
     const auto fp = cluster_->footprint();
     stats_.final_keys = fp.keys;
     stats_.final_siblings = fp.siblings;
@@ -183,10 +246,49 @@ class Replayer {
   [[nodiscard]] const ReplayStats& stats() const noexcept { return stats_; }
 
  private:
+  void note_in_flight() {
+    stats_.max_in_flight =
+        std::max(stats_.max_in_flight,
+                 static_cast<std::uint64_t>(cluster_->requests_in_flight()));
+  }
+
+  /// Harvests every async operation that reached a terminal outcome:
+  /// completed reads hand their merged context to the issuing session
+  /// (unavailable ones must not — the context-clobber rule) and record
+  /// the reply measurements; completed writes just retire.
+  void harvest_completions() {
+    for (const std::uint64_t id : cluster_->take_completed_requests()) {
+      if (const auto it = pending_reads_.find(id); it != pending_reads_.end()) {
+        const std::size_t client = it->second;
+        pending_reads_.erase(it);
+        const auto harvest = cluster_->take_read_result(id);
+        if (harvest.outcome != kv::CoordOutcome::kQuorum) ++stats_.op_timeouts;
+        if (!harvest.result.unavailable) {
+          sessions_[client].remember(harvest.key, harvest.result.context);
+        }
+        stats_.get_metadata_bytes.add(static_cast<double>(harvest.metadata_bytes));
+        stats_.get_total_bytes.add(static_cast<double>(harvest.state_bytes));
+        stats_.get_siblings.add(static_cast<double>(harvest.siblings));
+        stats_.get_clock_entries.add(static_cast<double>(harvest.clock_entries));
+      } else if (std::erase(pending_writes_, id) > 0) {
+        const auto receipt = cluster_->take_write_receipt(id);
+        if (receipt.outcome != kv::CoordOutcome::kQuorum) ++stats_.op_timeouts;
+      }
+      // Ids in neither list belong to synchronous shim calls that
+      // already harvested themselves.
+    }
+  }
+
   kv::Cluster<M>* cluster_;
   bool hinted_handoff_;
   bool crash_faults_;
+  bool async_ = false;
+  std::size_t read_quorum_ = 1;
+  std::size_t write_quorum_ = 1;
+  std::size_t deadline_ticks_ = 16;
   std::vector<kv::ClientSession<M>> sessions_;
+  std::map<std::uint64_t, std::size_t> pending_reads_;  ///< id -> client
+  std::vector<std::uint64_t> pending_writes_;
   ReplayStats stats_;
 };
 

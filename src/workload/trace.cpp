@@ -20,6 +20,10 @@ Trace generate_trace(const WorkloadSpec& spec, std::size_t replication) {
   trace.seed = spec.seed;
   trace.hinted_handoff = spec.hinted_handoff;
   trace.crash_faults = spec.crash_faults;
+  trace.async_quorum = spec.async_quorum;
+  trace.read_quorum = spec.read_quorum;
+  trace.write_quorum = spec.write_quorum;
+  trace.deadline_ticks = spec.deadline_ticks;
   trace.ops.reserve(spec.operations * 2 + spec.operations / 16);
 
   // Blind writes are issued by FRESH anonymous client identities (one
@@ -94,6 +98,16 @@ Trace generate_trace(const WorkloadSpec& spec, std::size_t replication) {
         trace.ops.push_back(std::move(heal));
         partitioned = false;
       }
+    }
+
+    if (spec.async_quorum && rng.chance(spec.tick_probability)) {
+      // One pump of network time between client operations: in-flight
+      // scatter, replies and fan-out land (or expire) here, so async
+      // replays interleave deliveries WITH the op stream instead of
+      // quiescing after every op.
+      TraceOp tick;
+      tick.kind = TraceOp::Kind::kTick;
+      trace.ops.push_back(std::move(tick));
     }
 
     kv::Key key = "key-" + std::to_string(zipf.sample(rng));

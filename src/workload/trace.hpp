@@ -35,6 +35,7 @@ struct TraceOp {
     kRecover,      ///< server `server` comes back with its old state
     kPartition,    ///< network splits into `groups` (messages crossing are lost)
     kHeal,         ///< the partition heals; every link carries again
+    kTick,         ///< async replay: one transport pump + coordination tick
   };
 
   Kind kind = Kind::kGet;
@@ -61,6 +62,17 @@ struct Trace {
   /// recovery replays the replica's storage backend (src/store) instead
   /// of waking up with memory intact.
   bool crash_faults = false;
+  /// When set, kGet/kPut are issued as ASYNCHRONOUS coordinator
+  /// requests (Cluster::begin_read_at / begin_write with the quorums
+  /// below): operations stay in flight across subsequent ops, kTick
+  /// events pump the transport and expire deadlines, and completions
+  /// are harvested as they land — concurrent client operations on an
+  /// identical, mechanism-independent schedule.
+  bool async_quorum = false;
+  std::size_t read_quorum = 1;
+  std::size_t write_quorum = 1;
+  /// Coordination ticks before an in-flight op times out (async only).
+  std::size_t deadline_ticks = 16;
   std::uint64_t seed = 0;
 
   [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
@@ -102,6 +114,19 @@ struct WorkloadSpec {
   /// replays can converge.  Requires spec.servers >= 2.
   double partition_probability = 0.0;
   double heal_probability = 0.0;
+
+  /// Asynchronous quorum coordination: when set, GET/PUT trace ops are
+  /// replayed as in-flight coordinator requests (R = read_quorum acks a
+  /// read, W = write_quorum a write) and kTick ops — emitted before
+  /// each operation with `tick_probability` — pump the transport, so
+  /// client operations genuinely overlap.  Sloppy-quorum (hinted
+  /// handoff) puts stay synchronous: hint parking is a coordinator-side
+  /// scatter, not a client wait.
+  bool async_quorum = false;
+  std::size_t read_quorum = 1;
+  std::size_t write_quorum = 1;
+  double tick_probability = 0.6;
+  std::size_t deadline_ticks = 16;
 
   std::uint64_t seed = 1;
 };

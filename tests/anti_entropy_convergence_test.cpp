@@ -34,11 +34,25 @@ using dvv::kv::Key;
 using dvv::kv::ReplicaId;
 using dvv::util::Rng;
 
-ClusterConfig test_config() {
+ClusterConfig test_config(bool order_stable_transport = false) {
   ClusterConfig cfg;
   cfg.servers = 5;
   cfg.replication = 3;
   cfg.vnodes = 32;
+  if (order_stable_transport) {
+    // Server-VV's outcomes are delivery-order-dependent (its false
+    // ordering of racing clients means which sibling survives depends
+    // on merge order — see transport_chaos_test).  This test compares
+    // TWO clusters whose repair passes consume different amounts of
+    // the transport's fault stream (the digest pass sends SyncReq/Resp
+    // messages, the legacy pass sends nothing), so under the chaos
+    // transport their phase-2 hint deliveries replay under DIFFERENT
+    // dup/reorder draws — meaningless divergence for an order-dependent
+    // mechanism.  Pin it to the inline transport; the five order-stable
+    // mechanisms keep their chaos-default coverage.
+    cfg.transport.kind = dvv::net::TransportKind::kInline;
+    cfg.transport.sim = dvv::net::SimTransportConfig{};
+  }
   return cfg;
 }
 
@@ -131,9 +145,11 @@ using AllMechanisms =
 TYPED_TEST_SUITE(AntiEntropyConvergenceTest, AllMechanisms);
 
 TYPED_TEST(AntiEntropyConvergenceTest, DigestPassReachesLegacyFixedPoint) {
+  constexpr bool kOrderStable =
+      std::is_same_v<TypeParam, dvv::kv::ServerVvMechanism>;
   for (const std::uint64_t seed : {1ULL, 42ULL, 20120716ULL}) {
-    Cluster<TypeParam> legacy(test_config(), {});
-    Cluster<TypeParam> digest(test_config(), {});
+    Cluster<TypeParam> legacy(test_config(kOrderStable), {});
+    Cluster<TypeParam> digest(test_config(kOrderStable), {});
     run_workload(legacy, seed);
     run_workload(digest, seed);
     ASSERT_EQ(full_state(legacy), full_state(digest))

@@ -263,6 +263,45 @@ TEST(Cluster, QuorumReadBelowQuorumReportsDegraded) {
   EXPECT_FALSE(dead.found);
 }
 
+// Regression: the plain put() receipt used to report only how many
+// fan-out messages went out — a put whose preference-list targets were
+// partly dead looked exactly like a fully-replicated one.  It must
+// report the intended width and flag the shortfall (parallel to the
+// get_quorum replies/degraded fix).
+TEST(Cluster, PlainPutBelowFullFanoutReportsDegraded) {
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);
+  const Key key = "k";
+  const auto pref = cluster.preference_list(key);
+
+  // Everybody alive: full fan-out, not degraded, every target acked.
+  const auto full = alice.put(key, "v1");
+  EXPECT_EQ(full.targets, 2u);
+  EXPECT_EQ(full.replicated_to, 2u);
+  EXPECT_FALSE(full.degraded);
+  EXPECT_FALSE(full.unavailable);
+  EXPECT_GE(full.acks(), 1u);
+  EXPECT_EQ(full.acked_by.front(), full.coordinator)
+      << "the coordinator's local apply is the first ack";
+
+  // One preference member dead: the write went below its intended
+  // replication and the receipt must say so, not masquerade as full.
+  cluster.replica(pref[1]).set_alive(false);
+  const auto partial = alice.put(key, "v2");
+  EXPECT_EQ(partial.targets, 2u);
+  EXPECT_EQ(partial.replicated_to, 1u);
+  EXPECT_TRUE(partial.degraded) << "1 of 2 intended copies must be flagged";
+  EXPECT_FALSE(partial.unavailable);
+
+  // Two dead: only the coordinator holds the write.
+  cluster.replica(pref[2]).set_alive(false);
+  const auto lone = alice.put(key, "v3");
+  EXPECT_EQ(lone.targets, 2u);
+  EXPECT_EQ(lone.replicated_to, 0u);
+  EXPECT_TRUE(lone.degraded);
+  EXPECT_FALSE(lone.unavailable) << "degraded is not unavailable";
+}
+
 TEST(Cluster, FootprintAggregatesAcrossReplicas) {
   Cluster<DvvMechanism> cluster(small_config(), {});
   ClientSession<DvvMechanism> alice(dvv::kv::client_actor(0), cluster);

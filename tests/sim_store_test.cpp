@@ -190,6 +190,71 @@ TEST(SimStoreNet, PartitionStormsLoseMessagesAndAaeRepairs) {
       << "partitions break links, not clients";
 }
 
+// ---- quorum coordination (src/kv/coordinator.hpp) ---------------------------
+
+TEST(SimStoreQuorum, CoordinatorLocalDefaultsKeepHistoricalShape) {
+  // R = W = 1 completes at the coordinator: no op ever waits on the
+  // queues, so there are no timeouts and no degraded completions.
+  const auto result = simulate_store(small_config(), DvvMechanism{});
+  EXPECT_EQ(result.op_timeouts, 0u);
+  EXPECT_EQ(result.reads_degraded, 0u);
+  EXPECT_EQ(result.writes_degraded, 0u);
+}
+
+TEST(SimStoreQuorum, QuorumWritesWaitForRealAcks) {
+  auto one = small_config();
+  auto two = small_config();
+  two.write_quorum = 2;
+  two.read_quorum = 2;
+  const auto w1 = simulate_store(one, DvvMechanism{});
+  const auto w2 = simulate_store(two, DvvMechanism{});
+  EXPECT_EQ(w2.cycles, w1.cycles) << "every cycle still completes";
+  EXPECT_GT(w2.put_latency_ms.mean(), w1.put_latency_ms.mean())
+      << "W=2 acks ride the queues: the client pays a real round trip";
+  EXPECT_GT(w2.max_requests_in_flight, 1u)
+      << "quorum ops from different clients must genuinely overlap";
+}
+
+TEST(SimStoreQuorum, ConcurrentQuorumOpsSurvivePartitionAndCrashStorms) {
+  // The tentpole workload: R=W=2 client operations in flight across
+  // partition storms, message faults AND crash storms at once — ops
+  // time out at their deadline, late acks hit retired request slots,
+  // and every issued request still resolves exactly once.
+  auto config = small_config();
+  config.clients = 12;
+  config.ops_per_client = 60;
+  config.read_quorum = 2;
+  config.write_quorum = 2;
+  config.op_deadline_ms = 25.0;
+  config.partition_interval_ms = 8.0;
+  config.partition_duration_ms = 6.0;
+  config.msg_drop_probability = 0.05;
+  config.msg_duplicate_probability = 0.05;
+  config.msg_reorder_window = 2;
+  config.crash_interval_ms = 10.0;
+  config.crash_downtime_ms = 8.0;
+  config.storage.kind = dvv::store::BackendKind::kWal;
+  const auto result = simulate_store(config, DvvMechanism{});
+
+  EXPECT_EQ(result.cycles + result.unavailable_requests,
+            static_cast<std::uint64_t>(config.clients) * config.ops_per_client)
+      << "every issued request either completed a cycle or hit an outage";
+  EXPECT_GT(result.partitions, 0u);
+  EXPECT_GT(result.crashes, 0u);
+  EXPECT_GT(result.max_requests_in_flight, 1u);
+  EXPECT_GT(result.op_timeouts, 0u)
+      << "storms must push some quorum ops into their deadline";
+  EXPECT_GT(result.late_replies_dropped + result.stale_replies_dropped, 0u)
+      << "replies outliving their requests must hit the hygiene path";
+
+  // And the whole storm is reproducible.
+  const auto rerun = simulate_store(config, DvvMechanism{});
+  EXPECT_EQ(result.cycles, rerun.cycles);
+  EXPECT_EQ(result.op_timeouts, rerun.op_timeouts);
+  EXPECT_EQ(result.stale_replies_dropped, rerun.stale_replies_dropped);
+  EXPECT_DOUBLE_EQ(result.sim_duration_ms, rerun.sim_duration_ms);
+}
+
 TEST(SimStoreNet, FaultyTransportIsDeterministic) {
   auto config = small_config();
   config.partition_interval_ms = 10.0;

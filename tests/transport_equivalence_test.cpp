@@ -52,14 +52,49 @@ constexpr std::size_t kOps = 400;
 
 /// One resolved script step, so both drivers make identical choices.
 struct Step {
-  enum class Kind { kPause, kUnpause, kDeliver, kPut, kHandoffPut } kind;
+  enum class Kind { kPause, kUnpause, kDeliver, kPut, kHandoffPut, kQuorumGet } kind;
   ReplicaId server = 0;
   Key key;
   ReplicaId coordinator = 0;
   std::uint64_t client = 0;
   std::string value;
   std::vector<ReplicaId> replicate_to;
+  std::size_t quorum = 0;  ///< kQuorumGet: R
 };
+
+/// What a quorum read observed — compared field by field (context as
+/// its codec encoding) between the two drivers.
+struct QuorumObservation {
+  bool found = false;
+  bool unavailable = false;
+  bool degraded = false;
+  std::size_t replies = 0;
+  std::vector<std::string> values;
+  std::string context_bytes;
+
+  bool operator==(const QuorumObservation&) const = default;
+};
+
+/// The receipt fields the pre-refactor direct-call semantics pin down:
+/// the routed receipts must report exactly these counts.
+struct ReceiptObservation {
+  ReplicaId coordinator = 0;
+  std::size_t targets = 0;
+  std::size_t replicated_to = 0;
+  std::size_t hinted = 0;
+  std::size_t unparked = 0;
+  bool degraded = false;
+  std::size_t acks = 0;  ///< inline: coordinator + every fan-out target
+
+  bool operator==(const ReceiptObservation&) const = default;
+};
+
+template <typename Context>
+std::string encode_context(const Context& ctx) {
+  dvv::codec::Writer w;
+  dvv::codec::encode(w, ctx);
+  return std::string(reinterpret_cast<const char*>(w.buffer().data()), w.size());
+}
 
 /// Expands a seed into a concrete step list against a given topology.
 /// Choices depend only on (seed, aliveness), and aliveness evolves
@@ -90,7 +125,14 @@ std::vector<Step> make_script(Cluster<M>& cluster, std::uint64_t seed) {
       }
     }
     if (rng.chance(0.05)) {
-      script.push_back({Step::Kind::kDeliver, 0, {}, 0, 0, {}, {}});
+      script.push_back({Step::Kind::kDeliver, 0, {}, 0, 0, {}, {}, 0});
+    }
+    if (rng.chance(0.25)) {
+      Step get;
+      get.kind = Step::Kind::kQuorumGet;
+      get.key = "key-" + std::to_string(rng.index(kKeys));
+      get.quorum = 1 + rng.index(3);
+      script.push_back(std::move(get));
     }
 
     Step put;
@@ -120,9 +162,14 @@ std::vector<Step> make_script(Cluster<M>& cluster, std::uint64_t seed) {
 }
 
 /// Pre-refactor direct-call semantics, verbatim from the old Cluster
-/// methods: no transport involved anywhere.
+/// methods: no transport involved anywhere.  Quorum reads replay the
+/// old get_quorum loop against raw replicas; puts record the receipt
+/// the old semantics imply, so the routed run's receipts can be pinned
+/// against them.
 template <typename M>
-void run_direct(Cluster<M>& cluster, const std::vector<Step>& script) {
+void run_direct(Cluster<M>& cluster, const std::vector<Step>& script,
+                std::vector<QuorumObservation>* gets,
+                std::vector<ReceiptObservation>* receipts) {
   const M& mech = cluster.mechanism();
   for (const Step& step : script) {
     switch (step.kind) {
@@ -143,6 +190,28 @@ void run_direct(Cluster<M>& cluster, const std::vector<Step>& script) {
               });
         }
         break;
+      case Step::Kind::kQuorumGet: {
+        // The pre-engine Cluster::get_quorum body, on raw replicas.
+        typename M::Stored merged;
+        QuorumObservation obs;
+        for (const ReplicaId r : cluster.preference_list(step.key)) {
+          if (obs.replies == step.quorum) break;
+          if (!cluster.replica(r).alive()) continue;
+          ++obs.replies;
+          if (const auto* s = cluster.replica(r).find(step.key)) {
+            mech.sync(merged, *s);
+            obs.found = true;
+          }
+        }
+        obs.unavailable = obs.replies == 0;
+        obs.degraded = obs.replies < step.quorum;
+        if (obs.found) {
+          obs.values = mech.values_of(merged);
+          obs.context_bytes = encode_context(mech.context_of(merged));
+        }
+        gets->push_back(std::move(obs));
+        break;
+      }
       case Step::Kind::kPut: {
         // Old Cluster::put: coordinator applies, targets merge in order.
         auto& coord = cluster.replica(step.coordinator);
@@ -150,10 +219,18 @@ void run_direct(Cluster<M>& cluster, const std::vector<Step>& script) {
                   dvv::kv::client_actor(step.client), {}, step.value);
         const auto* fresh = coord.find(step.key);
         ASSERT_NE(fresh, nullptr);
+        ReceiptObservation expect;
+        expect.coordinator = step.coordinator;
         for (const ReplicaId r : step.replicate_to) {
-          if (r == step.coordinator || !cluster.replica(r).alive()) continue;
+          if (r == step.coordinator) continue;
+          ++expect.targets;
+          if (!cluster.replica(r).alive()) continue;
           cluster.replica(r).merge_key(mech, step.key, *fresh);
+          ++expect.replicated_to;
         }
+        expect.degraded = expect.replicated_to < expect.targets;
+        expect.acks = 1 + expect.replicated_to;  // inline: every merge acks
+        receipts->push_back(expect);
         break;
       }
       case Step::Kind::kHandoffPut: {
@@ -170,9 +247,15 @@ void run_direct(Cluster<M>& cluster, const std::vector<Step>& script) {
                   dvv::kv::client_actor(step.client), {}, step.value);
         const auto* fresh = coord.find(step.key);
         ASSERT_NE(fresh, nullptr);
+        ReceiptObservation expect;
+        expect.coordinator = step.coordinator;
+        for (const ReplicaId r : pref) {
+          if (r != step.coordinator) ++expect.targets;
+        }
         for (const ReplicaId r : alive_targets) {
           if (r == step.coordinator) continue;
           cluster.replica(r).merge_key(mech, step.key, *fresh);
+          ++expect.replicated_to;
         }
         const auto order = cluster.ring().ring_order(step.key);
         std::size_t next_fallback = cluster.ring().replication();
@@ -181,20 +264,41 @@ void run_direct(Cluster<M>& cluster, const std::vector<Step>& script) {
                  !cluster.replica(order[next_fallback]).alive()) {
             ++next_fallback;
           }
-          if (next_fallback >= order.size()) continue;
+          if (next_fallback >= order.size()) {
+            ++expect.unparked;
+            continue;
+          }
           cluster.replica(order[next_fallback])
               .stash_hint(mech, owner, step.key, *fresh);
+          ++expect.hinted;
           ++next_fallback;
         }
+        expect.degraded = expect.replicated_to + expect.hinted < expect.targets;
+        expect.acks = 1 + expect.replicated_to;
+        receipts->push_back(expect);
         break;
       }
     }
   }
 }
 
-/// The same script through the message-routed public API.
+/// The same script through the message-routed public API, observing the
+/// shim results and receipts.
 template <typename M>
-void run_routed(Cluster<M>& cluster, const std::vector<Step>& script) {
+void run_routed(Cluster<M>& cluster, const std::vector<Step>& script,
+                std::vector<QuorumObservation>* gets,
+                std::vector<ReceiptObservation>* receipts) {
+  const auto observe = [&](const typename Cluster<M>::PutReceipt& receipt) {
+    ReceiptObservation obs;
+    obs.coordinator = receipt.coordinator;
+    obs.targets = receipt.targets;
+    obs.replicated_to = receipt.replicated_to;
+    obs.hinted = receipt.hinted;
+    obs.unparked = receipt.unparked;
+    obs.degraded = receipt.degraded;
+    obs.acks = receipt.acks();
+    receipts->push_back(obs);
+  };
   for (const Step& step : script) {
     switch (step.kind) {
       case Step::Kind::kPause:
@@ -206,15 +310,27 @@ void run_routed(Cluster<M>& cluster, const std::vector<Step>& script) {
       case Step::Kind::kDeliver:
         cluster.deliver_hints();
         break;
+      case Step::Kind::kQuorumGet: {
+        const auto result = cluster.get_quorum(step.key, step.quorum);
+        QuorumObservation obs;
+        obs.found = result.found;
+        obs.unavailable = result.unavailable;
+        obs.degraded = result.degraded;
+        obs.replies = result.replies;
+        obs.values = result.values;
+        if (result.found) obs.context_bytes = encode_context(result.context);
+        gets->push_back(std::move(obs));
+        break;
+      }
       case Step::Kind::kPut:
-        cluster.put(step.key, step.coordinator,
-                    dvv::kv::client_actor(step.client), {}, step.value,
-                    step.replicate_to);
+        observe(cluster.put(step.key, step.coordinator,
+                            dvv::kv::client_actor(step.client), {}, step.value,
+                            step.replicate_to));
         break;
       case Step::Kind::kHandoffPut:
-        cluster.put_with_handoff(step.key, step.coordinator,
-                                 dvv::kv::client_actor(step.client), {},
-                                 step.value);
+        observe(cluster.put_with_handoff(step.key, step.coordinator,
+                                         dvv::kv::client_actor(step.client), {},
+                                         step.value));
         break;
     }
   }
@@ -260,8 +376,12 @@ TYPED_TEST(TransportEquivalenceTest, InlineRoutingMatchesDirectCallsByteForByte)
     Cluster<TypeParam> routed(inline_config(), {});
     const auto script = make_script(direct, seed);
     ASSERT_FALSE(script.empty());
-    run_direct(direct, script);
-    run_routed(routed, script);
+    std::vector<QuorumObservation> direct_gets;
+    std::vector<QuorumObservation> routed_gets;
+    std::vector<ReceiptObservation> direct_receipts;
+    std::vector<ReceiptObservation> routed_receipts;
+    run_direct(direct, script, &direct_gets, &direct_receipts);
+    run_routed(routed, script, &routed_gets, &routed_receipts);
 
     // 1. Raw equivalence: data AND parked hints, before any repair.
     ASSERT_EQ(full_state(direct), full_state(routed))
@@ -270,6 +390,24 @@ TYPED_TEST(TransportEquivalenceTest, InlineRoutingMatchesDirectCallsByteForByte)
     EXPECT_GT(routed.transport().stats().sent, 0u)
         << "the routed run must actually have used the transport";
     EXPECT_EQ(routed.transport().stats().dropped, 0u);
+
+    // 1b. Quorum-read results coincide — found/degraded/replies flags,
+    // sibling values, and the context's exact codec encoding.
+    ASSERT_EQ(direct_gets.size(), routed_gets.size());
+    for (std::size_t i = 0; i < direct_gets.size(); ++i) {
+      ASSERT_EQ(direct_gets[i], routed_gets[i])
+          << "quorum read " << i << " diverged (seed " << seed << ")";
+    }
+    // 1c. Receipts coincide with what the direct-call semantics imply:
+    // same fan-out counts, hint counts, degraded verdicts, and (inline)
+    // every fan-out target acked.
+    ASSERT_EQ(direct_receipts.size(), routed_receipts.size());
+    for (std::size_t i = 0; i < direct_receipts.size(); ++i) {
+      ASSERT_EQ(direct_receipts[i], routed_receipts[i])
+          << "put receipt " << i << " diverged (seed " << seed << ")";
+    }
+    EXPECT_EQ(routed.coord_stats().late_replies_dropped, 0u)
+        << "inline delivery leaves no reply behind";
 
     // 2. Digest fixed points coincide byte for byte.
     direct.anti_entropy_digest();
