@@ -14,7 +14,6 @@
 #include <cstdio>
 #include <string>
 
-#include "kv/mechanism.hpp"
 #include "sim/sim_store.hpp"
 #include "util/fmt.hpp"
 
@@ -36,11 +35,12 @@ SimStoreConfig config_for(std::size_t clients) {
   return config;
 }
 
-template <typename M>
-void run_row(dvv::util::TextTable& table, std::size_t clients, const char* name,
-             M mechanism) {
-  const auto result = simulate_store(config_for(clients), std::move(mechanism));
-  table.row({std::to_string(clients), name,
+void run_row(dvv::util::TextTable& table, std::size_t clients,
+             const char* mechanism) {
+  SimStoreConfig config = config_for(clients);
+  config.mechanism = mechanism;  // runtime choice through the kv::Store facade
+  const auto result = simulate_store(config);
+  table.row({std::to_string(clients), mechanism,
              fixed(result.cycle_latency_ms.mean(), 3),
              fixed(result.cycle_latency_ms.p50(), 3),
              fixed(result.cycle_latency_ms.p95(), 3),
@@ -61,9 +61,9 @@ int main() {
   table.header({"clients", "mechanism", "cycle ms mean", "p50", "p95", "p99",
                 "GET reply B", "reply B p99"});
   for (const std::size_t clients : {8u, 32u, 96u, 192u}) {
-    run_row(table, clients, "client-vv", dvv::kv::ClientVvMechanism{});
-    run_row(table, clients, "dvv", dvv::kv::DvvMechanism{});
-    run_row(table, clients, "dvvset", dvv::kv::DvvSetMechanism{});
+    run_row(table, clients, "client-vv");
+    run_row(table, clients, "dvv");
+    run_row(table, clients, "dvvset");
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("shape check: at 8 clients the mechanisms are near-identical; as\n");

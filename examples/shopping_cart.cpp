@@ -10,6 +10,12 @@
 // baseline of the paper's Figure 1b to show the silent loss DVV exists
 // to prevent.
 //
+// Since the api_redesign the example drives the public kv::Store facade
+// (src/kv/store): ONE compiled scenario, and the mechanism is a runtime
+// name — exactly how a client application would be written.  The
+// devices carry opaque CausalTokens between reads and writes; nothing
+// here can see (or needs to see) a clock.
+//
 //   $ ./shopping_cart
 #include <cstdio>
 #include <set>
@@ -17,17 +23,14 @@
 #include <string>
 #include <vector>
 
-#include "kv/client.hpp"
-#include "kv/cluster.hpp"
-#include "kv/mechanism.hpp"
+#include "kv/session.hpp"
+#include "kv/store.hpp"
 
 namespace {
 
-using dvv::kv::ClientSession;
-using dvv::kv::Cluster;
-using dvv::kv::ClusterConfig;
-using dvv::kv::DvvMechanism;
-using dvv::kv::ServerVvMechanism;
+using dvv::kv::Session;
+using dvv::kv::Store;
+using dvv::kv::StoreConfig;
 
 /// Carts are comma-separated item lists; merge = set union.
 std::string merge_carts(const std::vector<std::string>& siblings) {
@@ -55,14 +58,12 @@ std::string add_item(const std::vector<std::string>& siblings,
   return cart;
 }
 
-template <typename M>
-std::vector<std::string> read_cart(Cluster<M>& cluster, const std::string& key) {
-  return cluster.get(key, cluster.default_coordinator(key).value()).values;
+std::vector<std::string> read_cart(Store& store, const std::string& key) {
+  return store.get(key).values;
 }
 
-template <typename M>
-void print_cart(const char* label, Cluster<M>& cluster, const std::string& key) {
-  const auto values = read_cart(cluster, key);
+void print_cart(const char* label, Store& store, const std::string& key) {
+  const auto values = read_cart(store, key);
   std::printf("%s\n", label);
   if (values.empty()) {
     std::printf("  (empty)\n");
@@ -75,36 +76,35 @@ void print_cart(const char* label, Cluster<M>& cluster, const std::string& key) 
 /// the cart, the laptop reads the cart, then BOTH write their own
 /// additions, each through a coordinator of its choice, then the
 /// replicas synchronize.
-template <typename M>
-void run_scenario(Cluster<M>& cluster, const char* title) {
+void run_scenario(Store& store, const char* title) {
   std::printf("---- %s ----\n", title);
   const std::string key = "cart:alice";
-  ClientSession<M> phone(dvv::kv::client_actor(100), cluster);
-  ClientSession<M> laptop(dvv::kv::client_actor(101), cluster);
+  Session phone(dvv::kv::client_actor(100), store);
+  Session laptop(dvv::kv::client_actor(101), store);
 
   // A first item, fully propagated.
   phone.get(key);
   phone.put(key, "book");
-  cluster.anti_entropy();
+  store.anti_entropy();
 
-  // Both devices read the same state...
+  // Both devices read the same state (each pockets an opaque token)...
   phone.get(key);
   laptop.get(key);
   // ...then race their writes through the SAME coordinator (the paper's
   // Fig. 1 situation: concurrent client updates at one server).
-  const auto coordinator = cluster.default_coordinator(key).value();
-  const auto pref = cluster.preference_list(key);
-  phone.put_via(key, coordinator, add_item(read_cart(cluster, key), "headphones"),
+  const auto coordinator = store.default_coordinator(key).value();
+  const auto pref = store.preference_list(key);
+  phone.put_via(key, coordinator, add_item(read_cart(store, key), "headphones"),
                 pref);
   laptop.put_via(key, coordinator, "book,socks", pref);
 
-  cluster.anti_entropy();
-  print_cart("carts after the race + replica sync:", cluster, key);
+  store.anti_entropy();
+  print_cart("carts after the race + replica sync:", store, key);
 
   // The next reader merges whatever siblings exist.
-  ClientSession<M> merger(dvv::kv::client_actor(102), cluster);
+  Session merger(dvv::kv::client_actor(102), store);
   merger.rmw(key, merge_carts);
-  print_cart("cart after read-merge-write:", cluster, key);
+  print_cart("cart after read-merge-write:", store, key);
 }
 
 }  // namespace
@@ -112,17 +112,19 @@ void run_scenario(Cluster<M>& cluster, const char* title) {
 int main() {
   std::printf("== shopping cart: racing devices, two causality mechanisms ==\n\n");
 
-  ClusterConfig config;
+  StoreConfig config;
   config.servers = 4;
   config.replication = 3;
 
-  Cluster<DvvMechanism> dvv_cluster(config, DvvMechanism{});
-  run_scenario(dvv_cluster, "dotted version vectors (the paper's mechanism)");
+  // Runtime mechanism selection: same binary, same scenario, different
+  // clocks behind the same opaque API.
+  run_scenario(*dvv::kv::make_store("dvv", config),
+               "dotted version vectors (the paper's mechanism)");
   std::printf("with DVV both additions survive the race: the merged cart\n"
               "contains book, headphones AND socks.\n\n");
 
-  Cluster<ServerVvMechanism> vv_cluster(config, ServerVvMechanism{});
-  run_scenario(vv_cluster, "per-server version vectors (Fig. 1b baseline)");
+  run_scenario(*dvv::kv::make_store("server-vv", config),
+               "per-server version vectors (Fig. 1b baseline)");
   std::printf("with per-server VVs the second write's clock falsely dominates\n"
               "the first's ([2,0] < [3,0] in the paper), so after the replica\n"
               "sync one device's addition is GONE — the cart above is missing\n"

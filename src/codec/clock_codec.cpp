@@ -88,19 +88,11 @@ core::VersionVectorWithExceptions decode_vve(Reader& r) {
     std::vector<core::Counter> exceptions;
     exceptions.reserve(static_cast<std::size_t>(ex_count));
     for (std::uint64_t j = 0; j < ex_count; ++j) exceptions.push_back(r.varint());
-    // Rebuild through the public API to keep invariants: add the base
-    // event first (creating all gap exceptions), then fill the events
-    // NOT in the exception list.
+    // Encodings are canonical (the encoder walks normalized entries),
+    // so the entry installs wholesale — rebuilding event-by-event
+    // through add() would cost O(base) per entry.
     if (base == 0) continue;
-    vve.add(core::Dot{actor, base});
-    std::size_t ei = 0;
-    for (core::Counter c = 1; c < base; ++c) {
-      if (ei < exceptions.size() && exceptions[ei] == c) {
-        ++ei;
-        continue;  // stays an exception
-      }
-      vve.add(core::Dot{actor, c});
-    }
+    vve.install_entry(actor, base, std::move(exceptions));
   }
   return vve;
 }

@@ -29,6 +29,7 @@
 // base are represented by raising the base).
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,21 @@ class VersionVectorWithExceptions {
                                        d.counter);
       if (it != e.exceptions.end() && *it == d.counter) e.exceptions.erase(it);
     }
+  }
+
+  /// Codec rebuild: installs one actor's entry wholesale.  The caller
+  /// guarantees canonical form — base > 0, exceptions sorted, unique,
+  /// all strictly below base — which decoders validate before calling
+  /// (rebuilding event-by-event through add() would cost O(base) per
+  /// entry, an unacceptable bound for wire-facing strict decodes).
+  void install_entry(ActorId actor, Counter base, std::vector<Counter> exceptions) {
+    DVV_ASSERT(base > 0);
+    DVV_DEBUG_ASSERT(std::is_sorted(exceptions.begin(), exceptions.end()));
+    DVV_ASSERT(exceptions.empty() ||
+               (exceptions.back() < base && exceptions.front() >= 1));
+    Entry& e = entries_[actor];
+    e.base = base;
+    e.exceptions = std::move(exceptions);
   }
 
   /// Set union of the represented histories.

@@ -75,10 +75,19 @@ class ClientSession {
   /// Read-modify-write: GET, apply `f` to the sibling values, PUT the
   /// result.  This is the canonical correct client loop: because the PUT
   /// carries the GET's context, it overwrites exactly what was read and
-  /// nothing else.
+  /// nothing else.  When the GET comes back unavailable the RMW must
+  /// NOT write: the read it would be conditioned on never happened, so
+  /// proceeding would blind-write f({}) under the stale remembered
+  /// context (tests/cluster_test.cpp: RmwOnUnavailableReadDoesNotWrite).
   template <typename F>
   typename Cluster<M>::PutReceipt rmw(const Key& key, F&& f) {
     auto r = get(key);
+    if (r.unavailable) {
+      typename Cluster<M>::PutReceipt receipt;
+      receipt.unavailable = true;
+      receipt.outcome = CoordOutcome::kUnavailable;
+      return receipt;
+    }
     return put(key, std::forward<F>(f)(r.values));
   }
 

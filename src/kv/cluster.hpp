@@ -57,6 +57,7 @@
 #include "kv/coordinator.hpp"
 #include "kv/mechanism.hpp"
 #include "kv/replica.hpp"
+#include "kv/results.hpp"
 #include "kv/ring.hpp"
 #include "kv/types.hpp"
 #include "net/message.hpp"
@@ -186,24 +187,10 @@ class Cluster {
   void heal() { transport_->heal(); }
 
   /// Messages the cluster discarded because their destination replica
-  /// was not alive at delivery time (a dead process receives nothing).
-  struct DeliveryDrops {
-    std::size_t replicate = 0;     ///< put fan-out payloads (state-bearing
-                                   ///  CoordWriteReqMsg included: a dead
-                                   ///  target lost a replica copy)
-    std::size_t hint_stash = 0;    ///< hints headed for a dead fallback
-    std::size_t hint_deliver = 0;  ///< deliveries to an owner that died again
-    std::size_t hint_ack = 0;      ///< acks to a holder that died
-    std::size_t sync = 0;          ///< anti-entropy session requests
-    std::size_t coord = 0;         ///< coordination control traffic (read
-                                   ///  requests/replies, write acks) to a
-                                   ///  dead endpoint — the request machine
-                                   ///  absorbs these as missing replies
-
-    [[nodiscard]] std::size_t total() const noexcept {
-      return replicate + hint_stash + hint_deliver + hint_ack + sync + coord;
-    }
-  };
+  /// was not alive at delivery time — now a namespace-scope type
+  /// (kv/results.hpp) shared with the kv::Store facade; the historical
+  /// nested name keeps existing callers compiling.
+  using DeliveryDrops = ::dvv::kv::DeliveryDrops;
   [[nodiscard]] const DeliveryDrops& delivery_drops() const noexcept {
     return delivery_drops_;
   }
@@ -696,11 +683,8 @@ class Cluster {
   // the fixed point is byte-identical to the legacy full pass — see
   // tests/anti_entropy_convergence_test.cpp.
 
-  struct DigestRepairReport {
-    sync::SyncStats stats;
-    std::size_t sessions = 0;  ///< pairwise sessions run
-    std::size_t sweeps = 0;    ///< full pair sweeps until the fixed point
-  };
+  // Lifted to kv/results.hpp for the mechanism-agnostic facade.
+  using DigestRepairReport = ::dvv::kv::DigestRepairReport;
 
   /// One pairwise digest session between alive replicas `a` and `b`,
   /// initiated by a SyncReqMsg from `a` routed through the transport —
@@ -740,13 +724,9 @@ class Cluster {
     return nonce;
   }
 
-  /// One finished digest session as observed by its initiator.
-  struct CompletedSync {
-    ReplicaId initiator = 0;
-    ReplicaId responder = 0;
-    std::uint64_t nonce = 0;
-    sync::SyncStats stats;
-  };
+  /// One finished digest session as observed by its initiator (lifted
+  /// to kv/results.hpp for the mechanism-agnostic facade).
+  using CompletedSync = ::dvv::kv::CompletedSync;
 
   /// Drains the completed-session records (sessions whose SyncRespMsg
   /// reached the initiator since the last call).

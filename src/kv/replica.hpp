@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "kv/mechanism.hpp"
+#include "kv/results.hpp"
 #include "kv/types.hpp"
 #include "store/backend.hpp"
 #include "sync/key_digest.hpp"
@@ -224,22 +225,10 @@ class Replica {
     return out;
   }
 
-  /// Aggregate metadata statistics over every key (experiment E5/E6).
-  struct Footprint {
-    std::size_t keys = 0;
-    std::size_t siblings = 0;
-    std::size_t clock_entries = 0;
-    std::size_t metadata_bytes = 0;
-    std::size_t total_bytes = 0;
-
-    void merge(const Footprint& o) noexcept {
-      keys += o.keys;
-      siblings += o.siblings;
-      clock_entries += o.clock_entries;
-      metadata_bytes += o.metadata_bytes;
-      total_bytes += o.total_bytes;
-    }
-  };
+  /// Aggregate metadata statistics over every key (experiment E5/E6) —
+  /// lifted to kv/results.hpp for the mechanism-agnostic facade; the
+  /// historical nested name keeps existing callers compiling.
+  using Footprint = ::dvv::kv::Footprint;
 
   [[nodiscard]] Footprint footprint(const M& m) const {
     Footprint f;

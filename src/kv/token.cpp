@@ -1,0 +1,282 @@
+// dvv/kv/token.cpp
+//
+// CausalToken wire format: mint + strict decode.  See token.hpp for the
+// layout and the rejection contract.  Decoding never uses codec::Reader
+// (whose failure mode is an assert — correct for buffers the library
+// produced itself, wrong for tokens a client hands back): every read
+// here is bounds-checked and every malformation returns false.
+#include "kv/token.hpp"
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "codec/clock_codec.hpp"
+#include "codec/wire.hpp"
+#include "store/crc32.hpp"
+
+namespace dvv::kv {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 0xD7;
+constexpr std::uint8_t kMagic1 = 0x70;
+constexpr std::uint8_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 4;  // magic, magic, version, mechanism
+constexpr std::size_t kCrcBytes = 4;
+
+[[nodiscard]] bool valid_mechanism_byte(std::uint8_t b) noexcept {
+  return b >= static_cast<std::uint8_t>(MechanismId::kDvv) &&
+         b <= static_cast<std::uint8_t>(MechanismId::kCausalHistory);
+}
+
+/// Bounds-checked little reader over the token's bytes.  Unlike
+/// codec::Reader it reports malformation instead of asserting.
+class SafeReader {
+ public:
+  SafeReader(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool varint(std::uint64_t& out) noexcept {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_ || shift >= 64) return false;
+      const std::uint8_t b = data_[pos_++];
+      if (shift == 63 && (b & 0x7e) != 0) return false;  // overflow
+      value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        // Canonical varints have no redundant trailing zero-groups
+        // (0x80 0x00 also encodes 0); reject the padded forms so the
+        // decode→encode byte-identity check cannot be dodged here.
+        if (b == 0 && shift != 0) return false;
+        out = value;
+        return true;
+      }
+      shift += 7;
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Payload parsers: strict, canonical-order-enforcing, bounded work.
+/// Each fills `out` only from input it fully validated.
+
+[[nodiscard]] bool parse_payload(SafeReader& r, core::VersionVector& out) {
+  std::uint64_t n = 0;
+  if (!r.varint(n)) return false;
+  core::ActorId prev_actor = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t actor = 0;
+    std::uint64_t counter = 0;
+    if (!r.varint(actor) || !r.varint(counter)) return false;
+    // Canonical encodings are sorted by actor with no duplicates and
+    // never carry zero counters (set(actor, 0) erases the entry).
+    if (counter == 0) return false;
+    if (i > 0 && actor <= prev_actor) return false;
+    prev_actor = actor;
+    out.set(actor, counter);
+  }
+  return r.done();
+}
+
+[[nodiscard]] bool parse_payload(SafeReader& r,
+                                 core::VersionVectorWithExceptions& out) {
+  std::uint64_t n = 0;
+  if (!r.varint(n)) return false;
+  core::ActorId prev_actor = 0;
+  std::uint64_t total_exceptions = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t actor = 0;
+    std::uint64_t base = 0;
+    std::uint64_t ex_count = 0;
+    if (!r.varint(actor) || !r.varint(base) || !r.varint(ex_count)) return false;
+    if (base == 0) return false;  // canonical form drops empty entries
+    if (i > 0 && actor <= prev_actor) return false;
+    prev_actor = actor;
+    total_exceptions += ex_count;
+    if (total_exceptions > kMaxTokenEvents) return false;  // bomb guard
+    std::vector<core::Counter> exceptions;
+    exceptions.reserve(static_cast<std::size_t>(ex_count));
+    core::Counter prev_ex = 0;
+    for (std::uint64_t j = 0; j < ex_count; ++j) {
+      std::uint64_t ex = 0;
+      if (!r.varint(ex)) return false;
+      // Canonical exceptions are sorted, unique, >= 1, strictly below
+      // the base (an exception equal to the base cannot exist).
+      if (ex == 0 || ex >= base || (j > 0 && ex <= prev_ex)) return false;
+      prev_ex = ex;
+      exceptions.push_back(ex);
+    }
+    out.install_entry(actor, base, std::move(exceptions));
+  }
+  return r.done();
+}
+
+[[nodiscard]] bool parse_payload(SafeReader& r, core::CausalHistory& out) {
+  std::uint64_t n = 0;
+  if (!r.varint(n)) return false;
+  core::Dot prev{};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core::Dot d;
+    if (!r.varint(d.node) || !r.varint(d.counter)) return false;
+    // Canonical histories are sorted unique dots with counters >= 1;
+    // enforcing the order here also keeps insert() appending (linear
+    // total) instead of shifting (quadratic on adversarial input).
+    if (d.counter == 0) return false;
+    if (i > 0 && d <= prev) return false;
+    prev = d;
+    out.insert(d);
+  }
+  return r.done();
+}
+
+[[nodiscard]] std::uint32_t crc_of(std::string_view bytes) noexcept {
+  return store::crc32(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));
+}
+
+template <typename Context>
+[[nodiscard]] CausalToken encode_impl(MechanismId id, const Context& ctx) {
+  codec::Writer payload;
+  codec::encode(payload, ctx);
+
+  std::string out;
+  out.reserve(kHeaderBytes + codec::varint_size(payload.size()) +
+              payload.size() + kCrcBytes);
+  out.push_back(static_cast<char>(kMagic0));
+  out.push_back(static_cast<char>(kMagic1));
+  out.push_back(static_cast<char>(kFormatVersion));
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(id)));
+  std::uint64_t len = payload.size();
+  while (len >= 0x80) {
+    out.push_back(static_cast<char>((len & 0x7f) | 0x80));
+    len >>= 7;
+  }
+  out.push_back(static_cast<char>(len));
+  out.append(reinterpret_cast<const char*>(payload.buffer().data()),
+             payload.size());
+  const std::uint32_t crc = crc_of(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return CausalToken::from_bytes(std::move(out));
+}
+
+template <typename Context>
+[[nodiscard]] bool decode_impl(const CausalToken& token, MechanismId expect,
+                               Context& out) {
+  const std::string& bytes = token.bytes();
+  if (bytes.empty()) {
+    out = Context{};  // the empty context: a blind write, always valid
+    return true;
+  }
+  if (bytes.size() < kHeaderBytes + 1 + kCrcBytes) return false;
+  const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  if (p[0] != kMagic0 || p[1] != kMagic1) return false;
+  if (p[2] != kFormatVersion) return false;
+  if (!valid_mechanism_byte(p[3])) return false;
+  if (static_cast<MechanismId>(p[3]) != expect) return false;  // cross-wired
+
+  // Integrity before structure: the CRC covers everything above it, so
+  // a bit flip or truncation anywhere dies here.
+  const std::size_t body = bytes.size() - kCrcBytes;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(p[body + i]) << (8 * i);
+  }
+  if (crc_of(std::string_view(bytes).substr(0, body)) != stored_crc) return false;
+
+  SafeReader header(p + kHeaderBytes, body - kHeaderBytes);
+  std::uint64_t payload_len = 0;
+  if (!header.varint(payload_len)) return false;
+  const std::size_t payload_at = kHeaderBytes + header.position();
+  if (payload_len != body - payload_at) return false;  // declared ≠ actual
+
+  Context parsed{};
+  SafeReader payload(p + payload_at, static_cast<std::size_t>(payload_len));
+  if (!parse_payload(payload, parsed)) return false;
+
+  // Canonical-form seal: decode→encode must reproduce the payload
+  // byte-for-byte, so every token in circulation has exactly one byte
+  // representation (and the round-trip property is true by
+  // construction, not by luck).
+  codec::Writer reencoded;
+  codec::encode(reencoded, parsed);
+  if (reencoded.size() != payload_len ||
+      (payload_len != 0 &&
+       std::memcmp(reencoded.buffer().data(), p + payload_at,
+                   static_cast<std::size_t>(payload_len)) != 0)) {
+    return false;
+  }
+
+  out = std::move(parsed);
+  return true;
+}
+
+}  // namespace
+
+std::string_view to_string(MechanismId id) noexcept {
+  switch (id) {
+    case MechanismId::kDvv: return "dvv";
+    case MechanismId::kDvvSet: return "dvvset";
+    case MechanismId::kServerVv: return "server-vv";
+    case MechanismId::kClientVv: return "client-vv";
+    case MechanismId::kVve: return "vve";
+    case MechanismId::kCausalHistory: return "causal-history";
+  }
+  return "?";
+}
+
+std::optional<MechanismId> mechanism_id_of(std::string_view name) noexcept {
+  for (const MechanismId id :
+       {MechanismId::kDvv, MechanismId::kDvvSet, MechanismId::kServerVv,
+        MechanismId::kClientVv, MechanismId::kVve, MechanismId::kCausalHistory}) {
+    if (name == to_string(id)) return id;
+  }
+  return std::nullopt;
+}
+
+CausalToken encode_token(MechanismId id, const core::VersionVector& ctx) {
+  return encode_impl(id, ctx);
+}
+CausalToken encode_token(MechanismId id,
+                         const core::VersionVectorWithExceptions& ctx) {
+  return encode_impl(id, ctx);
+}
+CausalToken encode_token(MechanismId id, const core::CausalHistory& ctx) {
+  return encode_impl(id, ctx);
+}
+
+bool decode_token(const CausalToken& token, MechanismId expect,
+                  core::VersionVector& out) {
+  return decode_impl(token, expect, out);
+}
+bool decode_token(const CausalToken& token, MechanismId expect,
+                  core::VersionVectorWithExceptions& out) {
+  return decode_impl(token, expect, out);
+}
+bool decode_token(const CausalToken& token, MechanismId expect,
+                  core::CausalHistory& out) {
+  return decode_impl(token, expect, out);
+}
+
+std::optional<MechanismId> token_mechanism(const CausalToken& token) noexcept {
+  const std::string& bytes = token.bytes();
+  if (bytes.size() < kHeaderBytes) return std::nullopt;
+  const auto* p = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  if (p[0] != kMagic0 || p[1] != kMagic1 || p[2] != kFormatVersion ||
+      !valid_mechanism_byte(p[3])) {
+    return std::nullopt;
+  }
+  return static_cast<MechanismId>(p[3]);
+}
+
+}  // namespace dvv::kv

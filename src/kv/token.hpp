@@ -1,0 +1,133 @@
+// dvv/kv/token.hpp
+//
+// Opaque causal-context tokens — the wire form of "the client returns
+// with its next PUT exactly what the last GET handed it".
+//
+// The paper's client contract is *opacity*: a GET returns the sibling
+// values plus a causal context the client must treat as an opaque
+// token; the server mints the dots.  That is what keeps DVV metadata
+// bounded by the replica count where client-side IDs grow without
+// bound — and it only holds if clients *cannot* inspect, forge or
+// cross-wire contexts.  Riak ships the same contract as the opaque
+// X-Riak-Vclock header.
+//
+// A CausalToken is the codec encoding of one mechanism's Context type
+// under a small versioned header:
+//
+//     offset 0   magic 0xD7          ("DVV")
+//     offset 1   magic 0x70
+//     offset 2   format version      (1)
+//     offset 3   mechanism tag       (MechanismId, 1..6)
+//     ...        varint payload size
+//     ...        payload             (codec context encoding)
+//     last 4     CRC-32 (IEEE, little-endian) of everything above
+//
+// The empty token (zero bytes) is the empty causal context — a blind
+// write — and is valid for every mechanism.
+//
+// Decoding is STRICT: a truncated, bit-flipped, wrong-magic,
+// wrong-version or cross-mechanism token, a payload that does not parse
+// exactly, and even a payload that parses but is not in canonical
+// encoded form (decode→encode would not reproduce the bytes) are all
+// rejected by returning false — never an assert, and never a silent
+// fall-back to a blind write.  The kv::Store facade surfaces the
+// rejection as StoreStatus::kBadToken without touching any state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/causal_history.hpp"
+#include "core/version_vector.hpp"
+#include "core/vve.hpp"
+
+namespace dvv::kv {
+
+/// Wire tag naming the causality mechanism a token belongs to.  Two
+/// mechanisms sharing a Context TYPE (four of the six use a plain
+/// VersionVector) still get distinct tags: a token minted by a DVV
+/// store fed to a server-VV store is a cross-wired context and must be
+/// rejected, not reinterpreted.
+enum class MechanismId : std::uint8_t {
+  kDvv = 1,
+  kDvvSet = 2,
+  kServerVv = 3,
+  kClientVv = 4,
+  kVve = 5,
+  kCausalHistory = 6,
+};
+
+/// Canonical mechanism name ("dvv", "dvvset", "server-vv", "client-vv",
+/// "vve", "causal-history") — matches each mechanism's kName.
+[[nodiscard]] std::string_view to_string(MechanismId id) noexcept;
+
+/// Inverse of to_string; nullopt for unknown names.
+[[nodiscard]] std::optional<MechanismId> mechanism_id_of(
+    std::string_view name) noexcept;
+
+/// The opaque token.  Clients store and return it; only the store that
+/// minted it (same mechanism) can decode it.  Equality is byte
+/// equality — exactly what a client caching tokens per key needs.
+class CausalToken {
+ public:
+  CausalToken() = default;
+
+  /// Wraps raw wire bytes (e.g. received from a remote client) without
+  /// validation — decoding validates.
+  [[nodiscard]] static CausalToken from_bytes(std::string bytes) {
+    CausalToken t;
+    t.bytes_ = std::move(bytes);
+    return t;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return bytes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::string& bytes() const noexcept { return bytes_; }
+
+  friend bool operator==(const CausalToken&, const CausalToken&) = default;
+
+ private:
+  std::string bytes_;
+};
+
+// ---- minting ---------------------------------------------------------------
+
+[[nodiscard]] CausalToken encode_token(MechanismId id,
+                                       const core::VersionVector& ctx);
+[[nodiscard]] CausalToken encode_token(
+    MechanismId id, const core::VersionVectorWithExceptions& ctx);
+[[nodiscard]] CausalToken encode_token(MechanismId id,
+                                       const core::CausalHistory& ctx);
+
+// ---- strict decoding -------------------------------------------------------
+//
+// Returns true and fills `out` when `token` is either empty (the empty
+// context) or a well-formed token minted for `expect`.  Returns false
+// — leaving `out` untouched — on ANY malformation.  Bounded work:
+// every decode step is linear in the bytes the caller already holds
+// (no size amplification), except that a forged VVE payload could
+// CLAIM a huge exception count against a tiny byte string; claims
+// beyond kMaxTokenEvents are rejected before any allocation.  There is
+// deliberately no absolute size cap: every token encode_token can mint
+// must strictly decode, whatever the mechanism's metadata growth.
+
+inline constexpr std::uint64_t kMaxTokenEvents = 1u << 20;
+
+[[nodiscard]] bool decode_token(const CausalToken& token, MechanismId expect,
+                                core::VersionVector& out);
+[[nodiscard]] bool decode_token(const CausalToken& token, MechanismId expect,
+                                core::VersionVectorWithExceptions& out);
+[[nodiscard]] bool decode_token(const CausalToken& token, MechanismId expect,
+                                core::CausalHistory& out);
+
+/// Mechanism tag of a structurally plausible token (header present and
+/// magic/version right) — diagnostics only; says nothing about payload
+/// integrity.  nullopt for empty or obviously malformed tokens.
+[[nodiscard]] std::optional<MechanismId> token_mechanism(
+    const CausalToken& token) noexcept;
+
+}  // namespace dvv::kv

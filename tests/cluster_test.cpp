@@ -365,6 +365,43 @@ TYPED_TEST(ClusterMechanismTest, AntiEntropyConvergesAllReplicas) {
   }
 }
 
+TEST(Cluster, RmwOnUnavailableReadDoesNotWrite) {
+  // Regression: rmw used to proceed to PUT f({}) with the stale
+  // remembered context when its GET came back unavailable — a blind
+  // overwrite conditioned on a read that never happened.
+  Cluster<DvvMechanism> cluster(small_config(), {});
+  ClientSession<DvvMechanism> session(dvv::kv::client_actor(0), cluster);
+  const Key key = "cart";
+  session.put(key, "v1");
+  session.get(key);
+
+  for (const ReplicaId r : cluster.preference_list(key)) {
+    cluster.replica(r).set_alive(false);
+  }
+  bool modifier_ran = false;
+  const auto receipt = session.rmw(key, [&](const std::vector<std::string>&) {
+    modifier_ran = true;
+    return std::string("clobber");
+  });
+  EXPECT_TRUE(receipt.unavailable);
+  EXPECT_EQ(receipt.outcome, dvv::kv::CoordOutcome::kUnavailable);
+  EXPECT_FALSE(modifier_ran) << "an unavailable read must not feed f({})";
+
+  for (const ReplicaId r : cluster.preference_list(key)) {
+    cluster.replica(r).set_alive(true);
+  }
+  const auto after = session.get(key);
+  ASSERT_TRUE(after.found);
+  EXPECT_EQ(after.values, std::vector<std::string>{"v1"})
+      << "nothing may have been written during the outage";
+  // The remembered context survived too: the next rmw overwrites
+  // normally instead of forking a sibling.
+  session.rmw(key, [](const std::vector<std::string>&) {
+    return std::string("v2");
+  });
+  EXPECT_EQ(session.get(key).values, std::vector<std::string>{"v2"});
+}
+
 TYPED_TEST(ClusterMechanismTest, RacingWritesKeptByAllSoundMechanisms) {
   // Every mechanism keeps the conflict visible at the coordinating
   // server itself (even server-VV "detects" it; it only mis-tags it).

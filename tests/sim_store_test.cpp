@@ -1,20 +1,27 @@
 // Tests for the event-driven store simulation (src/sim/sim_store.hpp),
 // the E7 substrate: determinism, accounting invariants, metadata ->
 // latency coupling, and cross-mechanism sanity.
+//
+// The simulator drives the type-erased kv::Store facade, so the
+// mechanism is a runtime name: tests that do not pin one leave
+// config.mechanism empty and run under the process default (env
+// DVV_MECHANISM — the CI matrix sweeps the whole suite that way).
 #include "sim/sim_store.hpp"
 
 #include <gtest/gtest.h>
 
-#include "kv/mechanism.hpp"
+#include <string>
 
 namespace {
 
-using dvv::kv::ClientVvMechanism;
-using dvv::kv::DvvMechanism;
-using dvv::kv::DvvSetMechanism;
 using dvv::sim::simulate_store;
 using dvv::sim::SimStoreConfig;
 using dvv::sim::SimStoreResult;
+
+SimStoreConfig with_mechanism(SimStoreConfig config, std::string name) {
+  config.mechanism = std::move(name);
+  return config;
+}
 
 SimStoreConfig small_config() {
   SimStoreConfig config;
@@ -27,7 +34,7 @@ SimStoreConfig small_config() {
 }
 
 TEST(SimStore, CompletesEveryCycle) {
-  const auto result = simulate_store(small_config(), DvvMechanism{});
+  const auto result = simulate_store(small_config());
   EXPECT_EQ(result.cycles, 8u * 50u);
   EXPECT_EQ(result.get_latency_ms.count(), result.cycles);
   EXPECT_EQ(result.put_latency_ms.count(), result.cycles);
@@ -36,8 +43,8 @@ TEST(SimStore, CompletesEveryCycle) {
 }
 
 TEST(SimStore, DeterministicForSameSeed) {
-  const auto a = simulate_store(small_config(), DvvMechanism{});
-  const auto b = simulate_store(small_config(), DvvMechanism{});
+  const auto a = simulate_store(small_config());
+  const auto b = simulate_store(small_config());
   EXPECT_DOUBLE_EQ(a.cycle_latency_ms.mean(), b.cycle_latency_ms.mean());
   EXPECT_DOUBLE_EQ(a.get_reply_bytes.mean(), b.get_reply_bytes.mean());
   EXPECT_DOUBLE_EQ(a.sim_duration_ms, b.sim_duration_ms);
@@ -45,9 +52,9 @@ TEST(SimStore, DeterministicForSameSeed) {
 
 TEST(SimStore, DifferentSeedsDiffer) {
   auto config = small_config();
-  const auto a = simulate_store(config, DvvMechanism{});
+  const auto a = simulate_store(config);
   config.seed = 8;
-  const auto b = simulate_store(config, DvvMechanism{});
+  const auto b = simulate_store(config);
   EXPECT_NE(a.sim_duration_ms, b.sim_duration_ms);
 }
 
@@ -55,13 +62,13 @@ TEST(SimStore, LatencyRespectsPhysicalLowerBound) {
   // A cycle is at least: 4 one-way legs (GET req/reply, PUT req/ack),
   // each >= base_ms.
   const auto config = small_config();
-  const auto result = simulate_store(config, DvvMechanism{});
+  const auto result = simulate_store(config);
   EXPECT_GE(result.cycle_latency_ms.min(), 4 * config.network.base_ms);
   EXPECT_GE(result.get_latency_ms.min(), 2 * config.network.base_ms);
 }
 
 TEST(SimStore, CycleAtLeastGetPlusPut) {
-  const auto result = simulate_store(small_config(), DvvMechanism{});
+  const auto result = simulate_store(small_config());
   EXPECT_GE(result.cycle_latency_ms.mean(),
             result.get_latency_ms.mean() + result.put_latency_ms.mean() - 1e-9);
 }
@@ -70,8 +77,8 @@ TEST(SimStore, MoreValueBytesMeansSlowerReplies) {
   auto small = small_config();
   auto large = small_config();
   large.value_bytes = 100'000;  // dominate every other term
-  const auto fast = simulate_store(small, DvvMechanism{});
-  const auto slow = simulate_store(large, DvvMechanism{});
+  const auto fast = simulate_store(small);
+  const auto slow = simulate_store(large);
   EXPECT_GT(slow.cycle_latency_ms.mean(), fast.cycle_latency_ms.mean());
   EXPECT_GT(slow.get_reply_bytes.mean(), fast.get_reply_bytes.mean());
 }
@@ -82,18 +89,19 @@ TEST(SimStore, ClientVvCarriesMoreReplyBytesThanDvvUnderManyClients) {
   config.keys = 8;  // hot: many writers per key
   config.ops_per_client = 40;
   config.seed = 11;
-  const auto cvv = simulate_store(config, ClientVvMechanism{});
-  const auto dvv = simulate_store(config, DvvMechanism{});
+  const auto cvv = simulate_store(with_mechanism(config, "client-vv"));
+  const auto dvv = simulate_store(with_mechanism(config, "dvv"));
   EXPECT_GT(cvv.get_reply_bytes.mean(), dvv.get_reply_bytes.mean() * 1.5)
       << "the E7 mechanism gap must be visible in reply sizes";
 }
 
 TEST(SimStore, AllMechanismsCompleteTheWorkload) {
   const auto config = small_config();
-  EXPECT_EQ(simulate_store(config, DvvMechanism{}).cycles, 400u);
-  EXPECT_EQ(simulate_store(config, DvvSetMechanism{}).cycles, 400u);
-  EXPECT_EQ(simulate_store(config, ClientVvMechanism{}).cycles, 400u);
-  EXPECT_EQ(simulate_store(config, dvv::kv::ServerVvMechanism{}).cycles, 400u);
+  for (const char* mechanism : {"dvv", "dvvset", "server-vv", "client-vv",
+                                "vve", "causal-history"}) {
+    EXPECT_EQ(simulate_store(with_mechanism(config, mechanism)).cycles, 400u)
+        << mechanism;
+  }
 }
 
 // ---- crash injection (src/store) -------------------------------------------
@@ -112,7 +120,7 @@ TEST(SimStoreCrash, WalClusterSurvivesCrashStorm) {
   auto config = crashy_config();
   config.storage.kind = dvv::store::BackendKind::kWal;
   config.torn_write_probability = 0.5;
-  const auto result = simulate_store(config, DvvMechanism{});
+  const auto result = simulate_store(config);
   EXPECT_GT(result.crashes, 0u);
   EXPECT_EQ(result.recoveries, result.crashes) << "every crash recovers";
   EXPECT_GT(result.wal_records_replayed, 0u) << "recovery replays the log";
@@ -125,7 +133,7 @@ TEST(SimStoreCrash, WalClusterSurvivesCrashStorm) {
 TEST(SimStoreCrash, MemClusterReplaysNothingOnRecovery) {
   auto config = crashy_config();
   config.storage.kind = dvv::store::BackendKind::kMem;
-  const auto result = simulate_store(config, DvvMechanism{});
+  const auto result = simulate_store(config);
   EXPECT_GT(result.crashes, 0u);
   EXPECT_EQ(result.wal_records_replayed, 0u) << "no log, nothing to replay";
 }
@@ -133,15 +141,15 @@ TEST(SimStoreCrash, MemClusterReplaysNothingOnRecovery) {
 TEST(SimStoreCrash, DeterministicForSameSeed) {
   auto config = crashy_config();
   config.storage.kind = dvv::store::BackendKind::kWal;
-  const auto a = simulate_store(config, DvvMechanism{});
-  const auto b = simulate_store(config, DvvMechanism{});
+  const auto a = simulate_store(config);
+  const auto b = simulate_store(config);
   EXPECT_EQ(a.crashes, b.crashes);
   EXPECT_EQ(a.wal_records_replayed, b.wal_records_replayed);
   EXPECT_DOUBLE_EQ(a.sim_duration_ms, b.sim_duration_ms);
 }
 
 TEST(SimStoreCrash, DisabledByDefault) {
-  const auto result = simulate_store(small_config(), DvvMechanism{});
+  const auto result = simulate_store(small_config());
   EXPECT_EQ(result.crashes, 0u);
   EXPECT_EQ(result.unavailable_requests, 0u);
   EXPECT_EQ(result.replication_drops, 0u);
@@ -154,17 +162,17 @@ TEST(SimStoreNet, TopologyIsConfigurable) {
   auto config = small_config();
   config.servers = 9;
   config.replication = 5;
-  const auto result = simulate_store(config, DvvMechanism{});
+  const auto result = simulate_store(config);
   EXPECT_EQ(result.cycles, 8u * 50u);
   // A 5-way fan-out sends 4 copies per put: more messages than the
   // 3-way default ships in the same workload.
   auto narrow = small_config();
-  const auto three = simulate_store(narrow, DvvMechanism{});
+  const auto three = simulate_store(narrow);
   EXPECT_GT(result.messages_sent, three.messages_sent);
 }
 
 TEST(SimStoreNet, ReplicationRidesRealMessages) {
-  const auto result = simulate_store(small_config(), DvvMechanism{});
+  const auto result = simulate_store(small_config());
   EXPECT_GT(result.messages_sent, 0u);
   EXPECT_EQ(result.messages_dropped, 0u);
   EXPECT_EQ(result.messages_delivered, result.messages_sent)
@@ -180,7 +188,7 @@ TEST(SimStoreNet, PartitionStormsLoseMessagesAndAaeRepairs) {
   config.partition_duration_ms = 6.0;
   config.msg_duplicate_probability = 0.05;
   config.msg_reorder_window = 2;
-  const auto result = simulate_store(config, DvvMechanism{});
+  const auto result = simulate_store(config);
   EXPECT_GT(result.partitions, 0u);
   EXPECT_EQ(result.partitions, result.heals) << "every storm passes";
   EXPECT_GT(result.partition_drops, 0u) << "some fan-out died on the cut";
@@ -195,7 +203,7 @@ TEST(SimStoreNet, PartitionStormsLoseMessagesAndAaeRepairs) {
 TEST(SimStoreQuorum, CoordinatorLocalDefaultsKeepHistoricalShape) {
   // R = W = 1 completes at the coordinator: no op ever waits on the
   // queues, so there are no timeouts and no degraded completions.
-  const auto result = simulate_store(small_config(), DvvMechanism{});
+  const auto result = simulate_store(small_config());
   EXPECT_EQ(result.op_timeouts, 0u);
   EXPECT_EQ(result.reads_degraded, 0u);
   EXPECT_EQ(result.writes_degraded, 0u);
@@ -206,8 +214,8 @@ TEST(SimStoreQuorum, QuorumWritesWaitForRealAcks) {
   auto two = small_config();
   two.write_quorum = 2;
   two.read_quorum = 2;
-  const auto w1 = simulate_store(one, DvvMechanism{});
-  const auto w2 = simulate_store(two, DvvMechanism{});
+  const auto w1 = simulate_store(one);
+  const auto w2 = simulate_store(two);
   EXPECT_EQ(w2.cycles, w1.cycles) << "every cycle still completes";
   EXPECT_GT(w2.put_latency_ms.mean(), w1.put_latency_ms.mean())
       << "W=2 acks ride the queues: the client pays a real round trip";
@@ -234,7 +242,7 @@ TEST(SimStoreQuorum, ConcurrentQuorumOpsSurvivePartitionAndCrashStorms) {
   config.crash_interval_ms = 10.0;
   config.crash_downtime_ms = 8.0;
   config.storage.kind = dvv::store::BackendKind::kWal;
-  const auto result = simulate_store(config, DvvMechanism{});
+  const auto result = simulate_store(config);
 
   EXPECT_EQ(result.cycles + result.unavailable_requests,
             static_cast<std::uint64_t>(config.clients) * config.ops_per_client)
@@ -248,7 +256,7 @@ TEST(SimStoreQuorum, ConcurrentQuorumOpsSurvivePartitionAndCrashStorms) {
       << "replies outliving their requests must hit the hygiene path";
 
   // And the whole storm is reproducible.
-  const auto rerun = simulate_store(config, DvvMechanism{});
+  const auto rerun = simulate_store(config);
   EXPECT_EQ(result.cycles, rerun.cycles);
   EXPECT_EQ(result.op_timeouts, rerun.op_timeouts);
   EXPECT_EQ(result.stale_replies_dropped, rerun.stale_replies_dropped);
@@ -262,8 +270,8 @@ TEST(SimStoreNet, FaultyTransportIsDeterministic) {
   config.msg_duplicate_probability = 0.05;
   config.msg_reorder_window = 3;
   config.aae_interval_ms = 5.0;
-  const auto a = simulate_store(config, DvvMechanism{});
-  const auto b = simulate_store(config, DvvMechanism{});
+  const auto a = simulate_store(config);
+  const auto b = simulate_store(config);
   EXPECT_EQ(a.messages_sent, b.messages_sent);
   EXPECT_EQ(a.messages_dropped, b.messages_dropped);
   EXPECT_EQ(a.partition_drops, b.partition_drops);

@@ -352,7 +352,7 @@ TEST(SimStoreAae, BackgroundRepairRunsAndWorkloadCompletes) {
   cfg.ops_per_client = 40;
   cfg.seed = 7;
   cfg.aae_interval_ms = 5.0;
-  const auto result = dvv::sim::simulate_store(cfg, DvvMechanism{});
+  const auto result = dvv::sim::simulate_store(cfg);
   EXPECT_EQ(result.cycles, cfg.clients * cfg.ops_per_client);
   EXPECT_GT(result.aae_sessions, 0u);
   EXPECT_GT(result.aae_stats.rounds, 0u);
@@ -365,7 +365,7 @@ TEST(SimStoreAae, DisabledByDefault) {
   cfg.keys = 16;
   cfg.ops_per_client = 10;
   cfg.seed = 7;
-  const auto result = dvv::sim::simulate_store(cfg, DvvMechanism{});
+  const auto result = dvv::sim::simulate_store(cfg);
   EXPECT_EQ(result.aae_sessions, 0u);
   EXPECT_EQ(result.aae_stall_ms.count(), 0u);
 }
@@ -377,8 +377,8 @@ TEST(SimStoreAae, DeterministicAcrossRuns) {
   cfg.ops_per_client = 25;
   cfg.seed = 99;
   cfg.aae_interval_ms = 3.0;
-  const auto r1 = dvv::sim::simulate_store(cfg, DvvMechanism{});
-  const auto r2 = dvv::sim::simulate_store(cfg, DvvMechanism{});
+  const auto r1 = dvv::sim::simulate_store(cfg);
+  const auto r2 = dvv::sim::simulate_store(cfg);
   EXPECT_EQ(r1.aae_sessions, r2.aae_sessions);
   EXPECT_EQ(r1.aae_stats.wire_bytes, r2.aae_stats.wire_bytes);
   EXPECT_DOUBLE_EQ(r1.sim_duration_ms, r2.sim_duration_ms);

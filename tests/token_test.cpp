@@ -1,0 +1,295 @@
+// Tests for the CausalToken wire format (src/kv/token): round-trip
+// fidelity for every Context type, the strict-decode rejection matrix
+// (magic, version, mechanism tag, CRC, length, payload structure,
+// canonical form), and the bounded-work guarantees.
+#include "kv/token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/causal_history.hpp"
+#include "core/dot.hpp"
+#include "core/version_vector.hpp"
+#include "core/vve.hpp"
+#include "store/crc32.hpp"
+
+namespace {
+
+using dvv::core::CausalHistory;
+using dvv::core::Dot;
+using dvv::core::VersionVector;
+using dvv::core::VersionVectorWithExceptions;
+using dvv::kv::CausalToken;
+using dvv::kv::decode_token;
+using dvv::kv::encode_token;
+using dvv::kv::MechanismId;
+
+VersionVector sample_vv() {
+  VersionVector vv;
+  vv.set(0, 3);
+  vv.set(2, 1);
+  vv.set(1'000'007, 129);  // client-range actor, multi-byte varints
+  return vv;
+}
+
+VersionVectorWithExceptions sample_vve() {
+  VersionVectorWithExceptions vve;
+  vve.add(Dot{1, 1});
+  vve.add(Dot{1, 4});  // creates exceptions {2, 3}
+  vve.add(Dot{1, 3});  // fills one hole -> exceptions {2}
+  vve.add(Dot{5, 2});  // second actor with exception {1}
+  return vve;
+}
+
+CausalHistory sample_history() {
+  return CausalHistory{Dot{0, 1}, Dot{0, 2}, Dot{3, 1}, Dot{1'000'000, 7}};
+}
+
+/// Rebuilds a token with a correct CRC over arbitrary header/payload
+/// bytes — the forgery helper the canonical-form tests need (a forger
+/// CAN compute a valid checksum; strict decode must still reject
+/// non-canonical payloads).
+CausalToken forge(std::uint8_t mechanism, const std::string& payload,
+                  std::uint8_t magic0 = 0xD7, std::uint8_t magic1 = 0x70,
+                  std::uint8_t version = 1) {
+  std::string bytes;
+  bytes.push_back(static_cast<char>(magic0));
+  bytes.push_back(static_cast<char>(magic1));
+  bytes.push_back(static_cast<char>(version));
+  bytes.push_back(static_cast<char>(mechanism));
+  std::uint64_t len = payload.size();
+  while (len >= 0x80) {
+    bytes.push_back(static_cast<char>((len & 0x7f) | 0x80));
+    len >>= 7;
+  }
+  bytes.push_back(static_cast<char>(len));
+  bytes += payload;
+  const std::uint32_t crc = dvv::store::crc32(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  return CausalToken::from_bytes(std::move(bytes));
+}
+
+// ---- round trips -----------------------------------------------------------
+
+TEST(Token, VersionVectorRoundTripsByteIdentically) {
+  const VersionVector vv = sample_vv();
+  const CausalToken token = encode_token(MechanismId::kDvv, vv);
+  VersionVector decoded;
+  ASSERT_TRUE(decode_token(token, MechanismId::kDvv, decoded));
+  EXPECT_EQ(decoded, vv);
+  EXPECT_EQ(encode_token(MechanismId::kDvv, decoded), token);
+}
+
+TEST(Token, VveRoundTripsByteIdentically) {
+  const VersionVectorWithExceptions vve = sample_vve();
+  const CausalToken token = encode_token(MechanismId::kVve, vve);
+  VersionVectorWithExceptions decoded;
+  ASSERT_TRUE(decode_token(token, MechanismId::kVve, decoded));
+  EXPECT_EQ(decoded, vve);
+  EXPECT_EQ(encode_token(MechanismId::kVve, decoded), token);
+}
+
+TEST(Token, CausalHistoryRoundTripsByteIdentically) {
+  const CausalHistory h = sample_history();
+  const CausalToken token = encode_token(MechanismId::kCausalHistory, h);
+  CausalHistory decoded;
+  ASSERT_TRUE(decode_token(token, MechanismId::kCausalHistory, decoded));
+  EXPECT_EQ(decoded, h);
+  EXPECT_EQ(encode_token(MechanismId::kCausalHistory, decoded), token);
+}
+
+TEST(Token, EmptyTokenIsTheEmptyContext) {
+  VersionVector out = sample_vv();  // pre-dirty: decode must clear it
+  ASSERT_TRUE(decode_token(CausalToken{}, MechanismId::kDvv, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Token, EmptyContextStillMintsAFramedToken) {
+  // GET of a missing key returns the empty context as a real (framed,
+  // checksummed) token — clients cannot distinguish it from any other.
+  const CausalToken token = encode_token(MechanismId::kDvvSet, VersionVector{});
+  EXPECT_FALSE(token.empty());
+  VersionVector out = sample_vv();
+  ASSERT_TRUE(decode_token(token, MechanismId::kDvvSet, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Token, MechanismPeekReadsTheTag) {
+  EXPECT_EQ(dvv::kv::token_mechanism(encode_token(MechanismId::kVve,
+                                                  VersionVectorWithExceptions{})),
+            MechanismId::kVve);
+  EXPECT_EQ(dvv::kv::token_mechanism(CausalToken{}), std::nullopt);
+  EXPECT_EQ(dvv::kv::token_mechanism(CausalToken::from_bytes("junk")),
+            std::nullopt);
+}
+
+// ---- strict rejection ------------------------------------------------------
+
+TEST(Token, CrossMechanismTagIsRejectedEvenWithSharedContextType) {
+  // dvv, dvvset, server-vv and client-vv all use VersionVector contexts;
+  // the tag still segregates them pairwise.
+  const std::vector<MechanismId> vv_mechs = {
+      MechanismId::kDvv, MechanismId::kDvvSet, MechanismId::kServerVv,
+      MechanismId::kClientVv};
+  for (const MechanismId minted : vv_mechs) {
+    const CausalToken token = encode_token(minted, sample_vv());
+    for (const MechanismId target : vv_mechs) {
+      VersionVector out;
+      EXPECT_EQ(decode_token(token, target, out), minted == target);
+    }
+  }
+}
+
+TEST(Token, EveryBitFlipIsRejected) {
+  const CausalToken token = encode_token(MechanismId::kDvv, sample_vv());
+  for (std::size_t byte = 0; byte < token.size(); ++byte) {
+    for (const std::uint8_t mask : {0x01, 0x10, 0x80}) {
+      std::string bytes = token.bytes();
+      bytes[byte] = static_cast<char>(bytes[byte] ^ mask);
+      VersionVector out;
+      EXPECT_FALSE(decode_token(CausalToken::from_bytes(std::move(bytes)),
+                                MechanismId::kDvv, out))
+          << "flip mask " << int(mask) << " at byte " << byte;
+    }
+  }
+}
+
+TEST(Token, EveryTruncationIsRejected) {
+  const CausalToken token = encode_token(MechanismId::kVve, sample_vve());
+  for (std::size_t len = 1; len < token.size(); ++len) {
+    VersionVectorWithExceptions out;
+    EXPECT_FALSE(decode_token(CausalToken::from_bytes(token.bytes().substr(0, len)),
+                              MechanismId::kVve, out))
+        << "prefix length " << len;
+  }
+}
+
+TEST(Token, TrailingGarbageIsRejected) {
+  const CausalToken token = encode_token(MechanismId::kDvv, sample_vv());
+  VersionVector out;
+  EXPECT_FALSE(decode_token(CausalToken::from_bytes(token.bytes() + '\0'),
+                            MechanismId::kDvv, out));
+  EXPECT_FALSE(decode_token(CausalToken::from_bytes(token.bytes() + "xx"),
+                            MechanismId::kDvv, out));
+}
+
+TEST(Token, WrongMagicOrVersionIsRejected) {
+  const std::string payload("\x00", 1);  // canonical empty VV
+  VersionVector out;
+  EXPECT_TRUE(decode_token(forge(1, payload), MechanismId::kDvv, out))
+      << "the forge helper itself must build valid tokens";
+  EXPECT_FALSE(decode_token(forge(1, payload, 0xD8), MechanismId::kDvv, out));
+  EXPECT_FALSE(decode_token(forge(1, payload, 0xD7, 0x71), MechanismId::kDvv, out));
+  EXPECT_FALSE(
+      decode_token(forge(1, payload, 0xD7, 0x70, 2), MechanismId::kDvv, out))
+      << "a future format version must not half-parse";
+  EXPECT_FALSE(decode_token(forge(0, payload), MechanismId::kDvv, out))
+      << "mechanism tag 0 is reserved";
+  EXPECT_FALSE(decode_token(forge(7, payload), MechanismId::kDvv, out))
+      << "mechanism tags beyond the six are invalid";
+}
+
+/// The decisive strictness tests: forged tokens with VALID checksums
+/// whose payloads are parseable-but-non-canonical.  A lax decoder would
+/// accept them and silently normalize — and the same context would then
+/// have two byte representations in the wild.
+TEST(Token, NonCanonicalPayloadsAreRejectedDespiteValidCrc) {
+  VersionVector out;
+  // Zero counter (canonical form erases the entry instead).
+  EXPECT_FALSE(decode_token(forge(1, std::string("\x01\x05\x00", 3)),
+                            MechanismId::kDvv, out));
+  // Unsorted actors.
+  EXPECT_FALSE(decode_token(forge(1, std::string("\x02\x02\x01\x01\x01", 5)),
+                            MechanismId::kDvv, out));
+  // Duplicate actors.
+  EXPECT_FALSE(decode_token(forge(1, std::string("\x02\x01\x01\x01\x02", 5)),
+                            MechanismId::kDvv, out));
+  // Padded varint (0x80 0x00 also encodes actor 0).
+  EXPECT_FALSE(decode_token(forge(1, std::string("\x01\x80\x00\x01", 4)),
+                            MechanismId::kDvv, out));
+  // Declared payload length shorter than the actual bytes.
+  EXPECT_FALSE(decode_token(forge(1, std::string("\x00\x00", 2)),
+                            MechanismId::kDvv, out));
+
+  VersionVectorWithExceptions vout;
+  // VVE entry with base 0 (canonical form drops empty entries).
+  EXPECT_FALSE(decode_token(forge(5, std::string("\x01\x01\x00\x00", 4)),
+                            MechanismId::kVve, vout));
+  // VVE exception >= base.
+  EXPECT_FALSE(decode_token(forge(5, std::string("\x01\x01\x02\x01\x02", 5)),
+                            MechanismId::kVve, vout));
+  // VVE unsorted exceptions.
+  EXPECT_FALSE(decode_token(
+      forge(5, std::string("\x01\x01\x05\x02\x03\x02", 6)), MechanismId::kVve,
+      vout));
+
+  CausalHistory hout;
+  // Unsorted dots.
+  EXPECT_FALSE(decode_token(forge(6, std::string("\x02\x01\x02\x01\x01", 5)),
+                            MechanismId::kCausalHistory, hout));
+  // Duplicate dots.
+  EXPECT_FALSE(decode_token(forge(6, std::string("\x02\x01\x02\x01\x02", 5)),
+                            MechanismId::kCausalHistory, hout));
+  // Zero counter (dots start at 1).
+  EXPECT_FALSE(decode_token(forge(6, std::string("\x01\x01\x00", 3)),
+                            MechanismId::kCausalHistory, hout));
+}
+
+TEST(Token, RejectionLeavesTheOutParameterUntouched) {
+  const VersionVector original = sample_vv();
+  VersionVector out = original;
+  std::string bytes = encode_token(MechanismId::kDvv, VersionVector{}).bytes();
+  bytes[bytes.size() - 1] ^= 1;  // break the CRC
+  EXPECT_FALSE(
+      decode_token(CausalToken::from_bytes(std::move(bytes)), MechanismId::kDvv, out));
+  EXPECT_EQ(out, original) << "failed decodes must not leak partial state";
+}
+
+TEST(Token, MintDecodeSymmetryHoldsForHugeLegitimateContexts) {
+  // No absolute size cap: a mechanism with unbounded metadata (the
+  // causal-history oracle) can legitimately mint multi-megabyte tokens,
+  // and every token the encoder mints must strictly decode — a genuine
+  // uncorrupted token must never come back kBadToken.
+  CausalHistory huge;
+  for (std::uint64_t c = 1; c <= 300'000; ++c) huge.insert(Dot{1, c});
+  const CausalToken token = encode_token(MechanismId::kCausalHistory, huge);
+  EXPECT_GT(token.size(), 1u << 20) << "the case must actually be oversized";
+  CausalHistory decoded;
+  ASSERT_TRUE(decode_token(token, MechanismId::kCausalHistory, decoded));
+  EXPECT_EQ(decoded, huge);
+  EXPECT_EQ(encode_token(MechanismId::kCausalHistory, decoded), token);
+}
+
+TEST(Token, VveExceptionBombIsRejected) {
+  // A forged VVE claiming more exceptions than kMaxTokenEvents dies on
+  // the bound, not on an allocation.
+  std::string payload;
+  payload.push_back('\x01');  // one entry
+  payload.push_back('\x01');  // actor 1
+  // base = large varint
+  std::uint64_t base = dvv::kv::kMaxTokenEvents + 2;
+  while (base >= 0x80) {
+    payload.push_back(static_cast<char>((base & 0x7f) | 0x80));
+    base >>= 7;
+  }
+  payload.push_back(static_cast<char>(base));
+  // ex_count = kMaxTokenEvents + 1 (the bytes for them never follow —
+  // the bound must trip before the reads do).
+  std::uint64_t ex = dvv::kv::kMaxTokenEvents + 1;
+  while (ex >= 0x80) {
+    payload.push_back(static_cast<char>((ex & 0x7f) | 0x80));
+    ex >>= 7;
+  }
+  payload.push_back(static_cast<char>(ex));
+  VersionVectorWithExceptions out;
+  EXPECT_FALSE(decode_token(forge(5, payload), MechanismId::kVve, out));
+}
+
+}  // namespace
