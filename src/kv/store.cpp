@@ -7,6 +7,7 @@
 // the facade stop paying the per-mechanism template fan-out.
 #include "kv/store.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -316,6 +317,18 @@ const std::vector<std::string>& known_mechanisms() {
 std::string default_mechanism_name() {
   if (const char* v = std::getenv("DVV_MECHANISM")) {
     if (mechanism_id_of(v).has_value()) return v;
+    // A typo here (e.g. DVV_MECHANISM=dvvst in a CI matrix leg) must
+    // not silently run everything against the default and pass.
+    std::string expected;
+    for (const std::string& name : known_mechanisms()) {
+      if (!expected.empty()) expected += ", ";
+      expected += name;
+    }
+    std::fprintf(stderr,
+                 "DVV_MECHANISM=\"%s\" is not a known mechanism; expected one "
+                 "of: %s\n",
+                 v, expected.c_str());
+    std::abort();
   }
   return "dvv";
 }

@@ -144,7 +144,8 @@ struct StoreKeyStats {
 
 /// Everything a store needs at construction.  `mechanism` is the
 /// runtime mechanism choice by name; empty selects the process default
-/// (env DVV_MECHANISM, falling back to "dvv").
+/// (env DVV_MECHANISM when set — see default_mechanism_name() — else
+/// "dvv").
 struct StoreConfig {
   std::string mechanism;             ///< "", "dvv", "dvvset", "server-vv",
                                      ///  "client-vv", "vve", "causal-history"
@@ -269,14 +270,17 @@ class Store {
 /// The six mechanism names make_store accepts, in MechanismId order.
 [[nodiscard]] const std::vector<std::string>& known_mechanisms();
 
-/// Process default mechanism name: env DVV_MECHANISM when set to a
-/// known name (the CI matrix re-runs the facade-driven suites under
-/// different values), else "dvv".
+/// Process default mechanism name: env DVV_MECHANISM when set (the CI
+/// matrix re-runs the facade-driven suites under different values),
+/// else "dvv".  An UNRECOGNIZED env value aborts with a message — a
+/// typo in a CI leg must not silently run everything against the
+/// default and pass.
 [[nodiscard]] std::string default_mechanism_name();
 
 /// Builds a store for `config.mechanism` (empty = process default).
-/// Returns nullptr for an unknown mechanism name — runtime mechanism
-/// selection deserves an inspectable error, not an abort.
+/// Returns nullptr for an unknown mechanism name passed explicitly —
+/// runtime mechanism selection deserves an inspectable error; only the
+/// env-driven default (see above) aborts.
 [[nodiscard]] std::unique_ptr<Store> make_store(StoreConfig config);
 
 /// Convenience overload: name + config (name wins over config.mechanism).

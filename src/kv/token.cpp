@@ -101,8 +101,15 @@ class SafeReader {
     if (base == 0) return false;  // canonical form drops empty entries
     if (i > 0 && actor <= prev_actor) return false;
     prev_actor = actor;
+    // Bomb guard.  The per-entry check caps ex_count first so the sum
+    // below cannot wrap mod 2^64 (a forged second entry claiming
+    // ~2^64-1 exceptions must not slip the total back under the bound
+    // and reach the reserve()).
+    if (ex_count > kMaxTokenEvents ||
+        total_exceptions + ex_count > kMaxTokenEvents) {
+      return false;
+    }
     total_exceptions += ex_count;
-    if (total_exceptions > kMaxTokenEvents) return false;  // bomb guard
     std::vector<core::Counter> exceptions;
     exceptions.reserve(static_cast<std::size_t>(ex_count));
     core::Counter prev_ex = 0;

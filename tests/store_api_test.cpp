@@ -190,8 +190,9 @@ TEST(MakeStore, DvvMechanismEnvSelectsDefault) {
   EXPECT_EQ(dvv::kv::default_mechanism_name(), "dvvset");
   EXPECT_EQ(dvv::kv::make_store(store_config())->mechanism_name(), "dvvset");
   ::setenv("DVV_MECHANISM", "no-such-mechanism", 1);
-  EXPECT_EQ(dvv::kv::default_mechanism_name(), "dvv")
-      << "unknown env values fall back instead of failing every default";
+  EXPECT_DEATH(dvv::kv::default_mechanism_name(), "not a known mechanism")
+      << "a typo in the env (e.g. a CI matrix leg) must fail loudly, not "
+         "silently run every test against the default and pass";
 
   if (before == nullptr) {
     ::unsetenv("DVV_MECHANISM");

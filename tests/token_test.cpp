@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -267,27 +268,46 @@ TEST(Token, MintDecodeSymmetryHoldsForHugeLegitimateContexts) {
   EXPECT_EQ(encode_token(MechanismId::kCausalHistory, decoded), token);
 }
 
+void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
 TEST(Token, VveExceptionBombIsRejected) {
   // A forged VVE claiming more exceptions than kMaxTokenEvents dies on
   // the bound, not on an allocation.
   std::string payload;
   payload.push_back('\x01');  // one entry
   payload.push_back('\x01');  // actor 1
-  // base = large varint
-  std::uint64_t base = dvv::kv::kMaxTokenEvents + 2;
-  while (base >= 0x80) {
-    payload.push_back(static_cast<char>((base & 0x7f) | 0x80));
-    base >>= 7;
-  }
-  payload.push_back(static_cast<char>(base));
+  append_varint(payload, dvv::kv::kMaxTokenEvents + 2);  // base
   // ex_count = kMaxTokenEvents + 1 (the bytes for them never follow —
   // the bound must trip before the reads do).
-  std::uint64_t ex = dvv::kv::kMaxTokenEvents + 1;
-  while (ex >= 0x80) {
-    payload.push_back(static_cast<char>((ex & 0x7f) | 0x80));
-    ex >>= 7;
-  }
-  payload.push_back(static_cast<char>(ex));
+  append_varint(payload, dvv::kv::kMaxTokenEvents + 1);
+  VersionVectorWithExceptions out;
+  EXPECT_FALSE(decode_token(forge(5, payload), MechanismId::kVve, out));
+}
+
+TEST(Token, VveExceptionBombWraparoundIsRejected) {
+  // Two entries whose claimed counts sum past 2^64: one real exception
+  // plus a second entry claiming 2^64-1.  A guard that accumulates
+  // before checking wraps the total to 0, passes the bound, and dies in
+  // reserve() with std::length_error/bad_alloc — decode must return
+  // false instead, without throwing.
+  std::string payload;
+  payload.push_back('\x02');  // two entries
+  // Entry 1: actor 1, base 2, one genuine exception {1}.
+  payload.push_back('\x01');
+  payload.push_back('\x02');
+  payload.push_back('\x01');
+  payload.push_back('\x01');
+  // Entry 2: actor 2, base 2, ex_count = 2^64 - 1 (no bytes follow —
+  // the bound must trip before any read or allocation).
+  payload.push_back('\x02');
+  payload.push_back('\x02');
+  append_varint(payload, std::numeric_limits<std::uint64_t>::max());
   VersionVectorWithExceptions out;
   EXPECT_FALSE(decode_token(forge(5, payload), MechanismId::kVve, out));
 }
