@@ -20,6 +20,7 @@
 #include "kv/client.hpp"
 #include "kv/cluster.hpp"
 #include "kv/mechanism.hpp"
+#include "obs/obs.hpp"
 #include "util/fmt.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +150,7 @@ void write_json(const std::vector<Row>& rows) {
   const ClusterConfig cfg = bench_config();
   std::fprintf(f, "{\n  \"bench\": \"anti_entropy\",\n  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"obs\": %s,\n", dvv::obs::registry().json_snapshot().c_str());
   std::fprintf(f,
                "  \"config\": {\"servers\": %zu, \"replication\": %zu, "
                "\"keys\": %zu, \"value_bytes\": %zu, \"merkle_fanout\": %zu, "
@@ -183,6 +185,9 @@ void write_json(const std::vector<Row>& rows) {
 }  // namespace
 
 int main() {
+  // Metrics on for the whole run (behavior-invariant by the obs twin
+  // property) so the embedded registry snapshot holds real numbers.
+  dvv::obs::set_metrics_enabled(true);
   std::printf("==== anti-entropy: digest repair vs full pass wire cost ====\n");
   std::printf("%zu keys, 5 servers, R=3, coordinator-only updates on d%% of "
               "keys; seed=0x%llX\n\n",

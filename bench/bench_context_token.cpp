@@ -34,6 +34,7 @@
 #include "kv/session.hpp"
 #include "kv/store.hpp"
 #include "kv/token.hpp"
+#include "obs/obs.hpp"
 #include "util/fmt.hpp"
 #include "util/rng.hpp"
 
@@ -212,6 +213,7 @@ void write_json(const std::vector<Row>& rows,
   }
   std::fprintf(f, "{\n  \"bench\": \"context_token\",\n  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"obs\": %s,\n", dvv::obs::registry().json_snapshot().c_str());
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -243,6 +245,9 @@ void write_json(const std::vector<Row>& rows,
 }  // namespace
 
 int main() {
+  // Metrics on for the whole run (behavior-invariant by the obs twin
+  // property) so the embedded registry snapshot holds real numbers.
+  dvv::obs::set_metrics_enabled(true);
   std::printf("==== context tokens: wire-visible size + codec cost per "
               "mechanism ====\n");
   std::printf("one hot key; each of C clients GETs then PUTs, for D rounds "

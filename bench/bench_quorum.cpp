@@ -40,6 +40,7 @@
 #include "kv/mechanism.hpp"
 #include "net/sim_transport.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/fmt.hpp"
 #include "util/rng.hpp"
@@ -217,6 +218,8 @@ void write_json(const std::vector<Row>& rows) {
   }
   std::fprintf(f, "{\n  \"bench\": \"quorum\",\n  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"obs\": %s,\n",
+               dvv::obs::registry().json_snapshot().c_str());
   std::fprintf(f,
                "  \"config\": {\"servers\": %zu, \"replication\": %zu, "
                "\"keys\": %zu, \"ops\": %zu, \"deadline_ticks\": %llu},\n"
@@ -230,12 +233,17 @@ void write_json(const std::vector<Row>& rows) {
         "    {\"transport\": \"%s\", \"quorum\": %zu, \"drop\": %.2f, "
         "\"partition_ops\": %zu, \"requests\": %zu, "
         "\"completed_quorum\": %zu, \"timeouts\": %zu, \"degraded\": %zu, "
-        "\"availability_pct\": %.2f, \"latency_ticks_mean\": %.3f, "
-        "\"latency_ticks_p99\": %.1f, \"latency_ticks_max\": %.1f, "
+        "\"availability_pct\": %.2f, \"latency_ticks_mean\": %s, "
+        "\"latency_ticks_p99\": %s, \"latency_ticks_max\": %s, "
         "\"late_reply_drops\": %zu, \"dup_reply_drops\": %zu}%s\n",
         r.transport.c_str(), r.quorum, r.drop, r.partition_ops, r.requests,
         r.completed_quorum, r.timeouts, r.degraded, r.availability_pct,
-        r.latency_mean, r.latency_p99, r.latency_max, r.late_drops,
+        // json_number: an all-timeout row has EMPTY latency samples, and
+        // the accumulators now answer NaN (not 0.0) — render null, since
+        // bare nan is invalid JSON.
+        dvv::util::json_number(r.latency_mean, 3).c_str(),
+        dvv::util::json_number(r.latency_p99, 1).c_str(),
+        dvv::util::json_number(r.latency_max, 1).c_str(), r.late_drops,
         r.dup_drops, i + 1 == rows.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -245,6 +253,9 @@ void write_json(const std::vector<Row>& rows) {
 }  // namespace
 
 int main() {
+  // Metrics on for the whole run (behavior-invariant by the obs twin
+  // property) so the embedded registry snapshot holds real numbers.
+  dvv::obs::set_metrics_enabled(true);
   std::printf("==== quorum: client-observed latency/availability vs R/W, "
               "drop rate, partition ====\n");
   std::printf("%zu concurrent ops, %zu servers, replication %zu, deadline %llu "

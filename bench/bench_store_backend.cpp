@@ -30,6 +30,7 @@
 
 #include "kv/mechanism.hpp"
 #include "kv/replica.hpp"
+#include "obs/obs.hpp"
 #include "store/mem_backend.hpp"
 #include "store/wal_backend.hpp"
 #include "util/fmt.hpp"
@@ -150,6 +151,7 @@ void write_json(const std::vector<Row>& rows) {
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"store_backend\",\n  \"seed\": 0,\n");
+  std::fprintf(f, "  \"obs\": %s,\n", dvv::obs::registry().json_snapshot().c_str());
   std::fprintf(f,
                "  \"config\": {\"keys\": %zu, \"value_bytes\": %zu, "
                "\"commit_ops\": %zu},\n  \"rows\": [\n",
@@ -174,6 +176,9 @@ void write_json(const std::vector<Row>& rows) {
 }  // namespace
 
 int main() {
+  // Metrics on for the whole run (behavior-invariant by the obs twin
+  // property) so the embedded registry snapshot holds real numbers.
+  dvv::obs::set_metrics_enabled(true);
   std::printf("==== store backend: group-commit throughput ====\n");
   std::printf("%zu RMW puts over %zu keys, %zu-byte values\n\n", kCommitOps,
               kKeys, kValueBytes);

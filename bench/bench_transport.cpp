@@ -38,6 +38,7 @@
 #include "kv/mechanism.hpp"
 #include "net/sim_transport.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 #include "util/assert.hpp"
 #include "util/fmt.hpp"
 #include "util/rng.hpp"
@@ -213,6 +214,8 @@ void write_json(const std::vector<Row>& rows) {
   }
   std::fprintf(f, "{\n  \"bench\": \"transport\",\n  \"seed\": %llu,\n",
                static_cast<unsigned long long>(kSeed));
+  std::fprintf(f, "  \"obs\": %s,\n",
+               dvv::obs::registry().json_snapshot().c_str());
   std::fprintf(f,
                "  \"config\": {\"servers\": %zu, \"replication\": %zu, "
                "\"keys\": %zu, \"overhead_ops\": %zu, \"partition_ops\": %zu},\n"
@@ -249,11 +252,26 @@ int main() {
   rows.push_back(bench_overhead("direct-calls", 0.0, &digest_direct));
   const double baseline_ms = rows.back().wall_ms;
   rows.push_back(bench_overhead("inline-transport", baseline_ms, &digest_inline));
+  const double inline_ms = rows.back().wall_ms;
   rows.push_back(bench_overhead("sim-queued", baseline_ms, &digest_queued));
   DVV_ASSERT_MSG(digest_direct == digest_inline,
                  "inline transport must be byte-identical to direct calls");
   DVV_ASSERT_MSG(digest_direct == digest_queued,
                  "a faultless queued transport must converge to the same bytes");
+
+  // Metrics-on twin of the inline variant: the obs layer's cost claim,
+  // measured.  Its overhead_pct is reported against the metrics-OFF
+  // inline run (both runs do identical work, so the delta is the
+  // enabled-handle cost — expected within run noise), and its digest
+  // must match exactly (behavior invariance on the bench workload).
+  std::uint64_t digest_metrics = 0;
+  dvv::obs::set_metrics_enabled(true);
+  dvv::obs::flight().configure(4096);
+  rows.push_back(bench_overhead("inline-metrics-on", inline_ms, &digest_metrics));
+  dvv::obs::set_metrics_enabled(false);
+  dvv::obs::flight().configure(0);
+  DVV_ASSERT_MSG(digest_inline == digest_metrics,
+                 "a metrics-on run must be byte-identical to its twin");
 
   dvv::util::TextTable overhead_table;
   overhead_table.header({"variant", "kops/s", "wall ms", "overhead %"});

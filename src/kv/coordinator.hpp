@@ -58,6 +58,7 @@
 
 #include "kv/mechanism.hpp"
 #include "kv/types.hpp"
+#include "obs/metrics.hpp"
 #include "sync/key_digest.hpp"
 #include "util/assert.hpp"
 
@@ -241,7 +242,12 @@ class QuorumCoordinator {
     req.read.quorum = quorum;
     req.read_repair = opts.read_repair;
     req.deadline = tick_ + opts.deadline_ticks;
+    req.start_tick = tick_;
     ++stats_.reads_started;
+    obs::coord_metrics().reads_started.inc();
+    // The request id (slot|generation) doubles as the trace id of every
+    // span event this request emits into the flight recorder.
+    obs::flight().record("coord", "read_start", id, coordinator, quorum);
     return id;
   }
 
@@ -253,7 +259,11 @@ class QuorumCoordinator {
     req.write = std::move(base);
     req.requested_write_quorum = opts.write_quorum;
     req.deadline = tick_ + opts.deadline_ticks;
+    req.start_tick = tick_;
     ++stats_.writes_started;
+    obs::coord_metrics().writes_started.inc();
+    obs::flight().record("coord", "write_start", id, req.write.coordinator,
+                         opts.write_quorum);
     return id;
   }
 
@@ -262,6 +272,7 @@ class QuorumCoordinator {
   void note_read_asked(std::uint64_t id) {
     DVV_ASSERT(table_.is_current(id));
     ++slot(id).read.asked;
+    obs::flight().record("coord", "read_scatter", id, slot(id).read.asked);
   }
 
   /// Send-time receipt fields of an open write (the cluster's scatter
@@ -301,6 +312,7 @@ class QuorumCoordinator {
     Request* req = reply_target(id, /*want_read=*/true);
     if (req == nullptr) return false;
     if (already_counted(req->read.responders, from)) return false;
+    obs::flight().record("coord", "read_reply", id, from);
     req->read.responders.push_back(from);
     req->reply_digests.emplace_back(
         from, state == nullptr ? sync::kMissing : sync::state_digest(*state));
@@ -320,6 +332,7 @@ class QuorumCoordinator {
     Request* req = reply_target(id, /*want_read=*/false);
     if (req == nullptr) return false;
     if (already_counted(req->write.acked_by, from)) return false;
+    obs::flight().record("coord", "write_ack", id, from);
     req->write.acked_by.push_back(from);
     return maybe_complete_write(*req);
   }
@@ -440,6 +453,8 @@ class QuorumCoordinator {
     bool is_read = true;
     bool read_repair = false;
     std::uint64_t deadline = 0;
+    std::uint64_t start_tick = 0;  ///< coordination tick at start_*
+
     std::size_t requested_write_quorum = 0;
     std::size_t write_quorum = 0;  ///< sealed bar; 0 = scatter not sealed yet
     ReadReceipt read;
@@ -465,8 +480,15 @@ class QuorumCoordinator {
   /// drop the reply (counted) and return null.
   Request* reply_target(std::uint64_t id, bool want_read) {
     if (!table_.is_current(id)) {
-      ++(table_.is_stale(id) ? stats_.stale_replies_dropped
-                             : stats_.late_replies_dropped);
+      if (table_.is_stale(id)) {
+        ++stats_.stale_replies_dropped;
+        obs::coord_metrics().replies_stale_dropped.inc();
+        obs::flight().record("coord", "reply_stale_dropped", id);
+      } else {
+        ++stats_.late_replies_dropped;
+        obs::coord_metrics().replies_late_dropped.inc();
+        obs::flight().record("coord", "reply_late_dropped", id);
+      }
       return nullptr;
     }
     Request& req = slot(id);
@@ -476,6 +498,8 @@ class QuorumCoordinator {
     DVV_ASSERT_MSG(req.is_read == want_read, "coord: reply kind mismatch");
     if (req.outcome() != CoordOutcome::kPending) {
       ++stats_.late_replies_dropped;  // finished state stays untouched
+      obs::coord_metrics().replies_late_dropped.inc();
+      obs::flight().record("coord", "reply_late_dropped", id);
       return nullptr;
     }
     return &req;
@@ -501,6 +525,8 @@ class QuorumCoordinator {
   bool already_counted(const std::vector<ReplicaId>& seen, ReplicaId from) {
     if (!already_counted_impl(seen, from)) return false;
     ++stats_.duplicate_replies_dropped;  // a duplicate counts once
+    obs::coord_metrics().replies_duplicate_dropped.inc();
+    obs::flight().record("coord", "reply_duplicate_dropped", 0, from);
     return true;
   }
 
@@ -514,16 +540,31 @@ class QuorumCoordinator {
   void complete(Request& req, CoordOutcome outcome) {
     DVV_ASSERT(req.outcome() == CoordOutcome::kPending);
     req.set_outcome(outcome);
+    obs::CoordMetrics& m = obs::coord_metrics();
     switch (outcome) {
-      case CoordOutcome::kQuorum: ++stats_.quorum_completions; break;
-      case CoordOutcome::kTimeout: ++stats_.timeouts; break;
-      case CoordOutcome::kUnavailable: ++stats_.unavailable; break;
+      case CoordOutcome::kQuorum:
+        ++stats_.quorum_completions;
+        m.requests_quorum.inc();
+        break;
+      case CoordOutcome::kTimeout:
+        ++stats_.timeouts;
+        m.requests_timeout.inc();
+        break;
+      case CoordOutcome::kUnavailable:
+        ++stats_.unavailable;
+        m.requests_unavailable.inc();
+        break;
       case CoordOutcome::kPending: break;
     }
+    m.latency_ticks.record(tick_ - req.start_tick);
+    obs::flight().record("coord", "complete", req.id,
+                         static_cast<std::uint64_t>(outcome),
+                         tick_ - req.start_tick);
     completed_.push_back(req.id);
   }
 
   void expire(Request& req) {
+    obs::flight().record("coord", "deadline_expired", req.id, tick_);
     const bool answered = req.is_read ? !req.read.responders.empty()
                                       : !req.write.acked_by.empty();
     complete(req, answered ? CoordOutcome::kTimeout : CoordOutcome::kUnavailable);

@@ -13,10 +13,33 @@
 
 #include "kv/cluster.hpp"
 #include "kv/mechanism.hpp"
+#include "obs/metrics.hpp"
 
 namespace dvv::kv {
 
 namespace {
+
+/// Folds a facade result's status into the store.* taxonomy.
+void note_status(StoreStatus status) {
+  obs::StoreMetrics& m = obs::store_metrics();
+  switch (status) {
+    case StoreStatus::kOk: m.status_ok.inc(); break;
+    case StoreStatus::kUnavailable: m.status_unavailable.inc(); break;
+    case StoreStatus::kBadToken: m.status_bad_token.inc(); break;
+  }
+}
+
+[[nodiscard]] StoreGetResult note_get(StoreGetResult out) {
+  obs::store_metrics().gets.inc();
+  note_status(out.status);
+  return out;
+}
+
+[[nodiscard]] StorePutResult note_put(StorePutResult out) {
+  obs::store_metrics().puts.inc();
+  note_status(out.status);
+  return out;
+}
 
 /// Compile-time mechanism -> wire tag.  Two mechanisms sharing a
 /// Context TYPE still get distinct tags (see token.hpp).
@@ -104,50 +127,53 @@ class TypedStore final : public Store {
     StoreGetResult out;
     if (!source.has_value() || !cluster_.replica(*source).alive()) {
       out.status = StoreStatus::kUnavailable;
-      return out;
+      return note_get(std::move(out));
     }
-    return to_get_result(cluster_.get(key, *source));
+    return note_get(to_get_result(cluster_.get(key, *source)));
   }
 
   [[nodiscard]] StoreGetResult get_quorum(const Key& key,
                                           std::size_t quorum) override {
-    return to_get_result(cluster_.get_quorum(key, quorum));
+    return note_get(to_get_result(cluster_.get_quorum(key, quorum)));
   }
 
   StorePutResult put(const Key& key, ClientId client, const CausalToken& token,
                      Value value) override {
     Context ctx;
-    if (!decode_token(token, kId, ctx)) return bad_token_put();
-    return to_put_result(cluster_.put(key, client, ctx, std::move(value)));
+    if (!decode_token(token, kId, ctx)) return note_put(bad_token_put());
+    return note_put(
+        to_put_result(cluster_.put(key, client, ctx, std::move(value))));
   }
 
   StorePutResult put_at(const Key& key, ReplicaId coordinator, ClientId client,
                         const CausalToken& token, Value value,
                         const std::vector<ReplicaId>& replicate_to) override {
     Context ctx;
-    if (!decode_token(token, kId, ctx)) return bad_token_put();
-    return to_put_result(cluster_.put(key, coordinator, client, ctx,
-                                      std::move(value), replicate_to));
+    if (!decode_token(token, kId, ctx)) return note_put(bad_token_put());
+    return note_put(to_put_result(cluster_.put(key, coordinator, client, ctx,
+                                               std::move(value), replicate_to)));
   }
 
   StorePutResult put_with_handoff(const Key& key, ReplicaId coordinator,
                                   ClientId client, const CausalToken& token,
                                   Value value) override {
     Context ctx;
-    if (!decode_token(token, kId, ctx)) return bad_token_put();
-    return to_put_result(cluster_.put_with_handoff(key, coordinator, client, ctx,
-                                                   std::move(value)));
+    if (!decode_token(token, kId, ctx)) return note_put(bad_token_put());
+    return note_put(to_put_result(cluster_.put_with_handoff(
+        key, coordinator, client, ctx, std::move(value))));
   }
 
   // ---- asynchronous quorum coordination ---------------------------------
 
   [[nodiscard]] std::uint64_t begin_read(const Key& key, std::size_t quorum,
                                          const ReadOptions& opts) override {
+    obs::store_metrics().begin_reads.inc();
     return cluster_.begin_read(key, quorum, opts);
   }
   [[nodiscard]] std::uint64_t begin_read_at(const Key& key, ReplicaId coordinator,
                                             std::size_t quorum,
                                             const ReadOptions& opts) override {
+    obs::store_metrics().begin_reads.inc();
     return cluster_.begin_read_at(key, coordinator, quorum, opts);
   }
   [[nodiscard]] StoreWriteBegin begin_write(
@@ -155,10 +181,13 @@ class TypedStore final : public Store {
       const CausalToken& token, Value value,
       const std::vector<ReplicaId>& replicate_to,
       const WriteOptions& opts) override {
+    obs::store_metrics().begin_writes.inc();
     Context ctx;
     if (!decode_token(token, kId, ctx)) {
+      note_status(StoreStatus::kBadToken);
       return StoreWriteBegin{StoreStatus::kBadToken, kInvalidRequestId};
     }
+    note_status(StoreStatus::kOk);
     return StoreWriteBegin{
         StoreStatus::kOk,
         cluster_.begin_write(key, coordinator, client, ctx, std::move(value),
@@ -228,8 +257,12 @@ class TypedStore final : public Store {
   [[nodiscard]] std::size_t hinted_count() const override {
     return cluster_.hinted_count();
   }
-  std::size_t anti_entropy() override { return cluster_.anti_entropy(); }
+  std::size_t anti_entropy() override {
+    obs::store_metrics().anti_entropy_runs.inc();
+    return cluster_.anti_entropy();
+  }
   DigestRepairReport anti_entropy_digest() override {
+    obs::store_metrics().anti_entropy_runs.inc();
     return cluster_.anti_entropy_digest();
   }
   sync::SyncStats anti_entropy_digest_pair(ReplicaId a, ReplicaId b) override {

@@ -17,6 +17,10 @@ void SimTransport::send(NodeId from, NodeId to,
                  "net: wire_size disagrees with the real encoding");
   ++stats_.sent;
   stats_.wire_bytes += bytes.size();
+  obs::NetMetrics& m = obs::net_metrics();
+  m.msgs_sent.inc();
+  m.sent_by_type[msg->index()].inc();
+  m.wire_bytes_sent.inc(bytes.size());
   // Fault decisions are drawn unconditionally and in a fixed order so
   // the consumed Rng stream depends only on the send sequence — never
   // on payload bytes or on the current partition.
@@ -28,15 +32,19 @@ void SimTransport::send(NodeId from, NodeId to,
 
   if (!link_up(from, to)) {
     ++stats_.partition_dropped;
+    m.partition_dropped.inc();
     return;
   }
   if (dropped) {
     ++stats_.dropped;
+    m.msgs_dropped.inc();
     return;
   }
+  if (extra1 > 0) m.msgs_reordered.inc();  // overtakable: later sends can pass
   Queued queued{next_seq_++, from, to, std::move(bytes)};
   if (duplicated) {
     ++stats_.duplicated;
+    m.msgs_duplicated.inc();
     Queued copy = queued;
     copy.seq = next_seq_++;
     queue_.emplace(std::make_pair(tick_ + 1 + extra2, copy.seq), std::move(copy));
@@ -56,6 +64,7 @@ std::size_t SimTransport::pump() {
     queue_.erase(queue_.begin());
     if (!link_up(queued.from, queued.to)) {
       ++stats_.partition_dropped;  // the partition cut it mid-flight
+      obs::net_metrics().partition_dropped.inc();
       continue;
     }
     Envelope envelope;

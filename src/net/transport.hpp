@@ -53,10 +53,16 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace dvv::net {
+
+// The obs catalog's per-message-type counter axis must track the
+// Message variant exactly (obs cannot include net headers).
+static_assert(std::variant_size_v<Message> == obs::kMessageTypes,
+              "net: Message variant and obs::kMessageTypeNames diverged");
 
 /// Uniformly random two-way split of {0, 1, ..., n-1} with both groups
 /// nonempty — the partition-storm shape the simulator, the trace
@@ -200,6 +206,10 @@ class Transport {
   void deliver(const Envelope& envelope) {
     DVV_ASSERT_MSG(sink_ != nullptr, "net: transport has no delivery sink");
     ++stats_.delivered;
+    obs::NetMetrics& m = obs::net_metrics();
+    m.msgs_delivered.inc();
+    m.delivered_by_type[envelope.msg->index()].inc();
+    m.wire_bytes_delivered.inc(envelope.wire_bytes);
     sink_(envelope);
   }
 
@@ -227,8 +237,13 @@ class InlineTransport final : public Transport {
     ++stats_.sent;
     const std::size_t size = wire_size(*msg);
     stats_.wire_bytes += size;
+    obs::NetMetrics& m = obs::net_metrics();
+    m.msgs_sent.inc();
+    m.sent_by_type[msg->index()].inc();
+    m.wire_bytes_sent.inc(size);
     if (!link_up(from, to)) {
       ++stats_.partition_dropped;
+      m.partition_dropped.inc();
       return;
     }
     Envelope envelope{next_seq_++, from, to, std::move(msg), std::move(decoded),

@@ -18,6 +18,7 @@
 #include "kv/types.hpp"
 #include "net/sim_transport.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -49,6 +50,30 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
   util::Rng rng(config.seed);
   const util::ZipfSampler zipf(config.keys, config.zipf_skew);
   SimStoreResult result;
+
+  // Event tallies ride a LOCAL always-enabled obs::Registry — these
+  // counters ARE the result, so they ignore DVV_METRICS (the global
+  // registry's knob).  The run bumps handles; the end of the function
+  // reads the cells back into the SimStoreResult fields, so callers and
+  // tests keep their existing views.
+  obs::Registry sim_metrics(/*enabled=*/true);
+  const obs::Counter m_cycles = sim_metrics.counter("sim.cycles");
+  const obs::Counter m_unavailable = sim_metrics.counter("sim.unavailable_requests");
+  const obs::Counter m_op_timeouts = sim_metrics.counter("sim.op_timeouts");
+  const obs::Counter m_reads_degraded = sim_metrics.counter("sim.reads_degraded");
+  const obs::Counter m_writes_degraded = sim_metrics.counter("sim.writes_degraded");
+  const obs::Counter m_replication_drops =
+      sim_metrics.counter("sim.replication_drops");
+  const obs::Counter m_crashes = sim_metrics.counter("sim.crashes");
+  const obs::Counter m_recoveries = sim_metrics.counter("sim.recoveries");
+  const obs::Counter m_wal_records = sim_metrics.counter("sim.wal_records_replayed");
+  const obs::Counter m_wal_bytes = sim_metrics.counter("sim.wal_bytes_replayed");
+  const obs::Counter m_wal_torn = sim_metrics.counter("sim.wal_torn_records");
+  const obs::Counter m_partitions = sim_metrics.counter("sim.partitions");
+  const obs::Counter m_heals = sim_metrics.counter("sim.heals");
+  const obs::Counter m_aae_sessions = sim_metrics.counter("sim.aae_sessions");
+  const obs::Gauge m_in_flight_peak =
+      sim_metrics.gauge("sim.max_requests_in_flight");
 
   struct ClientState {
     std::size_t remaining = 0;
@@ -100,7 +125,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
     store.pump();
     drain_completed();
     for (const auto& done : store.take_completed_syncs()) {
-      ++result.aae_sessions;
+      m_aae_sessions.inc();
       result.aae_stats.merge(done.stats);
       result.aae_session_bytes.add(static_cast<double>(done.stats.wire_bytes));
       const double duration =
@@ -153,7 +178,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
 
     const auto alive = alive_of(store.preference_list(st.key));
     if (alive.empty()) {
-      ++result.unavailable_requests;
+      m_unavailable.inc();
       begin_cycle(c);
       return;
     }
@@ -165,7 +190,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
       ClientState& state = clients[c];
       if (!store.alive(source)) {
         // Crashed while the request was in flight: timeout, retry later.
-        ++result.unavailable_requests;
+        m_unavailable.inc();
         begin_cycle(c);
         return;
       }
@@ -173,9 +198,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
       ropts.deadline_ticks = kNoTickDeadline;
       const std::uint64_t id =
           store.begin_read_at(state.key, source, config.read_quorum, ropts);
-      result.max_requests_in_flight = std::max(
-          result.max_requests_in_flight,
-          static_cast<std::uint64_t>(store.requests_in_flight()));
+      m_in_flight_peak.set_max(static_cast<double>(store.requests_in_flight()));
       if (store.request_terminal(id)) {  // R=1: the local read sufficed
         finish_get(c, id, source);
         return;
@@ -206,14 +229,14 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
     const kv::StoreReadHarvest harvest = store.take_read_result(id);
     if (harvest.outcome == kv::CoordOutcome::kTimeout ||
         harvest.outcome == kv::CoordOutcome::kUnavailable) {
-      ++result.op_timeouts;
+      m_op_timeouts.inc();
     }
     if (harvest.result.unavailable()) {
-      ++result.unavailable_requests;
+      m_unavailable.inc();
       begin_cycle(c);
       return;
     }
-    if (harvest.result.degraded) ++result.reads_degraded;
+    if (harvest.result.degraded) m_reads_degraded.inc();
     const std::size_t reply_bytes = 16 + harvest.state_bytes;
     // The client adopts the reply's opaque causal token on arrival.
     // A replica busy with background repair serves the read late.
@@ -224,7 +247,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
       ClientState& cs = clients[c];
       if (!store.alive(source)) {
         // Crashed mid-reply: the connection drops, not the token.
-        ++result.unavailable_requests;
+        m_unavailable.inc();
         begin_cycle(c);
         return;
       }
@@ -249,7 +272,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
     const auto pref = store.preference_list(st.key);
     const auto alive = alive_of(pref);
     if (alive.empty()) {
-      ++result.unavailable_requests;
+      m_unavailable.inc();
       begin_cycle(c);
       return;
     }
@@ -263,7 +286,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
       ClientState& cs = clients[c];
       if (!store.alive(coordinator)) {
         // Crashed while the request was in flight: timeout, retry later.
-        ++result.unavailable_requests;
+        m_unavailable.inc();
         begin_cycle(c);
         return;
       }
@@ -284,12 +307,10 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
       // rejection here would be a harness bug, not client weather.
       DVV_ASSERT_MSG(begun.ok(), "simulate_store: own token rejected");
       const std::uint64_t id = begun.id;
-      result.max_requests_in_flight = std::max(
-          result.max_requests_in_flight,
-          static_cast<std::uint64_t>(store.requests_in_flight()));
+      m_in_flight_peak.set_max(static_cast<double>(store.requests_in_flight()));
       const kv::PutReceipt& receipt = store.peek_write_receipt(id);
       // Targets already dead at send time never even get a message.
-      result.replication_drops += (pref.size() - 1) - receipt.replicated_to;
+      m_replication_drops.inc((pref.size() - 1) - receipt.replicated_to);
       const std::size_t replica_bytes =
           receipt.replicated_to == 0
               ? 0
@@ -324,16 +345,16 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
     const kv::PutReceipt receipt = store.take_write_receipt(id);
     if (receipt.outcome == kv::CoordOutcome::kTimeout ||
         receipt.outcome == kv::CoordOutcome::kUnavailable) {
-      ++result.op_timeouts;
+      m_op_timeouts.inc();
     }
-    if (receipt.degraded) ++result.writes_degraded;
+    if (receipt.degraded) m_writes_degraded.inc();
     const double ack_leg =
         config.network.sample(rng, 32) + server_stall(coordinator);
     queue.schedule_in(ack_leg, [&, c, put_start] {
       ClientState& done = clients[c];
       result.put_latency_ms.add(queue.now() - put_start);
       result.cycle_latency_ms.add(queue.now() - done.cycle_start);
-      ++result.cycles;
+      m_cycles.inc();
       begin_cycle(c);
     });
   };
@@ -387,10 +408,10 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
     if (!store.transport().partitioned() && config.servers >= 2) {
       store.partition(net::random_split<kv::ReplicaId>(rng, config.servers),
                       "storm");
-      ++result.partitions;
+      m_partitions.inc();
       queue.schedule_in(config.partition_duration_ms, [&] {
         store.heal();
-        ++result.heals;
+        m_heals.inc();
       });
     }
     queue.schedule_in(rng.exponential(config.partition_interval_ms),
@@ -418,13 +439,13 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
                                    ? 1 + rng.index(32)
                                    : 0;
       store.crash(victim, torn);
-      ++result.crashes;
+      m_crashes.inc();
       queue.schedule_in(config.crash_downtime_ms, [&, victim] {
         const store::RecoveryStats replay = store.recover(victim);
-        ++result.recoveries;
-        result.wal_records_replayed += replay.records_replayed;
-        result.wal_bytes_replayed += replay.bytes_replayed;
-        result.wal_torn_records += replay.torn_records_dropped;
+        m_recoveries.inc();
+        m_wal_records.inc(replay.records_replayed);
+        m_wal_bytes.inc(replay.bytes_replayed);
+        m_wal_torn.inc(replay.torn_records_dropped);
         // Log replay occupies the server like repair traffic does:
         // sequential read + decode of the surviving records.
         const double replay_ms =
@@ -451,7 +472,26 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
   while (!store.transport().idle()) pump_transport();
 
   result.sim_duration_ms = queue.now();
-  result.replication_drops += store.delivery_drops().replicate;
+  m_replication_drops.inc(store.delivery_drops().replicate);
+
+  // Fold the registry cells back into the result's view fields.
+  result.cycles = m_cycles.value();
+  result.unavailable_requests = m_unavailable.value();
+  result.op_timeouts = m_op_timeouts.value();
+  result.reads_degraded = m_reads_degraded.value();
+  result.writes_degraded = m_writes_degraded.value();
+  result.replication_drops = m_replication_drops.value();
+  result.crashes = m_crashes.value();
+  result.recoveries = m_recoveries.value();
+  result.wal_records_replayed = m_wal_records.value();
+  result.wal_bytes_replayed = m_wal_bytes.value();
+  result.wal_torn_records = m_wal_torn.value();
+  result.partitions = m_partitions.value();
+  result.heals = m_heals.value();
+  result.aae_sessions = m_aae_sessions.value();
+  result.max_requests_in_flight =
+      static_cast<std::uint64_t>(m_in_flight_peak.value());
+
   const net::TransportStats& net_stats = store.transport().stats();
   result.messages_sent = net_stats.sent;
   result.messages_delivered = net_stats.delivered;

@@ -1,10 +1,12 @@
 #include "store/wal_backend.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
 #include <utility>
 
 #include "codec/wire.hpp"
+#include "obs/metrics.hpp"
 #include "store/crc32.hpp"
 #include "util/assert.hpp"
 
@@ -98,6 +100,7 @@ void WalBackend::append(const Record& record) {
   ++active_records_;
   ++pending_records_;
   ++stats_.appends;
+  obs::wal_metrics().appends.inc();
   latest_in_sealed_[slot_of(record)] = false;  // latest is now in active_
   if (config_.flush_every > 0 && pending_records_ >= config_.flush_every) flush();
   if (active_.size() >= config_.segment_bytes) rotate();
@@ -108,6 +111,7 @@ void WalBackend::flush() {
   active_durable_ = active_.size();
   pending_records_ = 0;
   ++stats_.flushes;
+  obs::wal_metrics().fsyncs.inc();
 }
 
 void WalBackend::rotate() {
@@ -119,6 +123,7 @@ void WalBackend::rotate() {
   active_records_ = 0;
   for (auto& [slot, in_sealed] : latest_in_sealed_) in_sealed = true;
   ++stats_.segments_sealed;
+  obs::wal_metrics().segments_sealed.inc();
   maybe_compact();
 }
 
@@ -159,11 +164,14 @@ void WalBackend::maybe_compact() {
     frame_record(compacted, entry.first, entry.second);
     ++emitted;
   }
+  obs::WalMetrics& m = obs::wal_metrics();
+  m.compaction_records_dropped.inc(sealed_records_ - emitted);
   stats_.compaction_records_dropped += sealed_records_ - emitted;
   sealed_.clear();
   sealed_.push_back(std::move(compacted));
   sealed_records_ = emitted;
   ++stats_.compactions;
+  m.compactions.inc();
 }
 
 void WalBackend::drop_volatile(std::size_t torn_tail_bytes) {
@@ -181,6 +189,9 @@ void WalBackend::drop_volatile(std::size_t torn_tail_bytes) {
 }
 
 RecoveryResult WalBackend::recover() {
+  // Wall-clock the replay for wal.replay_us.  The timer feeds metrics
+  // only — no control flow depends on it, so behavior invariance holds.
+  const auto replay_start = std::chrono::steady_clock::now();
   RecoveryResult out;
   out.stats.records_lost_unflushed = last_crash_lost_records_;
   last_crash_lost_records_ = 0;
@@ -230,6 +241,17 @@ RecoveryResult WalBackend::recover() {
   active_durable_ = active_.size();
   pending_records_ = 0;
   next_seq_ = max_seq + 1;
+
+  obs::WalMetrics& m = obs::wal_metrics();
+  m.recoveries.inc();
+  m.records_replayed.inc(out.stats.records_replayed);
+  m.torn_records_dropped.inc(out.stats.torn_records_dropped);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - replay_start);
+  m.replay_us.record(static_cast<std::uint64_t>(elapsed.count()));
+  obs::flight().record("wal", "recover", 0, out.stats.records_replayed,
+                       out.stats.torn_records_dropped,
+                       static_cast<std::uint64_t>(elapsed.count()));
   return out;
 }
 

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "sync/key_digest.hpp"
 #include "sync/key_observer.hpp"
 #include "sync/merkle.hpp"
@@ -178,7 +179,7 @@ class SyncSession {
                 const MerkleTree& tb) {
     SyncStats stats;
     const std::vector<std::size_t> leaves = diff_leaves(ta, tb, stats);
-    if (leaves.empty()) return stats;
+    if (leaves.empty()) return note(a, b, stats);
 
     // Leaf round: both sides ship their (key, digest) lists for every
     // differing bucket; the union is the compared set, the mismatches
@@ -222,10 +223,29 @@ class SyncSession {
       shipped_any = true;
     }
     if (shipped_any) ++stats.rounds;
-    return stats;
+    return note(a, b, stats);
   }
 
  private:
+  /// Folds one session's accounting into the process-wide aae.* catalog
+  /// and drops a flight-recorder span (trace id = packed endpoint pair).
+  static SyncStats note(core::ActorId a, core::ActorId b,
+                        const SyncStats& stats) {
+    obs::AaeMetrics& m = obs::aae_metrics();
+    m.sessions.inc();
+    m.rounds.inc(stats.rounds);
+    m.nodes_exchanged.inc(stats.nodes_exchanged);
+    m.keys_compared.inc(stats.keys_compared);
+    m.keys_shipped.inc(stats.keys_shipped);
+    m.wire_bytes.inc(stats.wire_bytes);
+    obs::flight().record("aae", "session",
+                         (static_cast<std::uint64_t>(a) << 32) |
+                             static_cast<std::uint64_t>(b),
+                         stats.keys_compared, stats.keys_shipped,
+                         stats.wire_bytes);
+    return stats;
+  }
+
   [[nodiscard]] static std::size_t key_digest_wire_bytes(const std::string& key) {
     return codec::varint_size(key.size()) + key.size() + sizeof(Digest);
   }

@@ -18,10 +18,17 @@
 
 namespace dvv::util::detail {
 
+/// Last-words hook run after the failure message but before abort().
+/// Defined (and pointed at the flight-recorder dump) in src/obs/obs.cpp;
+/// referencing the symbol here is what pulls that translation unit into
+/// every binary that can assert, so the hook is always installed.
+extern void (*assert_fail_hook)() noexcept;
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "dvv: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
                msg == nullptr ? "" : msg);
+  if (assert_fail_hook != nullptr) assert_fail_hook();
   std::abort();
 }
 

@@ -1,6 +1,7 @@
 #include "util/fmt.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace dvv::util {
@@ -54,6 +55,11 @@ std::string human_bytes(double bytes) {
     ++u;
   }
   return fixed(bytes, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+std::string json_number(double value, int decimals) {
+  if (!std::isfinite(value)) return "null";
+  return fixed(value, decimals);
 }
 
 }  // namespace dvv::util

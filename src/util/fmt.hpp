@@ -48,4 +48,9 @@ class TextTable {
 /// Human-readable byte count ("1.21 KiB").
 [[nodiscard]] std::string human_bytes(double bytes);
 
+/// JSON-safe number rendering: NaN and infinities become "null" (bare
+/// "nan" is not JSON), everything else is fixed-precision.  Benches
+/// printing stats min()/max() — NaN when empty — must use this.
+[[nodiscard]] std::string json_number(double value, int decimals = 3);
+
 }  // namespace dvv::util

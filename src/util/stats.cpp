@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
@@ -71,13 +72,15 @@ double Samples::quantile(double q) const {
 }
 
 double Samples::max() const {
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
   ensure_sorted();
-  return xs_.empty() ? 0.0 : xs_.back();
+  return xs_.back();
 }
 
 double Samples::min() const {
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
   ensure_sorted();
-  return xs_.empty() ? 0.0 : xs_.front();
+  return xs_.front();
 }
 
 Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0) {
@@ -94,6 +97,30 @@ void Histogram::add(std::uint64_t value) noexcept {
 std::uint64_t Histogram::bucket(std::size_t i) const noexcept {
   DVV_ASSERT(i < counts_.size());
   return counts_[i];
+}
+
+double BucketHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return static_cast<double>(bucket_upper(i));
+  }
+  return static_cast<double>(bucket_upper(kBuckets - 1));
+}
+
+void BucketHistogram::merge(const BucketHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void BucketHistogram::reset() noexcept {
+  counts_.fill(0);
+  total_ = 0;
+  sum_ = 0;
 }
 
 std::string Histogram::to_string() const {

@@ -1,13 +1,25 @@
 // dvv/util/stats.hpp
 //
 // Small statistics toolkit used by the simulator and the bench harness:
-// running mean/min/max/stddev (Welford), and a reservoir-free exact
-// percentile accumulator for latency distributions.  Nothing here is
-// performance critical; clarity and numerical soundness win.
+// running mean/min/max/stddev (Welford), a reservoir-free exact
+// percentile accumulator for latency distributions, and a power-of-two
+// bucketed histogram cheap enough for hot-path metrics.  Only the
+// bucketed histogram is performance sensitive; everywhere else clarity
+// and numerical soundness win.
+//
+// Empty-accumulator contract: min()/max() (and the bucketed
+// histogram's quantiles) return quiet NaN when no sample has been
+// added — 0.0 would be indistinguishable from a real measurement of
+// zero, which benches have mistaken for data.  Callers that print
+// JSON must route through util::json_number (fmt.hpp), which renders
+// non-finite values as null.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -19,9 +31,15 @@ class RunningStats {
   void add(double x) noexcept;
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
   [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
-  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
-  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+  /// NaN with no samples (0.0 would masquerade as a measurement).
+  [[nodiscard]] double min() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   [[nodiscard]] double variance() const noexcept;
@@ -49,12 +67,14 @@ class Samples {
   void reserve(std::size_t n) { xs_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
   [[nodiscard]] double mean() const noexcept;
   /// Exact quantile by nearest-rank; q in [0,1].  Sorts lazily.
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double p50() const { return quantile(0.50); }
   [[nodiscard]] double p95() const { return quantile(0.95); }
   [[nodiscard]] double p99() const { return quantile(0.99); }
+  /// NaN with no samples (0.0 would masquerade as a measurement).
   [[nodiscard]] double max() const;
   [[nodiscard]] double min() const;
 
@@ -82,6 +102,58 @@ class Histogram {
  private:
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+};
+
+/// Hot-path-safe bucketed histogram: power-of-two buckets indexed by
+/// bit width, so add() is a count-leading-zeros plus three increments —
+/// no allocation, no stored samples, mergeable.  Bucket 0 holds the
+/// value 0; bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1], so
+/// its inclusive upper bound is 2^i - 1.  Quantiles are estimated as
+/// the upper bound of the bucket containing the nearest-rank sample
+/// (the Prometheus histogram_quantile convention: never under-reports
+/// a latency).  The metrics registry (src/obs) uses this for request
+/// latencies; Samples above stays the exact-quantile tool for offline
+/// analysis.
+class BucketHistogram {
+ public:
+  /// Value 0, then one bucket per bit width 1..64.
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t value) noexcept {
+    ++counts_[bucket_index(value)];
+    ++total_;
+    sum_ += value;
+  }
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  }
+  /// Inclusive upper bound of bucket i: 0, 1, 3, 7, ..., 2^i - 1.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return i >= 64 ? ~0ULL : (1ULL << i) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Nearest-rank quantile as the containing bucket's upper bound;
+  /// q in [0,1].  NaN when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept { return quantile(0.999); }
+
+  void merge(const BucketHistogram& other) noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
 };
 
 }  // namespace dvv::util

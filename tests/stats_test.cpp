@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/fmt.hpp"
 #include "util/rng.hpp"
@@ -20,6 +21,19 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, EmptyExtremaAreNaNNotZero) {
+  // min()/max() of nothing used to report 0.0 — indistinguishable from
+  // a real observed zero.  The empty case must be UNMISTAKABLE.
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-2.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), -2.0);
 }
 
 TEST(RunningStats, SingleSample) {
@@ -101,6 +115,25 @@ TEST(Samples, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(s.p50(), 0.0);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Samples, EmptyExtremaAreNaNNotZero) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(5.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(Fmt, JsonNumberRendersNonFiniteAsNull) {
+  // Bare "nan" is not valid JSON; benches serializing empty-accumulator
+  // extrema must emit null instead.
+  EXPECT_EQ(dvv::util::json_number(1.25, 2), "1.25");
+  EXPECT_EQ(dvv::util::json_number(std::nan(""), 2), "null");
+  EXPECT_EQ(dvv::util::json_number(std::numeric_limits<double>::infinity()),
+            "null");
 }
 
 TEST(Histogram, CountsAndOverflowBucket) {

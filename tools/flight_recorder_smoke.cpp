@@ -1,0 +1,44 @@
+// tools/flight_recorder_smoke.cpp
+//
+// CI crash-path smoke for the flight recorder: arm the recorder, do
+// real replicated work through the kv::Store facade so the ring holds
+// genuine span events, then force a DVV_ASSERT failure.  The process
+// must abort AND leave a well-formed JSON dump at DVV_FLIGHT_DUMP —
+// the CI step runs this binary expecting a non-zero exit and then
+// parses the dump.
+//
+// Exit code 0 here is a FAILURE (the assert did not fire).
+#include <cstdio>
+
+#include "kv/store.hpp"
+#include "obs/obs.hpp"
+#include "util/assert.hpp"
+
+int main() {
+  dvv::obs::flight().configure(256);
+  dvv::obs::set_metrics_enabled(true);
+
+  const auto store = dvv::kv::make_store("dvv", dvv::kv::StoreConfig{});
+  if (store == nullptr) {
+    std::fprintf(stderr, "smoke: make_store failed before the assert\n");
+    return 2;
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const auto put = store->put(key, dvv::kv::client_actor(0),
+                                dvv::kv::CausalToken{}, "v");
+    if (!put.ok()) {
+      std::fprintf(stderr, "smoke: put failed before the assert\n");
+      return 2;
+    }
+    (void)store->get(key);
+  }
+  if (dvv::obs::flight().recorded() == 0) {
+    std::fprintf(stderr, "smoke: recorder captured nothing\n");
+    return 2;
+  }
+
+  DVV_ASSERT_MSG(false, "flight_recorder_smoke: deliberate crash");
+  std::fprintf(stderr, "smoke: assert did not abort\n");
+  return 0;  // unreachable if the assert works; 0 makes CI flag it
+}
