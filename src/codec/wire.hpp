@@ -50,8 +50,11 @@ class Writer {
 };
 
 /// Sequential reader over an encoded buffer.  Decoding failures assert:
-/// inside this repository codecs only ever read buffers they produced,
-/// so a malformed buffer is a bug, not an input error.
+/// this class is ONLY for buffers the process itself produced, where a
+/// malformed buffer is a bug, not an input error.  Anything that reads
+/// bytes of foreign provenance (client tokens, peer frames, replayed
+/// WAL segments) must use StrictReader below, whose failure mode is a
+/// status return the caller can reject.
 class Reader {
  public:
   explicit Reader(std::span<const std::byte> data) noexcept : data_(data) {}
@@ -80,6 +83,68 @@ class Reader {
 
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Sequential STRICT reader for bytes the process did NOT produce —
+/// client tokens, peer wire frames, replayed (possibly tampered) WAL
+/// segments.  Where Reader asserts, every StrictReader step returns
+/// false on malformation and the caller rejects the input; nothing an
+/// adversary puts on the wire can reach a DVV_ASSERT through this
+/// class.  The contract (the token.hpp idiom, hoisted to the codec
+/// layer so every untrusted boundary shares one implementation):
+///
+///   * bounds-checked: no read past the received bytes;
+///   * linear: work is bounded by the bytes the caller already holds —
+///     a length claim is validated against the remaining input BEFORE
+///     any allocation, so a forged huge claim cannot amplify;
+///   * canonical varints only: redundant trailing zero-groups
+///     (0x80 0x00 also encodes 0) and 64-bit overflow are rejected, so
+///     a value has exactly one accepted encoding and decode→encode
+///     byte-identity checks cannot be dodged at the varint level.
+class StrictReader {
+ public:
+  explicit StrictReader(std::span<const std::byte> data) noexcept : data_(data) {}
+  StrictReader(const void* data, std::size_t size) noexcept
+      : data_(static_cast<const std::byte*>(data), size) {}
+
+  [[nodiscard]] bool varint(std::uint64_t& out) noexcept {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size() || shift >= 64) return false;
+      const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+      if (shift == 63 && (b & 0x7e) != 0) return false;  // overflow
+      value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        if (b == 0 && shift != 0) return false;  // non-canonical padding
+        out = value;
+        return true;
+      }
+      shift += 7;
+    }
+  }
+
+  /// Length-prefixed byte string.  The length claim is capped by the
+  /// remaining input before `out` is touched.
+  [[nodiscard]] bool bytes(std::string& out) {
+    std::uint64_t len = 0;
+    if (!varint(len)) return false;
+    if (len > data_.size() - pos_) return false;
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_),
+               static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
 
  private:
   std::span<const std::byte> data_;

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "kv/cluster.hpp"
@@ -111,7 +111,7 @@ class ClientSession {
  private:
   ClientId id_;
   Cluster<M>* cluster_;
-  std::unordered_map<Key, Context> contexts_;
+  std::map<Key, Context> contexts_;  // ordered: see dvv_lint unordered-container
 };
 
 }  // namespace dvv::kv

@@ -20,7 +20,6 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -216,12 +215,11 @@ class Replica {
     return it == data_.end() ? nullptr : &it->second;
   }
 
-  /// All keys this replica holds (sorted for deterministic iteration).
+  /// All keys this replica holds (sorted: data_ is an ordered map).
   [[nodiscard]] std::vector<Key> keys() const {
     std::vector<Key> out;
     out.reserve(data_.size());
     for (const auto& [key, stored] : data_) out.push_back(key);
-    std::sort(out.begin(), out.end());
     return out;
   }
 
@@ -376,7 +374,12 @@ class Replica {
   std::uint64_t incarnation_ = 0;  ///< survives crash(); see incarnation()
   sync::KeyObserver* observer_ = nullptr;
   std::unique_ptr<store::StorageBackend> backend_;
-  std::unordered_map<Key, Stored> data_;
+  /// Ordered on purpose (dvv_lint bans unordered containers here): every
+  /// iteration over replica state — sync_with's merge order, crash/
+  /// recover re-dirtying, footprint accounting — is part of the twin-
+  /// equivalence surface, and unordered iteration order is an
+  /// implementation detail of the standard library build.
+  std::map<Key, Stored> data_;
   std::map<std::pair<ReplicaId, Key>, Stored> hinted_;
 };
 

@@ -15,7 +15,7 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <utility>
 
 #include "kv/store.hpp"
@@ -106,7 +106,7 @@ class Session {
  private:
   ClientId id_;
   Store* store_;
-  std::unordered_map<Key, CausalToken> tokens_;
+  std::map<Key, CausalToken> tokens_;  // ordered: see dvv_lint unordered-container
 };
 
 }  // namespace dvv::kv

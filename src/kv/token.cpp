@@ -4,7 +4,9 @@
 // layout and the rejection contract.  Decoding never uses codec::Reader
 // (whose failure mode is an assert — correct for buffers the library
 // produced itself, wrong for tokens a client hands back): every read
-// here is bounds-checked and every malformation returns false.
+// goes through codec::StrictReader — bounds-checked, canonical-varint-
+// only, malformation returns false.  The payload parsers layered on it
+// add the per-mechanism canonical-form checks.
 #include "kv/token.hpp"
 
 #include <cstring>
@@ -30,46 +32,10 @@ constexpr std::size_t kCrcBytes = 4;
          b <= static_cast<std::uint8_t>(MechanismId::kCausalHistory);
 }
 
-/// Bounds-checked little reader over the token's bytes.  Unlike
-/// codec::Reader it reports malformation instead of asserting.
-class SafeReader {
- public:
-  SafeReader(const std::uint8_t* data, std::size_t size) noexcept
-      : data_(data), size_(size) {}
-
-  [[nodiscard]] bool varint(std::uint64_t& out) noexcept {
-    std::uint64_t value = 0;
-    int shift = 0;
-    while (true) {
-      if (pos_ >= size_ || shift >= 64) return false;
-      const std::uint8_t b = data_[pos_++];
-      if (shift == 63 && (b & 0x7e) != 0) return false;  // overflow
-      value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) {
-        // Canonical varints have no redundant trailing zero-groups
-        // (0x80 0x00 also encodes 0); reject the padded forms so the
-        // decode→encode byte-identity check cannot be dodged here.
-        if (b == 0 && shift != 0) return false;
-        out = value;
-        return true;
-      }
-      shift += 7;
-    }
-  }
-
-  [[nodiscard]] bool done() const noexcept { return pos_ == size_; }
-  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
-
- private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-};
-
 /// Payload parsers: strict, canonical-order-enforcing, bounded work.
 /// Each fills `out` only from input it fully validated.
 
-[[nodiscard]] bool parse_payload(SafeReader& r, core::VersionVector& out) {
+[[nodiscard]] bool parse_payload(codec::StrictReader& r, core::VersionVector& out) {
   std::uint64_t n = 0;
   if (!r.varint(n)) return false;
   core::ActorId prev_actor = 0;
@@ -87,7 +53,7 @@ class SafeReader {
   return r.done();
 }
 
-[[nodiscard]] bool parse_payload(SafeReader& r,
+[[nodiscard]] bool parse_payload(codec::StrictReader& r,
                                  core::VersionVectorWithExceptions& out) {
   std::uint64_t n = 0;
   if (!r.varint(n)) return false;
@@ -127,7 +93,7 @@ class SafeReader {
   return r.done();
 }
 
-[[nodiscard]] bool parse_payload(SafeReader& r, core::CausalHistory& out) {
+[[nodiscard]] bool parse_payload(codec::StrictReader& r, core::CausalHistory& out) {
   std::uint64_t n = 0;
   if (!r.varint(n)) return false;
   core::Dot prev{};
@@ -201,14 +167,14 @@ template <typename Context>
   }
   if (crc_of(std::string_view(bytes).substr(0, body)) != stored_crc) return false;
 
-  SafeReader header(p + kHeaderBytes, body - kHeaderBytes);
+  codec::StrictReader header(p + kHeaderBytes, body - kHeaderBytes);
   std::uint64_t payload_len = 0;
   if (!header.varint(payload_len)) return false;
   const std::size_t payload_at = kHeaderBytes + header.position();
   if (payload_len != body - payload_at) return false;  // declared ≠ actual
 
   Context parsed{};
-  SafeReader payload(p + payload_at, static_cast<std::size_t>(payload_len));
+  codec::StrictReader payload(p + payload_at, static_cast<std::size_t>(payload_len));
   if (!parse_payload(payload, parsed)) return false;
 
   // Canonical-form seal: decode→encode must reproduce the payload

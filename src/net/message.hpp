@@ -19,11 +19,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <variant>
 
 #include "codec/wire.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace dvv::net {
@@ -125,6 +129,12 @@ using Message = std::variant<ReplicateMsg, HintMsg, HintDeliverMsg, HintAckMsg,
                              SyncReqMsg, SyncRespMsg, CoordReadReqMsg,
                              CoordReadRespMsg, CoordWriteReqMsg, CoordWriteRespMsg>;
 
+// The obs catalog's per-message-type counter axes (sent, delivered,
+// decode_reject) must track the Message variant exactly; obs cannot
+// include net headers, so the check lives here.
+static_assert(std::variant_size_v<Message> == obs::kMessageTypes,
+              "net: Message variant and obs::kMessageTypeNames diverged");
+
 // ---- codec -----------------------------------------------------------------
 //
 // One-byte type tag (the variant index as a varint), then the fields in
@@ -176,80 +186,106 @@ inline void encode(codec::Writer& w, const Message& msg) {
       msg);
 }
 
-[[nodiscard]] inline Message decode_message(codec::Reader& r) {
-  const std::uint64_t tag = r.varint();
+// Decoding is STRICT — the message layer is the first thing a socket
+// front-end will point at hostile bytes, so the decode path follows the
+// token.hpp contract: bounds-checked, linear in the received bytes
+// (length claims are capped against the remaining input before any
+// allocation), canonical-form-only (non-minimal varints and found
+// flags outside {0,1} are rejected), and a failure is a status return,
+// never an assert.  Successful decode of a full frame therefore
+// implies encode_to_bytes reproduces the input byte-for-byte — the
+// round-trip property the wire fuzzer pins.
+
+/// Strict decode of one message from `r`.  Returns nullopt on any
+/// malformation, leaving `r` mid-buffer.  When `tag_out` is non-null it
+/// receives the claimed variant index if one was readable and in range
+/// (rejection taxonomy for the decode_reject counters), else SIZE_MAX.
+[[nodiscard]] inline std::optional<Message> try_decode_message(
+    codec::StrictReader& r, std::size_t* tag_out = nullptr) {
+  if (tag_out != nullptr) *tag_out = SIZE_MAX;
+  std::uint64_t tag = 0;
+  if (!r.varint(tag)) return std::nullopt;
+  if (tag >= std::variant_size_v<Message>) return std::nullopt;
+  if (tag_out != nullptr) *tag_out = static_cast<std::size_t>(tag);
   switch (tag) {
     case 0: {
       ReplicateMsg m;
-      m.key = r.bytes();
-      m.state = r.bytes();
+      if (!r.bytes(m.key) || !r.bytes(m.state)) return std::nullopt;
       return m;
     }
     case 1: {
       HintMsg m;
-      m.owner = r.varint();
-      m.key = r.bytes();
-      m.state = r.bytes();
+      if (!r.varint(m.owner) || !r.bytes(m.key) || !r.bytes(m.state)) {
+        return std::nullopt;
+      }
       return m;
     }
     case 2: {
       HintDeliverMsg m;
-      m.owner = r.varint();
-      m.key = r.bytes();
-      m.state = r.bytes();
+      if (!r.varint(m.owner) || !r.bytes(m.key) || !r.bytes(m.state)) {
+        return std::nullopt;
+      }
       return m;
     }
     case 3: {
       HintAckMsg m;
-      m.owner = r.varint();
-      m.key = r.bytes();
-      m.digest = r.varint();
+      if (!r.varint(m.owner) || !r.bytes(m.key) || !r.varint(m.digest)) {
+        return std::nullopt;
+      }
       return m;
     }
     case 4: {
       SyncReqMsg m;
-      m.nonce = r.varint();
+      if (!r.varint(m.nonce)) return std::nullopt;
       return m;
     }
     case 5: {
       SyncRespMsg m;
-      m.nonce = r.varint();
-      m.rounds = r.varint();
-      m.nodes_exchanged = r.varint();
-      m.keys_compared = r.varint();
-      m.keys_shipped = r.varint();
-      m.wire_bytes = r.varint();
+      if (!r.varint(m.nonce) || !r.varint(m.rounds) ||
+          !r.varint(m.nodes_exchanged) || !r.varint(m.keys_compared) ||
+          !r.varint(m.keys_shipped) || !r.varint(m.wire_bytes)) {
+        return std::nullopt;
+      }
       return m;
     }
     case 6: {
       CoordReadReqMsg m;
-      m.req = r.varint();
-      m.key = r.bytes();
+      if (!r.varint(m.req) || !r.bytes(m.key)) return std::nullopt;
       return m;
     }
     case 7: {
       CoordReadRespMsg m;
-      m.req = r.varint();
-      m.found = r.varint() != 0;
-      m.state = r.bytes();
+      std::uint64_t found = 0;
+      if (!r.varint(m.req) || !r.varint(found)) return std::nullopt;
+      if (found > 1) return std::nullopt;  // canonical bool
+      m.found = found != 0;
+      if (!r.bytes(m.state)) return std::nullopt;
       return m;
     }
     case 8: {
       CoordWriteReqMsg m;
-      m.req = r.varint();
-      m.key = r.bytes();
-      m.state = r.bytes();
+      if (!r.varint(m.req) || !r.bytes(m.key) || !r.bytes(m.state)) {
+        return std::nullopt;
+      }
       return m;
     }
-    case 9: {
+    default: {
       CoordWriteRespMsg m;
-      m.req = r.varint();
+      if (!r.varint(m.req)) return std::nullopt;
       return m;
     }
-    default:
-      DVV_ASSERT_MSG(false, "net: unknown message tag");
-      return SyncReqMsg{};
   }
+}
+
+/// Strict decode of a full transport payload: one message consuming
+/// every byte.  Trailing bytes, truncation, unknown tags and
+/// non-canonical encodings all return nullopt.  `tag_out` as above.
+[[nodiscard]] inline std::optional<Message> try_decode_from_bytes(
+    std::string_view bytes, std::size_t* tag_out = nullptr) {
+  codec::StrictReader r(bytes.data(), bytes.size());
+  std::optional<Message> msg = try_decode_message(r, tag_out);
+  if (!msg.has_value() || !r.done()) return std::nullopt;
+  return msg;
 }
 
 /// Exact size of `msg`'s codec encoding, computed without building the
@@ -305,13 +341,34 @@ inline void encode(codec::Writer& w, const Message& msg) {
   return std::string(reinterpret_cast<const char*>(w.buffer().data()), w.size());
 }
 
-/// Decodes a Transport payload (asserts the buffer is fully consumed —
-/// inside this repository the transport only carries bytes it framed).
+/// Decodes a payload the process framed itself (tests, loopback
+/// round-trips): same strict parse, but failure asserts — on bytes of
+/// local provenance a malformed frame is a bug, not an input error.
+/// Bytes of foreign provenance go through decode_or_reject instead.
 [[nodiscard]] inline Message decode_from_bytes(const std::string& bytes) {
-  codec::Reader r(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));
-  Message msg = decode_message(r);
-  DVV_ASSERT_MSG(r.exhausted(), "net: trailing bytes in message");
+  std::optional<Message> msg = try_decode_from_bytes(bytes);
+  DVV_ASSERT_MSG(msg.has_value(), "net: malformed self-framed message");
+  return *std::move(msg);
+}
+
+/// The untrusted-boundary entry point: strict decode plus rejection
+/// accounting.  On failure bumps net.decode_reject and the per-type
+/// taxonomy counter (net.decode_reject.<type> when a plausible type
+/// tag was readable, net.decode_reject.unknown otherwise) and returns
+/// nullopt — the caller drops the frame; no malformed input can abort.
+[[nodiscard]] inline std::optional<Message> decode_or_reject(
+    std::string_view bytes) {
+  std::size_t tag = SIZE_MAX;
+  std::optional<Message> msg = try_decode_from_bytes(bytes, &tag);
+  if (!msg.has_value()) {
+    obs::NetMetrics& m = obs::net_metrics();
+    m.decode_reject.inc();
+    if (tag < obs::kMessageTypes) {
+      m.decode_reject_by_type[tag].inc();
+    } else {
+      m.decode_reject_unknown.inc();
+    }
+  }
   return msg;
 }
 

@@ -1,7 +1,9 @@
 #include "net/sim_transport.hpp"
 
 #include <cstdlib>
+#include <optional>
 #include <string_view>
+#include <utility>
 
 namespace dvv::net {
 
@@ -67,13 +69,20 @@ std::size_t SimTransport::pump() {
       obs::net_metrics().partition_dropped.inc();
       continue;
     }
+    // Strict delivery decode: bytes this transport framed itself always
+    // parse; injected hostile bytes that do not are rejected and
+    // dropped here (counted, never delivered, never an abort).
+    std::optional<Message> msg = decode_or_reject(queued.bytes);
+    if (!msg.has_value()) {
+      ++stats_.decode_rejected;
+      continue;
+    }
     Envelope envelope;
     envelope.seq = queued.seq;
     envelope.from = queued.from;
     envelope.to = queued.to;
     envelope.wire_bytes = queued.bytes.size();
-    envelope.msg =
-        std::make_shared<const Message>(decode_from_bytes(queued.bytes));
+    envelope.msg = std::make_shared<const Message>(*std::move(msg));
     deliver(envelope);
     ++delivered;
   }

@@ -67,6 +67,26 @@ class SimTransport final : public Transport {
 
   [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
 
+  /// Puts RAW bytes on the wire as if a (possibly hostile) peer sent
+  /// them: no fault draws, no serialization — the bytes go on the queue
+  /// verbatim, due at the next tick, and face the same strict delivery
+  /// decode every queued frame faces.  Malformed bytes are rejected and
+  /// dropped at pump() (net.decode_reject / stats().decode_rejected),
+  /// never delivered and never an abort.  This is the adversarial-input
+  /// hook the decode-boundary tests and fuzz harnesses drive; the
+  /// seeded fault stream is untouched, so injecting frames never
+  /// perturbs a chaos twin's delivery schedule.
+  void inject_raw(NodeId from, NodeId to, std::string bytes) {
+    ++stats_.sent;
+    stats_.wire_bytes += bytes.size();
+    obs::NetMetrics& m = obs::net_metrics();
+    m.msgs_sent.inc();
+    m.wire_bytes_sent.inc(bytes.size());
+    queue_.emplace(std::make_pair(tick_ + 1, next_seq_),
+                   Queued{next_seq_, from, to, std::move(bytes)});
+    ++next_seq_;
+  }
+
   /// Rewrites the fault rates in place (the queue and partition state
   /// are untouched).  Chaos tests quiesce with this — zero rates, heal,
   /// drain — before asserting about fixed points.

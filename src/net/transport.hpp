@@ -59,11 +59,6 @@
 
 namespace dvv::net {
 
-// The obs catalog's per-message-type counter axis must track the
-// Message variant exactly (obs cannot include net headers).
-static_assert(std::variant_size_v<Message> == obs::kMessageTypes,
-              "net: Message variant and obs::kMessageTypeNames diverged");
-
 /// Uniformly random two-way split of {0, 1, ..., n-1} with both groups
 /// nonempty — the partition-storm shape the simulator, the trace
 /// generator and the chaos tests all inject (one draw sequence:
@@ -108,6 +103,11 @@ struct TransportStats {
   std::size_t duplicated = 0;       ///< extra copies enqueued
   std::size_t partition_dropped = 0;  ///< lost to a cut link (send or delivery)
   std::size_t wire_bytes = 0;       ///< payload bytes of every send
+  /// Frames that failed the strict delivery decode and were dropped
+  /// (net.decode_reject).  Never bumped by traffic this transport
+  /// framed itself — only hostile bytes (inject_raw, a future socket
+  /// peer) can be malformed.
+  std::size_t decode_rejected = 0;
 };
 
 class Transport {

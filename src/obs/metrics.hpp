@@ -71,6 +71,15 @@ struct NetMetrics {
   MetricCounter wire_bytes_delivered;  ///< net.wire_bytes_delivered
   MetricCounter sent_by_type[kMessageTypes];       ///< net.sent.<type>
   MetricCounter delivered_by_type[kMessageTypes];  ///< net.delivered.<type>
+  /// Strict-decode rejections of inbound frames (net::decode_or_reject):
+  /// hostile or corrupted bytes that did not parse as any message.  The
+  /// future socket front-end alerts on this; inside the repo only
+  /// injected-malformed tests and fuzz harnesses ever bump it.
+  MetricCounter decode_reject;                        ///< net.decode_reject
+  MetricCounter decode_reject_by_type[kMessageTypes]; ///< net.decode_reject.<type>
+  /// Frames rejected before a plausible type tag could be read (empty,
+  /// truncated-varint, or out-of-range tag) — no per-type attribution.
+  MetricCounter decode_reject_unknown;  ///< net.decode_reject.unknown
 };
 [[nodiscard]] NetMetrics& net_metrics();
 

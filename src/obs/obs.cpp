@@ -65,6 +65,8 @@ void append_histogram_json(std::string& out, const util::BucketHistogram& h) {
 [[nodiscard]] std::uint64_t steady_now_us() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
+          // dvv-lint: allow(wall-clock) — metrics-only monotonic stamp;
+          // never read by sim-reachable control flow
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
@@ -303,11 +305,15 @@ NetMetrics& net_metrics() {
     out.partition_dropped = r.counter("net.partition_dropped");
     out.wire_bytes_sent = r.counter("net.wire_bytes_sent");
     out.wire_bytes_delivered = r.counter("net.wire_bytes_delivered");
+    out.decode_reject = r.counter("net.decode_reject");
+    out.decode_reject_unknown = r.counter("net.decode_reject.unknown");
     for (std::size_t i = 0; i < kMessageTypes; ++i) {
       out.sent_by_type[i] =
           r.counter(std::string("net.sent.") + kMessageTypeNames[i]);
       out.delivered_by_type[i] =
           r.counter(std::string("net.delivered.") + kMessageTypeNames[i]);
+      out.decode_reject_by_type[i] =
+          r.counter(std::string("net.decode_reject.") + kMessageTypeNames[i]);
     }
 #endif
     return out;

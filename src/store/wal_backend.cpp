@@ -14,25 +14,6 @@ namespace dvv::store {
 
 namespace {
 
-/// Bounds-checked LEB128 read for recovery: unlike codec::Reader (which
-/// asserts, because it only ever reads buffers the process produced), a
-/// WAL tail may be torn anywhere, so truncation here is data, not a bug.
-bool read_varint(std::span<const std::byte> data, std::size_t& pos,
-                 std::uint64_t& out) {
-  std::uint64_t value = 0;
-  int shift = 0;
-  while (true) {
-    if (pos >= data.size() || shift >= 64) return false;
-    const auto b = static_cast<std::uint8_t>(data[pos++]);
-    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) {
-      out = value;
-      return true;
-    }
-    shift += 7;
-  }
-}
-
 struct ParsedFrame {
   Record record;
   std::uint64_t seq = 0;
@@ -41,28 +22,34 @@ struct ParsedFrame {
 };
 
 /// Parses and validates one frame at `pos`.  Returns false on any
-/// truncation or CRC mismatch — the caller treats that as the torn end
-/// of the log.
+/// truncation, CRC mismatch or malformed payload — the caller treats
+/// that as the torn end of the log.
+///
+/// Every read is strict, INCLUDING the post-CRC payload parse: a CRC
+/// match only proves the payload bytes arrived as written, not that
+/// they were written by append() — a tampered or fuzzer-minted segment
+/// can carry a correct CRC over a malformed payload, and replay must
+/// reject it as corruption, not abort on it.
 bool parse_frame(std::span<const std::byte> seg, std::size_t pos, ParsedFrame& out) {
+  codec::StrictReader header(seg.subspan(pos));
   std::uint64_t payload_len = 0;
   std::uint64_t crc_stored = 0;
-  if (!read_varint(seg, pos, payload_len)) return false;
-  if (!read_varint(seg, pos, crc_stored)) return false;
+  if (!header.varint(payload_len)) return false;
+  if (!header.varint(crc_stored)) return false;
+  pos += header.position();
   if (payload_len > seg.size() - pos) return false;
   const std::span<const std::byte> payload = seg.subspan(pos, payload_len);
   if (crc32(payload) != crc_stored) return false;
 
-  // CRC passed: the payload is exactly what append() framed, so the
-  // asserting reader is safe from here on.
-  codec::Reader r(payload);
-  out.seq = r.varint();
-  const std::uint64_t type = r.varint();
+  codec::StrictReader r(payload);
+  std::uint64_t type = 0;
+  if (!r.varint(out.seq) || !r.varint(type)) return false;
   if (type > static_cast<std::uint64_t>(RecordType::kHintDrop)) return false;
   out.record.type = static_cast<RecordType>(type);
-  out.record.key = r.bytes();
-  out.record.owner = r.varint();
-  out.record.state = r.bytes();
-  if (!r.exhausted()) return false;
+  if (!r.bytes(out.record.key)) return false;
+  if (!r.varint(out.record.owner)) return false;
+  if (!r.bytes(out.record.state)) return false;
+  if (!r.done()) return false;
   out.payload_bytes = payload_len;
   out.end = pos + payload_len;
   return true;
@@ -191,6 +178,7 @@ void WalBackend::drop_volatile(std::size_t torn_tail_bytes) {
 RecoveryResult WalBackend::recover() {
   // Wall-clock the replay for wal.replay_us.  The timer feeds metrics
   // only — no control flow depends on it, so behavior invariance holds.
+  // dvv-lint: allow(wall-clock)
   const auto replay_start = std::chrono::steady_clock::now();
   RecoveryResult out;
   out.stats.records_lost_unflushed = last_crash_lost_records_;
@@ -246,6 +234,7 @@ RecoveryResult WalBackend::recover() {
   m.recoveries.inc();
   m.records_replayed.inc(out.stats.records_replayed);
   m.torn_records_dropped.inc(out.stats.torn_records_dropped);
+  // dvv-lint: allow(wall-clock) — metrics-only replay timer (replay_us)
   const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - replay_start);
   m.replay_us.record(static_cast<std::uint64_t>(elapsed.count()));

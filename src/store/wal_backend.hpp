@@ -74,6 +74,29 @@ class WalBackend final : public StorageBackend {
     return pending_records_;
   }
 
+  // ---- tamper / corpus hooks ----------------------------------------------
+  //
+  // The crash model can only tear the active tail; EXTERNAL tampering
+  // (a bit-rotted disk, an adversary editing segment files) can put
+  // arbitrary bytes anywhere.  These hooks let tests and the fuzz
+  // harnesses drive recover() over exactly such segments, and let the
+  // corpus generator mint seed inputs from real log bytes.
+
+  /// Installs `bytes` verbatim as an additional sealed segment — of
+  /// unknown provenance, exactly what recover() must survive.  The
+  /// recovery contract over injected garbage is rejection, never an
+  /// abort: scanning stops at the first invalid frame.
+  void inject_raw_segment(std::vector<std::byte> bytes) {
+    sealed_.push_back(std::move(bytes));
+  }
+
+  /// Raw bytes of every segment, sealed first, active last.
+  [[nodiscard]] std::vector<std::vector<std::byte>> raw_segments() const {
+    std::vector<std::vector<std::byte>> out = sealed_;
+    out.push_back(active_);
+    return out;
+  }
+
  private:
   using Segment = std::vector<std::byte>;
   /// (is-hint, owner, key): one live state per slot.

@@ -1,0 +1,85 @@
+// Fuzz harness: kv::decode_token over adversarial bytes.
+//
+// The causal-token decoder is the ONLY thing standing between a hostile
+// client and the replica state — the facade feeds it whatever bytes
+// came back with a PUT.  Contract under fuzz:
+//
+//   1. no input may abort, leak, or trip ASan/UBSan — malformed tokens
+//      are rejected by returning false, period;
+//   2. round-trip canonicality: if a nonempty input DOES decode for
+//      some mechanism, re-encoding the decoded context must reproduce
+//      the input byte-for-byte (each context has exactly one accepted
+//      wire form, so byte-equality of tokens is context equality);
+//   3. a nonempty token decodes for AT MOST one mechanism tag — a token
+//      minted for one store can never be replayed against another.
+//
+// Built two ways (CMakeLists.txt): with -DDVV_FUZZ as a libFuzzer
+// binary, and always as fuzz_token_replay — a plain runner that replays
+// tests/fuzz/corpus/ through this same entry point under ctest, so
+// every past finding stays a permanent regression test.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "kv/token.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using dvv::kv::CausalToken;
+using dvv::kv::decode_token;
+using dvv::kv::encode_token;
+using dvv::kv::MechanismId;
+
+/// Decodes `token` as `id` into the mechanism's context type; on
+/// success checks the canonical round-trip and returns true.
+[[nodiscard]] bool decode_and_check(const CausalToken& token, MechanismId id) {
+  const auto check_roundtrip = [&](const CausalToken& reencoded) {
+    DVV_ASSERT_MSG(token.empty() || reencoded.bytes() == token.bytes(),
+                   "fuzz: accepted token is not in canonical form");
+  };
+  switch (id) {
+    case MechanismId::kVve: {
+      dvv::core::VersionVectorWithExceptions ctx;
+      if (!decode_token(token, id, ctx)) return false;
+      check_roundtrip(encode_token(id, ctx));
+      return true;
+    }
+    case MechanismId::kCausalHistory: {
+      dvv::core::CausalHistory ctx;
+      if (!decode_token(token, id, ctx)) return false;
+      check_roundtrip(encode_token(id, ctx));
+      return true;
+    }
+    default: {  // the four VersionVector-context mechanisms
+      dvv::core::VersionVector ctx;
+      if (!decode_token(token, id, ctx)) return false;
+      check_roundtrip(encode_token(id, ctx));
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const CausalToken token = CausalToken::from_bytes(
+      std::string(reinterpret_cast<const char*>(data), size));
+
+  // Structural probe first: must never abort, whatever the bytes.
+  (void)dvv::kv::token_mechanism(token);
+
+  std::size_t accepted = 0;
+  for (const MechanismId id :
+       {MechanismId::kDvv, MechanismId::kDvvSet, MechanismId::kServerVv,
+        MechanismId::kClientVv, MechanismId::kVve,
+        MechanismId::kCausalHistory}) {
+    if (decode_and_check(token, id)) ++accepted;
+  }
+  // The empty token is the empty context for every mechanism; any other
+  // input matches its header's mechanism tag at most.
+  DVV_ASSERT_MSG(token.empty() ? accepted == 6 : accepted <= 1,
+                 "fuzz: token accepted by multiple mechanisms");
+  return 0;
+}

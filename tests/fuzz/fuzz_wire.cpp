@@ -1,0 +1,47 @@
+// Fuzz harness: net wire-message strict decode over adversarial bytes.
+//
+// Once ROADMAP item 1 puts a socket in front of the transport, these
+// are the first bytes a hostile peer controls.  Contract under fuzz:
+//
+//   1. try_decode_from_bytes / decode_or_reject never abort, leak or
+//      trip ASan/UBSan — malformed frames come back nullopt;
+//   2. canonical round-trip: an accepted frame re-encodes to exactly
+//      the input bytes (strict decode admits only the canonical form:
+//      minimal varints, bool flags in {0,1}, full consumption);
+//   3. wire_size agrees with the real encoding — the inline transport's
+//      zero-copy metering can never drift from the bytes a faulty
+//      transport actually pays for.
+//
+// Built as a libFuzzer binary under -DDVV_FUZZ and always as
+// fuzz_wire_replay, the ctest corpus regression runner.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/message.hpp"
+#include "util/assert.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  const std::optional<dvv::net::Message> msg =
+      dvv::net::try_decode_from_bytes(bytes);
+  if (msg.has_value()) {
+    const std::string reencoded = dvv::net::encode_to_bytes(*msg);
+    DVV_ASSERT_MSG(reencoded == bytes,
+                   "fuzz: accepted frame is not in canonical form");
+    DVV_ASSERT_MSG(dvv::net::wire_size(*msg) == reencoded.size(),
+                   "fuzz: wire_size disagrees with the real encoding");
+  }
+
+  // The counting wrapper must agree with the bare decode and must
+  // absorb the rejection without aborting (counter bump only).
+  const std::optional<dvv::net::Message> counted =
+      dvv::net::decode_or_reject(bytes);
+  DVV_ASSERT_MSG(counted.has_value() == msg.has_value(),
+                 "fuzz: decode_or_reject disagrees with try_decode");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// dvv_lint self-test fixture.  NOT part of the build.  Proves the
+// nodiscard-status rule still fires (expect-lint: nodiscard-status).
+#pragma once
+
+#include <string_view>
+
+namespace dvv::lint_fixture {
+
+// A fallible decode whose status can be silently dropped at every call
+// site — the exact bug class the hardened decode boundary exists to
+// prevent.  Must be [[nodiscard]].
+bool try_decode_thing(std::string_view bytes, int& out);
+
+}  // namespace dvv::lint_fixture

@@ -1,0 +1,18 @@
+// dvv_lint self-test fixture.  NOT part of the build.  Proves the
+// pointer-key rule still fires (expect-lint: pointer-key).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace dvv::lint_fixture {
+
+struct Peer {};
+
+struct RoutingTableLike {
+  // Ordered by address = ordered by allocator mood.  Iteration order
+  // changes run to run even though the container is "ordered".
+  std::map<Peer*, std::string> routes;
+};
+
+}  // namespace dvv::lint_fixture

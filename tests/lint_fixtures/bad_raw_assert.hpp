@@ -1,0 +1,14 @@
+// dvv_lint self-test fixture.  NOT part of the build.  Proves the
+// raw-assert rule still fires (expect-lint: raw-assert).
+#pragma once
+
+#include <cassert>
+
+namespace dvv::lint_fixture {
+
+inline void check_invariant_wrong(bool ok) {
+  // Vanishes under NDEBUG; release builds sail past the violation.
+  assert(ok);
+}
+
+}  // namespace dvv::lint_fixture

@@ -1,0 +1,14 @@
+// dvv_lint self-test fixture.  NOT part of the build.  Proves the
+// raw-rand rule still fires (expect-lint: raw-rand).
+#pragma once
+
+#include <cstdlib>
+
+namespace dvv::lint_fixture {
+
+inline int pick_replica_wrong(int n) {
+  // Unseeded host randomness instead of the sim Rng stream.
+  return rand() % n;
+}
+
+}  // namespace dvv::lint_fixture

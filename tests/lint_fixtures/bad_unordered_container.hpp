@@ -1,0 +1,17 @@
+// dvv_lint self-test fixture.  NOT part of the build — compiled by no
+// target; it exists so dvv_lint --self-test proves the
+// unordered-container rule still fires (expect-lint: unordered-container).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace dvv::lint_fixture {
+
+struct ReplicaStateLike {
+  // Iterating this to encode / sync / hash would give twin A and twin B
+  // different byte streams.  The rule must catch the declaration:
+  std::unordered_map<std::string, int> data;
+};
+
+}  // namespace dvv::lint_fixture

@@ -1,0 +1,16 @@
+// dvv_lint self-test fixture.  NOT part of the build.  Proves the
+// wall-clock rule still fires (expect-lint: wall-clock).
+#pragma once
+
+#include <chrono>
+
+namespace dvv::lint_fixture {
+
+inline long now_us_wrong() {
+  // Sim-reachable code reading host time: two runs, two answers.
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace dvv::lint_fixture

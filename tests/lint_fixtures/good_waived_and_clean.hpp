@@ -1,0 +1,34 @@
+// dvv_lint self-test fixture.  NOT part of the build.  No expect-lint
+// markers: everything here must come back CLEAN — it exercises the
+// waiver syntax, the [[nodiscard]] acceptance path, and constructs that
+// look near-miss (comments and strings mentioning banned names).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dvv::lint_fixture {
+
+// Mentioning std::unordered_map in a comment must not fire; nor must
+// the string literal below.
+inline const char* kDoc = "never use unordered_map in replica state";
+
+// Metrics-only host timing, documented at the site:
+inline long metrics_now_us() {
+  // dvv-lint: allow(wall-clock) — metrics-only timing, never sim-visible
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Properly annotated fallible decode: rule must accept.
+[[nodiscard]] bool try_decode_ok(std::string_view bytes, int& out);
+
+// Value-keyed ordered map: fine.
+struct Clean {
+  std::map<std::string, int> data;
+};
+
+}  // namespace dvv::lint_fixture

@@ -1,0 +1,298 @@
+// dvv_lint — the project's determinism / decode-boundary lint.
+//
+// clang-query would be the precision tool, but the build must stay
+// green on a bare GCC toolchain, so this is a small regex scanner with
+// comment/string stripping: crude enough to audit, strict enough to
+// catch the constructs that have actually bitten this codebase (see
+// README "Correctness tooling" for the rule table and the whys).
+//
+// Rules (each checks a property the twin-equivalence suites depend on):
+//
+//   unordered-container  std::unordered_map / std::unordered_set
+//                        anywhere in src/.  Iteration order is stdlib-
+//                        implementation-defined; one loop over such a
+//                        container in replica, coordinator or transport
+//                        state silently breaks byte-identical twins.
+//   wall-clock           std::chrono system/steady/high_resolution
+//                        clocks and ::time().  Sim time is the only
+//                        time source sim-reachable code may read.
+//                        Waivable for metrics-only timing.
+//   raw-rand             rand()/srand()/random_device.  All randomness
+//                        flows from the seeded sim Rng.
+//   raw-assert           bare assert() — compiled out under NDEBUG, so
+//                        release builds would sail past the violated
+//                        invariant.  DVV_ASSERT aborts in every build.
+//   nodiscard-status     a header-declared function returning bool or
+//                        std::optional whose name says it can fail
+//                        (try_/decode/parse/recover...) must be
+//                        [[nodiscard]]: a dropped status here is a
+//                        swallowed decode failure.
+//   pointer-key          ordered containers keyed on raw pointers.
+//                        Pointer order is allocation order — another
+//                        run, another iteration order.
+//
+// Waiver: a comment containing
+//   dvv-lint: allow(<rule>)
+// suppresses that rule on its own line and the next two (multi-line
+// chrono expressions); the comment documents why at the site.
+//
+// Usage:
+//   dvv_lint <dir-or-file>...            lint sources, exit 1 on findings
+//   dvv_lint --self-test <fixture-dir>   every fixture file must trip
+//                                        exactly the rules its
+//                                        "expect-lint: <rule>" comments
+//                                        name (meta-test: proves the
+//                                        lint still catches each banned
+//                                        construct)
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+  const char* name;
+  std::regex pattern;
+  const char* why;
+};
+
+// NOLINTBEGIN — the patterns below mention the banned identifiers.
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"unordered-container",
+       std::regex(R"((std::|[^:\w])unordered_(map|set|multimap|multiset)\b)"),
+       "iteration order is implementation-defined; breaks twin equivalence"},
+      {"wall-clock",
+       std::regex(
+           R"(\b(system_clock|steady_clock|high_resolution_clock)\b|(::|[^\w:.])time\s*\(\s*(NULL|nullptr|0|\&|\)))"),
+       "wall-clock time in sim-reachable code; use sim time"},
+      {"raw-rand",
+       std::regex(R"((::|[^\w:.>])s?rand\s*\(|\brandom_device\b)"),
+       "unseeded randomness; all randomness must flow from the sim Rng"},
+      {"raw-assert",
+       std::regex(R"((^|[^\w:.])assert\s*\()"),
+       "bare assert() vanishes under NDEBUG; use DVV_ASSERT"},
+      {"nodiscard-status",
+       std::regex(
+           R"(^\s*(inline\s+|static\s+|constexpr\s+|virtual\s+)*(bool|std::optional<[^;=]*>)\s+(try_|decode|parse|recover|validate|verify)\w*\s*\([^;{]*[;{]\s*$)"),
+       "status-returning API without [[nodiscard]]; failures get dropped"},
+      {"pointer-key",
+       std::regex(R"(\b(std::map|std::set|flat_map)\s*<\s*(const\s+)?\w+(::\w+)*\s*\*)"),
+       "pointer-keyed ordering is allocation order; nondeterministic"},
+  };
+  return kRules;
+}
+// NOLINTEND
+
+/// Blanks out comments and string/char literals (preserving line
+/// structure) so rule patterns only see code.  Line continuations and
+/// raw strings are rare here; handled conservatively.
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLine, kBlock, kStr, kChr } st = St::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') { st = St::kLine; out += "  "; ++i; }
+        else if (c == '/' && next == '*') { st = St::kBlock; out += "  "; ++i; }
+        else if (c == '"') { st = St::kStr; out += ' '; }
+        else if (c == '\'') { st = St::kChr; out += ' '; }
+        else out += c;
+        break;
+      case St::kLine:
+        if (c == '\n') { st = St::kCode; out += c; } else out += ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') { st = St::kCode; out += "  "; ++i; }
+        else out += c == '\n' ? c : ' ';
+        break;
+      case St::kStr:
+        if (c == '\\') { out += "  "; ++i; }
+        else if (c == '"') { st = St::kCode; out += ' '; }
+        else out += c == '\n' ? c : ' ';
+        break;
+      case St::kChr:
+        if (c == '\\') { out += "  "; ++i; }
+        else if (c == '\'') { st = St::kCode; out += ' '; }
+        else out += c == '\n' ? c : ' ';
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') { lines.push_back(cur); cur.clear(); }
+    else cur += c;
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+struct Finding {
+  fs::path file;
+  std::size_t line;  // 1-based
+  std::string rule;
+  std::string why;
+};
+
+/// Lints one file.  `raw_lines` (with comments intact) feed the waiver
+/// and expect-lint scans; `code_lines` (stripped) feed the rules.
+std::vector<Finding> lint_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::vector<std::string> raw_lines = split_lines(text);
+  const std::vector<std::string> code_lines =
+      split_lines(strip_comments_and_strings(text));
+
+  const bool is_header = path.extension() == ".hpp" || path.extension() == ".h";
+  const auto waived = [&raw_lines](std::size_t idx, const char* rule) {
+    const std::string needle = std::string("dvv-lint: allow(") + rule + ")";
+    // The waiver covers its own line and the next two — enough for one
+    // wrapped chrono expression, small enough to stay site-local.
+    for (std::size_t back = 0; back <= 2 && back <= idx; ++back) {
+      if (raw_lines[idx - back].find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    for (const Rule& rule : rules()) {
+      // nodiscard-status only makes sense at declaration sites; .cpp
+      // definitions of header-declared APIs would double-report.
+      if (std::string_view(rule.name) == "nodiscard-status" && !is_header) {
+        continue;
+      }
+      if (!std::regex_search(code_lines[i], rule.pattern)) continue;
+      // The annotation check reads STRIPPED lines: "[[nodiscard]]" in a
+      // comment must not satisfy the rule.
+      if (std::string_view(rule.name) == "nodiscard-status" &&
+          ((i > 0 && code_lines[i - 1].find("[[nodiscard]]") !=
+                         std::string::npos) ||
+           code_lines[i].find("[[nodiscard]]") != std::string::npos)) {
+        continue;
+      }
+      if (waived(i, rule.name)) continue;
+      findings.push_back({path, i + 1, rule.name, rule.why});
+    }
+  }
+  return findings;
+}
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const auto ext = p.extension();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<fs::path> collect(const std::vector<std::string>& args) {
+  std::vector<fs::path> files;
+  for (const std::string& arg : args) {
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "dvv_lint: no such input: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// --self-test: each fixture declares the rules it must trip via
+/// "expect-lint: <rule>" comments; the lint passes the meta-test only
+/// if actual findings match expectations exactly, per file.
+int self_test(const std::vector<std::string>& args) {
+  int failures = 0;
+  std::size_t fixtures = 0;
+  for (const fs::path& path : collect(args)) {
+    ++fixtures;
+    std::ifstream in(path, std::ios::binary);
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    std::set<std::string> expected;
+    const std::regex expect(R"(expect-lint:\s*([\w-]+))");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), expect);
+         it != std::sregex_iterator(); ++it) {
+      expected.insert((*it)[1].str());
+    }
+    std::set<std::string> actual;
+    for (const Finding& f : lint_file(path)) actual.insert(f.rule);
+    if (actual != expected) {
+      ++failures;
+      std::fprintf(stderr, "dvv_lint self-test FAIL: %s\n", path.c_str());
+      for (const std::string& r : expected) {
+        if (!actual.count(r)) {
+          std::fprintf(stderr, "  expected rule not tripped: %s\n", r.c_str());
+        }
+      }
+      for (const std::string& r : actual) {
+        if (!expected.count(r)) {
+          std::fprintf(stderr, "  unexpected finding: %s\n", r.c_str());
+        }
+      }
+    }
+  }
+  if (fixtures == 0) {
+    std::fprintf(stderr, "dvv_lint self-test: no fixtures found\n");
+    return 2;
+  }
+  if (failures == 0) {
+    std::printf("dvv_lint self-test: %zu fixtures OK\n", fixtures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: dvv_lint <dir-or-file>... | --self-test <dir>\n");
+    return 2;
+  }
+  if (args[0] == "--self-test") {
+    return self_test({args.begin() + 1, args.end()});
+  }
+
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (const fs::path& path : collect(args)) {
+    ++files;
+    std::vector<Finding> f = lint_file(path);
+    findings.insert(findings.end(), f.begin(), f.end());
+  }
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.why.c_str());
+  }
+  if (findings.empty()) {
+    std::printf("dvv_lint: %zu files clean\n", files);
+    return 0;
+  }
+  std::fprintf(stderr, "dvv_lint: %zu findings in %zu files\n",
+               findings.size(), files);
+  return 1;
+}
