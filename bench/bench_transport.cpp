@@ -3,20 +3,19 @@
 // Two questions:
 //
 //   overhead     what does routing replication through typed, codec-
-//                serialized messages cost against the pre-refactor
-//                direct calls?  Three variants run the same seeded
-//                write workload: direct replica calls (the old
-//                Cluster::put body), the inline transport (encode +
-//                decode per message, synchronous), and the queued
-//                SimTransport (plus queue churn and pumping).  Since
-//                the quorum-coordination engine (kv/coordinator.hpp),
-//                the transported variants do strictly MORE protocol
-//                than the direct baseline: every fan-out target answers
-//                with a CoordWriteRespMsg ack and the engine tracks the
-//                request — so "overhead" here is the price of the real
-//                ack round-trip and receipt, not waste to eliminate.
-//                Final states are asserted byte-identical across all
-//                three.
+//                serialized messages cost against direct calls doing
+//                the SAME protocol?  Three variants run the same
+//                seeded write workload: direct calls (the quorum
+//                engine driven by hand — local put, per-target merge +
+//                ack bookkeeping, sealed receipt — with the message
+//                layer removed), the inline transport (typed envelopes,
+//                synchronous), and the queued SimTransport (plus
+//                encode/decode and queue churn).  All three do the
+//                identical protocol work, so overhead_pct isolates the
+//                message path itself — envelopes, codec framing,
+//                pooling, dispatch — which is exactly the number the
+//                CI perf-smoke leg budgets.  Final states are asserted
+//                byte-identical across all three.
 //
 //   partition    what does a partition COST after it heals?  A chaos
 //                workload runs with the ring cut for a sweep of
@@ -35,6 +34,7 @@
 
 #include "codec/clock_codec.hpp"
 #include "kv/cluster.hpp"
+#include "kv/coordinator.hpp"
 #include "kv/mechanism.hpp"
 #include "net/sim_transport.hpp"
 #include "net/transport.hpp"
@@ -107,12 +107,19 @@ std::uint64_t cluster_digest(Cluster<DvvMechanism>& cluster) {
 
 /// The shared write workload: seeded RMW puts at each key's slot-0
 /// coordinator with full preference fan-out.  `mode` 0 = direct calls
-/// (pre-refactor semantics), 1 = cluster.put (whatever transport the
-/// cluster carries; pumped when queued).
+/// (the same coordinated-write protocol — engine bookkeeping, acks,
+/// sealed receipt — with merges as plain function calls and no message
+/// layer), 1 = cluster.put (whatever transport the cluster carries;
+/// pumped when queued).
 std::uint64_t run_writes(Cluster<DvvMechanism>& cluster, std::size_t ops,
                          int mode) {
   Rng rng(kSeed);
   const DvvMechanism& mech = cluster.mechanism();
+  // Mode 0's own request engine: the protocol work Cluster::begin_write
+  // does (start_write / per-target ack / seal / harvest), minus the
+  // transport underneath it.
+  dvv::kv::QuorumCoordinator<DvvMechanism> engine;
+  std::string scratch;  // the one shared fan-out encode begin_write does
   for (std::size_t i = 0; i < ops; ++i) {
     const Key key = "key-" + std::to_string(rng.index(kKeys));
     const auto pref = cluster.preference_list(key);
@@ -120,17 +127,28 @@ std::uint64_t run_writes(Cluster<DvvMechanism>& cluster, std::size_t ops,
     const auto ctx = cluster.get(key, coordinator).context;
     const std::string value = "v" + std::to_string(i);
     if (mode == 0) {
-      // The pre-refactor Cluster::put body, including its per-put
-      // receipt metering (total_bytes encodes the fresh state once).
       auto& coord = cluster.replica(coordinator);
       coord.put(mech, key, coordinator, dvv::kv::client_actor(0), ctx, value);
+      dvv::kv::PutReceipt base;
+      base.coordinator = coordinator;
+      base.targets = pref.size() - 1;
+      const std::uint64_t id = engine.start_write(std::move(base), {});
+      (void)engine.on_write_ack(id, coordinator);
       const auto* fresh = coord.find(key);
-      volatile std::size_t bytes = mech.total_bytes(*fresh);
-      (void)bytes;
+      dvv::kv::Replica<DvvMechanism>::encode_state_into(*fresh, scratch);
       for (const ReplicaId r : pref) {
         if (r == coordinator) continue;
+        dvv::kv::PutReceipt& receipt = engine.write_receipt(id);
+        receipt.replication_bytes += scratch.size();
+        ++receipt.replicated_to;
         cluster.replica(r).merge_key(mech, key, *fresh);
+        (void)engine.on_write_ack(id, r);
       }
+      (void)engine.seal_write_quorum(id);
+      (void)engine.finalize(id);
+      const dvv::kv::PutReceipt receipt = engine.take_write(id);
+      DVV_ASSERT_MSG(receipt.acks() == pref.size(),
+                     "direct-calls protocol twin must see every ack");
     } else {
       cluster.put(key, coordinator, dvv::kv::client_actor(0), ctx, value, pref);
       cluster.pump_all();  // no-op on inline; drains the queued variant
@@ -139,24 +157,133 @@ std::uint64_t run_writes(Cluster<DvvMechanism>& cluster, std::size_t ops,
   return cluster_digest(cluster);
 }
 
-Row bench_overhead(const std::string& variant, double baseline_ms,
-                   std::uint64_t* digest_out) {
+/// One timed pass of a variant (fresh cluster, fixed seed).
+double time_variant(const std::string& variant, std::uint64_t* digest_out) {
   const auto kind = variant == "sim-queued" ? dvv::net::TransportKind::kSim
                                             : dvv::net::TransportKind::kInline;
-  Cluster<DvvMechanism> cluster(base_config(kind), {});
   const int mode = variant == "direct-calls" ? 0 : 1;
+  Cluster<DvvMechanism> cluster(base_config(kind), {});
   const auto start = std::chrono::steady_clock::now();
-  const std::uint64_t digest = run_writes(cluster, kOverheadOps, mode);
+  *digest_out = run_writes(cluster, kOverheadOps, mode);
+  return ms_since(start);
+}
+
+/// Repetitions per overhead variant.  The variants are INTERLEAVED —
+/// every round times each variant once, in order — and the reported
+/// wall time is the per-variant MINIMUM across rounds: on a shared /
+/// noisy host the minimum is the least-perturbed estimate of the true
+/// cost (every slower run is the same work plus scheduler
+/// interference), and interleaving exposes all variants to the same
+/// noise weather instead of letting one variant soak a quiet spell.
+/// Each repetition rebuilds its cluster from scratch and must produce
+/// the identical digest.
+constexpr int kRepeats = 7;
+
+/// All four overhead rows, interleaved and min-reduced.  The
+/// metrics-on twin runs with the obs registry enabled and the flight
+/// recorder armed; every variant's digest must match the direct run
+/// (byte-identical final states), asserted per repetition.
+std::vector<Row> bench_overhead_rows() {
+  const std::vector<std::string> variants = {
+      "direct-calls", "inline-transport", "sim-queued", "inline-metrics-on"};
+  std::vector<double> best(variants.size(), 0.0);
+  std::uint64_t digest = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const bool metrics_on = variants[v] == "inline-metrics-on";
+      if (metrics_on) {
+        dvv::obs::set_metrics_enabled(true);
+        dvv::obs::flight().configure(4096);
+      }
+      std::uint64_t d = 0;
+      const double wall = time_variant(variants[v], &d);
+      if (metrics_on) {
+        dvv::obs::set_metrics_enabled(false);
+        dvv::obs::flight().configure(0);
+      }
+      if (rep == 0 && v == 0) {
+        digest = d;
+      } else {
+        DVV_ASSERT_MSG(d == digest,
+                       "every overhead variant must end byte-identical");
+      }
+      if (rep == 0 || wall < best[v]) best[v] = wall;
+    }
+  }
+  std::vector<Row> rows;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    Row row;
+    row.section = "overhead";
+    row.variant = variants[v];
+    row.ops = kOverheadOps;
+    row.wall_ms = best[v];
+    row.kops_per_sec = static_cast<double>(kOverheadOps) / row.wall_ms;
+    // direct-calls is the baseline; the metrics-on twin reports its
+    // delta against the metrics-OFF inline run (the obs cost claim).
+    const double base = variants[v] == "inline-metrics-on" ? best[1] : best[0];
+    row.overhead_pct =
+        v == 0 ? 0.0 : 100.0 * (row.wall_ms - base) / base;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// The single-replica roof: the same seeded RMW loop against ONE
+/// replica — no fan-out, no quorum engine, no transport.  This is the
+/// mechanism + storage ceiling that every message-path improvement
+/// chases; reported as its own row so the overhead table has an
+/// absolute yardstick, not just ratios.
+Row bench_roof() {
+  double best = 0.0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    Cluster<DvvMechanism> cluster(base_config(dvv::net::TransportKind::kInline),
+                                  {});
+    auto& replica = cluster.replica(0);
+    const DvvMechanism& mech = cluster.mechanism();
+    Rng rng(kSeed);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kOverheadOps; ++i) {
+      const Key key = "key-" + std::to_string(rng.index(kKeys));
+      const auto ctx = cluster.get(key, 0).context;
+      replica.put(mech, key, 0, dvv::kv::client_actor(0), ctx,
+                  "v" + std::to_string(i));
+    }
+    const double wall = ms_since(start);
+    if (rep == 0 || wall < best) best = wall;
+  }
   Row row;
-  row.section = "overhead";
-  row.variant = variant;
+  row.section = "roof";
+  row.variant = "single-replica-direct";
   row.ops = kOverheadOps;
-  row.wall_ms = ms_since(start);
-  row.kops_per_sec = static_cast<double>(kOverheadOps) / row.wall_ms;
-  row.overhead_pct =
-      baseline_ms <= 0.0 ? 0.0 : 100.0 * (row.wall_ms - baseline_ms) / baseline_ms;
-  *digest_out = digest;
+  row.wall_ms = best;
+  row.kops_per_sec = static_cast<double>(kOverheadOps) / best;
   return row;
+}
+
+/// Sum of the net.alloc.* miss counters — what the message hot path
+/// took from the global allocator while the registry was live.
+std::uint64_t net_alloc_total() {
+  return dvv::obs::registry().counter_value("net.alloc.messages") +
+         dvv::obs::registry().counter_value("net.alloc.envelopes") +
+         dvv::obs::registry().counter_value("net.alloc.encode_buffers");
+}
+
+/// The zero-allocation claim, asserted rather than assumed: one more
+/// sim-queued pass (the variant that actually exercises the encode
+/// pools) with the registry live.  The pools are warm from the timed
+/// repetitions, so the miss hooks must record ≈0 — any growth here
+/// means a send path fell off the pooled fast path.
+void audit_steady_state_allocs() {
+  dvv::obs::set_metrics_enabled(true);
+  const std::uint64_t before = net_alloc_total();
+  std::uint64_t digest = 0;
+  (void)time_variant("sim-queued", &digest);
+  const std::uint64_t after = net_alloc_total();
+  dvv::obs::set_metrics_enabled(false);
+  DVV_ASSERT_MSG(after - before <= 8,
+                 "message hot path must not allocate at steady state");
+  std::printf("steady-state alloc audit: %llu pool misses over %zu ops\n\n",
+              static_cast<unsigned long long>(after - before), kOverheadOps);
 }
 
 /// Chaos workload whose LAST `partition_ops` operations run with the
@@ -245,43 +372,24 @@ int main() {
               kOverheadOps, kReplication - 1,
               static_cast<unsigned long long>(kSeed));
 
-  std::vector<Row> rows;
-  std::uint64_t digest_direct = 0;
-  std::uint64_t digest_inline = 0;
-  std::uint64_t digest_queued = 0;
-  rows.push_back(bench_overhead("direct-calls", 0.0, &digest_direct));
-  const double baseline_ms = rows.back().wall_ms;
-  rows.push_back(bench_overhead("inline-transport", baseline_ms, &digest_inline));
-  const double inline_ms = rows.back().wall_ms;
-  rows.push_back(bench_overhead("sim-queued", baseline_ms, &digest_queued));
-  DVV_ASSERT_MSG(digest_direct == digest_inline,
-                 "inline transport must be byte-identical to direct calls");
-  DVV_ASSERT_MSG(digest_direct == digest_queued,
-                 "a faultless queued transport must converge to the same bytes");
-
-  // Metrics-on twin of the inline variant: the obs layer's cost claim,
-  // measured.  Its overhead_pct is reported against the metrics-OFF
-  // inline run (both runs do identical work, so the delta is the
-  // enabled-handle cost — expected within run noise), and its digest
-  // must match exactly (behavior invariance on the bench workload).
-  std::uint64_t digest_metrics = 0;
-  dvv::obs::set_metrics_enabled(true);
-  dvv::obs::flight().configure(4096);
-  rows.push_back(bench_overhead("inline-metrics-on", inline_ms, &digest_metrics));
-  dvv::obs::set_metrics_enabled(false);
-  dvv::obs::flight().configure(0);
-  DVV_ASSERT_MSG(digest_inline == digest_metrics,
-                 "a metrics-on run must be byte-identical to its twin");
+  // Interleaved best-of-kRepeats: digests asserted identical across
+  // every variant and repetition inside bench_overhead_rows itself.
+  std::vector<Row> rows = bench_overhead_rows();
+  rows.push_back(bench_roof());
 
   dvv::util::TextTable overhead_table;
   overhead_table.header({"variant", "kops/s", "wall ms", "overhead %"});
   for (const Row& r : rows) {
-    if (r.section != "overhead") continue;
+    if (r.section != "overhead" && r.section != "roof") continue;
     overhead_table.row({r.variant, dvv::util::fixed(r.kops_per_sec, 1),
                         dvv::util::fixed(r.wall_ms, 2),
-                        dvv::util::fixed(r.overhead_pct, 1)});
+                        r.section == "roof"
+                            ? std::string("(roof)")
+                            : dvv::util::fixed(r.overhead_pct, 1)});
   }
   std::printf("%s\n", overhead_table.to_string().c_str());
+
+  audit_steady_state_allocs();
 
   std::printf("==== transport: convergence cost vs partition duration ====\n");
   std::printf("%zu puts over %zu keys, ring cut %zu/%zu for the LAST D ops\n\n",

@@ -140,10 +140,34 @@ class StrictReader {
     return true;
   }
 
+  /// Zero-copy variant of bytes(): `out` becomes a view into the input
+  /// buffer (same claim cap, no allocation).  The view is only valid
+  /// while the underlying buffer lives — callers on the delivery hot
+  /// path use this to decode without materializing, and copy only on
+  /// adoption.
+  [[nodiscard]] bool bytes_view(std::string_view& out) noexcept {
+    std::uint64_t len = 0;
+    if (!varint(len)) return false;
+    if (len > data_.size() - pos_) return false;
+    out = std::string_view(reinterpret_cast<const char*>(data_.data() + pos_),
+                           static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
+  }
+
+  /// The region [begin, current position) as a view — how a composite
+  /// frame (net::BatchMsg) captures the raw bytes of an inner span it
+  /// just validated, without copying them.
+  [[nodiscard]] std::string_view viewed_since(std::size_t begin) const noexcept {
+    DVV_ASSERT(begin <= pos_);
+    return std::string_view(
+        reinterpret_cast<const char*>(data_.data() + begin), pos_ - begin);
   }
 
  private:

@@ -337,12 +337,18 @@ class Cluster {
         ++receipt.unparked;  // nowhere to park: report, don't hide
         continue;
       }
-      auto msg = std::make_shared<const net::Message>(
-          net::HintMsg{owner, key, encoded});
-      receipt.replication_bytes += net::wire_size(*msg);
+      const net::Message& msg =
+          net::fill_message<net::HintMsg>(slot_hint_, [&](auto& out) {
+            out.owner = owner;
+            out.key = key;
+            out.state = encoded;
+          });
+      const std::size_t msg_bytes =
+          net::wire_size_of(std::get<net::HintMsg>(msg));
+      receipt.replication_bytes += msg_bytes;
       ++receipt.hinted;
-      transport_->send(coordinator, order[next_fallback], std::move(msg),
-                       decoded);
+      transport_->send(coordinator, order[next_fallback],
+                       net::borrow_message(msg), decoded, msg_bytes);
       ++next_fallback;
     }
     return harvest_write(id);
@@ -389,14 +395,26 @@ class Cluster {
     }
     const std::size_t ask_limit = quorum + opts.extra_scatter;
     std::size_t asked = 1;
+    // One fill serves every target — the request bytes do not depend
+    // on which replica receives them.
+    const net::Message* req_msg = nullptr;
+    std::size_t req_bytes = 0;
     for (const ReplicaId r : ring_.preference_list(key)) {
       if (asked >= ask_limit || coordinator_.is_terminal(id)) break;
       if (r == coordinator || !replicas_[r].alive()) continue;
       if (!transport_->link_up(coordinator, r)) continue;
       ++asked;
       coordinator_.note_read_asked(id);
-      transport_->send(coordinator, r,
-                       net::Message(net::CoordReadReqMsg{id, key}));
+      if (req_msg == nullptr) {
+        req_msg = &net::fill_message<net::CoordReadReqMsg>(
+            slot_read_req_, [&](auto& out) {
+              out.req = id;
+              out.key = key;
+            });
+        req_bytes = net::wire_size_of(std::get<net::CoordReadReqMsg>(*req_msg));
+      }
+      transport_->send(coordinator, r, net::borrow_message(*req_msg), nullptr,
+                       req_bytes);
     }
     return id;
   }
@@ -431,7 +449,7 @@ class Cluster {
     // live state WITHOUT owning it: valid for synchronous delivery
     // only, which is exactly the envelope contract — a queuing
     // transport serializes at send and drops the alias.
-    std::shared_ptr<const net::Message> msg;
+    const net::Message* msg = nullptr;
     std::shared_ptr<const void> decoded(std::shared_ptr<const void>{}, fresh);
     std::size_t msg_bytes = 0;
     for (const ReplicaId r : replicate_to) {
@@ -441,14 +459,19 @@ class Cluster {
       // and — receipt honesty — no replicated_to count.
       if (!transport_->link_up(coordinator, r)) continue;
       if (msg == nullptr) {
-        msg = std::make_shared<const net::Message>(net::CoordWriteReqMsg{
-            id, key, Replica<M>::encode_state(*fresh)});
-        msg_bytes = net::wire_size(*msg);
+        msg = &net::fill_message<net::CoordWriteReqMsg>(
+            slot_write_req_, [&](auto& out) {
+              out.req = id;
+              out.key = key;
+              Replica<M>::encode_state_into(*fresh, out.state);
+            });
+        msg_bytes = net::wire_size_of(std::get<net::CoordWriteReqMsg>(*msg));
       }
       PutReceipt& receipt = coordinator_.write_receipt(id);
       receipt.replication_bytes += msg_bytes;
       ++receipt.replicated_to;
-      transport_->send(coordinator, r, msg, decoded);
+      transport_->send(coordinator, r, net::borrow_message(*msg), decoded,
+                       msg_bytes);
     }
     (void)coordinator_.seal_write_quorum(id);
     return id;
@@ -579,10 +602,15 @@ class Cluster {
       });
     }
     for (Pending& p : pending) {
-      transport_->send(p.holder, p.owner,
-                       std::make_shared<const net::Message>(net::HintDeliverMsg{
-                           p.owner, p.key, std::move(p.state)}),
-                       std::move(p.decoded));
+      const net::Message& msg = net::fill_message<net::HintDeliverMsg>(
+          slot_hint_deliver_, [&](auto& out) {
+            out.owner = p.owner;
+            out.key = std::move(p.key);
+            out.state = std::move(p.state);
+          });
+      transport_->send(p.holder, p.owner, net::borrow_message(msg),
+                       std::move(p.decoded),
+                       net::wire_size_of(std::get<net::HintDeliverMsg>(msg)));
     }
     transport_->settle();
     return before - hinted_count();
@@ -929,7 +957,8 @@ class Cluster {
     // same rule for inbound traffic).
     if (!replicas_.at(receipt.coordinator).alive()) return;
     const sync::Digest merged_digest = sync::state_digest(receipt.merged);
-    std::shared_ptr<const net::Message> msg;
+    const net::Message* msg = nullptr;
+    std::size_t msg_bytes = 0;
     for (const auto& [r, digest] : coordinator_.reply_digests(id)) {
       if (digest == merged_digest) continue;
       if (r == receipt.coordinator) {
@@ -941,127 +970,204 @@ class Cluster {
         continue;
       }
       if (msg == nullptr) {
-        msg = std::make_shared<const net::Message>(net::ReplicateMsg{
-            receipt.key, Replica<M>::encode_state(receipt.merged)});
+        msg = &net::fill_message<net::ReplicateMsg>(
+            slot_replicate_, [&](auto& out) {
+              out.key = receipt.key;
+              Replica<M>::encode_state_into(receipt.merged, out.state);
+            });
+        msg_bytes = net::wire_size_of(std::get<net::ReplicateMsg>(*msg));
       }
-      transport_->send(receipt.coordinator, r, msg);
+      transport_->send(receipt.coordinator, r, net::borrow_message(*msg),
+                       nullptr, msg_bytes);
     }
   }
 
-  /// Delivery sink: applies one message at its destination replica.  A
-  /// destination that is not alive receives nothing — the message is
-  /// counted in delivery_drops_ and gone (for hint deliveries that is
-  /// precisely why the holder keeps the hint until the ack).  State
-  /// payloads use the envelope's decoded fast path when the transport
-  /// preserved it (inline loopback) and decode the wire bytes when it
-  /// did not (the byte-faithful SimTransport).
+  /// Delivery sink: routes each of the envelope's three forms into the
+  /// one alternative-typed applier.  A batch envelope applies its
+  /// sub-views in order — exactly the deliveries an unbatched pump
+  /// would have made; an owned message (inline transport) dispatches
+  /// directly on its own alternative — no intermediate MessageView is
+  /// built; the owned and viewed forms share one applier body because
+  /// their alternatives carry identical field names.
   void on_message(const net::Envelope& envelope) {
-    const net::Message& msg = *envelope.msg;
-    const auto* fast = static_cast<const Stored*>(envelope.decoded.get());
-    Replica<M>& dst = replicas_.at(envelope.to);
-    if (!dst.alive()) {
-      std::visit(
-          [this](const auto& m) {
-            using T = std::decay_t<decltype(m)>;
-            if constexpr (std::is_same_v<T, net::ReplicateMsg> ||
-                          std::is_same_v<T, net::CoordWriteReqMsg>) {
-              ++delivery_drops_.replicate;  // a replica copy died with it
-            } else if constexpr (std::is_same_v<T, net::HintMsg>) {
-              ++delivery_drops_.hint_stash;
-            } else if constexpr (std::is_same_v<T, net::HintDeliverMsg>) {
-              ++delivery_drops_.hint_deliver;
-            } else if constexpr (std::is_same_v<T, net::HintAckMsg>) {
-              ++delivery_drops_.hint_ack;
-            } else if constexpr (std::is_same_v<T, net::CoordReadReqMsg> ||
-                                 std::is_same_v<T, net::CoordReadRespMsg> ||
-                                 std::is_same_v<T, net::CoordWriteRespMsg>) {
-              ++delivery_drops_.coord;  // the request machine rides it out
-            } else {
-              ++delivery_drops_.sync;
-            }
-          },
-          msg);
+    if (!envelope.batch.empty()) {
+      for (const net::MessageView& sub : envelope.batch) {
+        apply_view(envelope.from, envelope.to, sub, nullptr);
+      }
       return;
     }
+    if (envelope.view != nullptr) {
+      apply_view(envelope.from, envelope.to, *envelope.view,
+                 static_cast<const Stored*>(envelope.decoded.get()));
+      return;
+    }
+    const net::Message& msg = *envelope.msg;
+    if (const auto* batch = std::get_if<net::BatchMsg>(&msg)) {
+      // An owned composite (a caller handed BatchMsg to the inline
+      // transport): expand it exactly as the sim expands a queued one.
+      for (const std::string& frame : batch->frames) {
+        std::optional<net::MessageView> sub = net::decode_frame_view(frame);
+        DVV_ASSERT_MSG(sub.has_value(), "kv: malformed sub-frame in owned batch");
+        apply_view(envelope.from, envelope.to, *sub, nullptr);
+      }
+      return;
+    }
+    const Stored* fast = static_cast<const Stored*>(envelope.decoded.get());
     std::visit(
-        [&](const auto& m) {
-          using T = std::decay_t<decltype(m)>;
-          if constexpr (std::is_same_v<T, net::ReplicateMsg>) {
+        [&](const auto& m) { apply_one(envelope.from, envelope.to, m, fast); },
+        msg);
+  }
+
+  /// The viewed-form entry into the applier (SimTransport deliveries).
+  void apply_view(net::NodeId from, net::NodeId to, const net::MessageView& view,
+                  const Stored* fast) {
+    std::visit([&](const auto& m) { apply_one(from, to, m, fast); }, view);
+  }
+
+  /// True when alternative T — owned message or non-owning view, the
+  /// two spellings of one wire type with identical field names — is
+  /// the given kind.
+  template <typename T, typename Msg, typename View>
+  static constexpr bool is_kind_v =
+      std::is_same_v<T, Msg> || std::is_same_v<T, View>;
+
+  /// Applies one delivered message alternative at its destination
+  /// replica.  `m` is either the owned alternative (inline transport —
+  /// std::string fields) or its non-owning view twin (SimTransport —
+  /// std::string_view fields over the received buffer); the body is
+  /// shared, so the two delivery forms cannot drift.  A destination
+  /// that is not alive receives nothing — the message is counted in
+  /// delivery_drops_ and gone (for hint deliveries that is precisely
+  /// why the holder keeps the hint until the ack).  State payloads use
+  /// the decoded fast path when the transport preserved it (inline
+  /// loopback) and decode the wire bytes when it did not — bytes are
+  /// copied out of a view only on adoption.
+  template <typename T>
+  void apply_one(net::NodeId from, net::NodeId to, const T& m,
+                 const Stored* fast) {
+    Replica<M>& dst = replicas_.at(to);
+    if (!dst.alive()) {
+      if constexpr (is_kind_v<T, net::ReplicateMsg, net::ReplicateView> ||
+                    is_kind_v<T, net::CoordWriteReqMsg,
+                              net::CoordWriteReqView>) {
+        ++delivery_drops_.replicate;  // a replica copy died with it
+      } else if constexpr (is_kind_v<T, net::HintMsg, net::HintView>) {
+        ++delivery_drops_.hint_stash;
+      } else if constexpr (is_kind_v<T, net::HintDeliverMsg,
+                                     net::HintDeliverView>) {
+        ++delivery_drops_.hint_deliver;
+      } else if constexpr (is_kind_v<T, net::HintAckMsg, net::HintAckView>) {
+        ++delivery_drops_.hint_ack;
+      } else if constexpr (is_kind_v<T, net::CoordReadReqMsg,
+                                     net::CoordReadReqView> ||
+                           is_kind_v<T, net::CoordReadRespMsg,
+                                     net::CoordReadRespView> ||
+                           is_kind_v<T, net::CoordWriteRespMsg,
+                                     net::CoordWriteRespView>) {
+        ++delivery_drops_.coord;  // the request machine rides it out
+      } else {
+        ++delivery_drops_.sync;
+      }
+      return;
+    }
+    {
+      if constexpr (is_kind_v<T, net::ReplicateMsg, net::ReplicateView>) {
             if (fast != nullptr) {
-              dst.merge_key(mechanism_, m.key, *fast);
+              dst.merge_key_view(mechanism_, m.key, *fast);
             } else {
               dst.merge_encoded(mechanism_, m.key, m.state);
             }
-          } else if constexpr (std::is_same_v<T, net::HintMsg>) {
+          } else if constexpr (is_kind_v<T, net::HintMsg, net::HintView>) {
             if (fast != nullptr) {
-              dst.stash_hint(mechanism_, m.owner, m.key, *fast);
+              dst.stash_hint(mechanism_, m.owner, Key(m.key), *fast);
             } else {
               dst.stash_hint_encoded(mechanism_, m.owner, m.key, m.state);
             }
-          } else if constexpr (std::is_same_v<T, net::HintDeliverMsg>) {
+          } else if constexpr (is_kind_v<T, net::HintDeliverMsg, net::HintDeliverView>) {
             // The owner merges the parked write home and acks with the
             // payload's digest so the holder can retire exactly this
             // hint (and not a newer re-stash).
             if (fast != nullptr) {
-              dst.merge_key(mechanism_, m.key, *fast);
+              dst.merge_key_view(mechanism_, m.key, *fast);
             } else {
               dst.merge_encoded(mechanism_, m.key, m.state);
             }
-            send_message(envelope.to, envelope.from,
-                         net::HintAckMsg{m.owner, m.key,
-                                         sync::encoded_state_digest(m.state)});
-          } else if constexpr (std::is_same_v<T, net::HintAckMsg>) {
-            (void)dst.drop_hint_if(m.owner, m.key, m.digest);
-          } else if constexpr (std::is_same_v<T, net::CoordReadReqMsg>) {
+            const std::uint64_t digest = sync::encoded_state_digest(m.state);
+            const net::Message& ack = net::fill_message<net::HintAckMsg>(
+                slot_hint_ack_, [&](auto& out) {
+                  out.owner = m.owner;
+                  out.key = m.key;
+                  out.digest = digest;
+                });
+            transport_->send(
+                to, from, net::borrow_message(ack), nullptr,
+                net::wire_size_of(std::get<net::HintAckMsg>(ack)));
+          } else if constexpr (is_kind_v<T, net::HintAckMsg, net::HintAckView>) {
+            (void)dst.drop_hint_if(m.owner, Key(m.key), m.digest);
+          } else if constexpr (is_kind_v<T, net::CoordReadReqMsg, net::CoordReadReqView>) {
             // Serve the quorum read: answer with the local encoding of
             // the key (found=false when this replica holds nothing).
             // The decoded alias rides along for zero-copy loopback —
             // valid only for synchronous delivery, exactly the
             // envelope contract.
             const Stored* local = dst.find(m.key);
-            auto resp = std::make_shared<const net::Message>(net::CoordReadRespMsg{
-                m.req, local != nullptr,
-                local != nullptr ? Replica<M>::encode_state(*local)
-                                 : std::string{}});
-            transport_->send(envelope.to, envelope.from, std::move(resp),
-                             std::shared_ptr<const void>(
-                                 std::shared_ptr<const void>{}, local));
-          } else if constexpr (std::is_same_v<T, net::CoordReadRespMsg>) {
+            const net::Message& resp =
+                net::fill_message<net::CoordReadRespMsg>(
+                    slot_read_resp_, [&](auto& out) {
+                      out.req = m.req;
+                      out.found = local != nullptr;
+                      if (local != nullptr) {
+                        Replica<M>::encode_state_into(*local, out.state);
+                      } else {
+                        out.state.clear();
+                      }
+                    });
+            transport_->send(
+                to, from, net::borrow_message(resp),
+                std::shared_ptr<const void>(std::shared_ptr<const void>{},
+                                            local),
+                net::wire_size_of(std::get<net::CoordReadRespMsg>(resp)));
+          } else if constexpr (is_kind_v<T, net::CoordReadRespMsg, net::CoordReadRespView>) {
             // A quorum-read reply lands at its coordinator: the engine
             // counts it toward the quorum (or drops it as late,
             // duplicate or stale — reply hygiene lives there).
             bool done;
             if (!m.found) {
-              done = coordinator_.on_read_reply(m.req, envelope.from, nullptr,
-                                                mechanism_);
+              done = coordinator_.on_read_reply(m.req, from, nullptr, mechanism_);
             } else if (fast != nullptr) {
-              done = coordinator_.on_read_reply(m.req, envelope.from, fast,
-                                                mechanism_);
+              done = coordinator_.on_read_reply(m.req, from, fast, mechanism_);
             } else {
               const Stored remote = Replica<M>::decode_state(m.state);
-              done = coordinator_.on_read_reply(m.req, envelope.from, &remote,
-                                                mechanism_);
+              done = coordinator_.on_read_reply(m.req, from, &remote, mechanism_);
             }
             if (done) maybe_read_repair(m.req);
-          } else if constexpr (std::is_same_v<T, net::CoordWriteReqMsg>) {
+          } else if constexpr (is_kind_v<T, net::CoordWriteReqMsg, net::CoordWriteReqView>) {
             // Replicate-with-ack: merge exactly as a ReplicateMsg
             // would, then acknowledge so the coordinator can count this
             // replica toward the write quorum.
             if (fast != nullptr) {
-              dst.merge_key(mechanism_, m.key, *fast);
+              dst.merge_key_view(mechanism_, m.key, *fast);
             } else {
               dst.merge_encoded(mechanism_, m.key, m.state);
             }
-            send_message(envelope.to, envelope.from, net::CoordWriteRespMsg{m.req});
-          } else if constexpr (std::is_same_v<T, net::CoordWriteRespMsg>) {
-            (void)coordinator_.on_write_ack(m.req, envelope.from);
-          } else if constexpr (std::is_same_v<T, net::SyncReqMsg>) {
-            run_sync_session(envelope.from, envelope.to, m.nonce);
+            const net::Message& ack = net::fill_message<net::CoordWriteRespMsg>(
+                slot_write_resp_, [&](auto& out) { out.req = m.req; });
+            transport_->send(
+                to, from, net::borrow_message(ack), nullptr,
+                net::wire_size_of(std::get<net::CoordWriteRespMsg>(ack)));
+          } else if constexpr (is_kind_v<T, net::CoordWriteRespMsg, net::CoordWriteRespView>) {
+            (void)coordinator_.on_write_ack(m.req, from);
+          } else if constexpr (is_kind_v<T, net::SyncReqMsg, net::SyncReqView>) {
+            run_sync_session(from, to, m.nonce);
+          } else if constexpr (is_kind_v<T, net::BatchMsg, net::BatchView>) {
+            // Batches are expanded before dispatch (on_message, and the
+            // transports themselves) — one can never reach the applier.
+            DVV_ASSERT_MSG(false, "kv: unexpanded batch view in apply_view");
           } else {
-            static_assert(std::is_same_v<T, net::SyncRespMsg>);
+            static_assert(is_kind_v<T, net::SyncRespMsg, net::SyncRespView>);
             CompletedSync cs;
-            cs.initiator = envelope.to;
-            cs.responder = envelope.from;
+            cs.initiator = to;
+            cs.responder = from;
             cs.nonce = m.nonce;
             cs.stats.rounds = static_cast<std::size_t>(m.rounds);
             cs.stats.nodes_exchanged = static_cast<std::size_t>(m.nodes_exchanged);
@@ -1070,8 +1176,7 @@ class Cluster {
             cs.stats.wire_bytes = static_cast<std::size_t>(m.wire_bytes);
             completed_syncs_.push_back(std::move(cs));
           }
-        },
-        msg);
+    }
   }
 
   /// Runs one digest session at the responder after a SyncReqMsg
@@ -1239,6 +1344,25 @@ class Cluster {
   std::uint64_t next_sync_nonce_ = 0;
   std::uint64_t repairs_shipped_total_ = 0;  ///< every state repair_key shipped
   DeliveryDrops delivery_drops_{};
+
+  // Reusable send slots, one per message purpose.  The cluster's own
+  // sends ride net::borrow_message handles over these — no allocation
+  // and no shared_ptr control-block traffic per message.  The borrow
+  // contract holds because (a) the kv delivery sink never retains an
+  // envelope beyond the sink call, and (b) no delivery chain ever
+  // refills the slot of a message still on the stack: a write_req
+  // delivery fills only write_resp; a read_req delivery only
+  // read_resp; a read_resp delivery at most replicate (read repair); a
+  // hint_deliver delivery only hint_ack; replicate / hint / hint_ack /
+  // write_resp deliveries send nothing.
+  net::Message slot_replicate_;
+  net::Message slot_hint_;
+  net::Message slot_hint_deliver_;
+  net::Message slot_hint_ack_;
+  net::Message slot_read_req_;
+  net::Message slot_read_resp_;
+  net::Message slot_write_req_;
+  net::Message slot_write_resp_;
 };
 
 }  // namespace dvv::kv

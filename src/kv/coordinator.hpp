@@ -232,10 +232,10 @@ class QuorumCoordinator {
                            const ReadOptions& opts) {
     DVV_ASSERT(quorum >= 1);
     const std::uint64_t id = table_.acquire();
-    Request& req = slot(id) = Request{};
+    Request& req = slot(id);
+    req.reset();
     req.id = id;
     req.is_read = true;
-    req.read = ReadReceipt{};
     req.read.id = id;
     req.read.key = std::move(key);
     req.read.coordinator = coordinator;
@@ -253,7 +253,8 @@ class QuorumCoordinator {
 
   std::uint64_t start_write(PutReceipt base, const WriteOptions& opts) {
     const std::uint64_t id = table_.acquire();
-    Request& req = slot(id) = Request{};
+    Request& req = slot(id);
+    req.reset();
     req.id = id;
     req.is_read = false;
     req.write = std::move(base);
@@ -467,6 +468,40 @@ class QuorumCoordinator {
     void set_outcome(CoordOutcome o) noexcept {
       (is_read ? read.outcome : write.outcome) = o;
     }
+
+    /// Clears the slot for its next tenant, RETAINING container
+    /// capacity: the request path recycles slots millions of times and
+    /// must not churn the allocator.  (Harvest moves the receipt's
+    /// buffers out to the caller; whatever stays behind is reused.)
+    void reset() noexcept {
+      id = 0;
+      is_read = true;
+      read_repair = false;
+      deadline = 0;
+      start_tick = 0;
+      requested_write_quorum = 0;
+      write_quorum = 0;
+      read.id = 0;
+      read.key.clear();
+      read.coordinator = 0;
+      read.outcome = CoordOutcome::kPending;
+      read.quorum = 0;
+      read.asked = 0;
+      read.found = false;
+      read.responders.clear();
+      read.merged = Stored{};
+      write.coordinator = 0;
+      write.unavailable = false;
+      write.targets = 0;
+      write.replicated_to = 0;
+      write.hinted = 0;
+      write.unparked = 0;
+      write.degraded = false;
+      write.replication_bytes = 0;
+      write.acked_by.clear();
+      write.outcome = CoordOutcome::kPending;
+      reply_digests.clear();
+    }
   };
 
   Request& slot(std::uint64_t id) {
@@ -571,7 +606,7 @@ class QuorumCoordinator {
   }
 
   void retire(std::uint64_t id) {
-    requests_[RequestTable::slot_of(id)] = Request{};
+    requests_[RequestTable::slot_of(id)].reset();
     std::erase(completed_, id);
     table_.retire(id);
   }

@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -165,21 +166,32 @@ class Replica {
   /// delivery, dominated remote), nothing is dirtied or persisted — a
   /// converged replica's Merkle paths and WAL stay untouched.
   void merge_key(const M& m, const Key& key, const Stored& remote) {
-    auto [it, inserted] = data_.try_emplace(key);
+    merge_key_view(m, key, remote);
+  }
+
+  /// merge_key whose key is still a view into a received buffer (the
+  /// zero-copy delivery path): the lookup is transparent, so the key
+  /// bytes are copied only when the key is NEW here — adoption, the one
+  /// place the view path materializes.
+  void merge_key_view(const M& m, std::string_view key, const Stored& remote) {
+    auto it = data_.find(key);
+    const bool inserted = it == data_.end();
+    if (inserted) it = data_.try_emplace(Key(key)).first;
     const std::string before = inserted ? std::string() : encode_state(it->second);
     m.sync(it->second, remote);
     const std::string after = encode_state(it->second);
     if (!inserted && after == before) return;
-    touched(key);
-    backend_->append({store::RecordType::kData, key, 0, after});
+    touched(it->first);
+    backend_->append({store::RecordType::kData, it->first, 0, after});
   }
 
   /// merge_key for a payload that arrived as wire bytes (the transport
-  /// layer ships full codec encodings): decodes and merges.
-  void merge_encoded(const M& m, const Key& key, const std::string& bytes) {
+  /// layer ships full codec encodings): decodes and merges straight out
+  /// of the received buffer.
+  void merge_encoded(const M& m, std::string_view key, std::string_view bytes) {
     Stored remote;
     decode_into(bytes, remote);
-    merge_key(m, key, remote);
+    merge_key_view(m, key, remote);
   }
 
   /// Repair write-back: adopts `state` verbatim (the anti-entropy
@@ -210,7 +222,7 @@ class Replica {
     }
   }
 
-  [[nodiscard]] const Stored* find(const Key& key) const {
+  [[nodiscard]] const Stored* find(std::string_view key) const {
     auto it = data_.find(key);
     return it == data_.end() ? nullptr : &it->second;
   }
@@ -261,11 +273,12 @@ class Replica {
   }
 
   /// stash_hint for a payload that arrived as wire bytes (a HintMsg).
-  void stash_hint_encoded(const M& m, ReplicaId owner, const Key& key,
-                          const std::string& bytes) {
+  /// Hints are the failure path, so materializing the key here is fine.
+  void stash_hint_encoded(const M& m, ReplicaId owner, std::string_view key,
+                          std::string_view bytes) {
     Stored remote;
     decode_into(bytes, remote);
-    stash_hint(m, owner, key, remote);
+    stash_hint(m, owner, Key(key), remote);
   }
 
   /// Drops the parked hint for (owner, key) if its current bytes still
@@ -345,16 +358,28 @@ class Replica {
     return std::string(reinterpret_cast<const char*>(w.buffer().data()), w.size());
   }
 
+  /// encode_state into a caller-provided buffer.  The message path
+  /// encodes payloads into pooled strings through this, so steady state
+  /// mints no fresh payload allocation per send — the scratch Writer and
+  /// the destination both retain capacity.
+  static void encode_state_into(const Stored& s, std::string& out) {
+    static thread_local codec::Writer* scratch = new codec::Writer;
+    scratch->clear();
+    codec::encode(*scratch, s);
+    out.assign(reinterpret_cast<const char*>(scratch->buffer().data()),
+               scratch->size());
+  }
+
   /// Inverse of encode_state: decodes a wire payload (a quorum-read
   /// reply the coordination engine merges, tests) back into a Stored.
-  [[nodiscard]] static Stored decode_state(const std::string& bytes) {
+  [[nodiscard]] static Stored decode_state(std::string_view bytes) {
     Stored out;
     decode_into(bytes, out);
     return out;
   }
 
  private:
-  static void decode_into(const std::string& bytes, Stored& out) {
+  static void decode_into(std::string_view bytes, Stored& out) {
     codec::Reader r(std::span<const std::byte>(
         reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()));
     codec::decode(r, out);
@@ -379,7 +404,9 @@ class Replica {
   /// recover re-dirtying, footprint accounting — is part of the twin-
   /// equivalence surface, and unordered iteration order is an
   /// implementation detail of the standard library build.
-  std::map<Key, Stored> data_;
+  /// std::less<> so the view-based delivery path looks keys up without
+  /// materializing a temporary Key (ordering is unchanged).
+  std::map<Key, Stored, std::less<>> data_;
   std::map<std::pair<ReplicaId, Key>, Stored> hinted_;
 };
 

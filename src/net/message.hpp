@@ -16,19 +16,36 @@
 // today), produced and consumed by the kv layer.  The message layer
 // never decodes a clock — which is what keeps one transport serving all
 // six causality mechanisms.
+//
+// The hot message path adds three throughput layers on top of the
+// typed messages (see README "Message path"):
+//
+//   * BatchMsg — a composite frame coalescing several same-destination
+//     messages under one header, assembled by SimTransport at delivery
+//     time and strict-decoded like every other frame;
+//   * MessageView — a non-owning mirror of Message whose string fields
+//     are views into the received buffer; the delivery path decodes
+//     into views and the kv layer copies bytes only on adoption;
+//   * net pools — recycled Message objects, encode buffers and a
+//     freelist arena for shared_ptr control blocks, so the steady
+//     state allocates nothing per op.  Pool MISSES are observable as
+//     the net.alloc.* counters.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "codec/wire.hpp"
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "util/assert.hpp"
+#include "util/pool.hpp"
 
 namespace dvv::net {
 
@@ -125,15 +142,98 @@ struct CoordWriteRespMsg {
   std::uint64_t req = 0;
 };
 
+/// Composite frame: `count` sub-messages for one destination under one
+/// header, each sub-frame a complete encoding of a NON-batch message
+/// (no nesting).  SimTransport assembles one per maximal run of
+/// consecutive due same-link messages at delivery time, so a tick's
+/// fan-out crosses as a single envelope; the strict decoder validates
+/// every sub-frame before the batch is accepted, and rejects empty
+/// batches, nested batches, sub-frames with trailing bytes, and counts
+/// the input cannot hold.
+struct BatchMsg {
+  std::vector<std::string> frames;  ///< each: full encoding of one sub-message
+};
+
 using Message = std::variant<ReplicateMsg, HintMsg, HintDeliverMsg, HintAckMsg,
                              SyncReqMsg, SyncRespMsg, CoordReadReqMsg,
-                             CoordReadRespMsg, CoordWriteReqMsg, CoordWriteRespMsg>;
+                             CoordReadRespMsg, CoordWriteReqMsg, CoordWriteRespMsg,
+                             BatchMsg>;
 
 // The obs catalog's per-message-type counter axes (sent, delivered,
 // decode_reject) must track the Message variant exactly; obs cannot
 // include net headers, so the check lives here.
 static_assert(std::variant_size_v<Message> == obs::kMessageTypes,
               "net: Message variant and obs::kMessageTypeNames diverged");
+
+// ---- zero-copy views -------------------------------------------------------
+//
+// MessageView mirrors Message alternative-for-alternative (same order,
+// so view.index() == message.index()), with every string field a
+// std::string_view into the buffer it was decoded from.  The delivery
+// path decodes received frames into views; owned bytes materialize
+// only where the kv layer adopts them (replica merge, hint stash).
+
+struct ReplicateView {
+  std::string_view key;
+  std::string_view state;
+};
+struct HintView {
+  NodeId owner = 0;
+  std::string_view key;
+  std::string_view state;
+};
+struct HintDeliverView {
+  NodeId owner = 0;
+  std::string_view key;
+  std::string_view state;
+};
+struct HintAckView {
+  NodeId owner = 0;
+  std::string_view key;
+  std::uint64_t digest = 0;
+};
+struct SyncReqView {
+  std::uint64_t nonce = 0;
+};
+struct SyncRespView {
+  std::uint64_t nonce = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t nodes_exchanged = 0;
+  std::uint64_t keys_compared = 0;
+  std::uint64_t keys_shipped = 0;
+  std::uint64_t wire_bytes = 0;
+};
+struct CoordReadReqView {
+  std::uint64_t req = 0;
+  std::string_view key;
+};
+struct CoordReadRespView {
+  std::uint64_t req = 0;
+  bool found = false;
+  std::string_view state;
+};
+struct CoordWriteReqView {
+  std::uint64_t req = 0;
+  std::string_view key;
+  std::string_view state;
+};
+struct CoordWriteRespView {
+  std::uint64_t req = 0;
+};
+/// `frames` is the raw length-prefixed sub-frame region (already
+/// validated when this view came out of the strict decoder).
+struct BatchView {
+  std::uint64_t count = 0;
+  std::string_view frames;
+};
+
+using MessageView =
+    std::variant<ReplicateView, HintView, HintDeliverView, HintAckView,
+                 SyncReqView, SyncRespView, CoordReadReqView, CoordReadRespView,
+                 CoordWriteReqView, CoordWriteRespView, BatchView>;
+
+static_assert(std::variant_size_v<MessageView> == std::variant_size_v<Message>,
+              "net: MessageView and Message variants diverged");
 
 // ---- codec -----------------------------------------------------------------
 //
@@ -178,9 +278,12 @@ inline void encode(codec::Writer& w, const Message& msg) {
           w.varint(m.req);
           w.bytes(m.key);
           w.bytes(m.state);
-        } else {
-          static_assert(std::is_same_v<T, CoordWriteRespMsg>);
+        } else if constexpr (std::is_same_v<T, CoordWriteRespMsg>) {
           w.varint(m.req);
+        } else {
+          static_assert(std::is_same_v<T, BatchMsg>);
+          w.varint(m.frames.size());
+          for (const std::string& frame : m.frames) w.bytes(frame);
         }
       },
       msg);
@@ -195,86 +298,233 @@ inline void encode(codec::Writer& w, const Message& msg) {
 // never an assert.  Successful decode of a full frame therefore
 // implies encode_to_bytes reproduces the input byte-for-byte — the
 // round-trip property the wire fuzzer pins.
+//
+// There is ONE parser: try_decode_view.  Owned decode is the view
+// parser plus materialize(), so the strict contract cannot drift
+// between the zero-copy delivery path and the owned path.
 
-/// Strict decode of one message from `r`.  Returns nullopt on any
-/// malformation, leaving `r` mid-buffer.  When `tag_out` is non-null it
-/// receives the claimed variant index if one was readable and in range
-/// (rejection taxonomy for the decode_reject counters), else SIZE_MAX.
-[[nodiscard]] inline std::optional<Message> try_decode_message(
-    codec::StrictReader& r, std::size_t* tag_out = nullptr) {
+[[nodiscard]] inline bool parse_batch_frames(codec::StrictReader& r,
+                                             std::uint64_t count,
+                                             std::vector<MessageView>* out);
+
+/// Strict decode of one message from `r`, into non-owning views over
+/// the input buffer.  Returns nullopt on any malformation, leaving `r`
+/// mid-buffer.  When `tag_out` is non-null it receives the claimed
+/// variant index if one was readable and in range (rejection taxonomy
+/// for the decode_reject counters), else SIZE_MAX.  `allow_batch`
+/// false rejects BatchMsg frames — how sub-frame validation bans
+/// nested batches.
+[[nodiscard]] inline std::optional<MessageView> try_decode_view(
+    codec::StrictReader& r, std::size_t* tag_out = nullptr,
+    bool allow_batch = true) {
   if (tag_out != nullptr) *tag_out = SIZE_MAX;
   std::uint64_t tag = 0;
   if (!r.varint(tag)) return std::nullopt;
-  if (tag >= std::variant_size_v<Message>) return std::nullopt;
+  if (tag >= std::variant_size_v<MessageView>) return std::nullopt;
   if (tag_out != nullptr) *tag_out = static_cast<std::size_t>(tag);
   switch (tag) {
     case 0: {
-      ReplicateMsg m;
-      if (!r.bytes(m.key) || !r.bytes(m.state)) return std::nullopt;
-      return m;
+      ReplicateView v;
+      if (!r.bytes_view(v.key) || !r.bytes_view(v.state)) return std::nullopt;
+      return MessageView{v};
     }
     case 1: {
-      HintMsg m;
-      if (!r.varint(m.owner) || !r.bytes(m.key) || !r.bytes(m.state)) {
+      HintView v;
+      if (!r.varint(v.owner) || !r.bytes_view(v.key) || !r.bytes_view(v.state)) {
         return std::nullopt;
       }
-      return m;
+      return MessageView{v};
     }
     case 2: {
-      HintDeliverMsg m;
-      if (!r.varint(m.owner) || !r.bytes(m.key) || !r.bytes(m.state)) {
+      HintDeliverView v;
+      if (!r.varint(v.owner) || !r.bytes_view(v.key) || !r.bytes_view(v.state)) {
         return std::nullopt;
       }
-      return m;
+      return MessageView{v};
     }
     case 3: {
-      HintAckMsg m;
-      if (!r.varint(m.owner) || !r.bytes(m.key) || !r.varint(m.digest)) {
+      HintAckView v;
+      if (!r.varint(v.owner) || !r.bytes_view(v.key) || !r.varint(v.digest)) {
         return std::nullopt;
       }
-      return m;
+      return MessageView{v};
     }
     case 4: {
-      SyncReqMsg m;
-      if (!r.varint(m.nonce)) return std::nullopt;
-      return m;
+      SyncReqView v;
+      if (!r.varint(v.nonce)) return std::nullopt;
+      return MessageView{v};
     }
     case 5: {
-      SyncRespMsg m;
-      if (!r.varint(m.nonce) || !r.varint(m.rounds) ||
-          !r.varint(m.nodes_exchanged) || !r.varint(m.keys_compared) ||
-          !r.varint(m.keys_shipped) || !r.varint(m.wire_bytes)) {
+      SyncRespView v;
+      if (!r.varint(v.nonce) || !r.varint(v.rounds) ||
+          !r.varint(v.nodes_exchanged) || !r.varint(v.keys_compared) ||
+          !r.varint(v.keys_shipped) || !r.varint(v.wire_bytes)) {
         return std::nullopt;
       }
-      return m;
+      return MessageView{v};
     }
     case 6: {
-      CoordReadReqMsg m;
-      if (!r.varint(m.req) || !r.bytes(m.key)) return std::nullopt;
-      return m;
+      CoordReadReqView v;
+      if (!r.varint(v.req) || !r.bytes_view(v.key)) return std::nullopt;
+      return MessageView{v};
     }
     case 7: {
-      CoordReadRespMsg m;
+      CoordReadRespView v;
       std::uint64_t found = 0;
-      if (!r.varint(m.req) || !r.varint(found)) return std::nullopt;
+      if (!r.varint(v.req) || !r.varint(found)) return std::nullopt;
       if (found > 1) return std::nullopt;  // canonical bool
-      m.found = found != 0;
-      if (!r.bytes(m.state)) return std::nullopt;
-      return m;
+      v.found = found != 0;
+      if (!r.bytes_view(v.state)) return std::nullopt;
+      return MessageView{v};
     }
     case 8: {
-      CoordWriteReqMsg m;
-      if (!r.varint(m.req) || !r.bytes(m.key) || !r.bytes(m.state)) {
+      CoordWriteReqView v;
+      if (!r.varint(v.req) || !r.bytes_view(v.key) || !r.bytes_view(v.state)) {
         return std::nullopt;
       }
-      return m;
+      return MessageView{v};
+    }
+    case 9: {
+      CoordWriteRespView v;
+      if (!r.varint(v.req)) return std::nullopt;
+      return MessageView{v};
     }
     default: {
-      CoordWriteRespMsg m;
-      if (!r.varint(m.req)) return std::nullopt;
-      return m;
+      if (!allow_batch) return std::nullopt;  // no nested batches
+      BatchView v;
+      if (!r.varint(v.count)) return std::nullopt;
+      // An empty batch is never framed; a count beyond the remaining
+      // bytes is an overclaim (every sub-frame costs >= 2 bytes).
+      if (v.count == 0 || v.count > r.remaining()) return std::nullopt;
+      const std::size_t begin = r.position();
+      if (!parse_batch_frames(r, v.count, nullptr)) return std::nullopt;
+      v.frames = r.viewed_since(begin);
+      return MessageView{v};
     }
   }
+}
+
+/// Validates `count` length-prefixed sub-frames at `r`, each a complete
+/// non-batch message with no trailing bytes; collects the decoded views
+/// into `out` when non-null.  Linear: fails at the first sub-frame the
+/// input cannot hold.
+[[nodiscard]] inline bool parse_batch_frames(codec::StrictReader& r,
+                                             std::uint64_t count,
+                                             std::vector<MessageView>* out) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string_view frame;
+    if (!r.bytes_view(frame)) return false;
+    codec::StrictReader sub(frame.data(), frame.size());
+    std::optional<MessageView> view =
+        try_decode_view(sub, nullptr, /*allow_batch=*/false);
+    if (!view.has_value() || !sub.done()) return false;
+    if (out != nullptr) out->push_back(*view);
+  }
+  return true;
+}
+
+/// Strict decode of one complete NON-batch frame (a batch sub-frame, or
+/// an owned BatchMsg's stored encoding): one message, every byte
+/// consumed.
+[[nodiscard]] inline std::optional<MessageView> decode_frame_view(
+    std::string_view frame) {
+  codec::StrictReader r(frame.data(), frame.size());
+  std::optional<MessageView> view =
+      try_decode_view(r, nullptr, /*allow_batch=*/false);
+  if (!view.has_value() || !r.done()) return std::nullopt;
+  return view;
+}
+
+/// Owned message from a decoded view: copies every viewed byte range
+/// into fresh strings — the one adoption point where the zero-copy
+/// path materializes.
+[[nodiscard]] inline Message materialize(const MessageView& view) {
+  return std::visit(
+      [](const auto& v) -> Message {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, ReplicateView>) {
+          return ReplicateMsg{std::string(v.key), std::string(v.state)};
+        } else if constexpr (std::is_same_v<T, HintView>) {
+          return HintMsg{v.owner, std::string(v.key), std::string(v.state)};
+        } else if constexpr (std::is_same_v<T, HintDeliverView>) {
+          return HintDeliverMsg{v.owner, std::string(v.key), std::string(v.state)};
+        } else if constexpr (std::is_same_v<T, HintAckView>) {
+          return HintAckMsg{v.owner, std::string(v.key), v.digest};
+        } else if constexpr (std::is_same_v<T, SyncReqView>) {
+          return SyncReqMsg{v.nonce};
+        } else if constexpr (std::is_same_v<T, SyncRespView>) {
+          return SyncRespMsg{v.nonce,         v.rounds,       v.nodes_exchanged,
+                             v.keys_compared, v.keys_shipped, v.wire_bytes};
+        } else if constexpr (std::is_same_v<T, CoordReadReqView>) {
+          return CoordReadReqMsg{v.req, std::string(v.key)};
+        } else if constexpr (std::is_same_v<T, CoordReadRespView>) {
+          return CoordReadRespMsg{v.req, v.found, std::string(v.state)};
+        } else if constexpr (std::is_same_v<T, CoordWriteReqView>) {
+          return CoordWriteReqMsg{v.req, std::string(v.key), std::string(v.state)};
+        } else if constexpr (std::is_same_v<T, CoordWriteRespView>) {
+          return CoordWriteRespMsg{v.req};
+        } else {
+          static_assert(std::is_same_v<T, BatchView>);
+          BatchMsg m;
+          m.frames.reserve(static_cast<std::size_t>(v.count));
+          codec::StrictReader r(v.frames.data(), v.frames.size());
+          for (std::uint64_t i = 0; i < v.count; ++i) {
+            std::string_view frame;
+            const bool ok = r.bytes_view(frame);
+            DVV_ASSERT_MSG(ok, "net: materializing an unvalidated batch view");
+            m.frames.emplace_back(frame);
+          }
+          return m;
+        }
+      },
+      view);
+}
+
+/// Non-owning view of an owned message (string fields become views into
+/// the message's own strings — valid while `msg` lives).  BatchMsg is
+/// excluded: its view form is a contiguous wire region an owned frame
+/// list does not have; batch consumers iterate `frames` directly.
+[[nodiscard]] inline MessageView as_view(const Message& msg) {
+  return std::visit(
+      [](const auto& m) -> MessageView {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ReplicateMsg>) {
+          return ReplicateView{m.key, m.state};
+        } else if constexpr (std::is_same_v<T, HintMsg>) {
+          return HintView{m.owner, m.key, m.state};
+        } else if constexpr (std::is_same_v<T, HintDeliverMsg>) {
+          return HintDeliverView{m.owner, m.key, m.state};
+        } else if constexpr (std::is_same_v<T, HintAckMsg>) {
+          return HintAckView{m.owner, m.key, m.digest};
+        } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
+          return SyncReqView{m.nonce};
+        } else if constexpr (std::is_same_v<T, SyncRespMsg>) {
+          return SyncRespView{m.nonce,         m.rounds,       m.nodes_exchanged,
+                              m.keys_compared, m.keys_shipped, m.wire_bytes};
+        } else if constexpr (std::is_same_v<T, CoordReadReqMsg>) {
+          return CoordReadReqView{m.req, m.key};
+        } else if constexpr (std::is_same_v<T, CoordReadRespMsg>) {
+          return CoordReadRespView{m.req, m.found, m.state};
+        } else if constexpr (std::is_same_v<T, CoordWriteReqMsg>) {
+          return CoordWriteReqView{m.req, m.key, m.state};
+        } else if constexpr (std::is_same_v<T, CoordWriteRespMsg>) {
+          return CoordWriteRespView{m.req};
+        } else {
+          static_assert(std::is_same_v<T, BatchMsg>);
+          DVV_ASSERT_MSG(false, "net: as_view has no BatchMsg form");
+          return SyncReqView{};  // unreachable
+        }
+      },
+      msg);
+}
+
+/// Strict decode of one OWNED message from `r` — the view parser plus
+/// materialize, so both decode forms share one implementation.
+[[nodiscard]] inline std::optional<Message> try_decode_message(
+    codec::StrictReader& r, std::size_t* tag_out = nullptr) {
+  std::optional<MessageView> view = try_decode_view(r, tag_out);
+  if (!view.has_value()) return std::nullopt;
+  return materialize(*view);
 }
 
 /// Strict decode of a full transport payload: one message consuming
@@ -288,50 +538,87 @@ inline void encode(codec::Writer& w, const Message& msg) {
   return msg;
 }
 
+namespace detail {
+
+template <typename T, typename... Ts>
+[[nodiscard]] constexpr std::size_t variant_index_of(const std::variant<Ts...>*) {
+  constexpr bool matches[] = {std::is_same_v<T, Ts>...};
+  for (std::size_t i = 0; i < sizeof...(Ts); ++i) {
+    if (matches[i]) return i;
+  }
+  return std::variant_npos;
+}
+
+}  // namespace detail
+
+/// `T`'s wire tag (its Message variant index), at compile time.
+template <typename T>
+inline constexpr std::size_t kMessageTagOf =
+    detail::variant_index_of<T>(static_cast<const Message*>(nullptr));
+
+/// Exact codec size of a STATICALLY-known alternative — wire_size's
+/// arithmetic with the variant dispatch compiled away.  Fan-out
+/// senders that just filled a typed slot use this to compute the
+/// size_hint they pass along with the borrowed message, so the
+/// transport never re-walks the variant (SimTransport asserts the hint
+/// against the real encoding, which keeps this table honest).
+template <typename T>
+[[nodiscard]] inline std::size_t wire_size_of(const T& m) {
+  static_assert(kMessageTagOf<T> != std::variant_npos);
+  const auto bytes_size = [](const std::string& s) {
+    return codec::varint_size(s.size()) + s.size();
+  };
+  std::size_t n = codec::varint_size(kMessageTagOf<T>);
+  if constexpr (std::is_same_v<T, ReplicateMsg>) {
+    n += bytes_size(m.key) + bytes_size(m.state);
+  } else if constexpr (std::is_same_v<T, HintMsg> ||
+                       std::is_same_v<T, HintDeliverMsg>) {
+    n += codec::varint_size(m.owner) + bytes_size(m.key) + bytes_size(m.state);
+  } else if constexpr (std::is_same_v<T, HintAckMsg>) {
+    n += codec::varint_size(m.owner) + bytes_size(m.key) +
+         codec::varint_size(m.digest);
+  } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
+    n += codec::varint_size(m.nonce);
+  } else if constexpr (std::is_same_v<T, SyncRespMsg>) {
+    n += codec::varint_size(m.nonce) + codec::varint_size(m.rounds) +
+         codec::varint_size(m.nodes_exchanged) +
+         codec::varint_size(m.keys_compared) +
+         codec::varint_size(m.keys_shipped) + codec::varint_size(m.wire_bytes);
+  } else if constexpr (std::is_same_v<T, CoordReadReqMsg>) {
+    n += codec::varint_size(m.req) + bytes_size(m.key);
+  } else if constexpr (std::is_same_v<T, CoordReadRespMsg>) {
+    n += codec::varint_size(m.req) + codec::varint_size(m.found ? 1 : 0) +
+         bytes_size(m.state);
+  } else if constexpr (std::is_same_v<T, CoordWriteReqMsg>) {
+    n += codec::varint_size(m.req) + bytes_size(m.key) + bytes_size(m.state);
+  } else if constexpr (std::is_same_v<T, CoordWriteRespMsg>) {
+    n += codec::varint_size(m.req);
+  } else {
+    static_assert(std::is_same_v<T, BatchMsg>);
+    n += codec::varint_size(m.frames.size());
+    for (const std::string& frame : m.frames) n += bytes_size(frame);
+  }
+  return n;
+}
+
 /// Exact size of `msg`'s codec encoding, computed without building the
 /// bytes.  Envelopes are metered with this so the inline transport's
 /// zero-copy fast path charges the same wire bytes the byte-faithful
 /// SimTransport pays for real (it asserts the two agree).
 [[nodiscard]] inline std::size_t wire_size(const Message& msg) {
-  std::size_t n = codec::varint_size(msg.index());
-  std::visit(
-      [&n](const auto& m) {
-        using T = std::decay_t<decltype(m)>;
-        const auto bytes_size = [](const std::string& s) {
-          return codec::varint_size(s.size()) + s.size();
-        };
-        if constexpr (std::is_same_v<T, ReplicateMsg>) {
-          n += bytes_size(m.key) + bytes_size(m.state);
-        } else if constexpr (std::is_same_v<T, HintMsg> ||
-                             std::is_same_v<T, HintDeliverMsg>) {
-          n += codec::varint_size(m.owner) + bytes_size(m.key) +
-               bytes_size(m.state);
-        } else if constexpr (std::is_same_v<T, HintAckMsg>) {
-          n += codec::varint_size(m.owner) + bytes_size(m.key) +
-               codec::varint_size(m.digest);
-        } else if constexpr (std::is_same_v<T, SyncReqMsg>) {
-          n += codec::varint_size(m.nonce);
-        } else if constexpr (std::is_same_v<T, SyncRespMsg>) {
-          n += codec::varint_size(m.nonce) + codec::varint_size(m.rounds) +
-               codec::varint_size(m.nodes_exchanged) +
-               codec::varint_size(m.keys_compared) +
-               codec::varint_size(m.keys_shipped) +
-               codec::varint_size(m.wire_bytes);
-        } else if constexpr (std::is_same_v<T, CoordReadReqMsg>) {
-          n += codec::varint_size(m.req) + bytes_size(m.key);
-        } else if constexpr (std::is_same_v<T, CoordReadRespMsg>) {
-          n += codec::varint_size(m.req) + codec::varint_size(m.found ? 1 : 0) +
-               bytes_size(m.state);
-        } else if constexpr (std::is_same_v<T, CoordWriteReqMsg>) {
-          n += codec::varint_size(m.req) + bytes_size(m.key) +
-               bytes_size(m.state);
-        } else {
-          static_assert(std::is_same_v<T, CoordWriteRespMsg>);
-          n += codec::varint_size(m.req);
-        }
-      },
-      msg);
-  return n;
+  return std::visit([](const auto& m) { return wire_size_of(m); }, msg);
+}
+
+/// Encodes `msg` into `out` via a persistent scratch writer: once both
+/// are warm (capacity >= frame size) this allocates nothing.
+inline void encode_into(const Message& msg, std::string& out) {
+  // Leaky thread_local scratch: shared_ptr releases during static
+  // destruction must never race a destroyed writer.
+  static thread_local codec::Writer* scratch = new codec::Writer;
+  scratch->clear();
+  encode(*scratch, msg);
+  out.assign(reinterpret_cast<const char*>(scratch->buffer().data()),
+             scratch->size());
 }
 
 /// Encodes `msg` to the byte string a Transport carries.
@@ -351,25 +638,167 @@ inline void encode(codec::Writer& w, const Message& msg) {
   return *std::move(msg);
 }
 
+/// Rejection accounting shared by the untrusted-boundary decoders:
+/// bumps net.decode_reject plus the per-type taxonomy counter
+/// (net.decode_reject.<type> when a plausible type tag was readable,
+/// net.decode_reject.unknown otherwise).
+inline void note_decode_reject(std::size_t tag) {
+  obs::NetMetrics& m = obs::net_metrics();
+  m.decode_reject.inc();
+  if (tag < obs::kMessageTypes) {
+    m.decode_reject_by_type[tag].inc();
+  } else {
+    m.decode_reject_unknown.inc();
+  }
+}
+
 /// The untrusted-boundary entry point: strict decode plus rejection
-/// accounting.  On failure bumps net.decode_reject and the per-type
-/// taxonomy counter (net.decode_reject.<type> when a plausible type
-/// tag was readable, net.decode_reject.unknown otherwise) and returns
+/// accounting.  On failure bumps the decode_reject taxonomy and returns
 /// nullopt — the caller drops the frame; no malformed input can abort.
 [[nodiscard]] inline std::optional<Message> decode_or_reject(
     std::string_view bytes) {
   std::size_t tag = SIZE_MAX;
   std::optional<Message> msg = try_decode_from_bytes(bytes, &tag);
-  if (!msg.has_value()) {
-    obs::NetMetrics& m = obs::net_metrics();
-    m.decode_reject.inc();
-    if (tag < obs::kMessageTypes) {
-      m.decode_reject_by_type[tag].inc();
-    } else {
-      m.decode_reject_unknown.inc();
-    }
-  }
+  if (!msg.has_value()) note_decode_reject(tag);
   return msg;
+}
+
+/// Zero-copy untrusted-boundary decode: views over `bytes` (which must
+/// outlive the returned view), same strictness and rejection accounting
+/// as decode_or_reject.
+[[nodiscard]] inline std::optional<MessageView> decode_view_or_reject(
+    std::string_view bytes) {
+  std::size_t tag = SIZE_MAX;
+  codec::StrictReader r(bytes.data(), bytes.size());
+  std::optional<MessageView> view = try_decode_view(r, &tag);
+  if (view.has_value() && r.done()) return view;
+  note_decode_reject(tag);
+  return std::nullopt;
+}
+
+/// Strict decode of a full BatchMsg frame into its ordered sub-views
+/// (appended to `out`; views alias `bytes`).  Returns false — with `out`
+/// restored — on anything that is not a well-formed batch.  No
+/// rejection accounting: the caller (SimTransport's coalescer) falls
+/// back to delivering the sub-frames individually, where each failure
+/// is counted exactly as an unbatched delivery would count it.
+[[nodiscard]] inline bool try_decode_batch_views(
+    std::string_view bytes, std::vector<MessageView>& out) {
+  const std::size_t mark = out.size();
+  codec::StrictReader r(bytes.data(), bytes.size());
+  std::uint64_t tag = 0;
+  std::uint64_t count = 0;
+  if (r.varint(tag) && tag == std::variant_size_v<Message> - 1 &&
+      r.varint(count) && count > 0 && count <= r.remaining() &&
+      parse_batch_frames(r, count, &out) && r.done()) {
+    return true;
+  }
+  out.resize(mark);
+  return false;
+}
+
+// ---- pooled messages and encode buffers ------------------------------------
+//
+// The net pools: recycled Message instances (alternative-affine —
+// LIFO reuse hands homogeneous traffic an object that already holds
+// the right alternative, so field assignment reuses string capacity),
+// recycled encode buffers, and a freelist arena for the shared_ptr
+// control blocks and SimTransport queue nodes the standard library
+// would otherwise heap-allocate per message.  Everything is
+// thread_local and leaked on purpose: a shared_ptr released during
+// static destruction must find its pool alive.
+//
+// Pool misses surface as net.alloc.{messages,encode_buffers,envelopes}.
+
+struct NetPools {
+  util::FreelistArena arena;
+  util::RecyclePool<Message> messages;
+  util::RecyclePool<std::string> buffers;
+
+  NetPools() {
+    arena.set_miss_hook([] { obs::net_metrics().alloc_envelopes.inc(); });
+    messages.set_miss_hook([] { obs::net_metrics().alloc_messages.inc(); });
+    buffers.set_miss_hook([] { obs::net_metrics().alloc_encode_buffers.inc(); });
+  }
+};
+
+[[nodiscard]] inline NetPools& net_pools() {
+  static thread_local NetPools* pools = new NetPools;  // leaked by design
+  return *pools;
+}
+
+/// shared_ptr deleter that parks the Message back in its pool,
+/// un-destructed, so its strings keep their capacity for the next use.
+struct MessageRecycler {
+  void operator()(const Message* p) const noexcept {
+    net_pools().messages.release(const_cast<Message*>(p));
+  }
+};
+
+struct BufferRecycler {
+  void operator()(const std::string* p) const noexcept {
+    net_pools().buffers.release(const_cast<std::string*>(p));
+  }
+};
+
+/// A recycled Message holding alternative T: `fill` assigns its fields
+/// in place (string assignment onto a recycled same-alternative object
+/// reuses capacity), and the returned handle's control block comes from
+/// the arena — zero per-op allocations once the pools are warm.
+template <typename T, typename Fill>
+[[nodiscard]] std::shared_ptr<const Message> pooled_message(Fill&& fill) {
+  NetPools& pools = net_pools();
+  Message* slot = pools.messages.acquire();
+  if (!std::holds_alternative<T>(*slot)) slot->emplace<T>();
+  fill(std::get<T>(*slot));
+  return std::shared_ptr<const Message>(slot, MessageRecycler{},
+                                        util::ArenaAllocator<Message>(&pools.arena));
+}
+
+/// Wraps an already-built message in a recycled slot (the by-value
+/// Transport::send convenience path).
+[[nodiscard]] inline std::shared_ptr<const Message> pooled_message(Message&& msg) {
+  NetPools& pools = net_pools();
+  Message* slot = pools.messages.acquire();
+  *slot = std::move(msg);
+  return std::shared_ptr<const Message>(slot, MessageRecycler{},
+                                        util::ArenaAllocator<Message>(&pools.arena));
+}
+
+/// Fills a caller-kept Message slot with alternative T in place.
+/// Alternative-affine like the pooled path: a same-alternative refill
+/// assigns fields onto the previous occupant, so string capacity is
+/// reused.  Pairs with borrow_message for the zero-overhead send idiom.
+template <typename T, typename Fill>
+const Message& fill_message(Message& slot, Fill&& fill) {
+  if (!std::holds_alternative<T>(slot)) slot.emplace<T>();
+  fill(std::get<T>(slot));
+  return slot;
+}
+
+/// Non-owning handle over a caller-kept message: the aliasing
+/// constructor with an empty owner yields a shared_ptr with NO control
+/// block, so creating and copying it costs two pointer stores — no
+/// allocation, no refcount traffic.  The caller must keep `msg` alive
+/// and unmodified until the send completes (synchronous delivery
+/// included) and the delivery sink must not retain the envelope's msg
+/// beyond the sink call — the same lifetime contract as
+/// Envelope::decoded.  Senders that cannot promise that (or whose
+/// sinks retain messages) use pooled_message instead.
+[[nodiscard]] inline std::shared_ptr<const Message> borrow_message(
+    const Message& msg) {
+  return {std::shared_ptr<const void>{}, &msg};
+}
+
+/// A recycled encode buffer (cleared, capacity retained) with an
+/// arena-backed control block.  SimTransport's wire bytes live in
+/// these; duplicates share one buffer by sharing the handle.
+[[nodiscard]] inline std::shared_ptr<std::string> pooled_buffer() {
+  NetPools& pools = net_pools();
+  std::string* s = pools.buffers.acquire();
+  s->clear();
+  return std::shared_ptr<std::string>(s, BufferRecycler{},
+                                      util::ArenaAllocator<std::string>(&pools.arena));
 }
 
 }  // namespace dvv::net

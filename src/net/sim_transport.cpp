@@ -1,28 +1,52 @@
+// dvv-hot-path: the per-message send/deliver path.  dvv_lint's
+// no-alloc-in-hot-path rule audits this file — encode buffers, queue
+// nodes and batch scratch all come from the net pools / retained
+// capacity, never the global allocator.
 #include "net/sim_transport.hpp"
 
 #include <cstdlib>
 #include <optional>
 #include <string_view>
 #include <utility>
+#include <variant>
 
 namespace dvv::net {
 
+namespace {
+
+/// LEB128 append to a string — how the batch assembler writes the
+/// frame header and sub-frame length prefixes into retained capacity.
+void append_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+}  // namespace
+
 void SimTransport::send(NodeId from, NodeId to,
-                        std::shared_ptr<const Message> msg,
-                        std::shared_ptr<const void> decoded) {
+                        const std::shared_ptr<const Message>& msg,
+                        const std::shared_ptr<const void>& decoded,
+                        std::size_t size_hint) {
   // This transport is byte-faithful: the message crosses as its real
   // codec encoding and the sender's decoded fast-path payload is
-  // dropped on the floor.
-  decoded.reset();
-  std::string bytes = encode_to_bytes(*msg);
-  DVV_ASSERT_MSG(bytes.size() == wire_size(*msg),
-                 "net: wire_size disagrees with the real encoding");
+  // dropped on the floor (never retained, so the by-ref parameter costs
+  // this transport no refcount traffic at all).
+  (void)decoded;
+  std::shared_ptr<std::string> bytes = pooled_buffer();
+  encode_into(*msg, *bytes);
+  DVV_ASSERT_MSG(size_hint == 0 || bytes->size() == size_hint,
+                 "net: sender's size hint disagrees with the real encoding");
   ++stats_.sent;
-  stats_.wire_bytes += bytes.size();
-  obs::NetMetrics& m = obs::net_metrics();
-  m.msgs_sent.inc();
-  m.sent_by_type[msg->index()].inc();
-  m.wire_bytes_sent.inc(bytes.size());
+  stats_.wire_bytes += bytes->size();
+  obs::NetMetrics& m = met_;
+  if (m.msgs_sent.armed()) {
+    m.msgs_sent.inc();
+    m.sent_by_type[msg->index()].inc();
+    m.wire_bytes_sent.inc(bytes->size());
+  }
   // Fault decisions are drawn unconditionally and in a fixed order so
   // the consumed Rng stream depends only on the send sequence — never
   // on payload bytes or on the current partition.
@@ -43,49 +67,146 @@ void SimTransport::send(NodeId from, NodeId to,
     return;
   }
   if (extra1 > 0) m.msgs_reordered.inc();  // overtakable: later sends can pass
-  Queued queued{next_seq_++, from, to, std::move(bytes)};
+  const std::uint64_t seq = next_seq_++;
   if (duplicated) {
     ++stats_.duplicated;
     m.msgs_duplicated.inc();
-    Queued copy = queued;
-    copy.seq = next_seq_++;
-    queue_.emplace(std::make_pair(tick_ + 1 + extra2, copy.seq), std::move(copy));
+    // The copy SHARES the original's encoded buffer — duplication costs
+    // a queue node, not a re-encode or a byte copy.
+    const std::uint64_t copy_seq = next_seq_++;
+    queue_.emplace(std::make_pair(tick_ + 1 + extra2, copy_seq),
+                   Queued{copy_seq, from, to, bytes});
   }
-  queue_.emplace(std::make_pair(tick_ + 1 + extra1, queued.seq),
-                 std::move(queued));
+  queue_.emplace(std::make_pair(tick_ + 1 + extra1, seq),
+                 Queued{seq, from, to, std::move(bytes)});
+}
+
+std::size_t SimTransport::deliver_one(const Queued& queued) {
+  // Strict delivery decode, into views over the queued buffer: bytes
+  // this transport framed itself always parse; injected hostile bytes
+  // that do not are rejected and dropped here (counted, never
+  // delivered, never an abort).
+  std::optional<MessageView> view = decode_view_or_reject(*queued.bytes);
+  if (!view.has_value()) {
+    ++stats_.decode_rejected;
+    return 0;
+  }
+  obs::NetMetrics& m = met_;
+  if (std::holds_alternative<BatchView>(*view)) {
+    // A frame that IS a BatchMsg (an injected composite): deliver it as
+    // a batch envelope, metered per sub-message.
+    batch_views_.clear();
+    const bool ok = try_decode_batch_views(*queued.bytes, batch_views_);
+    DVV_ASSERT_MSG(ok, "net: accepted batch frame failed sub-view decode");
+    const BatchView& batch = std::get<BatchView>(*view);
+    codec::StrictReader frames(batch.frames.data(), batch.frames.size());
+    for (const MessageView& sub : batch_views_) {
+      std::string_view frame;
+      const bool framed = frames.bytes_view(frame);
+      DVV_ASSERT(framed);
+      ++stats_.delivered;
+      if (m.msgs_delivered.armed()) {
+        m.msgs_delivered.inc();
+        m.delivered_by_type[sub.index()].inc();
+        m.wire_bytes_delivered.inc(frame.size());
+      }
+    }
+    sink_batch(queued.seq, queued.from, queued.to, queued.bytes->size());
+    return batch_views_.size();
+  }
+  Envelope envelope;
+  envelope.seq = queued.seq;
+  envelope.from = queued.from;
+  envelope.to = queued.to;
+  envelope.wire_bytes = queued.bytes->size();
+  envelope.view = &*view;
+  deliver(envelope);
+  return 1;
+}
+
+std::size_t SimTransport::deliver_run(std::size_t begin, std::size_t end) {
+  // Assemble the run into a REAL BatchMsg wire frame and strict-decode
+  // it whole — the batch path is the wire format, not a shortcut past
+  // it.  Sub-frame views alias batch_bytes_, valid through the sink
+  // call below.
+  batch_bytes_.clear();
+  append_varint(batch_bytes_, std::variant_size_v<Message> - 1);  // tag
+  append_varint(batch_bytes_, end - begin);                       // count
+  for (std::size_t k = begin; k < end; ++k) {
+    append_varint(batch_bytes_, due_[k].bytes->size());
+    batch_bytes_ += *due_[k].bytes;
+  }
+  batch_views_.clear();
+  if (!try_decode_batch_views(batch_bytes_, batch_views_)) {
+    // Hostile injected bytes rode the run: fall back to per-frame
+    // delivery — each frame decodes or is rejected on its own, exactly
+    // as an unbatched pump would have done.
+    std::size_t n = 0;
+    for (std::size_t k = begin; k < end; ++k) n += deliver_one(due_[k]);
+    return n;
+  }
+  // Metering is per SUB-message, against each sub-frame's own wire
+  // bytes — the counters a batched run produces are identical to the
+  // unbatched twin's.
+  obs::NetMetrics& m = met_;
+  for (std::size_t k = begin; k < end; ++k) {
+    ++stats_.delivered;
+    if (m.msgs_delivered.armed()) {
+      m.msgs_delivered.inc();
+      m.delivered_by_type[batch_views_[k - begin].index()].inc();
+      m.wire_bytes_delivered.inc(due_[k].bytes->size());
+    }
+  }
+  sink_batch(due_[begin].seq, due_[begin].from, due_[begin].to,
+             batch_bytes_.size());
+  return end - begin;
+}
+
+void SimTransport::sink_batch(std::uint64_t seq, NodeId from, NodeId to,
+                              std::size_t frame_bytes) {
+  DVV_ASSERT_MSG(sink_ != nullptr, "net: transport has no delivery sink");
+  Envelope envelope;
+  envelope.seq = seq;  // the run's first sub-message
+  envelope.from = from;
+  envelope.to = to;
+  envelope.wire_bytes = frame_bytes;
+  envelope.batch = std::span<const MessageView>(batch_views_);
+  sink_(envelope);
 }
 
 std::size_t SimTransport::pump() {
   ++tick_;
-  std::size_t delivered = 0;
-  // Deliver everything due at or before the new tick, in (due, seq)
-  // order.  The sink may send (e.g. a hint delivery triggers an ack);
-  // those go to tick_ + 1 at the earliest, so this loop terminates.
+  // Phase 1: collect everything due at or before the new tick, in
+  // (due, seq) order, applying the partition cut per frame exactly as
+  // unbatched delivery would.  Sends triggered by the sinks below go to
+  // tick_ + 1 at the earliest, so they cannot join this tick's set.
+  due_.clear();
   while (!queue_.empty() && queue_.begin()->first.first <= tick_) {
     Queued queued = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
     if (!link_up(queued.from, queued.to)) {
       ++stats_.partition_dropped;  // the partition cut it mid-flight
-      obs::net_metrics().partition_dropped.inc();
+      met_.partition_dropped.inc();
       continue;
     }
-    // Strict delivery decode: bytes this transport framed itself always
-    // parse; injected hostile bytes that do not are rejected and
-    // dropped here (counted, never delivered, never an abort).
-    std::optional<Message> msg = decode_or_reject(queued.bytes);
-    if (!msg.has_value()) {
-      ++stats_.decode_rejected;
-      continue;
-    }
-    Envelope envelope;
-    envelope.seq = queued.seq;
-    envelope.from = queued.from;
-    envelope.to = queued.to;
-    envelope.wire_bytes = queued.bytes.size();
-    envelope.msg = std::make_shared<const Message>(*std::move(msg));
-    deliver(envelope);
-    ++delivered;
+    due_.push_back(std::move(queued));
   }
+  // Phase 2: deliver in order, coalescing each maximal run of
+  // consecutive same-link frames into one batch envelope.
+  std::size_t delivered = 0;
+  std::size_t i = 0;
+  while (i < due_.size()) {
+    std::size_t j = i + 1;
+    if (config_.batch_delivery) {
+      while (j < due_.size() && due_[j].from == due_[i].from &&
+             due_[j].to == due_[i].to) {
+        ++j;
+      }
+    }
+    delivered += j - i == 1 ? deliver_one(due_[i]) : deliver_run(i, j);
+    i = j;
+  }
+  due_.clear();  // release the buffers back to the pool promptly
   return delivered;
 }
 

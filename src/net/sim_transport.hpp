@@ -9,9 +9,23 @@
 // [0, reorder_window].  pump() advances one tick and delivers every due
 // message in (due, seq) order — so a message with a larger extra delay
 // is overtaken by later sends, which is exactly a reordered network.
-// Duplication enqueues a second, independently delayed copy of the same
-// envelope; drop discards at send time (the bytes still count as sent:
-// the sender paid for them).
+// Duplication enqueues a second, independently delayed copy sharing the
+// SAME immutable encoded buffer (one encode per send, however many
+// copies fly); drop discards at send time (the bytes still count as
+// sent: the sender paid for them).
+//
+// Batched delivery (config.batch_delivery, on by default): each tick's
+// due messages are collected in (due, seq) order, and every maximal run
+// of CONSECUTIVE same-(from, to) frames is assembled into one real
+// BatchMsg wire frame, strict-decoded whole, and delivered as a single
+// envelope carrying the ordered sub-message views.  This is
+// representation-only batching — the sub-messages are applied in
+// exactly the order, with exactly the decode outcomes and counter
+// increments, an unbatched run would produce (transport_batch_test
+// proves byte-identity across all six mechanisms under chaos).  If a
+// hostile injected frame rides a run and the assembled batch fails its
+// strict decode, delivery falls back to per-frame decode-or-reject —
+// again identical to unbatched.
 //
 // Partition semantics: a cut link loses messages at BOTH ends of their
 // flight — send() refuses them (connection refused) and pump() discards
@@ -29,9 +43,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "net/transport.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 
 namespace dvv::net {
@@ -39,7 +57,10 @@ namespace dvv::net {
 class SimTransport final : public Transport {
  public:
   explicit SimTransport(SimTransportConfig config)
-      : config_(config), rng_(config.seed) {}
+      : config_(config),
+        rng_(config.seed),
+        queue_(std::less<QueueKey>(),
+               QueueAllocator(&net_pools().arena)) {}
 
   [[nodiscard]] const char* name() const noexcept override { return "sim"; }
 
@@ -47,13 +68,16 @@ class SimTransport final : public Transport {
   /// the metered wire size) and drops any sender-attached decoded
   /// payload: whatever survives this transport's faults is decoded from
   /// the wire at delivery, like on a real network.
-  void send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
-            std::shared_ptr<const void> decoded = nullptr) override;
+  void send(NodeId from, NodeId to, const std::shared_ptr<const Message>& msg,
+            const std::shared_ptr<const void>& decoded = nullptr,
+            std::size_t size_hint = 0) override;
   using Transport::send;
 
   /// Advances one tick and delivers every due message in (due, seq)
-  /// order.  Messages whose link is cut by the active partition are
-  /// discarded here — in-flight loss.
+  /// order — coalescing same-link runs into batch envelopes when
+  /// config().batch_delivery is set.  Messages whose link is cut by the
+  /// active partition are discarded here — in-flight loss.  Returns the
+  /// number of messages delivered (sub-messages, for batch envelopes).
   std::size_t pump() override;
 
   void settle() override {
@@ -82,8 +106,10 @@ class SimTransport final : public Transport {
     obs::NetMetrics& m = obs::net_metrics();
     m.msgs_sent.inc();
     m.wire_bytes_sent.inc(bytes.size());
+    std::shared_ptr<std::string> buf = pooled_buffer();
+    *buf = std::move(bytes);
     queue_.emplace(std::make_pair(tick_ + 1, next_seq_),
-                   Queued{next_seq_, from, to, std::move(bytes)});
+                   Queued{next_seq_, from, to, std::move(buf)});
     ++next_seq_;
   }
 
@@ -102,20 +128,46 @@ class SimTransport final : public Transport {
   }
 
  private:
-  /// A message on the wire: owned encoded bytes only.
+  /// A message on the wire: immutable encoded bytes, shared between a
+  /// message and its fault-injected duplicates (one encode per send).
   struct Queued {
     std::uint64_t seq = 0;
     NodeId from = 0;
     NodeId to = 0;
-    std::string bytes;
+    std::shared_ptr<const std::string> bytes;
   };
+
+  /// Delivers one queued frame as a single envelope (expanding a
+  /// standalone BatchMsg frame into its sub-views).  Returns messages
+  /// delivered (0 on decode rejection).
+  std::size_t deliver_one(const Queued& queued);
+
+  /// Coalesces due_[begin, end) — a same-link run — into one BatchMsg
+  /// envelope; falls back to per-frame delivery if the assembled frame
+  /// fails its strict decode (hostile injected bytes in the run).
+  std::size_t deliver_run(std::size_t begin, std::size_t end);
+
+  /// Builds and sinks the batch envelope over batch_views_; metering
+  /// has already been done per sub-message by the caller.
+  void sink_batch(std::uint64_t seq, NodeId from, NodeId to,
+                  std::size_t frame_bytes);
+
+  using QueueKey = std::pair<std::uint64_t, std::uint64_t>;
+  using QueueEntry = std::pair<const QueueKey, Queued>;
+  using QueueAllocator = util::ArenaAllocator<QueueEntry>;
 
   SimTransportConfig config_;
   util::Rng rng_;
   std::uint64_t tick_ = 0;
   std::uint64_t next_seq_ = 0;
   /// (due tick, seq) -> message; seq makes ties FIFO and keys unique.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, Queued> queue_;
+  /// Nodes come from the net arena — steady state allocates none.
+  std::map<QueueKey, Queued, std::less<QueueKey>, QueueAllocator> queue_;
+  /// pump() scratch (capacity retained across ticks): the tick's due
+  /// frames, the assembled batch frame, and its decoded sub-views.
+  std::vector<Queued> due_;
+  std::string batch_bytes_;
+  std::vector<MessageView> batch_views_;
 };
 
 }  // namespace dvv::net

@@ -49,6 +49,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,12 +78,28 @@ template <typename Id>
   return groups;
 }
 
-/// One message in the transport's custody.
+/// One message in the transport's custody.  At delivery a sink reads
+/// the payload through exactly one of three forms:
+///
+///   msg    owned typed message — how InlineTransport delivers (its
+///          loopback skips serialization, so the sender's object passes
+///          straight through);
+///   view   zero-copy decoded view over the received wire bytes — how
+///          SimTransport delivers a single queued frame; valid only
+///          during the sink call;
+///   batch  ordered sub-message views of one coalesced BatchMsg frame —
+///          how SimTransport delivers a same-link run; valid only
+///          during the sink call.
+///
+/// Sinks that only ever face one transport may assume its form; generic
+/// sinks (kv::Cluster::on_message) dispatch on whichever is set.
 struct Envelope {
   std::uint64_t seq = 0;  ///< global send order (assigned by the transport)
   NodeId from = 0;
   NodeId to = 0;
-  std::shared_ptr<const Message> msg;  ///< typed form; never null at delivery
+  std::shared_ptr<const Message> msg;  ///< owned form; null for view deliveries
+  const MessageView* view = nullptr;   ///< zero-copy form (sink-call lifetime)
+  std::span<const MessageView> batch;  ///< coalesced sub-views, delivery order
   /// Sender-attached fast-path payload (the decoded sibling state a
   /// ReplicateMsg/HintMsg/HintDeliverMsg carries), valid only when the
   /// transport delivered the sender's envelope unserialized.  It may be
@@ -92,7 +109,16 @@ struct Envelope {
   /// decode the message's state field like a real peer would (the
   /// byte-faithful SimTransport does exactly that).
   std::shared_ptr<const void> decoded;
-  std::size_t wire_bytes = 0;  ///< exact codec size of the encoded message
+  std::size_t wire_bytes = 0;  ///< exact codec size of the encoded frame
+
+  /// The delivered message's variant index (batch deliveries report
+  /// BatchMsg's own index; per-sub-message attribution happens in the
+  /// transport's metering).
+  [[nodiscard]] std::size_t type_index() const {
+    if (!batch.empty()) return std::variant_size_v<Message> - 1;
+    if (view != nullptr) return view->index();
+    return msg->index();
+  }
 };
 
 /// Cumulative transport accounting (observability for tests/benches).
@@ -124,18 +150,26 @@ class Transport {
 
   /// Hands one message to the wire.  `decoded` optionally carries the
   /// sender's already-decoded state payload for zero-copy local
-  /// delivery (see Envelope::decoded).
-  virtual void send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
-                    std::shared_ptr<const void> decoded = nullptr) = 0;
+  /// delivery (see Envelope::decoded).  `size_hint`, when nonzero, is
+  /// the message's exact wire_size — fan-out senders compute it once
+  /// and every send of the shared message skips the re-walk.
+  virtual void send(NodeId from, NodeId to,
+                    const std::shared_ptr<const Message>& msg,
+                    const std::shared_ptr<const void>& decoded = nullptr,
+                    std::size_t size_hint = 0) = 0;
 
-  /// Convenience: wraps a by-value message.
+  /// Convenience: wraps a by-value message in a recycled pooled slot
+  /// (no per-send Message or control-block allocation once warm).
   void send(NodeId from, NodeId to, Message msg) {
-    send(from, to, std::make_shared<const Message>(std::move(msg)), nullptr);
+    const std::shared_ptr<const Message> slot = pooled_message(std::move(msg));
+    send(from, to, slot);
   }
 
   /// Delivers due messages (one tick of simulated network time).
-  /// Returns the number of sink invocations.  Inline transports have
-  /// nothing queued and return 0.
+  /// Returns the number of messages delivered — sub-messages, for
+  /// coalesced batch envelopes, so the count matches stats().delivered
+  /// regardless of batching.  Inline transports have nothing queued and
+  /// return 0.
   virtual std::size_t pump() = 0;
 
   /// Pumps until nothing remains in flight.  Queued messages whose
@@ -203,18 +237,25 @@ class Transport {
   [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
 
  protected:
+  /// Single-message delivery (owned or view form).  Batch envelopes are
+  /// metered per sub-message by the coalescing transport itself so the
+  /// delivered counters stay identical to an unbatched run.
   void deliver(const Envelope& envelope) {
     DVV_ASSERT_MSG(sink_ != nullptr, "net: transport has no delivery sink");
     ++stats_.delivered;
-    obs::NetMetrics& m = obs::net_metrics();
-    m.msgs_delivered.inc();
-    m.delivered_by_type[envelope.msg->index()].inc();
-    m.wire_bytes_delivered.inc(envelope.wire_bytes);
+    if (met_.msgs_delivered.armed()) {
+      met_.msgs_delivered.inc();
+      met_.delivered_by_type[envelope.type_index()].inc();
+      met_.wire_bytes_delivered.inc(envelope.wire_bytes);
+    }
     sink_(envelope);
   }
 
   Sink sink_;
   TransportStats stats_;
+  /// The net.* catalog handles, resolved once (the singleton lookup is
+  /// cheap but not free, and send/deliver touch these per message).
+  obs::NetMetrics& met_ = obs::net_metrics();
 
  private:
   bool partitioned_ = false;
@@ -232,22 +273,29 @@ class InlineTransport final : public Transport {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "inline"; }
 
-  void send(NodeId from, NodeId to, std::shared_ptr<const Message> msg,
-            std::shared_ptr<const void> decoded = nullptr) override {
+  void send(NodeId from, NodeId to, const std::shared_ptr<const Message>& msg,
+            const std::shared_ptr<const void>& decoded = nullptr,
+            std::size_t size_hint = 0) override {
     ++stats_.sent;
-    const std::size_t size = wire_size(*msg);
+    const std::size_t size = size_hint != 0 ? size_hint : wire_size(*msg);
     stats_.wire_bytes += size;
-    obs::NetMetrics& m = obs::net_metrics();
-    m.msgs_sent.inc();
-    m.sent_by_type[msg->index()].inc();
-    m.wire_bytes_sent.inc(size);
+    if (met_.msgs_sent.armed()) {
+      met_.msgs_sent.inc();
+      met_.sent_by_type[msg->index()].inc();
+      met_.wire_bytes_sent.inc(size);
+    }
     if (!link_up(from, to)) {
       ++stats_.partition_dropped;
-      m.partition_dropped.inc();
+      met_.partition_dropped.inc();
       return;
     }
-    Envelope envelope{next_seq_++, from, to, std::move(msg), std::move(decoded),
-                      size};
+    Envelope envelope;
+    envelope.seq = next_seq_++;
+    envelope.from = from;
+    envelope.to = to;
+    envelope.msg = msg;
+    envelope.decoded = decoded;
+    envelope.wire_bytes = size;
     deliver(envelope);
   }
   using Transport::send;
@@ -273,6 +321,13 @@ struct SimTransportConfig {
   /// caller pumps — the mode for real in-flight windows (sim_store,
   /// the partition property tests).
   bool auto_settle = true;
+  /// Coalesce each maximal run of consecutive due same-link messages
+  /// into one BatchMsg envelope at pump time (representation-only:
+  /// delivery order, fault draws, receipts and stats are identical to
+  /// unbatched delivery — the transport_batch_test contract).  Off
+  /// restores one-envelope-per-message delivery, which the unit tests
+  /// that pin per-envelope sink granularity rely on.
+  bool batch_delivery = true;
 
   /// The DVV_TRANSPORT=chaos defaults: every test operation's fan-out
   /// is duplicated and reordered (delivery-order chaos that idempotent,

@@ -29,14 +29,16 @@ namespace dvv::obs {
 
 /// Message-type axis of the net.* counters, in net::Message variant
 /// order (checked by a static_assert in net/transport.hpp).
-inline constexpr std::size_t kMessageTypes = 10;
+inline constexpr std::size_t kMessageTypes = 11;
 inline constexpr const char* kMessageTypeNames[kMessageTypes] = {
-    "replicate", "hint",     "hint_deliver", "hint_ack",  "sync_req",
-    "sync_resp", "read_req", "read_resp",    "write_req", "write_resp"};
+    "replicate", "hint",     "hint_deliver", "hint_ack",   "sync_req",
+    "sync_resp", "read_req", "read_resp",    "write_req",  "write_resp",
+    "batch"};
 
 #if defined(DVV_OBS_DISABLED)
 struct NoopCounter {
   void inc(std::uint64_t = 1) const noexcept {}
+  [[nodiscard]] bool armed() const noexcept { return false; }
   [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
 };
 struct NoopGauge {
@@ -80,6 +82,14 @@ struct NetMetrics {
   /// Frames rejected before a plausible type tag could be read (empty,
   /// truncated-varint, or out-of-range tag) — no per-type attribution.
   MetricCounter decode_reject_unknown;  ///< net.decode_reject.unknown
+  /// net.alloc.* — pool MISSES on the message hot path (net/message.hpp
+  /// installs these as the net pools' miss hooks).  Each counts the
+  /// acquisitions that had to touch the global allocator; at steady
+  /// state all three must sit at ~0 — the "zero allocations per op"
+  /// claim bench_transport asserts instead of assuming.
+  MetricCounter alloc_messages;        ///< net.alloc.messages
+  MetricCounter alloc_envelopes;       ///< net.alloc.envelopes (arena blocks)
+  MetricCounter alloc_encode_buffers;  ///< net.alloc.encode_buffers
 };
 [[nodiscard]] NetMetrics& net_metrics();
 

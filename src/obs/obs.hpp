@@ -60,6 +60,12 @@ class Counter {
   void inc(std::uint64_t n = 1) const noexcept {
     if (cell_ != nullptr && *enabled_) *cell_ += n;
   }
+  /// True when inc() would record: lets a call site with several
+  /// same-registry handles collapse their per-handle checks into one
+  /// branch (the message hot path meters 3+ counters per send).
+  [[nodiscard]] bool armed() const noexcept {
+    return cell_ != nullptr && *enabled_;
+  }
   [[nodiscard]] std::uint64_t value() const noexcept {
     return cell_ == nullptr ? 0 : *cell_;
   }

@@ -1,0 +1,32 @@
+// dvv_lint self-test fixture.  NOT part of the build.  Proves the
+// opt-in no-alloc-in-hot-path rule fires in marker-tagged files
+// (expect-lint: no-alloc-in-hot-path) and that a site-local waiver
+// still silences the counted-miss idiom.
+//
+// dvv-hot-path: this fixture opts in to the allocation audit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace dvv::lint_fixture {
+
+struct Envelope {
+  int seq = 0;
+};
+
+inline std::shared_ptr<Envelope> send_wrong() {
+  // Heap traffic per message: exactly what the pools exist to remove.
+  return std::make_shared<Envelope>();
+}
+
+inline Envelope* acquire_ok() {
+  // The counted miss.  dvv-lint: allow(no-alloc-in-hot-path)
+  return new Envelope();
+}
+
+inline std::vector<int> burst_wrong() {
+  return std::vector<int>(16, 0);
+}
+
+}  // namespace dvv::lint_fixture

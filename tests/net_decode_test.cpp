@@ -84,6 +84,9 @@ TEST(NetDecode, RejectsTrailingGarbage) {
 
 TEST(NetDecode, RejectsUnknownTag) {
   EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x63')).has_value());
+  // 0x0b is the first out-of-range tag (0x0a is BatchMsg now — a bare
+  // tag with no count is rejected as a truncated batch, not unknown).
+  EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x0b')).has_value());
   EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x0a')).has_value());
 }
 
@@ -153,9 +156,15 @@ TEST(NetDecode, SimTransportDropsInjectedGarbageAtDelivery) {
   SimTransport transport{SimTransportConfig{}};
   std::size_t delivered = 0;
   std::size_t replicate_seen = 0;
+  // SimTransport delivers zero-copy views (Envelope::view); the garbage
+  // riding the same tick also exercises the batch assembler's fallback
+  // to per-frame delivery.
   transport.set_sink([&](const Envelope& envelope) {
     ++delivered;
-    if (std::holds_alternative<ReplicateMsg>(*envelope.msg)) ++replicate_seen;
+    if (envelope.view != nullptr &&
+        std::holds_alternative<ReplicateView>(*envelope.view)) {
+      ++replicate_seen;
+    }
   });
 
   // Garbage, a torn frame, and one well-formed frame, all injected as

@@ -153,6 +153,9 @@ TEST(SimTransport, DeterministicForSameSeed) {
     config.duplicate_probability = 0.2;
     config.reorder_window = 4;
     config.auto_settle = false;
+    // This test records one seq per sink call: keep per-envelope
+    // delivery (batching coalesces same-link runs into one envelope).
+    config.batch_delivery = false;
     SimTransport transport(config);
     std::vector<std::uint64_t> order;
     transport.set_sink([&](const Envelope& e) { order.push_back(e.seq); });
@@ -170,6 +173,9 @@ TEST(SimTransport, DropsAndDuplicatesAreCountedAndBounded) {
   config.drop_probability = 0.3;
   config.duplicate_probability = 0.3;
   config.auto_settle = false;
+  // The sink-call count is compared against stats().delivered below,
+  // which meters per message: keep per-envelope delivery.
+  config.batch_delivery = false;
   SimTransport transport(config);
   std::size_t delivered = 0;
   transport.set_sink([&](const Envelope&) { ++delivered; });
@@ -195,6 +201,8 @@ TEST(SimTransport, ReorderWindowReordersDeliveries) {
   config.seed = 5;
   config.reorder_window = 5;
   config.auto_settle = false;
+  // One recorded seq per delivered message, so per-envelope delivery.
+  config.batch_delivery = false;
   SimTransport transport(config);
   std::vector<std::uint64_t> order;
   transport.set_sink([&](const Envelope& e) { order.push_back(e.seq); });

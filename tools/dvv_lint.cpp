@@ -30,6 +30,15 @@
 //   pointer-key          ordered containers keyed on raw pointers.
 //                        Pointer order is allocation order — another
 //                        run, another iteration order.
+//   no-alloc-in-hot-path make_shared / naked new / std::vector
+//                        construction — but ONLY in files that opt in
+//                        with a "dvv-hot-path" marker comment.  The
+//                        message fast path is pooled end to end
+//                        (src/util/pool.hpp, net::NetPools); an
+//                        unwaived allocation in a tagged file is a
+//                        send path falling off the pools.  Legitimate
+//                        sites (the counted pool misses themselves)
+//                        carry site-local waivers.
 //
 // Waiver: a comment containing
 //   dvv-lint: allow(<rule>)
@@ -61,6 +70,9 @@ struct Rule {
   const char* name;
   std::regex pattern;
   const char* why;
+  /// When set, the rule fires only in files whose raw text contains
+  /// this marker (opt-in rules like no-alloc-in-hot-path).
+  const char* marker = nullptr;
 };
 
 // NOLINTBEGIN — the patterns below mention the banned identifiers.
@@ -86,6 +98,11 @@ const std::vector<Rule>& rules() {
       {"pointer-key",
        std::regex(R"(\b(std::map|std::set|flat_map)\s*<\s*(const\s+)?\w+(::\w+)*\s*\*)"),
        "pointer-keyed ordering is allocation order; nondeterministic"},
+      {"no-alloc-in-hot-path",
+       std::regex(R"(\bmake_shared\b|(^|[^\w:.])new[\s(]|\bstd::vector\s*<[^;>]*>\s*[({])"),
+       "allocation on the pooled message path; use the net pools or waive "
+       "the counted miss",
+       "dvv-hot-path"},
   };
   return kRules;
 }
@@ -176,6 +193,10 @@ std::vector<Finding> lint_file(const fs::path& path) {
       // nodiscard-status only makes sense at declaration sites; .cpp
       // definitions of header-declared APIs would double-report.
       if (std::string_view(rule.name) == "nodiscard-status" && !is_header) {
+        continue;
+      }
+      // Opt-in rules fire only in files carrying their marker comment.
+      if (rule.marker != nullptr && text.find(rule.marker) == std::string::npos) {
         continue;
       }
       if (!std::regex_search(code_lines[i], rule.pattern)) continue;
