@@ -41,9 +41,26 @@
 // read: tests and the repair paths use it to inspect any replica's
 // memory directly — dead ones included — which a coordinated request
 // by design cannot do.
+//
+// Shard-per-thread execution (ROADMAP item 1): when the transport is a
+// net::ThreadedTransport with S shards, replica n is OWNED by shard
+// n % S and every mutation of its state — message deliveries, local
+// applies, coordination engine updates — happens on that shard's
+// thread.  The cluster keeps one ShardState (coordination engine, send
+// slots, drop counters, completed-sync records) per shard; nothing in
+// a ShardState is ever touched by two threads at once because every
+// envelope routes to shard_of(envelope.to) and client operations enter
+// a replica's serial domain through run_at().  Control-plane calls
+// (partition/heal, anti-entropy, crash/recover, stats readers, the
+// legacy sync shims) remain single-threaded-only: they are legal at
+// quiescence (transport idle), where the transport's acquire/release
+// in-flight accounting makes every shard's writes visible.  With any
+// other transport there is exactly one shard and the behavior — and
+// the bytes — are identical to the pre-sharding cluster.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -61,6 +78,7 @@
 #include "kv/ring.hpp"
 #include "kv/types.hpp"
 #include "net/message.hpp"
+#include "net/threaded_transport.hpp"
 #include "net/transport.hpp"
 #include "store/backend.hpp"
 #include "sync/anti_entropy.hpp"
@@ -105,11 +123,18 @@ class Cluster {
     }
     wire_partitioner();
     wire_transport();
+    const std::size_t shard_count =
+        threaded_ == nullptr ? 1 : threaded_->shards();
+    shards_.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_.push_back(std::make_unique<ShardState>());
+    }
   }
 
   // Replicas hold a pointer to this cluster's digest index and the
   // transport sink captures `this`, so moves must re-wire both and
-  // copies are disallowed.
+  // copies are disallowed.  Moves are control-plane: legal only at
+  // quiescence (no shard thread can be touching the moved-from state).
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
   Cluster(Cluster&& other) noexcept
@@ -119,11 +144,11 @@ class Cluster {
         digest_index_(std::move(other.digest_index_)),
         transport_(std::move(other.transport_)),
         replicas_(std::move(other.replicas_)),
-        coordinator_(std::move(other.coordinator_)),
-        completed_syncs_(std::move(other.completed_syncs_)),
-        next_sync_nonce_(other.next_sync_nonce_),
-        repairs_shipped_total_(other.repairs_shipped_total_),
-        delivery_drops_(other.delivery_drops_) {
+        shards_(std::move(other.shards_)),
+        next_sync_nonce_(
+            other.next_sync_nonce_.load(std::memory_order_relaxed)),
+        repairs_shipped_total_(
+            other.repairs_shipped_total_.load(std::memory_order_relaxed)) {
     for (auto& rep : replicas_) rep.set_observer(&digest_index_);
     wire_partitioner();
     wire_transport();
@@ -135,11 +160,13 @@ class Cluster {
     digest_index_ = std::move(other.digest_index_);
     transport_ = std::move(other.transport_);
     replicas_ = std::move(other.replicas_);
-    coordinator_ = std::move(other.coordinator_);
-    completed_syncs_ = std::move(other.completed_syncs_);
-    next_sync_nonce_ = other.next_sync_nonce_;
-    repairs_shipped_total_ = other.repairs_shipped_total_;
-    delivery_drops_ = other.delivery_drops_;
+    shards_ = std::move(other.shards_);
+    next_sync_nonce_.store(
+        other.next_sync_nonce_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    repairs_shipped_total_.store(
+        other.repairs_shipped_total_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     for (auto& rep : replicas_) rep.set_observer(&digest_index_);
     wire_partitioner();
     wire_transport();
@@ -153,6 +180,38 @@ class Cluster {
   [[nodiscard]] const Replica<M>& replica(ReplicaId id) const { return replicas_.at(id); }
   [[nodiscard]] std::size_t servers() const noexcept { return replicas_.size(); }
 
+  // ---- shard topology ----------------------------------------------------
+
+  /// Execution shards: the threaded transport's shard count, else 1.
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Owner shard of replica `r` (always 0 without a threaded transport).
+  [[nodiscard]] std::size_t shard_of(ReplicaId r) const noexcept {
+    return threaded_ == nullptr ? 0 : threaded_->shard_of(r);
+  }
+
+  /// The threaded transport when this cluster runs on one, else null —
+  /// hosts (the dvvd server) wire their event loops through it.
+  [[nodiscard]] net::ThreadedTransport* threaded_transport() noexcept {
+    return threaded_;
+  }
+
+  /// Runs `fn` inside replica `r`'s serial execution domain: on the
+  /// owner shard's thread (blocking the caller) when the transport is
+  /// threaded, inline otherwise.  The door for client operations —
+  /// put_direct / raw get against a live sharded cluster must go
+  /// through here (or already be running on the owner shard).
+  template <typename Fn>
+  void run_at(ReplicaId r, Fn&& fn) {
+    if (threaded_ != nullptr) {
+      threaded_->run_on(threaded_->shard_of(r), std::function<void()>(fn));
+    } else {
+      fn();
+    }
+  }
+
   // ---- message layer (src/net) -------------------------------------------
 
   [[nodiscard]] net::Transport& transport() noexcept { return *transport_; }
@@ -165,8 +224,16 @@ class Cluster {
   /// requests whose deadline passed.  No-op (returns 0 deliveries) on
   /// the inline transport.
   std::size_t pump() {
+    // With a threaded transport this quiesces first (Transport::pump
+    // contract there), so ticking every shard's engine from this thread
+    // is safe: the only traffic the repairs below put in flight is
+    // ReplicateMsg, whose delivery touches replicas, never engines.
     const std::size_t delivered = transport_->pump();
-    for (const std::uint64_t id : coordinator_.tick()) maybe_read_repair(id);
+    for (auto& shard : shards_) {
+      for (const std::uint64_t id : shard->engine.tick()) {
+        maybe_read_repair(shard->engine, id);
+      }
+    }
     return delivered;
   }
 
@@ -191,8 +258,19 @@ class Cluster {
   /// (kv/results.hpp) shared with the kv::Store facade; the historical
   /// nested name keeps existing callers compiling.
   using DeliveryDrops = ::dvv::kv::DeliveryDrops;
+  /// Merged over every shard's counters; exact at quiescence.
   [[nodiscard]] const DeliveryDrops& delivery_drops() const noexcept {
-    return delivery_drops_;
+    drops_scratch_ = DeliveryDrops{};
+    for (const auto& shard : shards_) {
+      const DeliveryDrops& d = shard->drops;
+      drops_scratch_.replicate += d.replicate;
+      drops_scratch_.hint_stash += d.hint_stash;
+      drops_scratch_.hint_deliver += d.hint_deliver;
+      drops_scratch_.hint_ack += d.hint_ack;
+      drops_scratch_.sync += d.sync;
+      drops_scratch_.coord += d.coord;
+    }
+    return drops_scratch_;
   }
 
   /// Crashes server `r`: volatile state dropped, durable log kept (see
@@ -246,7 +324,8 @@ class Cluster {
   /// (tests/cluster_test.cpp: QuorumReadBelowQuorumReportsDegraded).
   [[nodiscard]] GetResult get_quorum(const Key& key, std::size_t quorum) {
     DVV_ASSERT(quorum >= 1);
-    return harvest_read(begin_read(key, quorum));
+    const Begun b = begin_read_impl(key, quorum, {});
+    return harvest_read(*b.engine, b.id);
   }
 
   /// PUT coordinated by `coordinator` on behalf of `client`, carrying the
@@ -265,6 +344,7 @@ class Cluster {
                  const Context& ctx, Value value,
                  const std::vector<ReplicaId>& replicate_to) {
     return harvest_write(
+        engine_for(coordinator),
         begin_write(key, coordinator, client, ctx, std::move(value), replicate_to));
   }
 
@@ -280,6 +360,29 @@ class Cluster {
       return receipt;
     }
     return put(key, *coord, client, ctx, std::move(value), ring_.preference_list(key));
+  }
+
+  /// Single-round PUT at an explicit coordinator with W = 1: the
+  /// coordinator's local apply completes the request synchronously, the
+  /// replication fan-out to the rest of the preference list is
+  /// fire-and-forget (late CoordWriteRespMsg acks are absorbed by the
+  /// engine's stale-reply hygiene), and the receipt is harvested before
+  /// returning — no transport settle, no coordination ticks.  THE
+  /// server write path (src/server): on a threaded transport this must
+  /// execute inside the coordinator's serial domain (already on its
+  /// shard thread, or through run_at), where the synchronous completion
+  /// makes the whole call shard-local.
+  PutReceipt put_direct(const Key& key, ReplicaId coordinator, ClientId client,
+                        const Context& ctx, Value value) {
+    WriteOptions opts;
+    opts.write_quorum = 1;
+    const std::uint64_t id =
+        begin_write(key, coordinator, client, ctx, std::move(value),
+                    ring_.preference_list(key), opts);
+    QuorumCoordinator<M>& eng = engine_for(coordinator);
+    DVV_ASSERT_MSG(eng.is_terminal(id),
+                   "kv: a W=1 write must complete on its local apply");
+    return take_write_from(eng, id);
   }
 
   /// PUT with hinted handoff (Dynamo's sloppy quorum): like put(), but
@@ -300,19 +403,20 @@ class Cluster {
     for (const ReplicaId r : pref) {
       (replicas_.at(r).alive() ? alive_targets : dead_owners).push_back(r);
     }
+    QuorumCoordinator<M>& eng = engine_for(coordinator);
     const std::uint64_t id =
         begin_write(key, coordinator, client, ctx, std::move(value), alive_targets);
     {
       // A handoff put intends to cover the WHOLE preference list: dead
       // members count as targets (a hint stands in for each), so the
       // receipt's degraded verdict reflects sloppy-quorum durability.
-      PutReceipt& receipt = coordinator_.write_receipt(id);
+      PutReceipt& receipt = eng.write_receipt(id);
       receipt.targets = 0;
       for (const ReplicaId r : pref) {
         if (r != coordinator) ++receipt.targets;
       }
     }
-    if (dead_owners.empty()) return harvest_write(id);
+    if (dead_owners.empty()) return harvest_write(eng, id);
 
     const Stored* fresh = replicas_.at(coordinator).find(key);
     DVV_ASSERT(fresh != nullptr);
@@ -332,13 +436,13 @@ class Cluster {
               !transport_->link_up(coordinator, order[next_fallback]))) {
         ++next_fallback;
       }
-      PutReceipt& receipt = coordinator_.write_receipt(id);
+      PutReceipt& receipt = eng.write_receipt(id);
       if (next_fallback >= order.size()) {
         ++receipt.unparked;  // nowhere to park: report, don't hide
         continue;
       }
-      const net::Message& msg =
-          net::fill_message<net::HintMsg>(slot_hint_, [&](auto& out) {
+      const net::Message& msg = net::fill_message<net::HintMsg>(
+          slots_for(coordinator).hint, [&](auto& out) {
             out.owner = owner;
             out.key = key;
             out.state = encoded;
@@ -351,7 +455,7 @@ class Cluster {
                        net::borrow_message(msg), decoded, msg_bytes);
       ++next_fallback;
     }
-    return harvest_write(id);
+    return harvest_write(eng, id);
   }
 
   // ---- asynchronous quorum coordination (src/kv/coordinator.hpp) ---------
@@ -366,12 +470,7 @@ class Cluster {
   /// completes immediately as kUnavailable (harvest still works).
   [[nodiscard]] std::uint64_t begin_read(const Key& key, std::size_t quorum,
                                          const ReadOptions& opts = {}) {
-    for (const ReplicaId r : ring_.preference_list(key)) {
-      if (replicas_[r].alive()) return begin_read_at(key, r, quorum, opts);
-    }
-    const std::uint64_t id = coordinator_.start_read(key, 0, quorum, opts);
-    (void)coordinator_.finalize(id);  // nobody to ask: kUnavailable now
-    return id;
+    return begin_read_impl(key, quorum, opts).id;
   }
 
   /// Starts a coordinated read with an explicit (alive) coordinator:
@@ -385,12 +484,12 @@ class Cluster {
                                             std::size_t quorum,
                                             const ReadOptions& opts = {}) {
     DVV_ASSERT(replicas_.at(coordinator).alive());
-    const std::uint64_t id = coordinator_.start_read(key, coordinator, quorum, opts);
-    coordinator_.note_read_asked(id);
-    if (coordinator_.on_read_reply(id, coordinator,
-                                   replicas_.at(coordinator).find(key),
-                                   mechanism_)) {
-      maybe_read_repair(id);
+    QuorumCoordinator<M>& eng = engine_for(coordinator);
+    const std::uint64_t id = eng.start_read(key, coordinator, quorum, opts);
+    eng.note_read_asked(id);
+    if (eng.on_read_reply(id, coordinator, replicas_.at(coordinator).find(key),
+                          mechanism_)) {
+      maybe_read_repair(eng, id);
       return id;
     }
     const std::size_t ask_limit = quorum + opts.extra_scatter;
@@ -400,14 +499,14 @@ class Cluster {
     const net::Message* req_msg = nullptr;
     std::size_t req_bytes = 0;
     for (const ReplicaId r : ring_.preference_list(key)) {
-      if (asked >= ask_limit || coordinator_.is_terminal(id)) break;
+      if (asked >= ask_limit || eng.is_terminal(id)) break;
       if (r == coordinator || !replicas_[r].alive()) continue;
       if (!transport_->link_up(coordinator, r)) continue;
       ++asked;
-      coordinator_.note_read_asked(id);
+      eng.note_read_asked(id);
       if (req_msg == nullptr) {
         req_msg = &net::fill_message<net::CoordReadReqMsg>(
-            slot_read_req_, [&](auto& out) {
+            slots_for(coordinator).read_req, [&](auto& out) {
               out.req = id;
               out.key = key;
             });
@@ -429,6 +528,7 @@ class Cluster {
                                           const std::vector<ReplicaId>& replicate_to,
                                           const WriteOptions& opts = {}) {
     DVV_ASSERT(replicas_.at(coordinator).alive());
+    QuorumCoordinator<M>& eng = engine_for(coordinator);
     Replica<M>& coord = replicas_.at(coordinator);
     coord.put(mechanism_, key, coordinator, client, ctx, std::move(value));
 
@@ -437,10 +537,10 @@ class Cluster {
     for (const ReplicaId r : replicate_to) {
       if (r != coordinator) ++base.targets;
     }
-    const std::uint64_t id = coordinator_.start_write(std::move(base), opts);
+    const std::uint64_t id = eng.start_write(std::move(base), opts);
     // The local apply is the first ack (it cannot complete the request:
     // the quorum bar is sealed only after the scatter width is known).
-    (void)coordinator_.on_write_ack(id, coordinator);
+    (void)eng.on_write_ack(id, coordinator);
 
     const Stored* fresh = coord.find(key);
     DVV_ASSERT(fresh != nullptr);
@@ -460,45 +560,52 @@ class Cluster {
       if (!transport_->link_up(coordinator, r)) continue;
       if (msg == nullptr) {
         msg = &net::fill_message<net::CoordWriteReqMsg>(
-            slot_write_req_, [&](auto& out) {
+            slots_for(coordinator).write_req, [&](auto& out) {
               out.req = id;
               out.key = key;
               Replica<M>::encode_state_into(*fresh, out.state);
             });
         msg_bytes = net::wire_size_of(std::get<net::CoordWriteReqMsg>(*msg));
       }
-      PutReceipt& receipt = coordinator_.write_receipt(id);
+      PutReceipt& receipt = eng.write_receipt(id);
       receipt.replication_bytes += msg_bytes;
       ++receipt.replicated_to;
       transport_->send(coordinator, r, net::borrow_message(*msg), decoded,
                        msg_bytes);
     }
-    (void)coordinator_.seal_write_quorum(id);
+    (void)eng.seal_write_quorum(id);
     return id;
   }
+
+  // The id-keyed request surface below routes through sole_engine():
+  // request ids are engine-local (each shard's engine mints its own
+  // slot|generation space), so a bare id is unambiguous only with one
+  // shard.  Sharded callers use the paths that know their coordinator —
+  // put_direct, the sync shims, or code already on the owner shard.
 
   /// True while `id` names a live request (pending or terminal but not
   /// yet harvested).
   [[nodiscard]] bool request_open(std::uint64_t id) const {
-    return coordinator_.is_open(id);
+    return sole_engine().is_open(id);
   }
 
   /// True once `id` reached a terminal outcome (harvest will not block).
   [[nodiscard]] bool request_terminal(std::uint64_t id) const {
-    return coordinator_.is_terminal(id);
+    return sole_engine().is_terminal(id);
   }
 
   /// Requests that reached a terminal outcome since the last call, in
   /// completion order (quorum met, deadline expired, or finalized).
   [[nodiscard]] std::vector<std::uint64_t> take_completed_requests() {
-    return coordinator_.take_completed();
+    return sole_engine().take_completed();
   }
 
   /// Force-completes a still-pending request now (kTimeout with partial
   /// replies, kUnavailable with none).  Returns whether it acted.
   bool finalize_request(std::uint64_t id) {
-    if (!coordinator_.finalize(id)) return false;
-    maybe_read_repair(id);
+    QuorumCoordinator<M>& eng = sole_engine();
+    if (!eng.finalize(id)) return false;
+    maybe_read_repair(eng, id);
     return true;
   }
 
@@ -521,7 +628,54 @@ class Cluster {
 
   /// Harvests a terminal read request and retires its id.
   [[nodiscard]] ReadHarvest take_read_result(std::uint64_t id) {
-    ReadReceipt receipt = coordinator_.take_read(id);
+    return take_read_from(sole_engine(), id);
+  }
+
+  /// Live write receipt (send-time fields) without harvesting: lets a
+  /// caller meter the fan-out it just enqueued while acks are still in
+  /// flight.
+  [[nodiscard]] const PutReceipt& peek_write_receipt(std::uint64_t id) const {
+    return sole_engine().peek_write(id);
+  }
+
+  /// Harvests a terminal write request and retires its id.  The
+  /// degraded verdict is computed here so every harvest path agrees:
+  /// the fan-out is partial when neither a direct copy nor a parked
+  /// hint covered some intended target.
+  [[nodiscard]] PutReceipt take_write_receipt(std::uint64_t id) {
+    return take_write_from(sole_engine(), id);
+  }
+
+  /// Engine accounting, merged over every shard's engine (exact at
+  /// quiescence): requests started/completed and the reply hygiene
+  /// counters (late/duplicate/stale drops).
+  [[nodiscard]] const CoordStats& coord_stats() const noexcept {
+    coord_scratch_ = CoordStats{};
+    for (const auto& shard : shards_) {
+      const CoordStats& s = shard->engine.stats();
+      coord_scratch_.reads_started += s.reads_started;
+      coord_scratch_.writes_started += s.writes_started;
+      coord_scratch_.quorum_completions += s.quorum_completions;
+      coord_scratch_.timeouts += s.timeouts;
+      coord_scratch_.unavailable += s.unavailable;
+      coord_scratch_.duplicate_replies_dropped += s.duplicate_replies_dropped;
+      coord_scratch_.late_replies_dropped += s.late_replies_dropped;
+      coord_scratch_.stale_replies_dropped += s.stale_replies_dropped;
+    }
+    return coord_scratch_;
+  }
+
+  /// Client requests currently open (pending or unharvested).
+  [[nodiscard]] std::size_t requests_in_flight() const noexcept {
+    std::size_t n = 0;
+    for (const auto& shard : shards_) n += shard->engine.open_requests();
+    return n;
+  }
+
+ private:
+  [[nodiscard]] ReadHarvest take_read_from(QuorumCoordinator<M>& eng,
+                                           std::uint64_t id) {
+    ReadReceipt receipt = eng.take_read(id);
     ReadHarvest h;
     h.key = std::move(receipt.key);
     h.coordinator = receipt.coordinator;
@@ -544,36 +698,16 @@ class Cluster {
     return h;
   }
 
-  /// Live write receipt (send-time fields) without harvesting: lets a
-  /// caller meter the fan-out it just enqueued while acks are still in
-  /// flight.
-  [[nodiscard]] const PutReceipt& peek_write_receipt(std::uint64_t id) const {
-    return coordinator_.peek_write(id);
-  }
-
-  /// Harvests a terminal write request and retires its id.  The
-  /// degraded verdict is computed here so every harvest path agrees:
-  /// the fan-out is partial when neither a direct copy nor a parked
-  /// hint covered some intended target.
-  [[nodiscard]] PutReceipt take_write_receipt(std::uint64_t id) {
-    PutReceipt receipt = coordinator_.take_write(id);
+  [[nodiscard]] PutReceipt take_write_from(QuorumCoordinator<M>& eng,
+                                           std::uint64_t id) {
+    PutReceipt receipt = eng.take_write(id);
     if (receipt.replicated_to + receipt.hinted < receipt.targets) {
       receipt.degraded = true;
     }
     return receipt;
   }
 
-  /// Engine accounting: requests started/completed and the reply
-  /// hygiene counters (late/duplicate/stale drops).
-  [[nodiscard]] const CoordStats& coord_stats() const noexcept {
-    return coordinator_.stats();
-  }
-
-  /// Client requests currently open (pending or unharvested).
-  [[nodiscard]] std::size_t requests_in_flight() const noexcept {
-    return coordinator_.open_requests();
-  }
-
+ public:
   /// Delivers parked hints cluster-wide to every recovered owner: each
   /// alive holder sends a HintDeliverMsg home for every hint whose
   /// owner is alive, and drops the parked copy only when the owner's
@@ -603,7 +737,7 @@ class Cluster {
     }
     for (Pending& p : pending) {
       const net::Message& msg = net::fill_message<net::HintDeliverMsg>(
-          slot_hint_deliver_, [&](auto& out) {
+          slots_for(p.holder).hint_deliver, [&](auto& out) {
             out.owner = p.owner;
             out.key = std::move(p.key);
             out.state = std::move(p.state);
@@ -733,12 +867,16 @@ class Cluster {
     transport_->drain();
     sync::SyncStats out;
     // A duplicated request runs the session twice and answers twice;
-    // both runs' costs are real, so matching records merge.
-    std::erase_if(completed_syncs_, [&](const CompletedSync& cs) {
-      if (cs.nonce != nonce) return false;
-      out.merge(cs.stats);
-      return true;
-    });
+    // both runs' costs are real, so matching records merge.  The drain
+    // above is the quiescent point that makes the per-shard record
+    // lists safe to touch from here.
+    for (auto& shard : shards_) {
+      std::erase_if(shard->completed_syncs, [&](const CompletedSync& cs) {
+        if (cs.nonce != nonce) return false;
+        out.merge(cs.stats);
+        return true;
+      });
+    }
     return out;
   }
 
@@ -747,7 +885,8 @@ class Cluster {
   /// transport), and its stats appear in take_completed_syncs() once
   /// the SyncRespMsg makes it back to the initiator.
   std::uint64_t request_sync(ReplicaId a, ReplicaId b) {
-    const std::uint64_t nonce = next_sync_nonce_++;
+    const std::uint64_t nonce =
+        next_sync_nonce_.fetch_add(1, std::memory_order_relaxed);
     send_message(a, b, net::SyncReqMsg{nonce});
     return nonce;
   }
@@ -757,9 +896,17 @@ class Cluster {
   using CompletedSync = ::dvv::kv::CompletedSync;
 
   /// Drains the completed-session records (sessions whose SyncRespMsg
-  /// reached the initiator since the last call).
+  /// reached the initiator since the last call), in shard order.  Exact
+  /// at quiescence.
   [[nodiscard]] std::vector<CompletedSync> take_completed_syncs() {
-    return std::exchange(completed_syncs_, {});
+    std::vector<CompletedSync> out;
+    for (auto& shard : shards_) {
+      for (CompletedSync& cs : shard->completed_syncs) {
+        out.push_back(std::move(cs));
+      }
+      shard->completed_syncs.clear();
+    }
+    return out;
   }
 
   /// Full digest-based repair: sweeps every alive replica pair until a
@@ -779,7 +926,8 @@ class Cluster {
       // faulty transport can deliver the request (repairs run) and lose
       // the response (stats gone).  The repair counter sees every
       // shipped state regardless of what made it back to an initiator.
-      const std::uint64_t repairs_mark = repairs_shipped_total_;
+      const std::uint64_t repairs_mark =
+          repairs_shipped_total_.load(std::memory_order_relaxed);
       for (ReplicaId a = 0; a < replicas_.size(); ++a) {
         for (ReplicaId b = a + 1; b < replicas_.size(); ++b) {
           const sync::SyncStats stats = anti_entropy_digest_pair(a, b);
@@ -788,7 +936,10 @@ class Cluster {
           report.stats.merge(stats);
         }
       }
-      if (repairs_shipped_total_ != repairs_mark) progress = true;
+      if (repairs_shipped_total_.load(std::memory_order_relaxed) !=
+          repairs_mark) {
+        progress = true;
+      }
       // Hint round: repair every key some alive holder parks a hint
       // for.  The converged pre-check matters beyond wire cost: a key
       // must be folded at most once from its pre-repair states (the
@@ -914,6 +1065,7 @@ class Cluster {
   }
 
   void wire_transport() {
+    threaded_ = dynamic_cast<net::ThreadedTransport*>(transport_.get());
     transport_->set_sink(
         [this](const net::Envelope& envelope) { on_message(envelope); });
   }
@@ -922,20 +1074,95 @@ class Cluster {
     transport_->send(from, to, std::move(msg));
   }
 
+  // ---- shard routing ------------------------------------------------------
+
+  /// Reusable send slots, one per message purpose, per shard.  Sends
+  /// ride net::borrow_message handles over these — no allocation and no
+  /// shared_ptr control-block traffic per message.  The borrow contract
+  /// holds because (a) the kv delivery sink never retains an envelope
+  /// beyond the sink call, and (b) no delivery chain ever refills the
+  /// slot of a message still on the stack: a write_req delivery fills
+  /// only write_resp; a read_req delivery only read_resp; a read_resp
+  /// delivery at most replicate (read repair); a hint_deliver delivery
+  /// only hint_ack; replicate / hint / hint_ack / write_resp deliveries
+  /// send nothing.  Across threads: a slot is filled either by its
+  /// shard's own thread (delivery handlers, shard-local client ops) or
+  /// by the control plane at quiescence — and the two never fill the
+  /// same member concurrently, because delivery chains only fill
+  /// {read_resp, write_resp, hint_ack, replicate} while control-plane
+  /// scatter fills {read_req, write_req, hint, hint_deliver}.
+  struct SendSlots {
+    net::Message replicate;
+    net::Message hint;
+    net::Message hint_deliver;
+    net::Message hint_ack;
+    net::Message read_req;
+    net::Message read_resp;
+    net::Message write_req;
+    net::Message write_resp;
+  };
+
+  /// Everything one shard thread mutates while applying deliveries for
+  /// the replicas it owns.  Aligned out of false sharing with its
+  /// neighbors; heap-allocated so addresses survive cluster moves.
+  struct alignas(64) ShardState {
+    QuorumCoordinator<M> engine;  ///< requests coordinated by owned replicas
+    DeliveryDrops drops;
+    std::vector<CompletedSync> completed_syncs;
+    SendSlots slots;
+  };
+
+  [[nodiscard]] ShardState& shard_for(ReplicaId r) const noexcept {
+    return *shards_[shard_of(r)];
+  }
+  [[nodiscard]] QuorumCoordinator<M>& engine_for(ReplicaId r) const noexcept {
+    return shard_for(r).engine;
+  }
+  [[nodiscard]] SendSlots& slots_for(ReplicaId r) const noexcept {
+    return shard_for(r).slots;
+  }
+  /// The one engine of an unsharded cluster — the id-keyed public
+  /// request surface cannot resolve a bare id across several engines.
+  [[nodiscard]] QuorumCoordinator<M>& sole_engine() const {
+    DVV_ASSERT_MSG(shards_.size() == 1,
+                   "kv: id-keyed request API needs an unsharded cluster "
+                   "(resolve through the coordinator instead)");
+    return shards_[0]->engine;
+  }
+
   /// Synchronous-shim boundary for reads: settle the transport (drains
-  /// an auto-settling queue; no-op inline), force-complete whatever has
-  /// not answered, harvest.
-  GetResult harvest_read(std::uint64_t id) {
+  /// an auto-settling queue; no-op inline, quiesces threaded), force-
+  /// complete whatever has not answered, harvest.
+  GetResult harvest_read(QuorumCoordinator<M>& eng, std::uint64_t id) {
     transport_->settle();
-    (void)finalize_request(id);
-    return take_read_result(id).result;
+    if (eng.finalize(id)) maybe_read_repair(eng, id);
+    return take_read_from(eng, id).result;
   }
 
   /// Synchronous-shim boundary for writes (see harvest_read).
-  PutReceipt harvest_write(std::uint64_t id) {
+  PutReceipt harvest_write(QuorumCoordinator<M>& eng, std::uint64_t id) {
     transport_->settle();
-    (void)finalize_request(id);
-    return take_write_receipt(id);
+    if (eng.finalize(id)) maybe_read_repair(eng, id);
+    return take_write_from(eng, id);
+  }
+
+  /// begin_read with the chosen engine handed back (get_quorum must
+  /// harvest from the engine that minted the id).
+  struct Begun {
+    QuorumCoordinator<M>* engine;
+    std::uint64_t id;
+  };
+  [[nodiscard]] Begun begin_read_impl(const Key& key, std::size_t quorum,
+                                      const ReadOptions& opts) {
+    for (const ReplicaId r : ring_.preference_list(key)) {
+      if (replicas_[r].alive()) {
+        return {&engine_for(r), begin_read_at(key, r, quorum, opts)};
+      }
+    }
+    QuorumCoordinator<M>& eng = engine_for(0);
+    const std::uint64_t id = eng.start_read(key, 0, quorum, opts);
+    (void)eng.finalize(id);  // nobody to ask: kUnavailable now
+    return {&eng, id};
   }
 
   /// After a read request reaches a terminal state: if it asked for
@@ -945,11 +1172,11 @@ class Cluster {
   /// transport (so a partition or drop can lose the repair like any
   /// other message).  The default shims never request this; it is the
   /// Dynamo-style opt-in for the async path.
-  void maybe_read_repair(std::uint64_t id) {
-    if (!coordinator_.is_terminal(id) || !coordinator_.read_repair_requested(id)) {
+  void maybe_read_repair(QuorumCoordinator<M>& eng, std::uint64_t id) {
+    if (!eng.is_terminal(id) || !eng.read_repair_requested(id)) {
       return;
     }
-    const ReadReceipt& receipt = coordinator_.peek_read(id);
+    const ReadReceipt& receipt = eng.peek_read(id);
     if (!receipt.found) return;
     // A coordinator that died between collecting replies and completion
     // cannot repair anybody — not even itself: a dead process neither
@@ -959,7 +1186,7 @@ class Cluster {
     const sync::Digest merged_digest = sync::state_digest(receipt.merged);
     const net::Message* msg = nullptr;
     std::size_t msg_bytes = 0;
-    for (const auto& [r, digest] : coordinator_.reply_digests(id)) {
+    for (const auto& [r, digest] : eng.reply_digests(id)) {
       if (digest == merged_digest) continue;
       if (r == receipt.coordinator) {
         replicas_.at(r).adopt(receipt.key, receipt.merged);
@@ -971,7 +1198,7 @@ class Cluster {
       }
       if (msg == nullptr) {
         msg = &net::fill_message<net::ReplicateMsg>(
-            slot_replicate_, [&](auto& out) {
+            slots_for(receipt.coordinator).replicate, [&](auto& out) {
               out.key = receipt.key;
               Replica<M>::encode_state_into(receipt.merged, out.state);
             });
@@ -990,14 +1217,18 @@ class Cluster {
   /// built; the owned and viewed forms share one applier body because
   /// their alternatives carry identical field names.
   void on_message(const net::Envelope& envelope) {
+    // Every per-delivery mutation below lands in the DESTINATION
+    // replica's shard state — with a threaded transport this sink runs
+    // on that shard's thread, so nothing here needs a lock.
+    ShardState& shard = shard_for(envelope.to);
     if (!envelope.batch.empty()) {
       for (const net::MessageView& sub : envelope.batch) {
-        apply_view(envelope.from, envelope.to, sub, nullptr);
+        apply_view(shard, envelope.from, envelope.to, sub, nullptr);
       }
       return;
     }
     if (envelope.view != nullptr) {
-      apply_view(envelope.from, envelope.to, *envelope.view,
+      apply_view(shard, envelope.from, envelope.to, *envelope.view,
                  static_cast<const Stored*>(envelope.decoded.get()));
       return;
     }
@@ -1008,20 +1239,23 @@ class Cluster {
       for (const std::string& frame : batch->frames) {
         std::optional<net::MessageView> sub = net::decode_frame_view(frame);
         DVV_ASSERT_MSG(sub.has_value(), "kv: malformed sub-frame in owned batch");
-        apply_view(envelope.from, envelope.to, *sub, nullptr);
+        apply_view(shard, envelope.from, envelope.to, *sub, nullptr);
       }
       return;
     }
     const Stored* fast = static_cast<const Stored*>(envelope.decoded.get());
     std::visit(
-        [&](const auto& m) { apply_one(envelope.from, envelope.to, m, fast); },
+        [&](const auto& m) {
+          apply_one(shard, envelope.from, envelope.to, m, fast);
+        },
         msg);
   }
 
   /// The viewed-form entry into the applier (SimTransport deliveries).
-  void apply_view(net::NodeId from, net::NodeId to, const net::MessageView& view,
-                  const Stored* fast) {
-    std::visit([&](const auto& m) { apply_one(from, to, m, fast); }, view);
+  void apply_view(ShardState& shard, net::NodeId from, net::NodeId to,
+                  const net::MessageView& view, const Stored* fast) {
+    std::visit([&](const auto& m) { apply_one(shard, from, to, m, fast); },
+               view);
   }
 
   /// True when alternative T — owned message or non-owning view, the
@@ -1037,36 +1271,36 @@ class Cluster {
   /// std::string_view fields over the received buffer); the body is
   /// shared, so the two delivery forms cannot drift.  A destination
   /// that is not alive receives nothing — the message is counted in
-  /// delivery_drops_ and gone (for hint deliveries that is precisely
-  /// why the holder keeps the hint until the ack).  State payloads use
-  /// the decoded fast path when the transport preserved it (inline
-  /// loopback) and decode the wire bytes when it did not — bytes are
-  /// copied out of a view only on adoption.
+  /// the destination shard's drops and gone (for hint deliveries that
+  /// is precisely why the holder keeps the hint until the ack).  State
+  /// payloads use the decoded fast path when the transport preserved it
+  /// (inline loopback) and decode the wire bytes when it did not —
+  /// bytes are copied out of a view only on adoption.
   template <typename T>
-  void apply_one(net::NodeId from, net::NodeId to, const T& m,
-                 const Stored* fast) {
+  void apply_one(ShardState& shard, net::NodeId from, net::NodeId to,
+                 const T& m, const Stored* fast) {
     Replica<M>& dst = replicas_.at(to);
     if (!dst.alive()) {
       if constexpr (is_kind_v<T, net::ReplicateMsg, net::ReplicateView> ||
                     is_kind_v<T, net::CoordWriteReqMsg,
                               net::CoordWriteReqView>) {
-        ++delivery_drops_.replicate;  // a replica copy died with it
+        ++shard.drops.replicate;  // a replica copy died with it
       } else if constexpr (is_kind_v<T, net::HintMsg, net::HintView>) {
-        ++delivery_drops_.hint_stash;
+        ++shard.drops.hint_stash;
       } else if constexpr (is_kind_v<T, net::HintDeliverMsg,
                                      net::HintDeliverView>) {
-        ++delivery_drops_.hint_deliver;
+        ++shard.drops.hint_deliver;
       } else if constexpr (is_kind_v<T, net::HintAckMsg, net::HintAckView>) {
-        ++delivery_drops_.hint_ack;
+        ++shard.drops.hint_ack;
       } else if constexpr (is_kind_v<T, net::CoordReadReqMsg,
                                      net::CoordReadReqView> ||
                            is_kind_v<T, net::CoordReadRespMsg,
                                      net::CoordReadRespView> ||
                            is_kind_v<T, net::CoordWriteRespMsg,
                                      net::CoordWriteRespView>) {
-        ++delivery_drops_.coord;  // the request machine rides it out
+        ++shard.drops.coord;  // the request machine rides it out
       } else {
-        ++delivery_drops_.sync;
+        ++shard.drops.sync;
       }
       return;
     }
@@ -1094,7 +1328,7 @@ class Cluster {
             }
             const std::uint64_t digest = sync::encoded_state_digest(m.state);
             const net::Message& ack = net::fill_message<net::HintAckMsg>(
-                slot_hint_ack_, [&](auto& out) {
+                shard.slots.hint_ack, [&](auto& out) {
                   out.owner = m.owner;
                   out.key = m.key;
                   out.digest = digest;
@@ -1113,7 +1347,7 @@ class Cluster {
             const Stored* local = dst.find(m.key);
             const net::Message& resp =
                 net::fill_message<net::CoordReadRespMsg>(
-                    slot_read_resp_, [&](auto& out) {
+                    shard.slots.read_resp, [&](auto& out) {
                       out.req = m.req;
                       out.found = local != nullptr;
                       if (local != nullptr) {
@@ -1133,14 +1367,14 @@ class Cluster {
             // duplicate or stale — reply hygiene lives there).
             bool done;
             if (!m.found) {
-              done = coordinator_.on_read_reply(m.req, from, nullptr, mechanism_);
+              done = shard.engine.on_read_reply(m.req, from, nullptr, mechanism_);
             } else if (fast != nullptr) {
-              done = coordinator_.on_read_reply(m.req, from, fast, mechanism_);
+              done = shard.engine.on_read_reply(m.req, from, fast, mechanism_);
             } else {
               const Stored remote = Replica<M>::decode_state(m.state);
-              done = coordinator_.on_read_reply(m.req, from, &remote, mechanism_);
+              done = shard.engine.on_read_reply(m.req, from, &remote, mechanism_);
             }
-            if (done) maybe_read_repair(m.req);
+            if (done) maybe_read_repair(shard.engine, m.req);
           } else if constexpr (is_kind_v<T, net::CoordWriteReqMsg, net::CoordWriteReqView>) {
             // Replicate-with-ack: merge exactly as a ReplicateMsg
             // would, then acknowledge so the coordinator can count this
@@ -1151,12 +1385,12 @@ class Cluster {
               dst.merge_encoded(mechanism_, m.key, m.state);
             }
             const net::Message& ack = net::fill_message<net::CoordWriteRespMsg>(
-                slot_write_resp_, [&](auto& out) { out.req = m.req; });
+                shard.slots.write_resp, [&](auto& out) { out.req = m.req; });
             transport_->send(
                 to, from, net::borrow_message(ack), nullptr,
                 net::wire_size_of(std::get<net::CoordWriteRespMsg>(ack)));
           } else if constexpr (is_kind_v<T, net::CoordWriteRespMsg, net::CoordWriteRespView>) {
-            (void)coordinator_.on_write_ack(m.req, from);
+            (void)shard.engine.on_write_ack(m.req, from);
           } else if constexpr (is_kind_v<T, net::SyncReqMsg, net::SyncReqView>) {
             run_sync_session(from, to, m.nonce);
           } else if constexpr (is_kind_v<T, net::BatchMsg, net::BatchView>) {
@@ -1174,7 +1408,7 @@ class Cluster {
             cs.stats.keys_compared = static_cast<std::size_t>(m.keys_compared);
             cs.stats.keys_shipped = static_cast<std::size_t>(m.keys_shipped);
             cs.stats.wire_bytes = static_cast<std::size_t>(m.wire_bytes);
-            completed_syncs_.push_back(std::move(cs));
+            shard.completed_syncs.push_back(std::move(cs));
           }
     }
   }
@@ -1325,7 +1559,8 @@ class Cluster {
         ++result.states_shipped;
       }
     }
-    repairs_shipped_total_ += result.states_shipped;
+    repairs_shipped_total_.fetch_add(result.states_shipped,
+                                     std::memory_order_relaxed);
     return result;
   }
 
@@ -1339,30 +1574,23 @@ class Cluster {
   sync::DigestIndex digest_index_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<Replica<M>> replicas_;
-  QuorumCoordinator<M> coordinator_;  ///< per-request client state machines
-  std::vector<CompletedSync> completed_syncs_;
-  std::uint64_t next_sync_nonce_ = 0;
-  std::uint64_t repairs_shipped_total_ = 0;  ///< every state repair_key shipped
-  DeliveryDrops delivery_drops_{};
-
-  // Reusable send slots, one per message purpose.  The cluster's own
-  // sends ride net::borrow_message handles over these — no allocation
-  // and no shared_ptr control-block traffic per message.  The borrow
-  // contract holds because (a) the kv delivery sink never retains an
-  // envelope beyond the sink call, and (b) no delivery chain ever
-  // refills the slot of a message still on the stack: a write_req
-  // delivery fills only write_resp; a read_req delivery only
-  // read_resp; a read_resp delivery at most replicate (read repair); a
-  // hint_deliver delivery only hint_ack; replicate / hint / hint_ack /
-  // write_resp deliveries send nothing.
-  net::Message slot_replicate_;
-  net::Message slot_hint_;
-  net::Message slot_hint_deliver_;
-  net::Message slot_hint_ack_;
-  net::Message slot_read_req_;
-  net::Message slot_read_resp_;
-  net::Message slot_write_req_;
-  net::Message slot_write_resp_;
+  /// One ShardState per execution shard (see the shard routing section
+  /// above).  Size 1 unless the wired transport is a ThreadedTransport,
+  /// in which case it matches the transport's shard count and each
+  /// state is touched only from its owning shard thread.
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Set by wire_transport when the transport is threaded — the routing
+  /// helpers key off it; null means single-domain (inline / sim).
+  net::ThreadedTransport* threaded_ = nullptr;
+  /// Atomic: request_sync may be scattered from several shard threads
+  /// by a threaded driver (nonces only need uniqueness, not order).
+  std::atomic<std::uint64_t> next_sync_nonce_{0};
+  /// Atomic for the same reason; every state repair_key shipped.
+  std::atomic<std::uint64_t> repairs_shipped_total_{0};
+  /// Aggregation scratch for the merged accessors (mutable: the
+  /// accessors are logically const).  Only valid to fill at quiescence.
+  mutable DeliveryDrops drops_scratch_{};
+  mutable CoordStats coord_scratch_{};
 };
 
 }  // namespace dvv::kv

@@ -163,6 +163,56 @@ class TypedStore final : public Store {
         key, coordinator, client, ctx, std::move(value))));
   }
 
+  // ---- shard-per-thread server path --------------------------------------
+
+  [[nodiscard]] std::size_t shard_count() const noexcept override {
+    return cluster_.shard_count();
+  }
+  [[nodiscard]] std::size_t shard_of(ReplicaId r) const noexcept override {
+    return cluster_.shard_of(r);
+  }
+  void run_at(ReplicaId r, const std::function<void()>& fn) override {
+    cluster_.run_at(r, fn);
+  }
+
+  StorePutResult put_direct_local(const Key& key, ClientId client,
+                                  const CausalToken& token,
+                                  Value value) override {
+    Context ctx;
+    if (!decode_token(token, kId, ctx)) return note_put(bad_token_put());
+    const std::optional<ReplicaId> coord = cluster_.default_coordinator(key);
+    if (!coord.has_value()) return note_put(unavailable_put());
+    return note_put(to_put_result(
+        cluster_.put_direct(key, *coord, client, ctx, std::move(value))));
+  }
+
+  [[nodiscard]] StoreGetResult get_local(const Key& key) override {
+    return get(key, std::nullopt);
+  }
+
+  StorePutResult put_direct(const Key& key, ClientId client,
+                            const CausalToken& token, Value value) override {
+    const std::optional<ReplicaId> coord = cluster_.default_coordinator(key);
+    if (!coord.has_value()) return note_put(unavailable_put());
+    StorePutResult out;
+    cluster_.run_at(*coord, [&] {
+      out = put_direct_local(key, client, token, std::move(value));
+    });
+    return out;
+  }
+
+  [[nodiscard]] StoreGetResult get_direct(const Key& key) override {
+    const std::optional<ReplicaId> coord = cluster_.default_coordinator(key);
+    if (!coord.has_value()) {
+      StoreGetResult out;
+      out.status = StoreStatus::kUnavailable;
+      return note_get(std::move(out));
+    }
+    StoreGetResult out;
+    cluster_.run_at(*coord, [&] { out = get_local(key); });
+    return out;
+  }
+
   // ---- asynchronous quorum coordination ---------------------------------
 
   [[nodiscard]] std::uint64_t begin_read(const Key& key, std::size_t quorum,
@@ -333,6 +383,14 @@ class TypedStore final : public Store {
   [[nodiscard]] static StorePutResult bad_token_put() {
     StorePutResult out;
     out.status = StoreStatus::kBadToken;
+    return out;
+  }
+
+  [[nodiscard]] static StorePutResult unavailable_put() {
+    StorePutResult out;
+    out.status = StoreStatus::kUnavailable;
+    out.receipt.unavailable = true;
+    out.receipt.outcome = CoordOutcome::kUnavailable;
     return out;
   }
 

@@ -37,6 +37,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -209,6 +210,44 @@ class Store {
                                           ClientId client,
                                           const CausalToken& token,
                                           Value value) = 0;
+
+  // ---- shard-per-thread server path --------------------------------------
+  //
+  // The dvvd request path.  Over a threaded transport every replica
+  // lives in exactly one shard's serial domain; the *_local entries
+  // below touch the coordinator replica directly and are therefore
+  // legal ONLY on the owning shard's thread (the server's event loop,
+  // a run_at closure).  The non-local spellings wrap themselves in
+  // run_at and may be called from any non-shard thread — tests and
+  // bench drivers.  Over an inline/sim transport there is one implicit
+  // shard and every spelling is legal everywhere.
+
+  /// Shards in the execution domain (1 unless the transport is
+  /// threaded), and the shard owning replica `r`.
+  [[nodiscard]] virtual std::size_t shard_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t shard_of(ReplicaId r) const noexcept = 0;
+
+  /// Runs `fn` inside replica `r`'s serial domain and blocks until it
+  /// ran (inline when single-domain).  Must not be called from a shard
+  /// thread — the server path uses the *_local entries instead.
+  virtual void run_at(ReplicaId r, const std::function<void()>& fn) = 0;
+
+  /// W=1 coordinator-apply PUT: completes on the coordinator's local
+  /// apply, replication to the rest of the preference list is
+  /// fire-and-forget.  MUST run on the coordinator's shard.
+  virtual StorePutResult put_direct_local(const Key& key, ClientId client,
+                                          const CausalToken& token,
+                                          Value value) = 0;
+
+  /// Coordinator-local GET (no quorum round).  MUST run on the
+  /// coordinator's shard.
+  [[nodiscard]] virtual StoreGetResult get_local(const Key& key) = 0;
+
+  /// Blocking wrappers: route the op into the coordinator's shard via
+  /// run_at.  For tests and bench drivers on non-shard threads.
+  virtual StorePutResult put_direct(const Key& key, ClientId client,
+                                    const CausalToken& token, Value value) = 0;
+  [[nodiscard]] virtual StoreGetResult get_direct(const Key& key) = 0;
 
   // ---- asynchronous quorum coordination ---------------------------------
 

@@ -10,6 +10,8 @@
 #include <utility>
 #include <variant>
 
+#include "net/threaded_transport.hpp"
+
 namespace dvv::net {
 
 namespace {
@@ -227,6 +229,8 @@ std::unique_ptr<Transport> make_transport(const TransportConfig& config) {
   switch (config.kind) {
     case TransportKind::kSim:
       return std::make_unique<SimTransport>(config.sim);
+    case TransportKind::kThreaded:
+      return std::make_unique<ThreadedTransport>(config.threaded);
     case TransportKind::kInline:
       break;
   }

@@ -234,7 +234,11 @@ class Transport {
     return a == b;
   }
 
-  [[nodiscard]] const TransportStats& stats() const noexcept { return stats_; }
+  /// Virtual so a sharded transport can aggregate per-shard counters on
+  /// demand (ThreadedTransport); call at quiescence for an exact total.
+  [[nodiscard]] virtual const TransportStats& stats() const noexcept {
+    return stats_;
+  }
 
  protected:
   /// Single-message delivery (owned or view form).  Batch envelopes are
@@ -306,7 +310,7 @@ class InlineTransport final : public Transport {
   std::uint64_t next_seq_ = 0;
 };
 
-enum class TransportKind : std::uint8_t { kInline = 0, kSim = 1 };
+enum class TransportKind : std::uint8_t { kInline = 0, kSim = 1, kThreaded = 2 };
 
 /// Fault model of the simulated transport.  All probabilities are per
 /// message (per copy, for duplicates); delays are in pump() ticks.
@@ -343,9 +347,17 @@ struct SimTransportConfig {
   }
 };
 
+/// Shard layout of the threaded transport (net/threaded_transport.hpp).
+/// Node n is owned by shard n % shards: all delivery to n — and all
+/// mutation of n's replica — happens on that shard's thread.
+struct ThreadedTransportConfig {
+  std::size_t shards = 1;
+};
+
 struct TransportConfig {
   TransportKind kind;  // default set by default_transport_kind()
   SimTransportConfig sim{};
+  ThreadedTransportConfig threaded{};
 
   TransportConfig();
 };

@@ -150,4 +150,30 @@ struct StoreMetrics {
 };
 [[nodiscard]] StoreMetrics& store_metrics();
 
+/// server.* — the dvvd socket front-end: connection lifecycle, request
+/// traffic, and the strict-decode rejection taxonomy for client frames
+/// (the first bytes a hostile peer controls).  Bumped by src/server.
+struct ServerMetrics {
+  MetricCounter connections_accepted;  ///< server.connections_accepted
+  MetricCounter connections_closed;    ///< server.connections_closed
+  MetricCounter requests_get;          ///< server.requests.get
+  MetricCounter requests_put;          ///< server.requests.put
+  MetricCounter responses_sent;        ///< server.responses_sent
+  MetricCounter bytes_read;            ///< server.bytes_read
+  MetricCounter bytes_written;         ///< server.bytes_written
+  MetricCounter reads_paused;          ///< server.reads_paused (flow control)
+  /// server.decode_reject — total client frames rejected at the strict
+  /// boundary, plus the per-cause taxonomy below.  A frame-level reject
+  /// (oversized/short) poisons the stream and closes the connection; a
+  /// payload-level reject (bad opcode/fields/token) is answered with an
+  /// error response and the stream continues.
+  MetricCounter decode_reject;            ///< server.decode_reject
+  MetricCounter reject_oversized_frame;   ///< server.decode_reject.oversized_frame
+  MetricCounter reject_bad_opcode;        ///< server.decode_reject.bad_opcode
+  MetricCounter reject_bad_fields;        ///< server.decode_reject.bad_fields
+  MetricCounter reject_trailing_bytes;    ///< server.decode_reject.trailing_bytes
+  MetricCounter reject_bad_token;         ///< server.decode_reject.bad_token
+};
+[[nodiscard]] ServerMetrics& server_metrics();
+
 }  // namespace dvv::obs

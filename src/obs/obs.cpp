@@ -76,38 +76,48 @@ void append_histogram_json(std::string& out, const util::BucketHistogram& h) {
 // ---- Registry --------------------------------------------------------------
 
 std::uint64_t Registry::counter_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0 : it->second.load(std::memory_order_relaxed);
 }
 
 double Registry::gauge_value(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second;
+  return it == gauges_.end() ? 0.0
+                             : it->second.load(std::memory_order_relaxed);
 }
 
 const util::BucketHistogram* Registry::find_histogram(
     const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 void Registry::reset() noexcept {
-  for (auto& [name, cell] : counters_) cell = 0;
-  for (auto& [name, cell] : gauges_) cell = 0.0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, cell] : counters_) {
+    cell.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : gauges_) {
+    cell.store(0.0, std::memory_order_relaxed);
+  }
   for (auto& [name, cell] : histograms_) cell.reset();
 }
 
 std::string Registry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, cell] : counters_) {
     const std::string pname = prometheus_name(name);
     out += "# TYPE " + pname + " counter\n";
-    out += pname + " " + u64(value) + "\n";
+    out += pname + " " + u64(cell.load(std::memory_order_relaxed)) + "\n";
   }
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, cell] : gauges_) {
     const std::string pname = prometheus_name(name);
     char buf[64];
-    std::snprintf(buf, sizeof buf, "%g", value);
+    std::snprintf(buf, sizeof buf, "%g", cell.load(std::memory_order_relaxed));
     out += "# TYPE " + pname + " gauge\n";
     out += pname + " " + buf + "\n";
   }
@@ -134,21 +144,24 @@ std::string Registry::prometheus_text() const {
 }
 
 std::string Registry::json_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"enabled\":";
-  out += enabled_ ? "true" : "false";
+  out += enabled_.load(std::memory_order_relaxed) ? "true" : "false";
   out += ",\"counters\":{";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, cell] : counters_) {
     if (!first) out += ',';
     first = false;
-    out += '"' + json_escape(name) + "\":" + u64(value);
+    out += '"' + json_escape(name) +
+           "\":" + u64(cell.load(std::memory_order_relaxed));
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, cell] : gauges_) {
     if (!first) out += ',';
     first = false;
-    out += '"' + json_escape(name) + "\":" + util::json_number(value);
+    out += '"' + json_escape(name) +
+           "\":" + util::json_number(cell.load(std::memory_order_relaxed));
   }
   out += "},\"histograms\":{";
   first = true;
@@ -165,21 +178,27 @@ std::string Registry::json_snapshot() const {
 // ---- FlightRecorder --------------------------------------------------------
 
 void FlightRecorder::configure(std::size_t capacity) {
-  capacity_ = capacity;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_.store(capacity, std::memory_order_relaxed);
   ring_.assign(capacity, FlightEvent{});
   next_seq_ = 0;
   if (start_us_ == 0) start_us_ = steady_now_us();
 }
 
 std::size_t FlightRecorder::size() const noexcept {
-  return next_seq_ < capacity_ ? static_cast<std::size_t>(next_seq_) : capacity_;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  return next_seq_ < cap ? static_cast<std::size_t>(next_seq_) : cap;
 }
 
 void FlightRecorder::record(const char* category, const char* name,
                             std::uint64_t trace_id, std::uint64_t a,
                             std::uint64_t b, std::uint64_t c) noexcept {
-  if (capacity_ == 0) return;
-  FlightEvent& slot = ring_[next_seq_ % capacity_];
+  if (capacity_.load(std::memory_order_relaxed) == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return;  // disarmed between the fast check and the lock
+  FlightEvent& slot = ring_[next_seq_ % cap];
   slot.seq = next_seq_++;
   slot.t_us = steady_now_us() - start_us_;
   slot.trace_id = trace_id;
@@ -191,17 +210,21 @@ void FlightRecorder::record(const char* category, const char* name,
 }
 
 void FlightRecorder::clear() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
   next_seq_ = 0;
   for (FlightEvent& e : ring_) e = FlightEvent{};
 }
 
 std::string FlightRecorder::dump_json() const {
-  const std::size_t n = size();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  const std::size_t n =
+      next_seq_ < cap ? static_cast<std::size_t>(next_seq_) : cap;
   std::string out = "{\"recorded\":" + u64(next_seq_) +
                     ",\"dropped\":" + u64(next_seq_ - n) + ",\"events\":[";
   const std::uint64_t first_seq = next_seq_ - n;
   for (std::size_t i = 0; i < n; ++i) {
-    const FlightEvent& e = ring_[(first_seq + i) % capacity_];
+    const FlightEvent& e = ring_[(first_seq + i) % cap];
     if (i != 0) out += ',';
     out += "{\"seq\":" + u64(e.seq) + ",\"t_us\":" + u64(e.t_us) +
            ",\"trace\":" + u64(e.trace_id) + ",\"cat\":\"" + e.category +
@@ -375,6 +398,33 @@ WalMetrics& wal_metrics() {
     out.records_replayed = r.counter("wal.records_replayed");
     out.torn_records_dropped = r.counter("wal.torn_records_dropped");
     out.replay_us = r.histogram("wal.replay_us");
+#endif
+    return out;
+  }();
+  return m;
+}
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m = [] {
+    ServerMetrics out;
+#if !defined(DVV_OBS_DISABLED)
+    Registry& r = registry();
+    out.connections_accepted = r.counter("server.connections_accepted");
+    out.connections_closed = r.counter("server.connections_closed");
+    out.requests_get = r.counter("server.requests.get");
+    out.requests_put = r.counter("server.requests.put");
+    out.responses_sent = r.counter("server.responses_sent");
+    out.bytes_read = r.counter("server.bytes_read");
+    out.bytes_written = r.counter("server.bytes_written");
+    out.reads_paused = r.counter("server.reads_paused");
+    out.decode_reject = r.counter("server.decode_reject");
+    out.reject_oversized_frame =
+        r.counter("server.decode_reject.oversized_frame");
+    out.reject_bad_opcode = r.counter("server.decode_reject.bad_opcode");
+    out.reject_bad_fields = r.counter("server.decode_reject.bad_fields");
+    out.reject_trailing_bytes =
+        r.counter("server.decode_reject.trailing_bytes");
+    out.reject_bad_token = r.counter("server.decode_reject.bad_token");
 #endif
     return out;
   }();

@@ -40,9 +40,11 @@
 // registry must outlive its handles and not move.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,29 +55,34 @@ namespace dvv::obs {
 class Registry;
 
 /// Monotonic event count.  Two pointers; see the cost model above.
+/// Cells are relaxed atomics: independent monotonic counts bumped from
+/// concurrent shard threads, read only at quiescence (exporters), so
+/// no ordering beyond the increment's own atomicity is needed.
 class Counter {
  public:
   Counter() = default;
 
   void inc(std::uint64_t n = 1) const noexcept {
-    if (cell_ != nullptr && *enabled_) *cell_ += n;
+    if (cell_ != nullptr && enabled_->load(std::memory_order_relaxed)) {
+      cell_->fetch_add(n, std::memory_order_relaxed);
+    }
   }
   /// True when inc() would record: lets a call site with several
   /// same-registry handles collapse their per-handle checks into one
   /// branch (the message hot path meters 3+ counters per send).
   [[nodiscard]] bool armed() const noexcept {
-    return cell_ != nullptr && *enabled_;
+    return cell_ != nullptr && enabled_->load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const noexcept {
-    return cell_ == nullptr ? 0 : *cell_;
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
   }
 
  private:
   friend class Registry;
-  Counter(const bool* enabled, std::uint64_t* cell)
+  Counter(const std::atomic<bool>* enabled, std::atomic<std::uint64_t>* cell)
       : enabled_(enabled), cell_(cell) {}
-  const bool* enabled_ = nullptr;
-  std::uint64_t* cell_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
+  std::atomic<std::uint64_t>* cell_ = nullptr;
 };
 
 /// Point-in-time level (watermarks, queue depths).
@@ -84,24 +91,39 @@ class Gauge {
   Gauge() = default;
 
   void set(double v) const noexcept {
-    if (cell_ != nullptr && *enabled_) *cell_ = v;
+    if (cell_ != nullptr && enabled_->load(std::memory_order_relaxed)) {
+      cell_->store(v, std::memory_order_relaxed);
+    }
   }
   void add(double v) const noexcept {
-    if (cell_ != nullptr && *enabled_) *cell_ += v;
+    if (cell_ == nullptr || !enabled_->load(std::memory_order_relaxed)) return;
+    // fetch_add(double) needs a CAS loop pre-C++23 on some libstdc++;
+    // spell it out so the ordering stays relaxed and portable.
+    double cur = cell_->load(std::memory_order_relaxed);
+    while (!cell_->compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
   }
   /// Raises the gauge to `v` if higher — the high-watermark idiom.
   void set_max(double v) const noexcept {
-    if (cell_ != nullptr && *enabled_ && v > *cell_) *cell_ = v;
+    if (cell_ == nullptr || !enabled_->load(std::memory_order_relaxed)) return;
+    double cur = cell_->load(std::memory_order_relaxed);
+    while (v > cur && !cell_->compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
   }
   [[nodiscard]] double value() const noexcept {
-    return cell_ == nullptr ? 0.0 : *cell_;
+    return cell_ == nullptr ? 0.0 : cell_->load(std::memory_order_relaxed);
   }
 
  private:
   friend class Registry;
-  Gauge(const bool* enabled, double* cell) : enabled_(enabled), cell_(cell) {}
-  const bool* enabled_ = nullptr;
-  double* cell_ = nullptr;
+  Gauge(const std::atomic<bool>* enabled, std::atomic<double>* cell)
+      : enabled_(enabled), cell_(cell) {}
+  const std::atomic<bool>* enabled_ = nullptr;
+  std::atomic<double>* cell_ = nullptr;
 };
 
 /// Distribution with p50/p99/p999 (util::BucketHistogram underneath).
@@ -110,7 +132,9 @@ class HistogramHandle {
   HistogramHandle() = default;
 
   void record(std::uint64_t value) const noexcept {
-    if (cell_ != nullptr && *enabled_) cell_->add(value);
+    if (cell_ != nullptr && enabled_->load(std::memory_order_relaxed)) {
+      cell_->add(value);
+    }
   }
   /// Null for a default-constructed handle.
   [[nodiscard]] const util::BucketHistogram* histogram() const noexcept {
@@ -119,15 +143,20 @@ class HistogramHandle {
 
  private:
   friend class Registry;
-  HistogramHandle(const bool* enabled, util::BucketHistogram* cell)
+  HistogramHandle(const std::atomic<bool>* enabled, util::BucketHistogram* cell)
       : enabled_(enabled), cell_(cell) {}
-  const bool* enabled_ = nullptr;
+  const std::atomic<bool>* enabled_ = nullptr;
   util::BucketHistogram* cell_ = nullptr;
 };
 
 /// Named metric store.  Registration is idempotent — asking twice for
-/// one name yields handles over the same cell.  Not thread-safe (the
-/// whole system is single-threaded; revisit with ROADMAP item 1).
+/// one name yields handles over the same cell.  Thread-safe since
+/// ROADMAP item 1 put real shard threads behind the catalogs:
+/// registration and lookup are mutex-guarded, cells are relaxed
+/// atomics bumped lock-free through the handles (std::map node
+/// stability keeps handle pointers valid forever).  Exporters and
+/// reset() read/write cells relaxed — call them at quiescence for a
+/// coherent cross-cell snapshot.
 class Registry {
  public:
   explicit Registry(bool enabled = true) : enabled_(enabled) {}
@@ -136,17 +165,24 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   [[nodiscard]] Counter counter(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return {&enabled_, &counters_[name]};
   }
   [[nodiscard]] Gauge gauge(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return {&enabled_, &gauges_[name]};
   }
   [[nodiscard]] HistogramHandle histogram(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return {&enabled_, &histograms_[name]};
   }
 
-  void set_enabled(bool on) noexcept { enabled_ = on; }
-  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
 
   /// 0 / 0.0 / null for names never registered.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
@@ -166,10 +202,11 @@ class Registry {
   [[nodiscard]] std::string json_snapshot() const;
 
  private:
-  bool enabled_;
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;  ///< guards the maps, not the cells
   // std::map: node stability keeps handle pointers valid forever.
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, double> gauges_;
+  std::map<std::string, std::atomic<std::uint64_t>> counters_;
+  std::map<std::string, std::atomic<double>> gauges_;
   std::map<std::string, util::BucketHistogram> histograms_;
 };
 
@@ -187,14 +224,21 @@ struct FlightEvent {
 };
 
 /// Bounded ring of the last `capacity` events; the crash black box.
-/// Disabled (capacity 0) it records nothing at one branch per call.
+/// Disabled (capacity 0) it records nothing at one relaxed load per
+/// call; enabled, record() serializes on a mutex (the recorder is a
+/// debugging aid, not a hot-path metric — correctness under shard
+/// threads beats contention here).
 class FlightRecorder {
  public:
   /// Sizes (or resizes, clearing) the ring; 0 disarms the recorder.
   void configure(std::size_t capacity);
 
-  [[nodiscard]] bool enabled() const noexcept { return capacity_ != 0; }
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool enabled() const noexcept {
+    return capacity_.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
   /// Events currently held (≤ capacity).
   [[nodiscard]] std::size_t size() const noexcept;
   /// Events ever recorded (overwritten ones included).
@@ -213,8 +257,9 @@ class FlightRecorder {
   bool dump_to_file(const char* path) const;
 
  private:
+  mutable std::mutex mutex_;  ///< guards ring_ and next_seq_
   std::vector<FlightEvent> ring_;
-  std::size_t capacity_ = 0;
+  std::atomic<std::size_t> capacity_{0};  ///< relaxed disabled-check fast path
   std::uint64_t next_seq_ = 0;
   std::uint64_t start_us_ = 0;  ///< steady-clock anchor of the first configure
 };

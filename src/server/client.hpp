@@ -1,0 +1,147 @@
+// dvv/server/client.hpp
+//
+// A minimal blocking client for dvvd — what the lifecycle tests and
+// bench_server drive the server with.  One TCP connection, framed
+// exactly as src/server/protocol.hpp; supports one-shot calls and
+// explicit pipelining (send k requests, then read k responses — the
+// server guarantees FIFO response order per connection).
+//
+// Deliberately NOT part of the server's hot path: plain blocking
+// syscalls, allocation per call.  Tests also use send_raw() to push
+// hostile bytes (split frames, oversized claims, torn streams) at the
+// real decode boundary.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace dvv::server {
+
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port (blocking).
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    DVV_ASSERT_MSG(fd_ >= 0, "client: socket() failed");
+    const int enable = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    DVV_ASSERT_MSG(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof(addr)) == 0,
+                   "client: connect failed");
+  }
+
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  /// Half-closes the write side (the server sees EOF) while keeping
+  /// the read side open — how a test observes responses to requests
+  /// sent before a disconnect.
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Sends raw bytes verbatim — hostile-input tests frame (or
+  /// deliberately misframe) their own payloads.
+  void send_raw(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // peer closed; the test asserts on responses
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Sends one framed GET request (does not wait for the response).
+  void send_get(std::uint64_t request_id, std::string_view key) {
+    scratch_.clear();
+    encode_get_request(scratch_, request_id, key);
+    framed_.clear();
+    append_frame(framed_, scratch_);
+    send_raw(framed_);
+  }
+
+  /// Sends one framed PUT request (does not wait for the response).
+  void send_put(std::uint64_t request_id, std::string_view key,
+                std::string_view token, std::string_view value,
+                std::uint64_t client_id) {
+    scratch_.clear();
+    encode_put_request(scratch_, request_id, key, token, value, client_id);
+    framed_.clear();
+    append_frame(framed_, scratch_);
+    send_raw(framed_);
+  }
+
+  /// Blocking read of the next response frame's payload.  False on EOF
+  /// (server closed the connection).
+  [[nodiscard]] bool read_frame(std::string& payload) {
+    while (true) {
+      if (decoder_.next(payload)) return true;
+      if (decoder_.poisoned()) return false;  // server sent garbage (bug)
+      char buf[16384];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+  /// Blocking read + strict parse of the next response.  `is_get` must
+  /// match the opcode of the request this response answers.
+  [[nodiscard]] bool read_response(bool is_get, Response& out) {
+    std::string payload;
+    if (!read_frame(payload)) return false;
+    return parse_response(payload, is_get, out);
+  }
+
+  /// One-shot GET.
+  [[nodiscard]] bool get(std::string_view key, Response& out) {
+    const std::uint64_t id = next_request_id_++;
+    send_get(id, key);
+    if (!read_response(/*is_get=*/true, out)) return false;
+    return out.request_id == id;
+  }
+
+  /// One-shot PUT.
+  [[nodiscard]] bool put(std::string_view key, std::string_view token,
+                         std::string_view value, std::uint64_t client_id,
+                         Response& out) {
+    const std::uint64_t id = next_request_id_++;
+    send_put(id, key, token, value, client_id);
+    if (!read_response(/*is_get=*/false, out)) return false;
+    return out.request_id == id;
+  }
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+  std::string scratch_;
+  std::string framed_;
+};
+
+}  // namespace dvv::server

@@ -1,0 +1,105 @@
+// dvvd — the dotted-version-vector store as a real socket server.
+//
+//   dvvd [--port P] [--shards N] [--servers S] [--replication R]
+//        [--mechanism NAME]
+//
+// Builds a kv::Store over a ThreadedTransport with N execution shards,
+// hosts it behind the epoll server (src/server/server.hpp) and serves
+// the framed GET/PUT protocol on 127.0.0.1:P until SIGINT/SIGTERM.
+// With --port 0 the kernel picks the port; it is printed either way.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "kv/store.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--shards N] [--servers S] "
+               "[--replication R] [--mechanism NAME]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* s, const char* argv0) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') usage(argv0);
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::size_t shards = std::thread::hardware_concurrency();
+  if (shards == 0) shards = 1;
+  dvv::kv::StoreConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = std::string(argv[i]);
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") usage(argv[0]);
+    if (value == nullptr) usage(argv[0]);
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(parse_u64(value, argv[0]));
+    } else if (arg == "--shards") {
+      shards = static_cast<std::size_t>(parse_u64(value, argv[0]));
+    } else if (arg == "--servers") {
+      config.servers = static_cast<std::size_t>(parse_u64(value, argv[0]));
+    } else if (arg == "--replication") {
+      config.replication = static_cast<std::size_t>(parse_u64(value, argv[0]));
+    } else if (arg == "--mechanism") {
+      config.mechanism = value;
+    } else {
+      usage(argv[0]);
+    }
+    ++i;
+  }
+  if (shards == 0) shards = 1;
+  if (config.replication < 1 || config.replication > config.servers) {
+    std::fprintf(stderr,
+                 "dvvd: --replication %zu must be in [1, --servers %zu]\n",
+                 config.replication, config.servers);
+    return 2;
+  }
+
+  config.transport.kind = dvv::net::TransportKind::kThreaded;
+  config.transport.threaded.shards = shards;
+  const std::unique_ptr<dvv::kv::Store> store = dvv::kv::make_store(config);
+  if (store == nullptr) {
+    std::fprintf(stderr, "dvvd: unknown mechanism \"%s\"\n",
+                 config.mechanism.c_str());
+    return 2;
+  }
+
+  // Block the shutdown signals BEFORE spawning the loops so every
+  // server thread inherits the mask and sigwait below is the only
+  // consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  dvv::server::ServerConfig server_config;
+  server_config.port = port;
+  dvv::server::Server server(*store, server_config);
+  server.start();
+  std::printf("dvvd: mechanism=%s shards=%zu servers=%zu port=%u\n",
+              std::string(store->mechanism_name()).c_str(),
+              server.shard_count(), store->servers(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  std::fprintf(stderr, "dvvd: signal %d, shutting down\n", sig);
+  server.stop();
+  return 0;
+}

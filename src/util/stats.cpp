@@ -100,27 +100,30 @@ std::uint64_t Histogram::bucket(std::size_t i) const noexcept {
 }
 
 double BucketHistogram::quantile(double q) const noexcept {
-  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  const std::uint64_t n = total();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
   const auto rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    cumulative += counts_[i];
+    cumulative += bucket(i);
     if (cumulative >= rank) return static_cast<double>(bucket_upper(i));
   }
   return static_cast<double>(bucket_upper(kBuckets - 1));
 }
 
 void BucketHistogram::merge(const BucketHistogram& other) noexcept {
-  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
-  total_ += other.total_;
-  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts_[i].fetch_add(other.bucket(i), std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.total(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
 }
 
 void BucketHistogram::reset() noexcept {
-  counts_.fill(0);
-  total_ = 0;
-  sum_ = 0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
 }
 
 std::string Histogram::to_string() const {

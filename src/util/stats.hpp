@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -114,15 +115,22 @@ class Histogram {
 /// a latency).  The metrics registry (src/obs) uses this for request
 /// latencies; Samples above stays the exact-quantile tool for offline
 /// analysis.
+///
+/// Cells are relaxed atomics so concurrent shard threads (ROADMAP item
+/// 1) can record without UB.  Relaxed is enough: each cell is an
+/// independent monotonic count, and readers (exporters, quantiles)
+/// only ever run at quiescence, so cross-cell snapshot skew is
+/// tolerable by contract.  Atomics make the type non-copyable; nothing
+/// copied it before (registry maps hold it in place).
 class BucketHistogram {
  public:
   /// Value 0, then one bucket per bit width 1..64.
   static constexpr std::size_t kBuckets = 65;
 
   void add(std::uint64_t value) noexcept {
-    ++counts_[bucket_index(value)];
-    ++total_;
-    sum_ += value;
+    counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
   }
 
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
@@ -134,11 +142,15 @@ class BucketHistogram {
   }
 
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
-    return counts_[i];
+    return counts_[i].load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
-  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
-  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const noexcept { return total() == 0; }
 
   /// Nearest-rank quantile as the containing bucket's upper bound;
   /// q in [0,1].  NaN when empty.
@@ -151,9 +163,9 @@ class BucketHistogram {
   void reset() noexcept;
 
  private:
-  std::array<std::uint64_t, kBuckets> counts_{};
-  std::uint64_t total_ = 0;
-  std::uint64_t sum_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_{0};
 };
 
 }  // namespace dvv::util

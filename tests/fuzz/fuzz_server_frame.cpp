@@ -1,0 +1,96 @@
+// Fuzz harness: the dvvd client decode boundary over adversarial bytes.
+//
+// These ARE the first bytes a hostile client controls: the server's
+// connection state machine runs FrameDecoder + parse_request verbatim
+// (src/server/protocol.hpp), so this harness fuzzes the real parser,
+// not a copy.  Contract under fuzz:
+//
+//   1. FrameDecoder never aborts, over-reads or allocates for a forged
+//      length claim — an oversized claim poisons the stream without
+//      buffering the claimed bytes;
+//   2. parse_request never aborts on any payload; every reject names a
+//      taxonomy reason; an accepted request re-encodes to exactly the
+//      payload bytes (strict decode admits only the canonical form);
+//   3. the response parser survives the same bytes (a hostile server
+//      must not be able to crash a client either).
+//
+// The input drives the decoder through adversarial SPLITS too: the
+// first byte selects a chunk size, so the same frame bytes arrive
+// whole or one byte at a time across feed() calls — partial-read
+// handling is part of the fuzzed surface.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+void check_payload(std::string_view payload) {
+  dvv::server::Request req;
+  const dvv::server::RejectReason reject =
+      dvv::server::parse_request(payload, req);
+  if (reject == dvv::server::RejectReason::kNone) {
+    // Canonical form: re-encoding the parsed request reproduces the
+    // accepted bytes exactly.
+    std::string reencoded;
+    if (req.opcode == dvv::server::Opcode::kGet) {
+      dvv::server::encode_get_request(reencoded, req.request_id, req.key);
+    } else {
+      dvv::server::encode_put_request(reencoded, req.request_id, req.key,
+                                      req.token_bytes, req.value,
+                                      req.client_id);
+    }
+    DVV_ASSERT_MSG(reencoded == payload,
+                   "fuzz: accepted request is not in canonical form");
+  }
+  // The client's response parser faces the same payload (both opcode
+  // interpretations) — it must reject or accept without aborting.
+  dvv::server::Response resp;
+  (void)dvv::server::parse_response(payload, /*is_get=*/true, resp);
+  (void)dvv::server::parse_response(payload, /*is_get=*/false, resp);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  // Byte 0 picks the feed granularity: 0 = everything at once, k = in
+  // chunks of k bytes.  Splitting must never change what decodes.
+  const std::size_t chunk = data[0] == 0 ? size : data[0];
+  const std::string_view stream(reinterpret_cast<const char*>(data + 1),
+                                size - 1);
+
+  dvv::server::FrameDecoder decoder;
+  std::size_t fed = 0;
+  std::size_t frames_split = 0;
+  std::string payload;
+  while (fed < stream.size() && !decoder.poisoned()) {
+    const std::size_t n = std::min(chunk, stream.size() - fed);
+    decoder.feed(stream.substr(fed, n));
+    fed += n;
+    while (decoder.next(payload)) {
+      check_payload(payload);
+      ++frames_split;
+    }
+  }
+
+  // Un-split twin: the same bytes fed whole must yield the same frames
+  // and the same poisoned verdict.
+  dvv::server::FrameDecoder whole;
+  whole.feed(stream);
+  std::size_t frames_whole = 0;
+  while (whole.next(payload)) {
+    check_payload(payload);
+    ++frames_whole;
+  }
+  DVV_ASSERT_MSG(whole.poisoned() == decoder.poisoned(),
+                 "fuzz: split changed the poisoned verdict");
+  DVV_ASSERT_MSG(frames_whole == frames_split,
+                 "fuzz: split changed the extracted frame count");
+  return 0;
+}

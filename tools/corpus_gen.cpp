@@ -19,6 +19,7 @@
 #include "kv/session.hpp"
 #include "kv/store.hpp"
 #include "net/message.hpp"
+#include "server/protocol.hpp"
 #include "store/crc32.hpp"
 #include "store/wal_backend.hpp"
 #include "util/assert.hpp"
@@ -176,8 +177,58 @@ void mint_wal(const fs::path& dir) {
   }
 }
 
+/// Seeds for the dvvd client-protocol harness (fuzz_server_frame).  The
+/// harness consumes byte 0 as the feed-chunk size, so every seed leads
+/// with one: '\0' = feed whole, k = k-byte chunks (split-handling
+/// coverage starts from the seeds, not just from mutation).
+void mint_server_frames(const fs::path& dir) {
+  std::printf("server_frame corpus:\n");
+  Traffic t = run_traffic("dvv");
+  DVV_ASSERT_MSG(!t.tokens.empty(), "corpus_gen: no dvv token minted");
+  const std::string& token = t.tokens.back();
+
+  const auto framed = [](const std::string& payload) {
+    std::string out;
+    dvv::server::append_frame(out, payload);
+    return out;
+  };
+
+  std::string get_payload;
+  dvv::server::encode_get_request(get_payload, 7, "cart");
+  write_file(dir / "get_request.bin", std::string(1, '\0') + framed(get_payload));
+
+  std::string put_payload;
+  dvv::server::encode_put_request(put_payload, 8, "cart", token, "a3", 1);
+  write_file(dir / "put_request.bin", std::string(1, '\0') + framed(put_payload));
+
+  std::string blind_payload;
+  dvv::server::encode_put_request(blind_payload, 9, "chain", "", "v9", 7);
+  write_file(dir / "put_blind.bin", std::string(1, '\0') + framed(blind_payload));
+
+  // A pipelined stream (three frames back to back), delivered in
+  // 3-byte chunks: frames split across reads are the normal case.
+  write_file(dir / "pipelined_split.bin",
+             std::string(1, '\x03') + framed(get_payload) +
+                 framed(put_payload) + framed(get_payload));
+
+  // Response shapes (the client parser is fuzzed too).
+  const dvv::kv::StoreGetResult g = t.store->get("cart");
+  std::string get_resp;
+  dvv::server::encode_get_response(get_resp, 7, g.found, g.values, g.token);
+  write_file(dir / "get_response.bin", std::string(1, '\0') + framed(get_resp));
+
+  std::string put_resp;
+  dvv::server::encode_put_response(put_resp, 8, 3);
+  write_file(dir / "put_response.bin", std::string(1, '\0') + framed(put_resp));
+
+  std::string err_resp;
+  dvv::server::encode_error_response(
+      err_resp, dvv::server::ResponseStatus::kBadToken, 8);
+  write_file(dir / "error_response.bin", std::string(1, '\0') + framed(err_resp));
+}
+
 /// The deliberately-seeded crashers: adversarial inputs that MUST be
-/// rejected cleanly by all three harness entry points.  Each would (or
+/// rejected cleanly by all harness entry points.  Each would (or
 /// did) target a specific decode-path weakness; the replay runner
 /// feeds crashers/ to every harness on every ctest run.
 void mint_crashers(const fs::path& dir) {
@@ -251,6 +302,54 @@ void mint_crashers(const fs::path& dir) {
     write_file(dir / "token_wrong_version.bin", wrong_version);
   }
 
+  // dvvd frame crashers.  Each leads with the harness's chunk byte.
+  {
+    const auto u32le = [](std::uint32_t v) {
+      std::string out;
+      for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      }
+      return out;
+    };
+    // Length claim beyond the 1 MiB frame cap: must poison the stream
+    // WITHOUT allocating the claimed bytes (the amplification probe).
+    write_file(dir / "server_oversized_claim.bin",
+               std::string(1, '\x01') + u32le(0xFFFFFF00U) + "x");
+    // Zero-length frame: no payload can hold an opcode; stream poison.
+    write_file(dir / "server_zero_length_frame.bin",
+               std::string(1, '\0') + u32le(0));
+    // Well-formed GET payload with trailing junk inside the frame:
+    // payload-level reject (kTrailingBytes), stream continues.
+    {
+      std::string payload;
+      dvv::server::encode_get_request(payload, 7, "cart");
+      payload += "junk";
+      std::string frame;
+      dvv::server::append_frame(frame, payload);
+      write_file(dir / "server_payload_trailing_junk.bin",
+                 std::string(1, '\0') + frame);
+    }
+    // Unknown opcode 99: payload-level reject (kBadOpcode).
+    {
+      std::string frame;
+      dvv::server::append_frame(frame, varint_bytes(99));
+      write_file(dir / "server_bad_opcode.bin", std::string(1, '\0') + frame);
+    }
+    // A PUT whose value-length claim exceeds the frame: field-level
+    // claim cap (kBadFields), byte-split one at a time.
+    {
+      std::string payload = varint_bytes(2);   // opcode PUT
+      payload += varint_bytes(1);              // request id
+      payload += varint_bytes(1) + "k";        // key
+      payload += varint_bytes(0) ;             // empty token
+      payload += varint_bytes(200) + "short";  // value claim > remaining
+      std::string frame;
+      dvv::server::append_frame(frame, payload);
+      write_file(dir / "server_value_length_overclaim.bin",
+                 std::string(1, '\x01') + frame);
+    }
+  }
+
   // Token claiming ~2^64 VVE exceptions in a tiny payload: the
   // token-bomb probe (claims beyond kMaxTokenEvents rejected before
   // any allocation).  Header + payload-length + payload, CRC-sealed so
@@ -276,12 +375,13 @@ void mint_crashers(const fs::path& dir) {
 
 int main(int argc, char** argv) {
   const fs::path root = argc > 1 ? argv[1] : "tests/fuzz/corpus";
-  for (const char* sub : {"token", "wire", "wal", "crashers"}) {
+  for (const char* sub : {"token", "wire", "wal", "server_frame", "crashers"}) {
     fs::create_directories(root / sub);
   }
   mint_tokens(root / "token");
   mint_wire(root / "wire");
   mint_wal(root / "wal");
+  mint_server_frames(root / "server_frame");
   mint_crashers(root / "crashers");
   std::printf("corpus written under %s\n", root.c_str());
   return 0;
