@@ -63,6 +63,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <latch>
 #include <map>
 #include <memory>
 #include <optional>
@@ -77,9 +78,11 @@
 #include "kv/results.hpp"
 #include "kv/ring.hpp"
 #include "kv/types.hpp"
+#include "membership/membership.hpp"
 #include "net/message.hpp"
 #include "net/threaded_transport.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "store/backend.hpp"
 #include "sync/anti_entropy.hpp"
 #include "sync/key_digest.hpp"
@@ -95,6 +98,15 @@ struct ClusterConfig {
   sync::MerkleConfig aae{};          ///< geometry of the per-replica hash trees
   store::BackendConfig storage{};    ///< per-replica durability model
   net::TransportConfig transport{};  ///< inter-replica message layer (src/net)
+  /// Elastic membership (src/membership): `capacity` replicas are
+  /// PROVISIONED (processes exist, ids 0..capacity-1) but only
+  /// `initial_members` are ring members at epoch 0 — the rest join
+  /// later through join_node().  Defaults keep the pre-membership
+  /// shape: capacity = servers, members = {0..servers-1}, and with
+  /// those defaults every routing decision is byte-identical to a
+  /// cluster without the subsystem.
+  std::size_t capacity = 0;                  ///< 0 = servers
+  std::vector<ReplicaId> initial_members{};  ///< empty = {0..servers-1}
 };
 
 template <CausalityMechanism M>
@@ -110,15 +122,18 @@ class Cluster {
   using ReadReceipt = typename QuorumCoordinator<M>::ReadReceipt;
 
   Cluster(ClusterConfig config, M mechanism)
-      : config_(config),
+      : config_(normalized(std::move(config))),
         mechanism_(std::move(mechanism)),
-        ring_(config.servers, config.replication, config.vnodes),
-        digest_index_(config.servers, config.aae),
-        transport_(net::make_transport(config.transport)) {
-    replicas_.reserve(config.servers);
-    for (std::size_t s = 0; s < config.servers; ++s) {
+        membership_(config_.initial_members, config_.replication,
+                    config_.vnodes),
+        ring_(membership_.current().ring),
+        known_epoch_(config_.capacity, 0),
+        digest_index_(config_.capacity, config_.aae),
+        transport_(net::make_transport(config_.transport)) {
+    replicas_.reserve(config_.capacity);
+    for (std::size_t s = 0; s < config_.capacity; ++s) {
       replicas_.emplace_back(static_cast<ReplicaId>(s),
-                             store::make_backend(config.storage));
+                             store::make_backend(config_.storage));
       replicas_.back().set_observer(&digest_index_);
     }
     wire_partitioner();
@@ -140,7 +155,12 @@ class Cluster {
   Cluster(Cluster&& other) noexcept
       : config_(std::move(other.config_)),
         mechanism_(std::move(other.mechanism_)),
+        membership_(std::move(other.membership_)),
         ring_(std::move(other.ring_)),
+        target_ring_(std::move(other.target_ring_)),
+        flipped_partitions_(std::move(other.flipped_partitions_)),
+        rebalance_(std::move(other.rebalance_)),
+        known_epoch_(std::move(other.known_epoch_)),
         digest_index_(std::move(other.digest_index_)),
         transport_(std::move(other.transport_)),
         replicas_(std::move(other.replicas_)),
@@ -156,7 +176,12 @@ class Cluster {
   Cluster& operator=(Cluster&& other) noexcept {
     config_ = std::move(other.config_);
     mechanism_ = std::move(other.mechanism_);
+    membership_ = std::move(other.membership_);
     ring_ = std::move(other.ring_);
+    target_ring_ = std::move(other.target_ring_);
+    flipped_partitions_ = std::move(other.flipped_partitions_);
+    rebalance_ = std::move(other.rebalance_);
+    known_epoch_ = std::move(other.known_epoch_);
     digest_index_ = std::move(other.digest_index_);
     transport_ = std::move(other.transport_);
     replicas_ = std::move(other.replicas_);
@@ -269,6 +294,7 @@ class Cluster {
       drops_scratch_.hint_ack += d.hint_ack;
       drops_scratch_.sync += d.sync;
       drops_scratch_.coord += d.coord;
+      drops_scratch_.membership += d.membership;
     }
     return drops_scratch_;
   }
@@ -284,16 +310,49 @@ class Cluster {
   /// and an anti-entropy round to repair what the log lost.
   store::RecoveryStats recover(ReplicaId r) { return replicas_.at(r).recover(); }
 
-  /// Preference list for a key (coordinator candidates, in ring order).
+  /// The ring snapshot `key` routes by: the ACTIVE ring, unless a
+  /// rebalance is in progress AND the key's partition already flipped
+  /// (every new owner walked every source), in which case the target
+  /// epoch's ring.  Identical to ring() when no transfer is running.
+  [[nodiscard]] const Ring& routing_ring(const Key& key) const {
+    if (!target_ring_.has_value()) return ring_;
+    // partition_of registers unseen partitions lazily and is therefore
+    // non-const; safe here because target_ring_ is only mutated inside
+    // a stopped world / at quiescence (see join_node), so no shard
+    // thread can race this registration.
+    auto& index = const_cast<sync::DigestIndex&>(digest_index_);
+    if (flipped_partitions_.contains(index.partition_of(key))) {
+      return *target_ring_;
+    }
+    return ring_;
+  }
+
+  /// Preference list for a key (coordinator candidates, in ring order),
+  /// answered against the key's routing ring (epoch-aware mid-rebalance).
   [[nodiscard]] std::vector<ReplicaId> preference_list(const Key& key) const {
-    return ring_.preference_list(key);
+    return routing_ring(key).preference_list(key);
+  }
+
+  /// Write fan-out for a key: the preference list, plus — during a
+  /// rebalance — the target ring's owners (DUAL-APPLY: a write accepted
+  /// inside the transfer window must land on the new owners too, or the
+  /// flip could lose an acknowledged write the walk already missed).
+  /// Identical to preference_list when no transfer is in progress.
+  [[nodiscard]] std::vector<ReplicaId> replication_targets(const Key& key) const {
+    std::vector<ReplicaId> out = preference_list(key);
+    if (target_ring_.has_value()) {
+      for (const ReplicaId r : target_ring_->preference_list(key)) {
+        if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+      }
+    }
+    return out;
   }
 
   /// First alive server of the preference list — the default
   /// coordinator — or nullopt when the whole preference list is down
   /// (the caller surfaces unavailability; the cluster never aborts).
   [[nodiscard]] std::optional<ReplicaId> default_coordinator(const Key& key) const {
-    for (ReplicaId r : ring_.preference_list(key)) {
+    for (ReplicaId r : preference_list(key)) {
       if (replicas_[r].alive()) return r;
     }
     return std::nullopt;
@@ -359,7 +418,8 @@ class Cluster {
       receipt.outcome = CoordOutcome::kUnavailable;
       return receipt;
     }
-    return put(key, *coord, client, ctx, std::move(value), ring_.preference_list(key));
+    return put(key, *coord, client, ctx, std::move(value),
+               replication_targets(key));
   }
 
   /// Single-round PUT at an explicit coordinator with W = 1: the
@@ -378,7 +438,7 @@ class Cluster {
     opts.write_quorum = 1;
     const std::uint64_t id =
         begin_write(key, coordinator, client, ctx, std::move(value),
-                    ring_.preference_list(key), opts);
+                    replication_targets(key), opts);
     QuorumCoordinator<M>& eng = engine_for(coordinator);
     DVV_ASSERT_MSG(eng.is_terminal(id),
                    "kv: a W=1 write must complete on its local apply");
@@ -397,7 +457,7 @@ class Cluster {
   /// (tests/hinted_handoff_test.cpp: NowhereToParkIsReportedNotSilent).
   PutReceipt put_with_handoff(const Key& key, ReplicaId coordinator, ClientId client,
                               const Context& ctx, Value value) {
-    const auto pref = ring_.preference_list(key);
+    const auto pref = replication_targets(key);
     std::vector<ReplicaId> alive_targets;
     std::vector<ReplicaId> dead_owners;
     for (const ReplicaId r : pref) {
@@ -424,8 +484,9 @@ class Cluster {
     // Non-owning alias, as in begin_write(): synchronous delivery only.
     const std::shared_ptr<const void> decoded(std::shared_ptr<const void>{},
                                               fresh);
-    const auto order = ring_.ring_order(key);
-    std::size_t next_fallback = ring_.replication();  // first non-pref slot
+    const Ring& route = routing_ring(key);
+    const auto order = route.ring_order(key);
+    std::size_t next_fallback = route.replication();  // first non-pref slot
     for (const ReplicaId owner : dead_owners) {
       // Find the next alive fallback server the coordinator can REACH
       // (distinct per owner so one fallback's crash cannot lose several
@@ -498,7 +559,7 @@ class Cluster {
     // on which replica receives them.
     const net::Message* req_msg = nullptr;
     std::size_t req_bytes = 0;
-    for (const ReplicaId r : ring_.preference_list(key)) {
+    for (const ReplicaId r : preference_list(key)) {
       if (asked >= ask_limit || eng.is_terminal(id)) break;
       if (r == coordinator || !replicas_[r].alive()) continue;
       if (!transport_->link_up(coordinator, r)) continue;
@@ -721,7 +782,8 @@ class Cluster {
     const std::size_t before = hinted_count();
     struct Pending {
       ReplicaId holder;
-      ReplicaId owner;
+      ReplicaId dest;   ///< where the delivery goes (owner, or re-target)
+      ReplicaId owner;  ///< the parked tag — the ack retires the hint by it
       Key key;
       std::string state;
       std::shared_ptr<const Stored> decoded;
@@ -730,8 +792,28 @@ class Cluster {
     for (auto& rep : replicas_) {
       if (!rep.alive()) continue;
       rep.for_each_hint([&](ReplicaId owner, const Key& key, const Stored& state) {
-        if (!replicas_.at(owner).alive()) return;  // waits for the owner
-        pending.push_back({rep.id(), owner, key, Replica<M>::encode_state(state),
+        // Ownership may have MOVED since the hint was parked: a hint
+        // whose intended owner is no longer in the key's preference
+        // list must be REDIRECTED to a current owner, not misdelivered
+        // to a replica steady-state AAE no longer repairs
+        // (tests/membership_test.cpp:
+        // StaleOwnerHintIsRedirectedNotMisdelivered).  The wire frame
+        // keeps the parked owner tag so the ack retires exactly this
+        // hint.
+        const std::vector<ReplicaId> pref = preference_list(key);
+        ReplicaId dest = owner;
+        if (std::find(pref.begin(), pref.end(), owner) == pref.end()) {
+          const auto current = std::find_if(
+              pref.begin(), pref.end(),
+              [&](ReplicaId r) { return replicas_.at(r).alive(); });
+          if (current == pref.end()) return;  // waits for some owner
+          dest = *current;
+          obs::membership_metrics().hints_retargeted.inc();
+        } else if (!replicas_.at(owner).alive()) {
+          return;  // waits for the owner
+        }
+        pending.push_back({rep.id(), dest, owner, key,
+                           Replica<M>::encode_state(state),
                            std::make_shared<const Stored>(state)});
       });
     }
@@ -742,7 +824,7 @@ class Cluster {
             out.key = std::move(p.key);
             out.state = std::move(p.state);
           });
-      transport_->send(p.holder, p.owner, net::borrow_message(msg),
+      transport_->send(p.holder, p.dest, net::borrow_message(msg),
                        std::move(p.decoded),
                        net::wire_size_of(std::get<net::HintDeliverMsg>(msg)));
     }
@@ -779,7 +861,7 @@ class Cluster {
 
     std::size_t touched = 0;
     for (const Key& key : all_keys) {
-      const auto pref = ring_.preference_list(key);
+      const auto pref = preference_list(key);
       // Digest pre-check: all alive preference replicas hold the same
       // bytes (kMissing marking absence) and no alive holder parks a
       // differing hint -> nothing to repair.
@@ -917,6 +999,12 @@ class Cluster {
   /// Converges to the legacy pass's fixed point while shipping state
   /// only for divergent keys.
   DigestRepairReport anti_entropy_digest() {
+    // A rebalance in progress advances first: transfer walks are what
+    // makes routing flips safe, and a sweep after a heal/recover is
+    // exactly when previously blocked walks become possible.  Their
+    // effort is metered in membership.* / rebalance_stats(), never in
+    // this report's steady-state aae numbers.
+    (void)rebalance_step();
     DigestRepairReport report;
     bool progress = true;
     while (progress) {
@@ -955,7 +1043,7 @@ class Cluster {
         // The first alive owner initiates; it can only compare against
         // owners and holders on its side of any active partition —
         // repair_key applies the same reachability filter.
-        for (const ReplicaId r : ring_.preference_list(key)) {
+        for (const ReplicaId r : preference_list(key)) {
           if (!replicas_[r].alive()) continue;
           if (!initiator.has_value()) initiator = r;
           if (!transport_->link_up(*initiator, r)) continue;
@@ -1021,6 +1109,369 @@ class Cluster {
     return f;
   }
 
+  // ---- elastic membership (src/membership) -------------------------------
+  //
+  // Join, graceful leave and crash-removal as real cluster transitions:
+  // each mints a RingEpoch (the vnode→owner map), announces it on the
+  // wire (EpochAnnounceMsg — droppable like any message), and drives a
+  // rebalance.  Per claimed (partition, new owner), the owner syncs
+  // from every source via the same Merkle walks steady-state AAE uses
+  // — bytes proportional to divergence, digests only when converged —
+  // and the partition's ROUTING flips only once every owner walked
+  // every source (kTransferring → kOwned).  Until the flip, writes
+  // dual-apply to old and new owners (replication_targets).  All
+  // methods here are control-plane: legal at quiescence; on a threaded
+  // transport the membership transition itself runs stop-the-world.
+
+  [[nodiscard]] const membership::MembershipTable& membership() const noexcept {
+    return membership_;
+  }
+  [[nodiscard]] std::uint64_t ring_epoch() const noexcept {
+    return membership_.epoch();
+  }
+  [[nodiscard]] const std::vector<ReplicaId>& members() const noexcept {
+    return membership_.members();
+  }
+  [[nodiscard]] bool rebalancing() const noexcept { return rebalance_.active(); }
+  [[nodiscard]] const membership::RebalanceStats& rebalance_stats() const noexcept {
+    return rebalance_.stats();
+  }
+  /// Highest epoch replica `r` has heard announced (0 until one lands).
+  [[nodiscard]] std::uint64_t known_epoch(ReplicaId r) const {
+    return known_epoch_.at(r);
+  }
+
+  /// Adds provisioned replica `node` to the ring: mints the join epoch,
+  /// plans the transfers its claimed partitions need, and announces.
+  /// Routing does NOT move to `node` until its transfers complete — see
+  /// rebalance_step / complete_rebalance.  A REJOINING id (member of
+  /// some past epoch) passes through the clock-incarnation bump first,
+  /// so dots it minted before departing are never reused.
+  void join_node(ReplicaId node) {
+    DVV_ASSERT_MSG(node < replicas_.size(), "join: node beyond capacity");
+    DVV_ASSERT_MSG(replicas_.at(node).alive(), "join: node not alive");
+    with_world_stopped([&] {
+      obs::membership_metrics().joins.inc();
+      if (membership_.was_member(node)) {
+        replicas_[node].bump_incarnation();
+        obs::membership_metrics().rejoin_incarnations.inc();
+      }
+      apply_new_epoch(membership_.join(node), std::nullopt);
+    });
+  }
+
+  /// Graceful leave: `node` departs the ring but stays alive as a
+  /// transfer SOURCE — its data drains to the remaining owners before
+  /// any partition flips away from it.
+  void leave_node(ReplicaId node) {
+    with_world_stopped([&] {
+      obs::membership_metrics().leaves.inc();
+      apply_new_epoch(membership_.leave(node), std::nullopt);
+    });
+  }
+
+  /// Crash-removal: `node` is gone and cannot be walked — it is
+  /// excluded from the transfer sources, and the remaining owners
+  /// rebuild the partitions' replication from each other (whatever only
+  /// `node` held is lost unless it later recovers and rejoins).
+  void remove_node(ReplicaId node) {
+    with_world_stopped([&] {
+      obs::membership_metrics().removals.inc();
+      apply_new_epoch(membership_.leave(node), node);
+    });
+  }
+
+  /// Attempts every owed transfer walk whose endpoints are alive and
+  /// reachable, flips partitions whose every owner finished, and
+  /// promotes the target ring when the whole plan is done.  Returns the
+  /// number of walks performed.  Sources that are dead or across a
+  /// partition are skipped and retried by later calls — a partition can
+  /// never flip until its new owners walked EVERY source, so nothing is
+  /// stranded on a replica steady-state AAE no longer repairs.
+  std::size_t rebalance_step() {
+    if (!rebalance_.active()) return 0;
+    std::size_t walked = 0;
+    for (const membership::RebalanceEngine::Work& w : rebalance_.pending_work()) {
+      if (!replicas_[w.owner].alive() || !replicas_[w.source].alive()) continue;
+      if (!transport_->link_up(w.source, w.owner)) continue;
+      const membership::TransferStats cost =
+          transfer_walk(w.partition, w.owner, w.source);
+      if (rebalance_.note_walked(w.partition, w.owner, w.source, cost)) {
+        obs::membership_metrics().transfers_completed.inc();
+        announce_transfer_done(w.partition, w.owner);
+      }
+      ++walked;
+    }
+    for (const std::uint64_t p : rebalance_.take_flippable()) {
+      flipped_partitions_.insert(p);
+      obs::membership_metrics().partitions_flipped.inc();
+    }
+    if (rebalance_.active() && rebalance_.complete()) promote_target();
+    return walked;
+  }
+
+  /// Drives the rebalance to completion.  Every owed walk must be able
+  /// to run, so heal partitions and recover (or remove) dead sources
+  /// first; asserts rather than spinning when no progress is possible.
+  membership::RebalanceStats complete_rebalance() {
+    while (rebalance_.active()) {
+      const std::size_t walked = rebalance_step();
+      if (!rebalance_.active()) break;
+      DVV_ASSERT_MSG(walked > 0,
+                     "rebalance: no progress — a source is dead or "
+                     "partitioned (heal/recover or remove it first)");
+    }
+    return rebalance_.stats();
+  }
+
+  /// Stop-the-world spellings for non-shard control threads (the dvvd
+  /// admin loop): transfer walks touch replicas the shard threads own,
+  /// so over a threaded transport they are only legal with the world
+  /// parked.  Over an inline transport they run the plain spellings
+  /// directly.
+  std::size_t rebalance_step_stopped() {
+    std::size_t walked = 0;
+    with_world_stopped([&] { walked = rebalance_step(); });
+    return walked;
+  }
+  membership::RebalanceStats complete_rebalance_stopped() {
+    membership::RebalanceStats out;
+    with_world_stopped([&] { out = complete_rebalance(); });
+    return out;
+  }
+
+  /// Routes a client request that arrived at `at` under whatever ring
+  /// the client believed: `at` coordinates when it is an alive current
+  /// owner of `key`; otherwise the request forwards to the first alive,
+  /// reachable current owner — counted as a stale-epoch forward when
+  /// `at`'s announced-epoch knowledge lags the membership epoch (it
+  /// routed by an old ring).  nullopt when no current owner is
+  /// reachable from `at`.
+  [[nodiscard]] std::optional<ReplicaId> route_request(const Key& key,
+                                                       ReplicaId at) {
+    const std::vector<ReplicaId> pref = preference_list(key);
+    if (std::find(pref.begin(), pref.end(), at) != pref.end() &&
+        replicas_.at(at).alive()) {
+      return at;
+    }
+    for (const ReplicaId r : pref) {
+      if (!replicas_[r].alive() || !transport_->link_up(at, r)) continue;
+      if (known_epoch_.at(at) < membership_.epoch()) {
+        obs::membership_metrics().stale_epoch_forwarded.inc();
+      }
+      return r;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  /// Fills in the config defaults that depend on other fields (the
+  /// mem-initializers below read the normalized form).
+  [[nodiscard]] static ClusterConfig normalized(ClusterConfig c) {
+    if (c.capacity == 0) c.capacity = c.servers;
+    DVV_ASSERT_MSG(c.capacity >= c.servers,
+                   "kv: capacity below the seed server count");
+    if (c.initial_members.empty()) {
+      c.initial_members.reserve(c.servers);
+      for (std::size_t s = 0; s < c.servers; ++s) {
+        c.initial_members.push_back(static_cast<ReplicaId>(s));
+      }
+    }
+    return c;
+  }
+
+  /// Runs `fn` with every shard thread parked (threaded transport) or
+  /// inline (single-domain).  Membership transitions mutate routing
+  /// state that shard threads read on every delivery; parking the world
+  /// makes the transition a quiescent point no thread can observe
+  /// half-applied.  The latches outlive every parked closure because
+  /// quiesce() returns only after each closure's in-flight accounting
+  /// released — i.e. after the closure returned.
+  template <typename Fn>
+  void with_world_stopped(Fn&& fn) {
+    if (threaded_ == nullptr) {
+      fn();
+      return;
+    }
+    const std::size_t n = threaded_->shards();
+    std::latch parked(static_cast<std::ptrdiff_t>(n));
+    std::latch release(1);
+    for (std::size_t s = 0; s < n; ++s) {
+      threaded_->post(s, [&parked, &release] {
+        parked.count_down();
+        release.wait();
+      });
+    }
+    parked.wait();
+    fn();
+    release.count_down();
+    threaded_->quiesce();
+  }
+
+  /// Installs freshly minted epoch `e`: target ring up, digest index
+  /// rebuilt in the target's partition space (every key re-dirtied —
+  /// the old space's partition ids are meaningless), transfer tasks
+  /// planned per (partition, new owner), epoch announced.  A change
+  /// arriving MID-rebalance supersedes the old plan: flip progress is
+  /// discarded and routing falls back to the active ring — nothing was
+  /// deleted, so no data is lost, only the flips are deferred.
+  void apply_new_epoch(const membership::RingEpoch& e,
+                       std::optional<ReplicaId> excluded_source) {
+    obs::membership_metrics().epochs_minted.inc();
+    // Source candidates: every member of the union of the outgoing and
+    // incoming rings — prior epochs may have parked data on any of
+    // them — minus a crash-removed node (it cannot be walked).
+    std::set<ReplicaId> sources(ring_.members().begin(), ring_.members().end());
+    sources.insert(e.ring.members().begin(), e.ring.members().end());
+    if (excluded_source.has_value()) sources.erase(*excluded_source);
+
+    target_ring_.emplace(e.ring);
+    flipped_partitions_.clear();
+
+    digest_index_ = sync::DigestIndex(replicas_.size(), config_.aae);
+    wire_partitioner();
+    // Per partition, the candidates that actually HOLD a key of it:
+    // data can only move from where it lives, and walking a holderless
+    // source would cost a pointless leaf round against the owner's
+    // whole bucket — this pruning is what keeps the zero-divergence
+    // rebalance digest-only (bench_rebalance's floor rows).
+    std::set<std::uint64_t> partitions;
+    std::map<std::uint64_t, std::set<ReplicaId>> holders;
+    for (auto& rep : replicas_) {
+      for (const Key& key : rep.keys()) {
+        digest_index_.on_key_touched(rep.id(), key);
+        const std::uint64_t p = digest_index_.partition_of(key);
+        partitions.insert(p);
+        if (sources.contains(rep.id())) holders[p].insert(rep.id());
+      }
+    }
+
+    std::vector<membership::PartitionTransfer> tasks;
+    for (const std::uint64_t p : partitions) {
+      const std::set<ReplicaId>& holding = holders[p];
+      for (const ReplicaId owner : digest_index_.owners(p)) {
+        membership::PartitionTransfer t;
+        t.partition = p;
+        t.owner = owner;
+        for (const ReplicaId src : holding) {
+          if (src != owner) t.pending_sources.insert(src);
+        }
+        tasks.push_back(std::move(t));
+      }
+    }
+    obs::membership_metrics().transfers_started.inc(tasks.size());
+    rebalance_.plan(e.epoch, std::move(tasks));
+    announce_epoch(e);
+    if (rebalance_.complete()) promote_target();  // no data to move
+  }
+
+  /// Broadcasts EpochAnnounceMsg from the first alive member to every
+  /// other provisioned replica.  Droppable like any message: a peer
+  /// that misses it keeps routing by its stale view until stale-epoch
+  /// forwarding (route_request) or a later announce catches it up.
+  void announce_epoch(const membership::RingEpoch& e) {
+    std::optional<ReplicaId> announcer;
+    for (const ReplicaId r : e.ring.members()) {
+      if (replicas_[r].alive()) {
+        announcer = r;
+        break;
+      }
+    }
+    if (!announcer.has_value()) return;
+    known_epoch_[*announcer] = std::max(known_epoch_[*announcer], e.epoch);
+    net::EpochAnnounceMsg msg;
+    msg.epoch = e.epoch;
+    msg.members = e.ring.members();
+    for (ReplicaId r = 0; r < replicas_.size(); ++r) {
+      if (r == *announcer) continue;
+      obs::membership_metrics().epochs_announced.inc();
+      send_message(*announcer, r, msg);
+    }
+  }
+
+  /// One transfer walk: the claiming owner's Merkle tree for
+  /// `partition` against `source`'s — digests first, state only for
+  /// keys whose digests differ (the "bytes ∝ divergence" property
+  /// bench_rebalance measures; a converged or empty source costs a
+  /// digest exchange and nothing else).  The ship is ONE-directional
+  /// (source → owner) and a MERGE, never an adopt: a dual-applied write
+  /// already on the new owner must survive the transfer.  Effort is
+  /// metered into membership.* — never into the steady-state aae.*.
+  [[nodiscard]] membership::TransferStats transfer_walk(std::uint64_t partition,
+                                                        ReplicaId owner,
+                                                        ReplicaId source) {
+    refresh_tree(owner);
+    refresh_tree(source);
+    const sync::MerkleTree& mine = digest_index_.tree(owner, partition);
+    const sync::MerkleTree& theirs = digest_index_.tree(source, partition);
+    sync::SyncStats walk;
+    const std::vector<std::size_t> leaves =
+        sync::diff_leaves(mine, theirs, walk);
+    membership::TransferStats cost;
+    cost.rounds = walk.rounds;
+    cost.nodes_exchanged = walk.nodes_exchanged;
+    cost.wire_bytes = walk.wire_bytes;
+    for (const std::size_t leaf : leaves) {
+      const auto& have = mine.bucket(leaf);
+      const auto& offered = theirs.bucket(leaf);
+      // Leaf round: both sides' (key, digest) lists cross, then the
+      // differing states ship — the same metering as sync::SyncSession.
+      for (const auto& [key, digest] : have) {
+        (void)digest;
+        cost.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
+      }
+      for (const auto& [key, digest] : offered) {
+        (void)digest;
+        cost.wire_bytes += key_wire_bytes(key) + sizeof(sync::Digest);
+      }
+      for (const auto& [key, digest] : offered) {
+        const auto mine_it = have.find(key);
+        if (mine_it != have.end() && mine_it->second == digest) continue;
+        const Stored* state = replicas_[source].find(key);
+        DVV_ASSERT_MSG(state != nullptr,
+                       "transfer: tree names a key the source lacks");
+        replicas_[owner].merge_key(mechanism_, key, *state);
+        cost.wire_bytes += key_wire_bytes(key) + mechanism_.total_bytes(*state);
+        ++cost.keys_shipped;
+      }
+    }
+    obs::membership_metrics().transfer_keys_shipped.inc(cost.keys_shipped);
+    obs::membership_metrics().transfer_wire_bytes.inc(cost.wire_bytes);
+    return cost;
+  }
+
+  /// A (partition, owner) task finished every walk: tell the members.
+  void announce_transfer_done(std::uint64_t partition, ReplicaId owner) {
+    const auto& transfers = rebalance_.transfers();
+    const auto it = std::find_if(
+        transfers.begin(), transfers.end(),
+        [&](const membership::PartitionTransfer& t) {
+          return t.partition == partition && t.owner == owner;
+        });
+    DVV_ASSERT(it != transfers.end());
+    net::TransferDoneMsg msg;
+    msg.epoch = rebalance_.target_epoch();
+    msg.partition = partition;
+    msg.owner = owner;
+    msg.keys_shipped = it->stats.keys_shipped;
+    msg.wire_bytes = it->stats.wire_bytes;
+    for (const ReplicaId r : membership_.members()) {
+      if (r == owner) continue;
+      send_message(owner, r, msg);
+    }
+  }
+
+  /// The whole plan reached kOwned: the target ring becomes the ACTIVE
+  /// ring, per-partition flips are retired (the rings now agree), and
+  /// the digest index — already partitioned by the target — stays.
+  void promote_target() {
+    DVV_ASSERT(target_ring_.has_value());
+    ring_ = *target_ring_;
+    target_ring_.reset();
+    flipped_partitions_.clear();
+    rebalance_.finish();
+  }
+
  private:
   /// One parked hint visible to anti-entropy: `state` lives on alive
   /// holder `holder`, intended for (possibly long-dead) `owner`.
@@ -1060,8 +1511,13 @@ class Cluster {
   }
 
   void wire_partitioner() {
-    digest_index_.set_partitioner(
-        [this](const Key& key) { return ring_.preference_list(key); });
+    digest_index_.set_partitioner([this](const Key& key) {
+      // Mid-rebalance the index is partitioned by the TARGET ring: the
+      // trees the transfer walks — and the flip decisions — live in the
+      // new owner space.  Identical to the active ring otherwise.
+      const Ring& r = target_ring_.has_value() ? *target_ring_ : ring_;
+      return r.preference_list(key);
+    });
   }
 
   void wire_transport() {
@@ -1154,7 +1610,7 @@ class Cluster {
   };
   [[nodiscard]] Begun begin_read_impl(const Key& key, std::size_t quorum,
                                       const ReadOptions& opts) {
-    for (const ReplicaId r : ring_.preference_list(key)) {
+    for (const ReplicaId r : preference_list(key)) {
       if (replicas_[r].alive()) {
         return {&engine_for(r), begin_read_at(key, r, quorum, opts)};
       }
@@ -1299,6 +1755,12 @@ class Cluster {
                            is_kind_v<T, net::CoordWriteRespMsg,
                                      net::CoordWriteRespView>) {
         ++shard.drops.coord;  // the request machine rides it out
+      } else if constexpr (is_kind_v<T, net::JoinReqMsg, net::JoinReqView> ||
+                           is_kind_v<T, net::EpochAnnounceMsg,
+                                     net::EpochAnnounceView> ||
+                           is_kind_v<T, net::TransferDoneMsg,
+                                     net::TransferDoneView>) {
+        ++shard.drops.membership;  // re-announced / retried by the next epoch
       } else {
         ++shard.drops.sync;
       }
@@ -1393,6 +1855,26 @@ class Cluster {
             (void)shard.engine.on_write_ack(m.req, from);
           } else if constexpr (is_kind_v<T, net::SyncReqMsg, net::SyncReqView>) {
             run_sync_session(from, to, m.nonce);
+          } else if constexpr (is_kind_v<T, net::JoinReqMsg, net::JoinReqView>) {
+            // A member admits the join on the requester's behalf.  The
+            // threaded cluster admits joins through the admin path
+            // instead (a shard thread cannot stop the world it runs
+            // on); a duplicate or out-of-capacity request is ignored.
+            if (threaded_ == nullptr && m.node < replicas_.size() &&
+                !membership_.is_member(static_cast<ReplicaId>(m.node)) &&
+                replicas_.at(m.node).alive()) {
+              join_node(static_cast<ReplicaId>(m.node));
+            }
+          } else if constexpr (is_kind_v<T, net::EpochAnnounceMsg,
+                                         net::EpochAnnounceView>) {
+            known_epoch_[to] = std::max(known_epoch_[to],
+                                        static_cast<std::uint64_t>(m.epoch));
+          } else if constexpr (is_kind_v<T, net::TransferDoneMsg,
+                                         net::TransferDoneView>) {
+            // Accounting/visibility only — a completed transfer implies
+            // its target epoch is live somewhere.
+            known_epoch_[to] = std::max(known_epoch_[to],
+                                        static_cast<std::uint64_t>(m.epoch));
           } else if constexpr (is_kind_v<T, net::BatchMsg, net::BatchView>) {
             // Batches are expanded before dispatch (on_message, and the
             // transports themselves) — one can never reach the applier.
@@ -1471,7 +1953,7 @@ class Cluster {
   /// merge receive nothing.  Keys the session pair does not own are
   /// left alone: a replica must never adopt keys outside its partition.
   sync::RepairResult repair_key(const Key& key, ReplicaId a, ReplicaId b) {
-    const auto pref = ring_.preference_list(key);
+    const auto pref = preference_list(key);
     const bool a_owns = std::find(pref.begin(), pref.end(), a) != pref.end();
     const bool b_owns = std::find(pref.begin(), pref.end(), b) != pref.end();
     if (!a_owns || !b_owns) return {};
@@ -1570,7 +2052,21 @@ class Cluster {
 
   ClusterConfig config_;
   M mechanism_;
-  Ring ring_;
+  /// Declared before ring_: the ACTIVE ring starts as a copy of the
+  /// table's epoch-0 snapshot.
+  membership::MembershipTable membership_;
+  Ring ring_;  ///< ACTIVE routing snapshot (promoted at rebalance end)
+  /// Present only mid-rebalance: the freshly minted epoch's ring.  Keys
+  /// in flipped partitions route by it; everything else stays on ring_.
+  /// Mutated only inside a stopped world / at quiescence, so shard
+  /// threads always read a settled value.
+  std::optional<Ring> target_ring_;
+  std::set<std::uint64_t> flipped_partitions_;
+  membership::RebalanceEngine rebalance_;
+  /// Highest epoch each provisioned replica has heard announced —
+  /// per-element writes land on the element owner's shard (apply_one),
+  /// distinct memory locations, no lock needed.
+  std::vector<std::uint64_t> known_epoch_;
   sync::DigestIndex digest_index_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<Replica<M>> replicas_;

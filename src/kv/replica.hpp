@@ -129,6 +129,17 @@ class Replica {
   /// the one thing crash() deliberately does not lose.
   [[nodiscard]] std::uint64_t incarnation() const noexcept { return incarnation_; }
 
+  /// Membership rejoin (src/membership): an id returning to the ring
+  /// mints its new dots under the next incarnation, so counters rolled
+  /// back — or simply forgotten by the peers — since its departure can
+  /// never reuse a pre-departure event id.  Lossy recovery bumps on its
+  /// own; this is the REJOIN-path bump the cluster applies on top.
+  void bump_incarnation() {
+    ++incarnation_;
+    DVV_ASSERT_MSG(clock_actor() < kClientIdBase,
+                   "replica reborn into the client actor space");
+  }
+
   /// Actor id this replica's NEW dots are minted under.
   [[nodiscard]] ReplicaId clock_actor() const noexcept {
     return incarnation_actor(id_, incarnation_);

@@ -5,21 +5,49 @@
 
 namespace dvv::kv {
 
-Ring::Ring(std::size_t servers, std::size_t replication, std::size_t vnodes)
-    : servers_(servers), replication_(replication) {
-  DVV_ASSERT_MSG(servers >= 1, "ring needs at least one server");
-  DVV_ASSERT_MSG(replication >= 1 && replication <= servers,
-                 "replication factor must be in [1, servers]");
-  DVV_ASSERT_MSG(vnodes >= 1, "at least one vnode per server");
-  ring_.reserve(servers * vnodes);
+namespace {
+
+[[nodiscard]] std::vector<ReplicaId> contiguous_members(std::size_t servers) {
+  std::vector<ReplicaId> out;
+  out.reserve(servers);
   for (std::size_t s = 0; s < servers; ++s) {
+    out.push_back(static_cast<ReplicaId>(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+Ring::Ring(std::size_t servers, std::size_t replication, std::size_t vnodes)
+    : Ring(contiguous_members(servers), replication, vnodes) {}
+
+Ring::Ring(std::vector<ReplicaId> members, std::size_t replication,
+           std::size_t vnodes)
+    : members_(std::move(members)), replication_(replication), vnodes_(vnodes) {
+  std::sort(members_.begin(), members_.end());
+  DVV_ASSERT_MSG(!members_.empty(), "ring needs at least one member");
+  DVV_ASSERT_MSG(
+      std::adjacent_find(members_.begin(), members_.end()) == members_.end(),
+      "ring members must be distinct");
+  DVV_ASSERT_MSG(replication >= 1 && replication <= members_.size(),
+                 "replication factor must be in [1, members]");
+  DVV_ASSERT_MSG(vnodes >= 1, "at least one vnode per server");
+  ring_.reserve(members_.size() * vnodes);
+  for (const ReplicaId s : members_) {
     for (std::size_t v = 0; v < vnodes; ++v) {
-      // Hash a stable textual token per (server, vnode).
-      const std::string token = "vnode:" + std::to_string(s) + ":" + std::to_string(v);
-      ring_.push_back(VNode{hash(token), static_cast<ReplicaId>(s)});
+      // Hash a stable textual token per (server, vnode).  The token
+      // depends only on the member's own id, so a member keeps its ring
+      // positions across membership changes — minimal movement.
+      const std::string token =
+          "vnode:" + std::to_string(s) + ":" + std::to_string(v);
+      ring_.push_back(VNode{hash(token), s});
     }
   }
   std::sort(ring_.begin(), ring_.end());
+}
+
+bool Ring::is_member(ReplicaId r) const noexcept {
+  return std::binary_search(members_.begin(), members_.end(), r);
 }
 
 std::vector<ReplicaId> Ring::preference_list(std::string_view key) const {
@@ -31,20 +59,20 @@ std::vector<ReplicaId> Ring::preference_list(std::string_view key) const {
 std::vector<ReplicaId> Ring::ring_order(std::string_view key) const {
   const std::uint64_t point = hash(key);
   std::vector<ReplicaId> out;
-  out.reserve(servers_);
+  out.reserve(members_.size());
 
   auto it = std::lower_bound(ring_.begin(), ring_.end(), point,
                              [](const VNode& v, std::uint64_t p) { return v.point < p; });
   // Walk clockwise collecting distinct physical servers.
-  for (std::size_t walked = 0; walked < ring_.size() && out.size() < servers_;
-       ++walked) {
+  for (std::size_t walked = 0;
+       walked < ring_.size() && out.size() < members_.size(); ++walked) {
     if (it == ring_.end()) it = ring_.begin();
     if (std::find(out.begin(), out.end(), it->server) == out.end()) {
       out.push_back(it->server);
     }
     ++it;
   }
-  DVV_ASSERT(out.size() == servers_);
+  DVV_ASSERT(out.size() == members_.size());
   return out;
 }
 

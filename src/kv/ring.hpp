@@ -12,6 +12,14 @@
 // precisely the bound on DVV metadata size.  The ring makes that bound
 // R for free, so the metadata benches exercise the paper's
 // "bounded by the degree of replication" claim under realistic routing.
+//
+// Membership (src/membership): a ring is a SNAPSHOT over an explicit
+// member list.  A member's vnode points depend only on its own id
+// ("vnode:<id>:<v>"), never on who else is present, so two rings that
+// share a member agree on that member's positions — adding or removing
+// one node moves only the key ranges adjacent to its vnodes (minimal
+// movement, the property rebalancing cost rides on).  Ring objects are
+// immutable; membership changes mint a new Ring inside a new RingEpoch.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +38,24 @@ class Ring {
   /// `vnodes`: virtual nodes per server (more = smoother balance).
   Ring(std::size_t servers, std::size_t replication, std::size_t vnodes = 64);
 
-  [[nodiscard]] std::size_t servers() const noexcept { return servers_; }
+  /// Ring over an explicit member list (need not be contiguous — a
+  /// cluster after joins and leaves routes over exactly this set).
+  /// Members must be distinct; order does not matter (vnode points are
+  /// a pure function of each member's id).
+  Ring(std::vector<ReplicaId> members, std::size_t replication,
+       std::size_t vnodes = 64);
+
+  /// Number of ring members (NOT the highest id: after churn the member
+  /// list can be sparse).
+  [[nodiscard]] std::size_t servers() const noexcept { return members_.size(); }
   [[nodiscard]] std::size_t replication() const noexcept { return replication_; }
+  [[nodiscard]] std::size_t vnodes_per_server() const noexcept { return vnodes_; }
+
+  /// The member ids this ring routes over, ascending.
+  [[nodiscard]] const std::vector<ReplicaId>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] bool is_member(ReplicaId r) const noexcept;
 
   /// The R distinct servers responsible for `key`, coordinator first.
   [[nodiscard]] std::vector<ReplicaId> preference_list(std::string_view key) const;
@@ -56,8 +80,9 @@ class Ring {
     }
   };
 
-  std::size_t servers_;
+  std::vector<ReplicaId> members_;  // distinct, ascending
   std::size_t replication_;
+  std::size_t vnodes_;
   std::vector<VNode> ring_;  // sorted by point
 };
 

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "kv/cluster.hpp"
@@ -78,6 +80,8 @@ struct MechanismTag<HistoryMechanism> {
   out.aae = config.aae;
   out.storage = config.storage;
   out.transport = config.transport;
+  out.capacity = config.capacity;
+  out.initial_members = config.initial_members;
   return out;
 }
 
@@ -190,8 +194,19 @@ class TypedStore final : public Store {
     return get(key, std::nullopt);
   }
 
+  // put_direct / get_direct resolve the coordinator on the CALLING
+  // thread before hopping into its serial domain — the world-stop
+  // inside a membership transition parks only shard threads, so a
+  // client thread's routing read would race a transition from the
+  // admin thread.  routing_mu_ closes that hole: client entries take
+  // it shared (they never block each other), the control-plane
+  // mutators below take it exclusive.  Shard threads never touch this
+  // lock — their routing reads are already serialized by the
+  // world-stop itself (the dvvd path enters via *_local).
+
   StorePutResult put_direct(const Key& key, ClientId client,
                             const CausalToken& token, Value value) override {
+    std::shared_lock<std::shared_mutex> guard(routing_mu_);
     const std::optional<ReplicaId> coord = cluster_.default_coordinator(key);
     if (!coord.has_value()) return note_put(unavailable_put());
     StorePutResult out;
@@ -202,6 +217,7 @@ class TypedStore final : public Store {
   }
 
   [[nodiscard]] StoreGetResult get_direct(const Key& key) override {
+    std::shared_lock<std::shared_mutex> guard(routing_mu_);
     const std::optional<ReplicaId> coord = cluster_.default_coordinator(key);
     if (!coord.has_value()) {
       StoreGetResult out;
@@ -325,6 +341,49 @@ class TypedStore final : public Store {
     return cluster_.take_completed_syncs();
   }
 
+  // ---- elastic membership -------------------------------------------------
+
+  [[nodiscard]] std::uint64_t ring_epoch() const noexcept override {
+    return cluster_.ring_epoch();
+  }
+  [[nodiscard]] std::vector<ReplicaId> members() const override {
+    return cluster_.members();
+  }
+  [[nodiscard]] bool rebalancing() const noexcept override {
+    return cluster_.rebalancing();
+  }
+  [[nodiscard]] membership::RebalanceStats rebalance_stats() const override {
+    return cluster_.rebalance_stats();
+  }
+  bool join_node(ReplicaId node) override {
+    std::unique_lock<std::shared_mutex> guard(routing_mu_);
+    if (node >= cluster_.servers()) return false;
+    if (cluster_.membership().is_member(node)) return false;
+    if (!cluster_.replica(node).alive()) return false;
+    cluster_.join_node(node);
+    return true;
+  }
+  bool leave_node(ReplicaId node) override {
+    std::unique_lock<std::shared_mutex> guard(routing_mu_);
+    if (!can_depart(node)) return false;
+    cluster_.leave_node(node);
+    return true;
+  }
+  bool remove_node(ReplicaId node) override {
+    std::unique_lock<std::shared_mutex> guard(routing_mu_);
+    if (!can_depart(node)) return false;
+    cluster_.remove_node(node);
+    return true;
+  }
+  std::size_t rebalance_step() override {
+    std::unique_lock<std::shared_mutex> guard(routing_mu_);
+    return cluster_.rebalance_step_stopped();
+  }
+  membership::RebalanceStats complete_rebalance() override {
+    std::unique_lock<std::shared_mutex> guard(routing_mu_);
+    return cluster_.complete_rebalance_stopped();
+  }
+
   // ---- observability -----------------------------------------------------
 
   [[nodiscard]] Footprint footprint() const override {
@@ -386,6 +445,13 @@ class TypedStore final : public Store {
     return out;
   }
 
+  /// A node may leave (or be removed) only while it is a member and the
+  /// ring stays at or above the replication floor without it.
+  [[nodiscard]] bool can_depart(ReplicaId node) const {
+    return cluster_.membership().is_member(node) &&
+           cluster_.members().size() > cluster_.membership().replication();
+  }
+
   [[nodiscard]] static StorePutResult unavailable_put() {
     StorePutResult out;
     out.status = StoreStatus::kUnavailable;
@@ -395,6 +461,9 @@ class TypedStore final : public Store {
   }
 
   Cluster<M> cluster_;
+  /// Client-thread routing reads (shared) vs membership control plane
+  /// (exclusive) — see the put_direct/get_direct comment above.
+  mutable std::shared_mutex routing_mu_;
 };
 
 }  // namespace

@@ -48,6 +48,7 @@
 #include "kv/results.hpp"
 #include "kv/token.hpp"
 #include "kv/types.hpp"
+#include "membership/membership.hpp"
 #include "net/transport.hpp"
 #include "store/backend.hpp"
 #include "sync/merkle.hpp"
@@ -158,6 +159,14 @@ struct StoreConfig {
   net::TransportConfig transport{};  ///< inter-replica message layer
   std::size_t prune_cap = 0;         ///< client-vv only: >0 enables the unsafe
                                      ///  Riak-classic prune cap (experiment E8)
+  /// Elastic membership (src/membership): provisioned replica slots
+  /// beyond the seed ring.  0 means capacity == servers (no headroom,
+  /// byte-identical to the pre-membership store); ids in
+  /// [servers, capacity) start provisioned-but-outside the ring and
+  /// enter via join_node.
+  std::size_t capacity = 0;
+  /// Seed ring members (epoch 0).  Empty means {0 .. servers-1}.
+  std::vector<ReplicaId> initial_members{};
 };
 
 /// The type-erased facade.  One virtual call per operation; the hot
@@ -292,6 +301,29 @@ class Store {
   virtual sync::SyncStats anti_entropy_digest_pair(ReplicaId a, ReplicaId b) = 0;
   virtual std::uint64_t request_sync(ReplicaId a, ReplicaId b) = 0;
   [[nodiscard]] virtual std::vector<CompletedSync> take_completed_syncs() = 0;
+
+  // ---- elastic membership (src/membership) -------------------------------
+  //
+  // Join / graceful-leave / crash-removal as store transitions.  The
+  // mutating entries are control-plane: they stop the world internally
+  // (legal under concurrent client traffic on a threaded transport) but
+  // must be called from a NON-shard thread — dvvd routes them through a
+  // dedicated admin thread.  The bool returns report precondition
+  // failures (out-of-range id, already/not a member, leave below the
+  // replication floor) without touching any state — the dvvd admin
+  // path answers kBadRequest instead of asserting.
+
+  [[nodiscard]] virtual std::uint64_t ring_epoch() const noexcept = 0;
+  [[nodiscard]] virtual std::vector<ReplicaId> members() const = 0;
+  [[nodiscard]] virtual bool rebalancing() const noexcept = 0;
+  [[nodiscard]] virtual membership::RebalanceStats rebalance_stats() const = 0;
+  virtual bool join_node(ReplicaId node) = 0;
+  virtual bool leave_node(ReplicaId node) = 0;
+  virtual bool remove_node(ReplicaId node) = 0;
+  /// One pass over the owed transfer walks; returns walks performed.
+  virtual std::size_t rebalance_step() = 0;
+  /// Drives the rebalance to completion; returns the cumulative stats.
+  virtual membership::RebalanceStats complete_rebalance() = 0;
 
   // ---- observability -----------------------------------------------------
 

@@ -1,0 +1,150 @@
+#include "membership/membership.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dvv::membership {
+
+// ---- MembershipTable -------------------------------------------------------
+
+MembershipTable::MembershipTable(std::vector<kv::ReplicaId> seed_members,
+                                 std::size_t replication, std::size_t vnodes)
+    : replication_(replication), vnodes_(vnodes) {
+  DVV_ASSERT_MSG(seed_members.size() >= replication,
+                 "membership: seed members < replication factor");
+  ever_members_.insert(seed_members.begin(), seed_members.end());
+  epochs_.emplace_back(0, kv::Ring(std::move(seed_members), replication, vnodes));
+}
+
+const RingEpoch& MembershipTable::at(std::uint64_t e) const {
+  DVV_ASSERT_MSG(e < epochs_.size(), "membership: unknown epoch");
+  return epochs_[e];
+}
+
+const RingEpoch& MembershipTable::mint(std::vector<kv::ReplicaId> members) {
+  ever_members_.insert(members.begin(), members.end());
+  kv::Ring ring(std::move(members), replication_, vnodes_);
+  epochs_.emplace_back(epochs_.size(), std::move(ring));
+  return epochs_.back();
+}
+
+const RingEpoch& MembershipTable::join(kv::ReplicaId node) {
+  DVV_ASSERT_MSG(!is_member(node), "membership: joining node already a member");
+  std::vector<kv::ReplicaId> next = members();
+  next.push_back(node);
+  return mint(std::move(next));
+}
+
+const RingEpoch& MembershipTable::leave(kv::ReplicaId node) {
+  DVV_ASSERT_MSG(is_member(node), "membership: departing node not a member");
+  DVV_ASSERT_MSG(members().size() > replication_,
+                 "membership: departure would drop below replication factor");
+  std::vector<kv::ReplicaId> next = members();
+  next.erase(std::find(next.begin(), next.end(), node));
+  return mint(std::move(next));
+}
+
+// ---- RebalanceEngine -------------------------------------------------------
+
+void RebalanceEngine::plan(std::uint64_t target_epoch,
+                           std::vector<PartitionTransfer> tasks) {
+  active_ = true;
+  epoch_ = target_epoch;
+  transfers_ = std::move(tasks);
+  flippable_.clear();
+  flipped_.clear();
+  stats_ = RebalanceStats{};
+  stats_.epoch = target_epoch;
+  stats_.rebalancing = true;
+  stats_.transfers_planned = transfers_.size();
+  // A task planned with no sources (single-member degenerate rings) is
+  // born kOwned; its partition may be flippable immediately.
+  std::set<std::uint64_t> partitions;
+  for (PartitionTransfer& t : transfers_) {
+    partitions.insert(t.partition);
+    if (t.pending_sources.empty()) {
+      t.state = TransferState::kOwned;
+      ++stats_.transfers_completed;
+    }
+  }
+  for (const std::uint64_t p : partitions) {
+    const bool owned = std::all_of(
+        transfers_.begin(), transfers_.end(), [&](const PartitionTransfer& t) {
+          return t.partition != p || t.state == TransferState::kOwned;
+        });
+    if (owned) flippable_.insert(p);
+  }
+}
+
+std::vector<RebalanceEngine::Work> RebalanceEngine::pending_work() const {
+  std::vector<Work> out;
+  for (const PartitionTransfer& t : transfers_) {
+    for (const kv::ReplicaId src : t.pending_sources) {
+      out.push_back({t.partition, t.owner, src});
+    }
+  }
+  return out;
+}
+
+PartitionTransfer* RebalanceEngine::find(std::uint64_t partition,
+                                         kv::ReplicaId owner) {
+  for (PartitionTransfer& t : transfers_) {
+    if (t.partition == partition && t.owner == owner) return &t;
+  }
+  return nullptr;
+}
+
+bool RebalanceEngine::note_walked(std::uint64_t partition, kv::ReplicaId owner,
+                                  kv::ReplicaId source,
+                                  const TransferStats& cost) {
+  PartitionTransfer* t = find(partition, owner);
+  DVV_ASSERT_MSG(t != nullptr, "rebalance: walk reported for unplanned task");
+  DVV_ASSERT_MSG(t->pending_sources.erase(source) == 1,
+                 "rebalance: source walked twice (or never owed)");
+  t->stats.merge(cost);
+  stats_.totals.merge(cost);
+  if (t->state == TransferState::kPending) {
+    t->state = TransferState::kTransferring;
+  }
+  if (!t->pending_sources.empty()) return false;
+  t->state = TransferState::kOwned;
+  ++stats_.transfers_completed;
+  // The partition flips only when EVERY new owner's task is done: a
+  // half-synced owner set must keep routing at the old owners.
+  const bool partition_owned = std::all_of(
+      transfers_.begin(), transfers_.end(), [&](const PartitionTransfer& o) {
+        return o.partition != partition || o.state == TransferState::kOwned;
+      });
+  if (partition_owned && !flipped_.contains(partition)) {
+    flippable_.insert(partition);
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> RebalanceEngine::take_flippable() {
+  std::vector<std::uint64_t> out(flippable_.begin(), flippable_.end());
+  flipped_.insert(flippable_.begin(), flippable_.end());
+  stats_.partitions_flipped += out.size();
+  flippable_.clear();
+  return out;
+}
+
+bool RebalanceEngine::complete() const noexcept {
+  if (!active_) return true;
+  return std::all_of(transfers_.begin(), transfers_.end(),
+                     [](const PartitionTransfer& t) {
+                       return t.state == TransferState::kOwned;
+                     });
+}
+
+void RebalanceEngine::finish() {
+  active_ = false;
+  stats_.rebalancing = false;
+  transfers_.clear();
+  flippable_.clear();
+  flipped_.clear();
+}
+
+}  // namespace dvv::membership

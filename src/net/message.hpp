@@ -142,6 +142,42 @@ struct CoordWriteRespMsg {
   std::uint64_t req = 0;
 };
 
+// ---- elastic membership (src/membership, kv/cluster.hpp) -------------------
+//
+// Membership changes travel as typed frames like everything else: a
+// joining node asks in with a JoinReqMsg, every minted epoch is
+// disseminated as an EpochAnnounceMsg (droppable/partitionable like any
+// other message — stale receivers are what the stale-epoch forwarding
+// path exists for), and a completed partition transfer is broadcast as
+// a TransferDoneMsg so peers can account the rebalance.
+
+/// Asks the destination (a current member) to admit `node` into the
+/// ring: the receiving member drives the join through its
+/// MembershipTable and answers with an EpochAnnounceMsg broadcast.
+struct JoinReqMsg {
+  NodeId node = 0;
+};
+
+/// Disseminates one minted ring epoch: the epoch number and the full
+/// member list it routes over.  `members` is canonical — strictly
+/// ascending (sorted, distinct) — and the strict decoder rejects any
+/// other order, so a frame cannot smuggle two rings that hash alike.
+struct EpochAnnounceMsg {
+  std::uint64_t epoch = 0;
+  std::vector<NodeId> members;  ///< strictly ascending
+};
+
+/// Announces that `owner` finished syncing claimed `partition` for
+/// `epoch` (its task reached kOwned): the transfer effort rides along
+/// for membership.* accounting at every peer.
+struct TransferDoneMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t partition = 0;
+  NodeId owner = 0;
+  std::uint64_t keys_shipped = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
 /// Composite frame: `count` sub-messages for one destination under one
 /// header, each sub-frame a complete encoding of a NON-batch message
 /// (no nesting).  SimTransport assembles one per maximal run of
@@ -157,6 +193,7 @@ struct BatchMsg {
 using Message = std::variant<ReplicateMsg, HintMsg, HintDeliverMsg, HintAckMsg,
                              SyncReqMsg, SyncRespMsg, CoordReadReqMsg,
                              CoordReadRespMsg, CoordWriteReqMsg, CoordWriteRespMsg,
+                             JoinReqMsg, EpochAnnounceMsg, TransferDoneMsg,
                              BatchMsg>;
 
 // The obs catalog's per-message-type counter axes (sent, delivered,
@@ -220,6 +257,23 @@ struct CoordWriteReqView {
 struct CoordWriteRespView {
   std::uint64_t req = 0;
 };
+struct JoinReqView {
+  NodeId node = 0;
+};
+/// `members` is the raw strictly-ascending varint region (already
+/// validated when this view came out of the strict decoder).
+struct EpochAnnounceView {
+  std::uint64_t epoch = 0;
+  std::uint64_t count = 0;
+  std::string_view members;
+};
+struct TransferDoneView {
+  std::uint64_t epoch = 0;
+  std::uint64_t partition = 0;
+  NodeId owner = 0;
+  std::uint64_t keys_shipped = 0;
+  std::uint64_t wire_bytes = 0;
+};
 /// `frames` is the raw length-prefixed sub-frame region (already
 /// validated when this view came out of the strict decoder).
 struct BatchView {
@@ -230,7 +284,8 @@ struct BatchView {
 using MessageView =
     std::variant<ReplicateView, HintView, HintDeliverView, HintAckView,
                  SyncReqView, SyncRespView, CoordReadReqView, CoordReadRespView,
-                 CoordWriteReqView, CoordWriteRespView, BatchView>;
+                 CoordWriteReqView, CoordWriteRespView, JoinReqView,
+                 EpochAnnounceView, TransferDoneView, BatchView>;
 
 static_assert(std::variant_size_v<MessageView> == std::variant_size_v<Message>,
               "net: MessageView and Message variants diverged");
@@ -280,6 +335,24 @@ inline void encode(codec::Writer& w, const Message& msg) {
           w.bytes(m.state);
         } else if constexpr (std::is_same_v<T, CoordWriteRespMsg>) {
           w.varint(m.req);
+        } else if constexpr (std::is_same_v<T, JoinReqMsg>) {
+          w.varint(m.node);
+        } else if constexpr (std::is_same_v<T, EpochAnnounceMsg>) {
+          w.varint(m.epoch);
+          w.varint(m.members.size());
+          for (std::size_t i = 0; i < m.members.size(); ++i) {
+            // The wire form is canonical-only; encoding an unsorted
+            // list would mint bytes the strict decoder rejects.
+            DVV_ASSERT_MSG(i == 0 || m.members[i - 1] < m.members[i],
+                           "net: epoch members must be strictly ascending");
+            w.varint(m.members[i]);
+          }
+        } else if constexpr (std::is_same_v<T, TransferDoneMsg>) {
+          w.varint(m.epoch);
+          w.varint(m.partition);
+          w.varint(m.owner);
+          w.varint(m.keys_shipped);
+          w.varint(m.wire_bytes);
         } else {
           static_assert(std::is_same_v<T, BatchMsg>);
           w.varint(m.frames.size());
@@ -389,6 +462,39 @@ inline void encode(codec::Writer& w, const Message& msg) {
       if (!r.varint(v.req)) return std::nullopt;
       return MessageView{v};
     }
+    case 10: {
+      JoinReqView v;
+      if (!r.varint(v.node)) return std::nullopt;
+      return MessageView{v};
+    }
+    case 11: {
+      EpochAnnounceView v;
+      if (!r.varint(v.epoch) || !r.varint(v.count)) return std::nullopt;
+      // A ring is never empty; every member varint costs >= 1 byte, so
+      // a count beyond the remaining bytes is an overclaim — reject
+      // before walking anything.
+      if (v.count == 0 || v.count > r.remaining()) return std::nullopt;
+      const std::size_t begin = r.position();
+      std::uint64_t prev = 0;
+      for (std::uint64_t i = 0; i < v.count; ++i) {
+        std::uint64_t member = 0;
+        if (!r.varint(member)) return std::nullopt;
+        // Canonical form only: strictly ascending ids (sorted AND
+        // distinct), so equal member sets have equal encodings.
+        if (i > 0 && member <= prev) return std::nullopt;
+        prev = member;
+      }
+      v.members = r.viewed_since(begin);
+      return MessageView{v};
+    }
+    case 12: {
+      TransferDoneView v;
+      if (!r.varint(v.epoch) || !r.varint(v.partition) || !r.varint(v.owner) ||
+          !r.varint(v.keys_shipped) || !r.varint(v.wire_bytes)) {
+        return std::nullopt;
+      }
+      return MessageView{v};
+    }
     default: {
       if (!allow_batch) return std::nullopt;  // no nested batches
       BatchView v;
@@ -463,6 +569,23 @@ inline void encode(codec::Writer& w, const Message& msg) {
           return CoordWriteReqMsg{v.req, std::string(v.key), std::string(v.state)};
         } else if constexpr (std::is_same_v<T, CoordWriteRespView>) {
           return CoordWriteRespMsg{v.req};
+        } else if constexpr (std::is_same_v<T, JoinReqView>) {
+          return JoinReqMsg{v.node};
+        } else if constexpr (std::is_same_v<T, EpochAnnounceView>) {
+          EpochAnnounceMsg m;
+          m.epoch = v.epoch;
+          m.members.reserve(static_cast<std::size_t>(v.count));
+          codec::StrictReader r(v.members.data(), v.members.size());
+          for (std::uint64_t i = 0; i < v.count; ++i) {
+            std::uint64_t member = 0;
+            const bool ok = r.varint(member);
+            DVV_ASSERT_MSG(ok, "net: materializing an unvalidated epoch view");
+            m.members.push_back(static_cast<NodeId>(member));
+          }
+          return m;
+        } else if constexpr (std::is_same_v<T, TransferDoneView>) {
+          return TransferDoneMsg{v.epoch, v.partition, v.owner, v.keys_shipped,
+                                 v.wire_bytes};
         } else {
           static_assert(std::is_same_v<T, BatchView>);
           BatchMsg m;
@@ -481,9 +604,10 @@ inline void encode(codec::Writer& w, const Message& msg) {
 }
 
 /// Non-owning view of an owned message (string fields become views into
-/// the message's own strings — valid while `msg` lives).  BatchMsg is
-/// excluded: its view form is a contiguous wire region an owned frame
-/// list does not have; batch consumers iterate `frames` directly.
+/// the message's own strings — valid while `msg` lives).  BatchMsg and
+/// EpochAnnounceMsg are excluded: their view forms are contiguous wire
+/// regions an owned frame list / member vector does not have; consumers
+/// iterate the owned fields directly.
 [[nodiscard]] inline MessageView as_view(const Message& msg) {
   return std::visit(
       [](const auto& m) -> MessageView {
@@ -509,9 +633,15 @@ inline void encode(codec::Writer& w, const Message& msg) {
           return CoordWriteReqView{m.req, m.key, m.state};
         } else if constexpr (std::is_same_v<T, CoordWriteRespMsg>) {
           return CoordWriteRespView{m.req};
+        } else if constexpr (std::is_same_v<T, JoinReqMsg>) {
+          return JoinReqView{m.node};
+        } else if constexpr (std::is_same_v<T, TransferDoneMsg>) {
+          return TransferDoneView{m.epoch, m.partition, m.owner, m.keys_shipped,
+                                  m.wire_bytes};
         } else {
-          static_assert(std::is_same_v<T, BatchMsg>);
-          DVV_ASSERT_MSG(false, "net: as_view has no BatchMsg form");
+          static_assert(std::is_same_v<T, BatchMsg> ||
+                        std::is_same_v<T, EpochAnnounceMsg>);
+          DVV_ASSERT_MSG(false, "net: as_view has no batch/epoch-announce form");
           return SyncReqView{};  // unreachable
         }
       },
@@ -593,6 +723,15 @@ template <typename T>
     n += codec::varint_size(m.req) + bytes_size(m.key) + bytes_size(m.state);
   } else if constexpr (std::is_same_v<T, CoordWriteRespMsg>) {
     n += codec::varint_size(m.req);
+  } else if constexpr (std::is_same_v<T, JoinReqMsg>) {
+    n += codec::varint_size(m.node);
+  } else if constexpr (std::is_same_v<T, EpochAnnounceMsg>) {
+    n += codec::varint_size(m.epoch) + codec::varint_size(m.members.size());
+    for (const NodeId id : m.members) n += codec::varint_size(id);
+  } else if constexpr (std::is_same_v<T, TransferDoneMsg>) {
+    n += codec::varint_size(m.epoch) + codec::varint_size(m.partition) +
+         codec::varint_size(m.owner) + codec::varint_size(m.keys_shipped) +
+         codec::varint_size(m.wire_bytes);
   } else {
     static_assert(std::is_same_v<T, BatchMsg>);
     n += codec::varint_size(m.frames.size());

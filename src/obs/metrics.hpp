@@ -29,11 +29,11 @@ namespace dvv::obs {
 
 /// Message-type axis of the net.* counters, in net::Message variant
 /// order (checked by a static_assert in net/transport.hpp).
-inline constexpr std::size_t kMessageTypes = 11;
+inline constexpr std::size_t kMessageTypes = 14;
 inline constexpr const char* kMessageTypeNames[kMessageTypes] = {
     "replicate", "hint",     "hint_deliver", "hint_ack",   "sync_req",
     "sync_resp", "read_req", "read_resp",    "write_req",  "write_resp",
-    "batch"};
+    "join_req",  "epoch_announce", "transfer_done", "batch"};
 
 #if defined(DVV_OBS_DISABLED)
 struct NoopCounter {
@@ -158,6 +158,8 @@ struct ServerMetrics {
   MetricCounter connections_closed;    ///< server.connections_closed
   MetricCounter requests_get;          ///< server.requests.get
   MetricCounter requests_put;          ///< server.requests.put
+  MetricCounter requests_admin;        ///< server.requests.admin (join/leave/
+                                       ///  ring-info via the admin loop)
   MetricCounter responses_sent;        ///< server.responses_sent
   MetricCounter bytes_read;            ///< server.bytes_read
   MetricCounter bytes_written;         ///< server.bytes_written
@@ -175,5 +177,33 @@ struct ServerMetrics {
   MetricCounter reject_bad_token;         ///< server.decode_reject.bad_token
 };
 [[nodiscard]] ServerMetrics& server_metrics();
+
+/// membership.* — elastic ring membership (src/membership + the cluster
+/// glue): epoch lifecycle, transfer effort (metered SEPARATELY from the
+/// steady-state aae.* series — rebalance traffic must not masquerade as
+/// anti-entropy), and the ownership-change hygiene counters the
+/// regression tests pin.  Bumped by kv/cluster.hpp.
+struct MembershipMetrics {
+  MetricCounter joins;             ///< membership.joins
+  MetricCounter leaves;            ///< membership.leaves (graceful)
+  MetricCounter removals;          ///< membership.removals (crash-removal)
+  MetricCounter epochs_minted;     ///< membership.epochs_minted
+  MetricCounter epochs_announced;  ///< membership.epochs_announced (frames sent)
+  MetricCounter transfers_started;    ///< membership.transfers_started
+  MetricCounter transfers_completed;  ///< membership.transfers_completed
+  MetricCounter partitions_flipped;   ///< membership.partitions_flipped
+  MetricCounter transfer_keys_shipped;  ///< membership.transfer_keys_shipped
+  MetricCounter transfer_wire_bytes;    ///< membership.transfer_wire_bytes
+  /// Hints whose parked owner lost the partition and were redirected to
+  /// a current owner instead of misdelivered (satellite regression).
+  MetricCounter hints_retargeted;  ///< membership.hints_retargeted
+  /// Requests routed at a replica whose known epoch lagged the current
+  /// one and were forwarded to a current-ring coordinator.
+  MetricCounter stale_epoch_forwarded;  ///< membership.stale_epoch_forwarded
+  /// Rejoining ids pushed through the clock-incarnation bump so
+  /// pre-departure dots are never reused.
+  MetricCounter rejoin_incarnations;  ///< membership.rejoin_incarnations
+};
+[[nodiscard]] MembershipMetrics& membership_metrics();
 
 }  // namespace dvv::obs

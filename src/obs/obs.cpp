@@ -413,6 +413,7 @@ ServerMetrics& server_metrics() {
     out.connections_closed = r.counter("server.connections_closed");
     out.requests_get = r.counter("server.requests.get");
     out.requests_put = r.counter("server.requests.put");
+    out.requests_admin = r.counter("server.requests.admin");
     out.responses_sent = r.counter("server.responses_sent");
     out.bytes_read = r.counter("server.bytes_read");
     out.bytes_written = r.counter("server.bytes_written");
@@ -444,6 +445,30 @@ StoreMetrics& store_metrics() {
     out.status_unavailable = r.counter("store.status_unavailable");
     out.status_bad_token = r.counter("store.status_bad_token");
     out.anti_entropy_runs = r.counter("store.anti_entropy_runs");
+#endif
+    return out;
+  }();
+  return m;
+}
+
+MembershipMetrics& membership_metrics() {
+  static MembershipMetrics m = [] {
+    MembershipMetrics out;
+#if !defined(DVV_OBS_DISABLED)
+    Registry& r = registry();
+    out.joins = r.counter("membership.joins");
+    out.leaves = r.counter("membership.leaves");
+    out.removals = r.counter("membership.removals");
+    out.epochs_minted = r.counter("membership.epochs_minted");
+    out.epochs_announced = r.counter("membership.epochs_announced");
+    out.transfers_started = r.counter("membership.transfers_started");
+    out.transfers_completed = r.counter("membership.transfers_completed");
+    out.partitions_flipped = r.counter("membership.partitions_flipped");
+    out.transfer_keys_shipped = r.counter("membership.transfer_keys_shipped");
+    out.transfer_wire_bytes = r.counter("membership.transfer_wire_bytes");
+    out.hints_retargeted = r.counter("membership.hints_retargeted");
+    out.stale_epoch_forwarded = r.counter("membership.stale_epoch_forwarded");
+    out.rejoin_incarnations = r.counter("membership.rejoin_incarnations");
 #endif
     return out;
   }();

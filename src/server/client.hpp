@@ -134,6 +134,43 @@ class Client {
     return out.request_id == id;
   }
 
+  /// One-shot membership transition (admin plane).  On kOk the response
+  /// carries the post-transition epoch — the ring has fully rebalanced
+  /// by the time it arrives.
+  [[nodiscard]] bool member_change(Opcode op, std::uint64_t node,
+                                   Response& out) {
+    const std::uint64_t id = next_request_id_++;
+    scratch_.clear();
+    encode_member_change_request(scratch_, op, id, node);
+    framed_.clear();
+    append_frame(framed_, scratch_);
+    send_raw(framed_);
+    std::string payload;
+    if (!read_frame(payload)) return false;
+    if (!parse_response(payload, op, out)) return false;
+    return out.request_id == id;
+  }
+  [[nodiscard]] bool join(std::uint64_t node, Response& out) {
+    return member_change(Opcode::kJoin, node, out);
+  }
+  [[nodiscard]] bool leave(std::uint64_t node, Response& out) {
+    return member_change(Opcode::kLeave, node, out);
+  }
+
+  /// One-shot ring introspection: epoch + member list.
+  [[nodiscard]] bool ring_info(Response& out) {
+    const std::uint64_t id = next_request_id_++;
+    scratch_.clear();
+    encode_ring_info_request(scratch_, id);
+    framed_.clear();
+    append_frame(framed_, scratch_);
+    send_raw(framed_);
+    std::string payload;
+    if (!read_frame(payload)) return false;
+    if (!parse_response(payload, Opcode::kRingInfo, out)) return false;
+    return out.request_id == id;
+  }
+
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
  private:

@@ -22,13 +22,16 @@
 // Request payload (codec::StrictReader; canonical varints, strict
 // length claims, no trailing bytes):
 //
-//     varint opcode          1 = GET, 2 = PUT
+//     varint opcode          1 = GET, 2 = PUT, 3 = JOIN, 4 = LEAVE,
+//                            5 = RING_INFO
 //     varint request id      client-chosen, echoed verbatim in the
 //                            response (pipelining: responses return in
 //                            request order per connection, the id lets
 //                            the client assert it)
 //     GET:  bytes key
 //     PUT:  bytes key, bytes token, bytes value, varint client id
+//     JOIN/LEAVE:  varint node
+//     RING_INFO:   nothing further
 //
 // Response payload:
 //
@@ -37,6 +40,9 @@
 //     GET/kOk:  varint found, varint value count, bytes value ...,
 //               bytes token
 //     PUT/kOk:  varint replicated_to
+//     JOIN/LEAVE/kOk:  varint epoch (post-transition)
+//     RING_INFO/kOk:   varint epoch, varint member count,
+//                      varint member ... (strictly ascending)
 //     any error status: nothing further
 //
 // The decode boundary is shared with the fuzz harness
@@ -69,6 +75,13 @@ inline constexpr std::size_t kFrameHeaderBytes = 4;
 enum class Opcode : std::uint8_t {
   kGet = 1,
   kPut = 2,
+  // Admin plane (src/membership): membership transitions and ring
+  // introspection.  Served off the shard threads by dvvd's admin loop —
+  // a join/leave stops the world, which a shard thread cannot do to
+  // itself.
+  kJoin = 3,      ///< varint node; ok response carries the new epoch
+  kLeave = 4,     ///< varint node; ok response carries the new epoch
+  kRingInfo = 5,  ///< no body; ok response carries epoch + member list
 };
 
 enum class ResponseStatus : std::uint8_t {
@@ -98,6 +111,7 @@ struct Request {
   std::string token_bytes;      // PUT only
   kv::Value value;              // PUT only
   std::uint64_t client_id = 0;  // PUT only
+  std::uint64_t node = 0;       // JOIN/LEAVE only
 };
 
 /// Strict request parse over one frame's payload.  On failure `out` is
@@ -107,17 +121,28 @@ struct Request {
   codec::StrictReader r(payload.data(), payload.size());
   std::uint64_t opcode = 0;
   if (!r.varint(opcode)) return RejectReason::kBadOpcode;
-  if (opcode != static_cast<std::uint64_t>(Opcode::kGet) &&
-      opcode != static_cast<std::uint64_t>(Opcode::kPut)) {
+  if (opcode < static_cast<std::uint64_t>(Opcode::kGet) ||
+      opcode > static_cast<std::uint64_t>(Opcode::kRingInfo)) {
     return RejectReason::kBadOpcode;
   }
   out.opcode = static_cast<Opcode>(opcode);
   if (!r.varint(out.request_id)) return RejectReason::kBadFields;
-  if (!r.bytes(out.key)) return RejectReason::kBadFields;
-  if (out.opcode == Opcode::kPut) {
-    if (!r.bytes(out.token_bytes)) return RejectReason::kBadFields;
-    if (!r.bytes(out.value)) return RejectReason::kBadFields;
-    if (!r.varint(out.client_id)) return RejectReason::kBadFields;
+  switch (out.opcode) {
+    case Opcode::kGet:
+      if (!r.bytes(out.key)) return RejectReason::kBadFields;
+      break;
+    case Opcode::kPut:
+      if (!r.bytes(out.key)) return RejectReason::kBadFields;
+      if (!r.bytes(out.token_bytes)) return RejectReason::kBadFields;
+      if (!r.bytes(out.value)) return RejectReason::kBadFields;
+      if (!r.varint(out.client_id)) return RejectReason::kBadFields;
+      break;
+    case Opcode::kJoin:
+    case Opcode::kLeave:
+      if (!r.varint(out.node)) return RejectReason::kBadFields;
+      break;
+    case Opcode::kRingInfo:
+      break;
   }
   if (!r.done()) return RejectReason::kTrailingBytes;
   return RejectReason::kNone;
@@ -195,6 +220,40 @@ inline void encode_put_response(std::string& payload, std::uint64_t request_id,
   append_varint(payload, replicated_to);
 }
 
+inline void encode_member_change_request(std::string& payload, Opcode op,
+                                         std::uint64_t request_id,
+                                         std::uint64_t node) {
+  DVV_ASSERT(op == Opcode::kJoin || op == Opcode::kLeave);
+  append_varint(payload, static_cast<std::uint64_t>(op));
+  append_varint(payload, request_id);
+  append_varint(payload, node);
+}
+
+inline void encode_ring_info_request(std::string& payload,
+                                     std::uint64_t request_id) {
+  append_varint(payload, static_cast<std::uint64_t>(Opcode::kRingInfo));
+  append_varint(payload, request_id);
+}
+
+inline void encode_member_change_response(std::string& payload,
+                                          std::uint64_t request_id,
+                                          std::uint64_t epoch) {
+  append_varint(payload, static_cast<std::uint64_t>(ResponseStatus::kOk));
+  append_varint(payload, request_id);
+  append_varint(payload, epoch);
+}
+
+inline void encode_ring_info_response(std::string& payload,
+                                      std::uint64_t request_id,
+                                      std::uint64_t epoch,
+                                      const std::vector<kv::ReplicaId>& members) {
+  append_varint(payload, static_cast<std::uint64_t>(ResponseStatus::kOk));
+  append_varint(payload, request_id);
+  append_varint(payload, epoch);
+  append_varint(payload, members.size());
+  for (const kv::ReplicaId m : members) append_varint(payload, m);
+}
+
 // ---- client-side response parse -------------------------------------------
 
 /// A parsed response (the client half of the protocol; the bench and
@@ -206,11 +265,13 @@ struct Response {
   std::vector<kv::Value> values;
   std::string token_bytes;
   std::uint64_t replicated_to = 0;
+  std::uint64_t epoch = 0;                 // JOIN/LEAVE/RING_INFO only
+  std::vector<std::uint64_t> members;      // RING_INFO only
 };
 
-/// Strict response parse.  `is_get` disambiguates the kOk body (the
+/// Strict response parse.  `sent` disambiguates the kOk body (the
 /// client knows which opcode it sent for this request id).
-[[nodiscard]] inline bool parse_response(std::string_view payload, bool is_get,
+[[nodiscard]] inline bool parse_response(std::string_view payload, Opcode sent,
                                          Response& out) {
   codec::StrictReader r(payload.data(), payload.size());
   std::uint64_t status = 0;
@@ -221,25 +282,55 @@ struct Response {
   out.status = static_cast<ResponseStatus>(status);
   if (!r.varint(out.request_id)) return false;
   if (out.status != ResponseStatus::kOk) return r.done();
-  if (is_get) {
-    std::uint64_t found = 0;
-    std::uint64_t count = 0;
-    if (!r.varint(found) || found > 1) return false;
-    out.found = found == 1;
-    if (!r.varint(count)) return false;
-    if (count > r.remaining()) return false;  // claim cap before reserve
-    out.values.clear();
-    out.values.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count; ++i) {
-      std::string v;
-      if (!r.bytes(v)) return false;
-      out.values.push_back(std::move(v));
+  switch (sent) {
+    case Opcode::kGet: {
+      std::uint64_t found = 0;
+      std::uint64_t count = 0;
+      if (!r.varint(found) || found > 1) return false;
+      out.found = found == 1;
+      if (!r.varint(count)) return false;
+      if (count > r.remaining()) return false;  // claim cap before reserve
+      out.values.clear();
+      out.values.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::string v;
+        if (!r.bytes(v)) return false;
+        out.values.push_back(std::move(v));
+      }
+      if (!r.bytes(out.token_bytes)) return false;
+      break;
     }
-    if (!r.bytes(out.token_bytes)) return false;
-  } else {
-    if (!r.varint(out.replicated_to)) return false;
+    case Opcode::kPut:
+      if (!r.varint(out.replicated_to)) return false;
+      break;
+    case Opcode::kJoin:
+    case Opcode::kLeave:
+      if (!r.varint(out.epoch)) return false;
+      break;
+    case Opcode::kRingInfo: {
+      std::uint64_t count = 0;
+      if (!r.varint(out.epoch)) return false;
+      if (!r.varint(count)) return false;
+      if (count == 0 || count > r.remaining()) return false;
+      out.members.clear();
+      out.members.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t m = 0;
+        if (!r.varint(m)) return false;
+        // Strictly ascending, mirroring the EpochAnnounce wire rule.
+        if (!out.members.empty() && m <= out.members.back()) return false;
+        out.members.push_back(m);
+      }
+      break;
+    }
   }
   return r.done();
+}
+
+/// Legacy spelling predating the admin opcodes.
+[[nodiscard]] inline bool parse_response(std::string_view payload, bool is_get,
+                                         Response& out) {
+  return parse_response(payload, is_get ? Opcode::kGet : Opcode::kPut, out);
 }
 
 // ---- incremental frame extraction -----------------------------------------

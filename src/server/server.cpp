@@ -101,11 +101,24 @@ void Server::start() {
   for (std::size_t s = 0; s < shards; ++s) {
     loops_[s]->thread = std::thread([this, s] { run_loop(s); });
   }
+  admin_halt_ = false;
+  admin_thread_ = std::thread([this] { run_admin(); });
   started_ = true;
 }
 
 void Server::stop() {
   if (!started_) return;
+  // Phase 0: retire the admin thread while the shard loops are still
+  // pumping — a job mid-flight may be blocked in a stop-the-world
+  // section that needs the loops to run its parker closures.  Queued
+  // jobs it never reached are dropped; their connections are about to
+  // close anyway.
+  {
+    std::lock_guard<std::mutex> lock(admin_mu_);
+    admin_halt_ = true;
+  }
+  admin_cv_.notify_all();
+  if (admin_thread_.joinable()) admin_thread_.join();
   // Phase 1: stop accepting and drop every connection (the loops do it
   // on wake), then drain the transport to quiescence — the loops keep
   // pumping their shards while we block here, so every in-flight
@@ -300,6 +313,18 @@ void Server::handle_frame(std::size_t shard, Connection& conn,
     complete(shard, conn.id, seq, std::move(resp));
     return;
   }
+  if (req.opcode != Opcode::kGet && req.opcode != Opcode::kPut) {
+    // Admin plane: park the job for the admin thread — a membership
+    // transition stops the world, which this shard thread cannot do to
+    // itself.  The reorder buffer keeps the connection's FIFO contract
+    // while the job is in flight.
+    {
+      std::lock_guard<std::mutex> lock(admin_mu_);
+      admin_jobs_.push_back(AdminJob{shard, conn.id, seq, std::move(req)});
+    }
+    admin_cv_.notify_one();
+    return;
+  }
   const std::optional<kv::ReplicaId> coord = store_.default_coordinator(req.key);
   if (!coord.has_value()) {
     std::string resp;
@@ -363,6 +388,64 @@ void Server::execute(const Request& req, std::string& out) {
     case kv::StoreStatus::kUnavailable:
       encode_error_response(out, ResponseStatus::kUnavailable, req.request_id);
       break;
+  }
+}
+
+void Server::run_admin() {
+  while (true) {
+    AdminJob job;
+    {
+      std::unique_lock<std::mutex> lock(admin_mu_);
+      admin_cv_.wait(lock, [this] { return admin_halt_ || !admin_jobs_.empty(); });
+      if (admin_halt_) return;
+      job = std::move(admin_jobs_.front());
+      admin_jobs_.pop_front();
+    }
+    std::string resp;
+    execute_admin(job.req, resp);
+    const std::size_t shard = job.shard;
+    const std::uint64_t conn_id = job.conn_id;
+    const std::uint64_t seq = job.seq;
+    transport_->post(shard, [this, shard, conn_id, seq,
+                             resp = std::move(resp)]() mutable {
+      complete(shard, conn_id, seq, std::move(resp));
+      Loop& loop = *loops_[shard];
+      auto it = loop.conns.find(conn_id);
+      if (it != loop.conns.end() && it->second.broken) {
+        close_connection(shard, conn_id);
+      }
+    });
+  }
+}
+
+void Server::execute_admin(const Request& req, std::string& out) {
+  obs::server_metrics().requests_admin.inc();
+  switch (req.opcode) {
+    case Opcode::kJoin:
+    case Opcode::kLeave: {
+      const auto node = static_cast<kv::ReplicaId>(req.node);
+      const bool ok = req.opcode == Opcode::kJoin ? store_.join_node(node)
+                                                  : store_.leave_node(node);
+      if (!ok) {
+        encode_error_response(out, ResponseStatus::kBadRequest, req.request_id);
+        return;
+      }
+      // Drive the transfers to completion before answering: the epoch
+      // in the response is fully owned, not merely announced.  The
+      // drain runs at one stop-the-world point (Store::
+      // complete_rebalance) — client traffic resumes once the ring has
+      // fully flipped.
+      (void)store_.complete_rebalance();
+      encode_member_change_response(out, req.request_id, store_.ring_epoch());
+      return;
+    }
+    case Opcode::kRingInfo:
+      encode_ring_info_response(out, req.request_id, store_.ring_epoch(),
+                                store_.members());
+      return;
+    default:
+      encode_error_response(out, ResponseStatus::kBadRequest, req.request_id);
+      return;
   }
 }
 

@@ -41,9 +41,12 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -118,6 +121,15 @@ class Server {
     std::thread thread;
   };
 
+  /// One membership/ring request parked for the admin thread, with the
+  /// coordinates needed to route its response back to the connection.
+  struct AdminJob {
+    std::size_t shard = 0;
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    Request req;
+  };
+
   void run_loop(std::size_t shard);
   void handle_accept(std::size_t shard);
   void adopt_connection(std::size_t shard, int fd);
@@ -126,6 +138,12 @@ class Server {
   /// Executes a parsed request on the CURRENT thread, which must be the
   /// coordinator's shard; appends the encoded response payload to `out`.
   void execute(const Request& req, std::string& out);
+  /// The admin loop: drains queued join/leave/ring-info jobs on its own
+  /// (non-shard) thread — a membership transition stops the world,
+  /// which a shard thread cannot do to itself.  One thread, so admin
+  /// operations serialize and ring-info reads never race a transition.
+  void run_admin();
+  void execute_admin(const Request& req, std::string& out);
   void complete(std::size_t shard, std::uint64_t conn_id, std::uint64_t seq,
                 std::string payload);
   void release_ready(std::size_t shard, Connection& conn);
@@ -144,6 +162,14 @@ class Server {
   std::atomic<bool> stopping_{false};  ///< close conns, stop accepting
   std::atomic<bool> halt_{false};      ///< exit the loops (post-quiesce)
   bool started_ = false;
+
+  // Admin plane (guarded by admin_mu_; the thread is joined before the
+  // shard loops halt, so its world-stops always find live shards).
+  std::thread admin_thread_;
+  std::mutex admin_mu_;
+  std::condition_variable admin_cv_;
+  std::deque<AdminJob> admin_jobs_;
+  bool admin_halt_ = false;
 };
 
 }  // namespace dvv::server

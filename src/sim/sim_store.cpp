@@ -31,6 +31,7 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
   store_config.servers = config.servers;
   store_config.replication = config.replication;
   store_config.vnodes = config.vnodes;
+  store_config.capacity = config.capacity;
   store_config.storage = config.storage;
   // Manual-pump SimTransport: fan-out and sync requests sit in real
   // queues until a scheduled pump delivers them — the in-flight window.
@@ -72,6 +73,12 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
   const obs::Counter m_partitions = sim_metrics.counter("sim.partitions");
   const obs::Counter m_heals = sim_metrics.counter("sim.heals");
   const obs::Counter m_aae_sessions = sim_metrics.counter("sim.aae_sessions");
+  const obs::Counter m_joins = sim_metrics.counter("sim.joins");
+  const obs::Counter m_leaves = sim_metrics.counter("sim.leaves");
+  const obs::Counter m_rebalance_keys =
+      sim_metrics.counter("sim.rebalance_keys_shipped");
+  const obs::Counter m_rebalance_bytes =
+      sim_metrics.counter("sim.rebalance_wire_bytes");
   const obs::Gauge m_in_flight_peak =
       sim_metrics.gauge("sim.max_requests_in_flight");
 
@@ -86,8 +93,11 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
   std::size_t live_clients = config.clients;
 
   // While a replica is absorbed in a background repair session its
-  // foreground replies queue behind the repair work.
-  std::vector<SimTime> repair_busy_until(config.servers, 0.0);
+  // foreground replies queue behind the repair work.  Sized to the full
+  // provisioned capacity: churn can bring slots >= servers into the ring.
+  const std::size_t capacity =
+      config.capacity == 0 ? config.servers : config.capacity;
+  std::vector<SimTime> repair_busy_until(capacity, 0.0);
   auto server_stall = [&](kv::ReplicaId r) {
     const double stall = std::max(0.0, repair_busy_until[r] - queue.now());
     if (stall > 0.0) result.aae_stall_ms.add(stall);
@@ -462,6 +472,63 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
     queue.schedule_in(rng.exponential(config.crash_interval_ms), crash_tick);
   }
 
+  // Ring churn: one membership transition at a time, rebalanced to
+  // completion on the spot (the facade's join/leave stop nothing here —
+  // the sim transport is inline — but the transfer walks are the same
+  // Merkle sessions a real rebalance runs).  A transition needs every
+  // transfer source reachable, so an instant with a crashed member or
+  // an active partition is skipped, not retried early: churn is an
+  // operator action, and operators wait for a healthy ring.
+  std::function<void()> churn_tick = [&] {
+    if (live_clients == 0) return;
+    queue.schedule_in(rng.exponential(config.churn_interval_ms), churn_tick);
+    if (store.transport().partitioned()) return;
+    const std::vector<kv::ReplicaId> members = store.members();
+    for (const kv::ReplicaId m : members) {
+      if (!store.alive(m)) return;  // dead transfer source: skip this tick
+    }
+    std::vector<kv::ReplicaId> joinable;
+    for (std::size_t r = 0; r < capacity; ++r) {
+      const auto id = static_cast<kv::ReplicaId>(r);
+      if (store.alive(id) &&
+          std::find(members.begin(), members.end(), id) == members.end()) {
+        joinable.push_back(id);
+      }
+    }
+    const bool can_join = !joinable.empty();
+    const bool can_leave = members.size() > config.replication;
+    if (!can_join && !can_leave) return;
+    const bool join = can_join && (!can_leave || rng.chance(0.5));
+    if (join) {
+      const bool ok = store.join_node(joinable[rng.index(joinable.size())]);
+      DVV_ASSERT_MSG(ok, "sim churn: join precondition broken");
+      m_joins.inc();
+    } else {
+      const bool ok = store.leave_node(members[rng.index(members.size())]);
+      DVV_ASSERT_MSG(ok, "sim churn: leave precondition broken");
+      m_leaves.inc();
+    }
+    const membership::RebalanceStats done = store.complete_rebalance();
+    m_rebalance_keys.inc(done.totals.keys_shipped);
+    m_rebalance_bytes.inc(done.totals.wire_bytes);
+    // The walks' wire traffic occupies the ring like repair traffic:
+    // foreground requests queue behind the rebalance everywhere (the
+    // walks touch old owners and new owners across the whole plan).
+    const double busy_ms =
+        static_cast<double>(done.totals.wire_bytes) *
+        (1.0 / config.network.bandwidth_bytes_per_ms +
+         config.network.cpu_ms_per_byte);
+    if (busy_ms > 0.0) {
+      for (const kv::ReplicaId m : store.members()) {
+        repair_busy_until[m] =
+            std::max(repair_busy_until[m], queue.now() + busy_ms);
+      }
+    }
+  };
+  if (config.churn_interval_ms > 0.0) {
+    queue.schedule_in(rng.exponential(config.churn_interval_ms), churn_tick);
+  }
+
   for (std::size_t c = 0; c < config.clients; ++c) {
     clients[c].remaining = config.ops_per_client;
     begin_cycle(c);
@@ -489,6 +556,11 @@ SimStoreResult simulate_store(const SimStoreConfig& config) {
   result.partitions = m_partitions.value();
   result.heals = m_heals.value();
   result.aae_sessions = m_aae_sessions.value();
+  result.joins = m_joins.value();
+  result.leaves = m_leaves.value();
+  result.rebalance_keys_shipped = m_rebalance_keys.value();
+  result.rebalance_wire_bytes = m_rebalance_bytes.value();
+  result.final_ring_epoch = store.ring_epoch();
   result.max_requests_in_flight =
       static_cast<std::uint64_t>(m_in_flight_peak.value());
 

@@ -121,6 +121,19 @@ struct SimStoreConfig {
   /// torn frame is rejected by CRC at recovery.
   double torn_write_probability = 0.0;
 
+  /// Ring churn: every ~`churn_interval_ms` (exponential) the ring takes
+  /// ONE membership transition — a provisioned non-member joins (slots
+  /// [servers, capacity) start outside the ring; a slot that departed
+  /// earlier may rejoin) or a member beyond the replication floor
+  /// gracefully leaves — and the rebalance runs to completion on the
+  /// spot.  The transfer walks' wire bytes occupy the ring the way
+  /// repair traffic does, so foreground requests stall behind a
+  /// rebalance exactly as they stall behind anti-entropy.  A transition
+  /// is skipped while any member is crashed or a partition is active
+  /// (every transfer source must be reachable).  0 disables churn.
+  double churn_interval_ms = 0.0;
+  std::size_t capacity = 0;  ///< provisioned replica slots (0 = servers)
+
   /// Quorum coordination (src/kv/coordinator.hpp): a GET completes at
   /// `read_quorum` distinct replies, a PUT at `write_quorum` distinct
   /// acks (the coordinator's local apply/read is the first of each).
@@ -167,6 +180,13 @@ struct SimStoreResult {
   std::uint64_t partition_drops = 0;       ///< lost to a cut link
   std::uint64_t partitions = 0;            ///< partition events injected
   std::uint64_t heals = 0;
+
+  // Ring-churn activity (zero when churn_interval_ms == 0).
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t rebalance_keys_shipped = 0;  ///< states moved by transfers
+  std::uint64_t rebalance_wire_bytes = 0;    ///< digests + shipped states
+  std::uint64_t final_ring_epoch = 0;        ///< membership epoch at the end
 
   // Quorum-coordination activity (src/kv/coordinator.hpp).
   std::uint64_t reads_degraded = 0;        ///< completed below read_quorum

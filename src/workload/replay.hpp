@@ -42,6 +42,8 @@ struct ReplayStats {
   std::uint64_t recoveries = 0;
   std::uint64_t partitions = 0;
   std::uint64_t heals = 0;
+  std::uint64_t joins = 0;           ///< ring churn: nodes joined
+  std::uint64_t leaves = 0;          ///< ring churn: graceful departures
   std::uint64_t ticks = 0;           ///< async replay: transport pumps
   std::uint64_t op_timeouts = 0;     ///< async ops that missed their deadline
   std::uint64_t max_in_flight = 0;   ///< concurrent client ops peak
@@ -220,6 +222,24 @@ class Replayer {
         // interleaved with later operations.
         cluster_->pump();
         ++stats_.ticks;
+        break;
+      }
+      case TraceOp::Kind::kJoin:
+      case TraceOp::Kind::kLeave: {
+        // Membership transition, completed inline: drain queued traffic
+        // first (a rebalance wants no replication in flight toward the
+        // old owners), mint the epoch, then walk every transfer to
+        // completion so the next op already routes on the new ring.
+        (void)cluster_->pump_all();
+        const auto server = static_cast<kv::ReplicaId>(op.server);
+        if (op.kind == TraceOp::Kind::kJoin) {
+          cluster_->join_node(server);
+          ++stats_.joins;
+        } else {
+          cluster_->leave_node(server);
+          ++stats_.leaves;
+        }
+        (void)cluster_->complete_rebalance();
         break;
       }
     }
@@ -457,6 +477,23 @@ class StoreReplayer {
       case TraceOp::Kind::kTick: {
         store_->pump();
         ++stats_.ticks;
+        break;
+      }
+      case TraceOp::Kind::kJoin:
+      case TraceOp::Kind::kLeave: {
+        // Mirror of Replayer<M>: drain, transition, rebalance to done.
+        (void)store_->pump_all();
+        const auto server = static_cast<kv::ReplicaId>(op.server);
+        if (op.kind == TraceOp::Kind::kJoin) {
+          const bool ok = store_->join_node(server);
+          DVV_ASSERT_MSG(ok, "StoreReplayer: trace join precondition broken");
+          ++stats_.joins;
+        } else {
+          const bool ok = store_->leave_node(server);
+          DVV_ASSERT_MSG(ok, "StoreReplayer: trace leave precondition broken");
+          ++stats_.leaves;
+        }
+        (void)store_->complete_rebalance();
         break;
       }
     }

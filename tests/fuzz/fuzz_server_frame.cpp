@@ -37,21 +37,36 @@ void check_payload(std::string_view payload) {
     // Canonical form: re-encoding the parsed request reproduces the
     // accepted bytes exactly.
     std::string reencoded;
-    if (req.opcode == dvv::server::Opcode::kGet) {
-      dvv::server::encode_get_request(reencoded, req.request_id, req.key);
-    } else {
-      dvv::server::encode_put_request(reencoded, req.request_id, req.key,
-                                      req.token_bytes, req.value,
-                                      req.client_id);
+    switch (req.opcode) {
+      case dvv::server::Opcode::kGet:
+        dvv::server::encode_get_request(reencoded, req.request_id, req.key);
+        break;
+      case dvv::server::Opcode::kPut:
+        dvv::server::encode_put_request(reencoded, req.request_id, req.key,
+                                        req.token_bytes, req.value,
+                                        req.client_id);
+        break;
+      case dvv::server::Opcode::kJoin:
+      case dvv::server::Opcode::kLeave:
+        dvv::server::encode_member_change_request(reencoded, req.opcode,
+                                                  req.request_id, req.node);
+        break;
+      case dvv::server::Opcode::kRingInfo:
+        dvv::server::encode_ring_info_request(reencoded, req.request_id);
+        break;
     }
     DVV_ASSERT_MSG(reencoded == payload,
                    "fuzz: accepted request is not in canonical form");
   }
-  // The client's response parser faces the same payload (both opcode
-  // interpretations) — it must reject or accept without aborting.
-  dvv::server::Response resp;
-  (void)dvv::server::parse_response(payload, /*is_get=*/true, resp);
-  (void)dvv::server::parse_response(payload, /*is_get=*/false, resp);
+  // The client's response parser faces the same payload (every opcode
+  // interpretation) — it must reject or accept without aborting.
+  for (const dvv::server::Opcode sent :
+       {dvv::server::Opcode::kGet, dvv::server::Opcode::kPut,
+        dvv::server::Opcode::kJoin, dvv::server::Opcode::kLeave,
+        dvv::server::Opcode::kRingInfo}) {
+    dvv::server::Response resp;
+    (void)dvv::server::parse_response(payload, sent, resp);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// Membership transitions under REAL concurrency — the TSan leg's
+// membership coverage.
+//
+// Client threads hammer put_direct / get_direct (the run_at-mediated
+// facade path a bench driver or dvvd uses) while the MAIN thread —
+// playing dvvd's admin thread — executes a join/leave storm, each
+// transition a world-stopped quiescent point plus an inline rebalance.
+// The facade's routing lock (kv/store.cpp) serializes the client
+// threads' coordinator resolution against the control plane; the
+// world-stop serializes the shard threads.  TSan is the referee for
+// both claims.
+//
+// No byte-level oracle here (the interleaving is real); the properties
+// are (a) no data race, (b) every client op completes — a transition
+// may briefly block traffic but never fails it, and (c) after the
+// storm the cluster reaches an anti-entropy fixed point with every
+// current owner of every key in byte agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kv/store.hpp"
+#include "net/threaded_transport.hpp"
+
+namespace dvv {
+namespace {
+
+constexpr std::size_t kSeedServers = 6;
+constexpr std::size_t kCapacity = 8;
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kThreads = 4;
+constexpr int kOpsPerThread = 120;
+
+kv::StoreConfig elastic_threaded_config() {
+  kv::StoreConfig config;
+  config.servers = kSeedServers;  // seed ring {0..5}
+  config.capacity = kCapacity;    // slots 6, 7 provisioned for joins
+  config.replication = 3;
+  config.transport.kind = net::TransportKind::kThreaded;
+  config.transport.threaded.shards = kShards;
+  return config;
+}
+
+TEST(MembershipThreadedTest, JoinLeaveStormUnderConcurrentClientTraffic) {
+  for (const std::string mechanism : {"dvv", "dvvset"}) {
+    const std::unique_ptr<kv::Store> store =
+        kv::make_store(mechanism, elastic_threaded_config());
+    ASSERT_NE(store, nullptr);
+    ASSERT_EQ(store->shard_count(), kShards);
+
+    // gtest assertions are not thread-safe: worker failures are
+    // collected in an atomic and asserted on the main thread.  The op
+    // counter paces the storm so every transition genuinely overlaps
+    // in-flight client traffic.
+    std::atomic<int> failures{0};
+    std::atomic<int> ops_done{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&store, &failures, &ops_done, t] {
+        kv::CausalToken token;  // per-thread causal chain on its hot key
+        const std::string hot = "hot-" + std::to_string(t % 2);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const std::string key =
+              i % 3 == 0 ? hot : "key-" + std::to_string(i % 7);
+          const kv::StorePutResult p = store->put_direct(
+              key, kv::client_actor(t),
+              i % 3 == 0 ? token : kv::CausalToken{},
+              "t" + std::to_string(t) + "-" + std::to_string(i));
+          if (!p.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+          if (i % 3 == 0) {
+            const kv::StoreGetResult g = store->get_direct(hot);
+            if (!g.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+            token = g.token;
+          }
+          ops_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    // The storm, from the admin role: grow to full capacity, shrink,
+    // and REJOIN a departed slot (the incarnation-bump path) — all
+    // while the clients above are mid-flight.  Each step waits for
+    // more client progress so the transitions spread across the run.
+    const auto wait_for_ops = [&ops_done](int target) {
+      while (ops_done.load(std::memory_order_relaxed) < target) {
+        std::this_thread::yield();
+      }
+    };
+    const int total = static_cast<int>(kThreads) * kOpsPerThread;
+    struct Step {
+      int after;  ///< client ops completed before this transition
+      bool join;
+      kv::ReplicaId node;
+    };
+    const Step storm[] = {
+        {total / 12, true, 6},     {total / 6, true, 7},
+        {total / 4, false, 0},     {total / 3, false, 1},
+        {total / 2, false, 2},     {2 * total / 3, true, 2},
+    };
+    std::uint64_t keys_shipped = 0;
+    for (const Step& step : storm) {
+      wait_for_ops(step.after);
+      const bool ok =
+          step.join ? store->join_node(step.node) : store->leave_node(step.node);
+      ASSERT_TRUE(ok) << "transition precondition broken at node "
+                      << step.node;
+      keys_shipped += store->complete_rebalance().totals.keys_shipped;
+      ASSERT_FALSE(store->rebalancing());
+    }
+
+    for (std::thread& c : clients) c.join();
+    ASSERT_EQ(failures.load(), 0) << mechanism << ": worker ops failed";
+    EXPECT_EQ(store->ring_epoch(), std::size(storm));
+    EXPECT_EQ(store->members(),
+              (std::vector<kv::ReplicaId>{2, 3, 4, 5, 6, 7}));
+    EXPECT_GT(keys_shipped, 0u) << "the storm's rebalances moved nothing";
+    (void)store->pump_all();
+
+    // Anti-entropy to a fixed point, then require byte agreement among
+    // the CURRENT owners of every key.  Replicas outside a key's
+    // preference list may legitimately hold stale superseded copies —
+    // transfers move data, they never delete it.
+    for (int round = 0; round < 8; ++round) {
+      const kv::DigestRepairReport report = store->anti_entropy_digest();
+      (void)store->pump_all();
+      if (report.stats.keys_shipped == 0) break;
+    }
+    const kv::DigestRepairReport fixed = store->anti_entropy_digest();
+    EXPECT_EQ(fixed.stats.keys_shipped, 0u)
+        << mechanism << ": not at a fixed point";
+
+    std::set<kv::Key> all_keys;
+    for (kv::ReplicaId r = 0; r < store->servers(); ++r) {
+      for (const kv::Key& key : store->keys(r)) all_keys.insert(key);
+    }
+    EXPECT_FALSE(all_keys.empty());
+    for (const kv::Key& key : all_keys) {
+      const std::vector<kv::ReplicaId> owners = store->preference_list(key);
+      const std::optional<std::string> first =
+          store->encoded_state(owners[0], key);
+      EXPECT_TRUE(first.has_value())
+          << mechanism << ": owner " << owners[0] << " lost " << key;
+      for (const kv::ReplicaId peer : owners) {
+        EXPECT_EQ(first, store->encoded_state(peer, key))
+            << mechanism << ": owners " << owners[0] << " and " << peer
+            << " disagree on " << key;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvv

@@ -43,6 +43,9 @@ std::vector<Message> specimens() {
       CoordReadRespMsg{5, true, state},
       CoordWriteReqMsg{6, "cart", state},
       CoordWriteRespMsg{6},
+      JoinReqMsg{7},
+      EpochAnnounceMsg{3, {0, 1, 2, 7}},
+      TransferDoneMsg{3, 0x9ae16a3bULL, 7, 12, 4096},
   };
 }
 
@@ -84,10 +87,40 @@ TEST(NetDecode, RejectsTrailingGarbage) {
 
 TEST(NetDecode, RejectsUnknownTag) {
   EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x63')).has_value());
-  // 0x0b is the first out-of-range tag (0x0a is BatchMsg now — a bare
+  // 0x0e is the first out-of-range tag (0x0d is BatchMsg now — a bare
   // tag with no count is rejected as a truncated batch, not unknown).
-  EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x0b')).has_value());
+  EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x0e')).has_value());
+  EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x0d')).has_value());
+}
+
+TEST(NetDecode, RejectsMalformedEpochAnnounce) {
+  // Tag 11 = EpochAnnounceMsg{epoch, count, members...}.  The member
+  // list is the first variable-count field a peer controls: every
+  // malformed shape must come back nullopt, never assert.
+  const auto reject = [](const std::string& body) {
+    EXPECT_FALSE(try_decode_from_bytes('\x0b' + body).has_value()) << body;
+  };
+  reject(std::string("\x03\x00", 2));              // empty member list
+  reject(std::string("\x03\x02\x01\x01", 4));      // duplicate members
+  reject(std::string("\x03\x02\x02\x01", 4));      // unsorted members
+  reject(std::string("\x03\x09\x00\x01", 4));      // count overclaims bytes
+  reject(std::string("\x03\x02\x00", 3));          // truncated member list
+  // The canonical form is accepted and round-trips.
+  const std::string good('\x0b' + std::string("\x03\x03\x00\x01\x07", 5));
+  const std::optional<Message> ok = try_decode_from_bytes(good);
+  ASSERT_TRUE(ok.has_value());
+  const auto& m = std::get<EpochAnnounceMsg>(*ok);
+  EXPECT_EQ(m.epoch, 3u);
+  EXPECT_EQ(m.members, (std::vector<NodeId>{0, 1, 7}));
+  EXPECT_EQ(encode_to_bytes(*ok), good);
+}
+
+TEST(NetDecode, RejectsTruncatedMembershipFrames) {
+  // JoinReq (tag 10) with no node; TransferDone (tag 12) cut after the
+  // partition field.
   EXPECT_FALSE(try_decode_from_bytes(std::string(1, '\x0a')).has_value());
+  EXPECT_FALSE(
+      try_decode_from_bytes(std::string("\x0c\x03\x2a", 3)).has_value());
 }
 
 TEST(NetDecode, RejectsNonCanonicalVarint) {

@@ -339,6 +339,60 @@ TEST_F(ServerTest, ManyConcurrentClientConnections) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(ServerAdminTest, JoinLeaveRingInfoOverSocket) {
+  // A store with headroom: 4 seed members over 8 provisioned replicas.
+  kv::StoreConfig config;
+  config.servers = 4;
+  config.capacity = 8;
+  config.transport.kind = net::TransportKind::kThreaded;
+  config.transport.threaded.shards = 2;
+  auto store = kv::make_store("dvv", config);
+  ASSERT_NE(store, nullptr);
+  server::Server srv(*store, server::ServerConfig{});
+  srv.start();
+
+  server::Client client(srv.port());
+  server::Response resp;
+  ASSERT_TRUE(client.ring_info(resp));
+  ASSERT_EQ(resp.status, server::ResponseStatus::kOk);
+  EXPECT_EQ(resp.epoch, 0u);
+  EXPECT_EQ(resp.members, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+
+  // Seed data, then grow the ring while the connection stays live.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(client.put("adm-" + std::to_string(i), "", "v", 1, resp));
+    ASSERT_EQ(resp.status, server::ResponseStatus::kOk);
+  }
+  ASSERT_TRUE(client.join(4, resp));
+  ASSERT_EQ(resp.status, server::ResponseStatus::kOk);
+  EXPECT_EQ(resp.epoch, 1u);
+
+  // Admin preconditions surface as kBadRequest, never an abort: joining
+  // a member, leaving a non-member, naming a slot beyond capacity.
+  ASSERT_TRUE(client.join(4, resp));
+  EXPECT_EQ(resp.status, server::ResponseStatus::kBadRequest);
+  ASSERT_TRUE(client.leave(7, resp));
+  EXPECT_EQ(resp.status, server::ResponseStatus::kBadRequest);
+  ASSERT_TRUE(client.join(99, resp));
+  EXPECT_EQ(resp.status, server::ResponseStatus::kBadRequest);
+
+  ASSERT_TRUE(client.leave(0, resp));
+  ASSERT_EQ(resp.status, server::ResponseStatus::kOk);
+  EXPECT_EQ(resp.epoch, 2u);
+  ASSERT_TRUE(client.ring_info(resp));
+  EXPECT_EQ(resp.epoch, 2u);
+  EXPECT_EQ(resp.members, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+
+  // Every pre-churn write is still served under the new ring — the
+  // join/leave responses arrived only after the rebalance completed.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(client.get("adm-" + std::to_string(i), resp));
+    ASSERT_EQ(resp.status, server::ResponseStatus::kOk);
+    EXPECT_TRUE(resp.found) << i;
+  }
+  srv.stop();
+}
+
 TEST_F(ServerTest, StopWhileClientsConnectedShutsDownCleanly) {
   server::Client a(port());
   server::Client b(port());
